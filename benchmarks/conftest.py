@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+One campus trace and one validation meeting are generated once per session
+and shared by every table/figure benchmark; each benchmark writes the rows
+or series it regenerates to ``benchmarks/results/<experiment>.txt`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a single
+run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.capture.p4_model import P4CaptureModel
+from repro.core import ZoomAnalyzer
+from repro.simulation import (
+    CongestionEvent,
+    MeetingConfig,
+    MeetingSimulator,
+    ParticipantConfig,
+)
+from repro.simulation.campus import CampusTraceConfig, generate_campus_trace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer for experiment outputs: ``report("table2", text)``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def campus():
+    """The scaled-down §6 campus trace: generator output, capture-filter
+    output, and full analysis."""
+    trace = generate_campus_trace(
+        CampusTraceConfig(
+            hours=12,
+            meetings_per_hour_peak=1.6,
+            meeting_duration=(10.0, 22.0),
+            screen_share_fraction=0.35,
+            background_pps=0.05,
+            seed=2023,
+        )
+    )
+    model = P4CaptureModel(rate_bin_width=1800.0)
+    filtered = list(model.process(trace.all_packets()))
+    analysis = ZoomAnalyzer().analyze(filtered)
+    return trace, model, analysis
+
+
+@pytest.fixture(scope="session")
+def validation():
+    """The §5 validation call (Figure 10): 60 s, two congestion episodes,
+    ground-truth QoS feed on the side."""
+    config = MeetingConfig(
+        meeting_id="bench-validation",
+        participants=(
+            ParticipantConfig(
+                name="sender",
+                on_campus=True,
+                congestion=(
+                    CongestionEvent(start=15.0, end=23.0),
+                    CongestionEvent(start=38.0, end=48.0),
+                ),
+            ),
+            ParticipantConfig(name="receiver", on_campus=True, join_time=0.5),
+        ),
+        duration=60.0,
+        allow_p2p=False,
+        seed=23,
+    )
+    result = MeetingSimulator(config).run()
+    analysis = ZoomAnalyzer().analyze(result.captures)
+    return result, analysis

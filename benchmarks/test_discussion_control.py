@@ -1,0 +1,113 @@
+"""§8 "In-Network Monitoring and Control" — the paper's proposed actions.
+
+The discussion section sketches what a switch could do once it parses Zoom
+headers: DSCP annotation by packet type/importance, and selective forwarding
+of SVC layers in response to congestion.  These benchmarks regenerate both:
+
+* DSCP marking coverage and throughput over the campus trace;
+* SVC temporal thinning: measured downstream with our own analyzer, FEC
+  drop sheds bytes without touching frame rate, and layer halving cuts the
+  delivered video frame rate in half while streams stay decodable.
+"""
+
+from repro.analysis.tables import format_table
+from repro.capture.control import DscpAnnotator, SvcLayerDropper
+from repro.core import ZoomAnalyzer
+from repro.net.packet import parse_frame
+from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
+
+
+def test_dscp_annotation(campus, report, benchmark):
+    trace, _model, _analysis = campus
+    sample = trace.result.captures[:8000]
+
+    def annotate_all():
+        annotator = DscpAnnotator()
+        marked = [annotator.annotate(packet) for packet in sample]
+        return annotator, marked
+
+    annotator, marked = benchmark.pedantic(annotate_all, rounds=1, iterations=1)
+    from collections import Counter
+
+    dscp_counts = Counter()
+    for packet in marked:
+        parsed = parse_frame(packet.data)
+        if parsed.ipv4 is not None:
+            dscp_counts[parsed.ipv4.dscp] += 1
+    rows = [
+        ("EF 46 (audio)", dscp_counts.get(46, 0)),
+        ("AF41 34 (video)", dscp_counts.get(34, 0)),
+        ("AF31 26 (screen share)", dscp_counts.get(26, 0)),
+        ("BE 0 (control/RTCP/other)", dscp_counts.get(0, 0)),
+    ]
+    report("discussion_dscp_annotation", format_table(["class", "packets"], rows))
+    # Media is ~80% of campus packets; TCP control and the ~10% undecoded
+    # control packets stay best-effort.
+    assert annotator.marked > 0.7 * len(sample)
+    assert dscp_counts.get(34, 0) > dscp_counts.get(46, 0) * 0.5
+    # Every marked packet still parses with a valid checksum.
+    assert sum(dscp_counts.values()) == len(sample)
+
+
+def test_svc_thinning_effect(report, benchmark):
+    result = MeetingSimulator(
+        MeetingConfig(
+            meeting_id="svc",
+            participants=(
+                ParticipantConfig(name="a", on_campus=True),
+                ParticipantConfig(name="b", on_campus=True, join_time=0.5),
+            ),
+            duration=20.0,
+            allow_p2p=False,
+            seed=88,
+        )
+    ).run()
+    window = (6.0, 14.0)
+
+    def run_variants():
+        variants = {}
+        for name, kwargs in (
+            ("baseline", dict(drop_fec=False, halve_frame_rate=False)),
+            ("drop FEC", dict(drop_fec=True, halve_frame_rate=False)),
+            ("halve frame rate", dict(drop_fec=True, halve_frame_rate=True)),
+        ):
+            dropper = SvcLayerDropper(
+                congested=lambda t: window[0] <= t <= window[1], **kwargs
+            )
+            thinned = dropper.process(result.captures)
+            analysis = ZoomAnalyzer().analyze(thinned)
+            stream = next(
+                s for s in analysis.media_streams()
+                if s.ssrc == 0x110 and s.to_server is True
+            )
+            metrics = analysis.metrics_for(stream.key)
+            fps_inside = [
+                s.fps for s in metrics.framerate_delivered.samples
+                if window[0] + 1.5 <= s.time <= window[1] - 0.5
+            ]
+            variants[name] = (
+                len(thinned),
+                sum(fps_inside) / len(fps_inside) if fps_inside else 0.0,
+                dropper.dropped_fec,
+                dropper.dropped_frames,
+            )
+        return variants
+
+    variants = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    rows = [
+        (name, packets, fps, fec, frames)
+        for name, (packets, fps, fec, frames) in variants.items()
+    ]
+    report(
+        "discussion_svc_thinning",
+        format_table(
+            ["policy", "packets fwd", "video fps in window", "FEC dropped", "frames dropped"],
+            rows,
+        ),
+    )
+    base_fps = variants["baseline"][1]
+    fec_fps = variants["drop FEC"][1]
+    halved_fps = variants["halve frame rate"][1]
+    assert abs(fec_fps - base_fps) < 3.0            # FEC drop preserves fps
+    assert variants["drop FEC"][0] < variants["baseline"][0]
+    assert 0.35 * base_fps < halved_fps < 0.7 * base_fps  # ~half the rate

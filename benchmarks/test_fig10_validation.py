@@ -1,0 +1,147 @@
+"""Figure 10 — estimation accuracy vs the Zoom-client ground truth.
+
+The §5 validation experiment: a two-person call with cross-traffic injected
+twice, analyzer estimates compared second-by-second against the emulator's
+SDK-style QoS feed.
+
+* 10a frame rate: estimate tracks the delivered-frame truth closely and dips
+  with the encoder's 28→14 fps adaptation during congestion.
+* 10b latency: estimate matches the displayed figure when the network is
+  calm, provides far more samples, and exposes fluctuations the 5-second
+  display refresh misses.
+* 10c jitter: the RFC 3550 estimate reacts to the congestion events while
+  the Zoom-style figure stays under ~2 ms — the paper's documented mismatch.
+"""
+
+from collections import defaultdict
+
+from repro.analysis.tables import format_table
+
+SENDER_VIDEO_SSRC = 0x10
+CONGESTION_WINDOWS = ((15.0, 23.0), (38.0, 48.0))
+
+
+def _in_congestion(second: float) -> bool:
+    return any(start <= second <= end for start, end in CONGESTION_WINDOWS)
+
+
+def _per_second(samples, value):
+    table = defaultdict(list)
+    for sample in samples:
+        table[int(sample.time)].append(value(sample))
+    return {second: sum(vals) / len(vals) for second, vals in table.items()}
+
+
+def test_fig10a_frame_rate(validation, report, benchmark):
+    result, analysis = validation
+    ingress = next(
+        s for s in analysis.media_streams()
+        if s.ssrc == SENDER_VIDEO_SSRC and s.to_server is False
+    )
+    metrics = analysis.metrics_for(ingress.key)
+
+    def estimate_series():
+        return _per_second(metrics.framerate_delivered.samples, lambda s: s.fps)
+
+    estimates = benchmark(estimate_series)
+    truth = {
+        int(s.time) - 1: float(s.delivered_frames)
+        for s in result.qos.for_stream(SENDER_VIDEO_SSRC)
+    }
+
+    errors, clean_rates, congested_rates, rows = [], [], [], []
+    for second in sorted(set(estimates) & set(truth)):
+        if second < 2:
+            continue
+        error = abs(estimates[second] - truth[second])
+        errors.append(error)
+        (congested_rates if _in_congestion(second) else clean_rates).append(estimates[second])
+        if second % 5 == 0:
+            rows.append((second, estimates[second], truth[second], error))
+    mean_error = sum(errors) / len(errors)
+    report(
+        "fig10a_framerate",
+        format_table(["second", "estimate fps", "truth fps", "|err|"], rows)
+        + f"\nmean |error| = {mean_error:.2f} fps over {len(errors)} seconds",
+    )
+    assert mean_error < 3.0
+    assert min(congested_rates) < 18.0  # the 28->14 adaptation is visible
+    assert sum(clean_rates) / len(clean_rates) > 25.0
+
+
+def test_fig10b_latency(validation, report, benchmark):
+    result, analysis = validation
+
+    def estimate_series():
+        return _per_second(
+            analysis.rtp_latency.samples_for(SENDER_VIDEO_SSRC), lambda s: s.rtt * 1000
+        )
+
+    estimates = benchmark(estimate_series)
+    truth_rows = result.qos.for_stream(SENDER_VIDEO_SSRC)
+    dense_truth = {int(s.time) - 1: s.true_latency_ms for s in truth_rows}
+    displayed = {int(s.time) - 1: s.latency_ms for s in truth_rows}
+
+    errors, clean_errors, rows = [], [], []
+    for second in sorted(set(estimates) & set(dense_truth)):
+        if dense_truth[second] != dense_truth[second]:
+            continue
+        error = abs(estimates[second] - dense_truth[second])
+        errors.append(error)
+        if not _in_congestion(second):
+            clean_errors.append(abs(estimates[second] - displayed.get(second, float("nan"))))
+        if second % 5 == 0:
+            rows.append((second, estimates[second], dense_truth[second], displayed.get(second)))
+    mean_error = sum(errors) / len(errors)
+    sample_count = len(analysis.rtp_latency.samples_for(SENDER_VIDEO_SSRC))
+    report(
+        "fig10b_latency",
+        format_table(["second", "estimate ms", "dense truth ms", "displayed ms"], rows)
+        + f"\nmean |error| vs dense truth = {mean_error:.2f} ms; "
+        f"{sample_count} samples vs {len(truth_rows)} SDK updates",
+    )
+    assert mean_error < 3.0
+    # The analyzer yields 1-2 orders of magnitude more samples than the SDK.
+    assert sample_count > 10 * len(truth_rows)
+    # Congestion raises the estimate visibly.
+    congested = [v for s, v in estimates.items() if _in_congestion(s)]
+    clean = [v for s, v in estimates.items() if not _in_congestion(s) and s > 2]
+    assert max(congested) > 1.4 * (sum(clean) / len(clean))
+
+
+def test_fig10c_jitter(validation, report, benchmark):
+    result, analysis = validation
+    ingress = next(
+        s for s in analysis.media_streams()
+        if s.ssrc == SENDER_VIDEO_SSRC and s.to_server is False
+    )
+    metrics = analysis.metrics_for(ingress.key)
+
+    def estimate_series():
+        return _per_second(metrics.jitter.samples, lambda s: s.jitter * 1000)
+
+    estimates = benchmark(estimate_series)
+    zoom_style = {
+        int(s.time) - 1: s.jitter_ms for s in result.qos.for_stream(SENDER_VIDEO_SSRC)
+    }
+
+    rows = [
+        (second, estimates[second], zoom_style.get(second))
+        for second in sorted(estimates)
+        if second % 5 == 0 and second in zoom_style
+    ]
+    congested_estimate = max(v for s, v in estimates.items() if _in_congestion(s))
+    zoom_max = max(zoom_style.values())
+    report(
+        "fig10c_jitter",
+        format_table(["second", "RFC3550 estimate ms", "Zoom-style ms"], rows)
+        + f"\npeak estimate during congestion = {congested_estimate:.1f} ms; "
+        f"Zoom-style never exceeds {zoom_max:.2f} ms (the Fig 10c mismatch)",
+    )
+    # Our estimate reacts to congestion; the Zoom-style figure does not.
+    clean_estimate = [v for s, v in estimates.items() if not _in_congestion(s) and s > 3]
+    assert congested_estimate > 2.0 * (sum(clean_estimate) / len(clean_estimate))
+    # Paper: Zoom's figure "never exceeded 2 ms"; our emulator's stand-in is
+    # calibrated to stay in the same few-ms band regardless of congestion.
+    assert zoom_max < 4.0
+    assert congested_estimate > zoom_max

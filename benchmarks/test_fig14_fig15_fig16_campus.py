@@ -1,0 +1,188 @@
+"""Figures 14-16 — the campus performance study.
+
+Figure 14: media bit rate per type over the day, with the hour-boundary
+spikes and diurnal envelope.
+
+Figure 15: per-media-type distributions in 1-second bins — (a) data rate:
+screen share is closer to audio than to video; (b) frame rate: screen share
+has a mass at zero and ~half its samples ≤5 fps, video is bimodal around
+14/28 fps; (c) frame size: >50% of screen-share frames under 500 B with a
+long tail, most video frames under ~2000 B; (d) video frame-level jitter
+mostly below 20 ms with a long tail.
+
+Figure 16: jitter does not correlate with bit rate or frame rate.
+"""
+
+from collections import defaultdict
+
+from repro.analysis.cdfs import cdf_of
+from repro.analysis.correlation import pearson, spearman
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import ascii_plot, resample_sum
+from repro.zoom.constants import ZoomMediaType
+
+VIDEO = int(ZoomMediaType.VIDEO)
+AUDIO = int(ZoomMediaType.AUDIO)
+SCREEN = int(ZoomMediaType.SCREEN_SHARE)
+
+
+def _per_stream_metric_values(analysis):
+    """1-second-bin metric values per media type, as §6.2 computes them."""
+    rate = defaultdict(list)
+    fps = defaultdict(list)
+    sizes = defaultdict(list)
+    jitter = defaultdict(list)
+    for stream in analysis.media_streams():
+        metrics = analysis.metrics_for(stream.key)
+        media_type = stream.media_type
+        rate[media_type].extend(
+            analysis.bitrate.stream_rate_values(stream.five_tuple, stream.ssrc)
+        )
+        per_second = defaultdict(list)
+        for sample in metrics.framerate_delivered.samples:
+            per_second[int(sample.time)].append(sample.fps)
+        fps[media_type].extend(
+            sum(v) / len(v) for v in per_second.values()
+        )
+        # Screen share: seconds with zero completed frames count as 0 fps.
+        if media_type == SCREEN and stream.duration > 2:
+            active = set(per_second)
+            for second in range(int(stream.first_time), int(stream.last_time)):
+                if second not in active:
+                    fps[media_type].append(0.0)
+        sizes[media_type].extend(metrics.framesize.sizes())
+        if media_type == VIDEO:
+            jitter[media_type].extend(1000 * s.jitter for s in metrics.jitter.samples)
+    return rate, fps, sizes, jitter
+
+
+def test_fig14_diurnal_bitrate(campus, report, benchmark):
+    _trace, _model, analysis = campus
+
+    def build_series():
+        return {
+            media_type: analysis.bitrate.media_type_rate_series(media_type)
+            for media_type in (VIDEO, AUDIO, SCREEN)
+        }
+
+    series = benchmark(build_series)
+    plot = []
+    for media_type, name in ((VIDEO, "video"), (AUDIO, "audio"), (SCREEN, "screen share")):
+        if series[media_type]:
+            hourly = resample_sum(series[media_type], 3600.0)
+            hourly = [(t, v / 3600.0) for t, v in hourly]
+            plot.append(ascii_plot(hourly, label=f"{name} bit/s ", height=6))
+    report("fig14_datarate_timeseries", "\n".join(plot))
+
+    video_total = sum(v for _t, v in series[VIDEO])
+    audio_total = sum(v for _t, v in series[AUDIO])
+    assert video_total > 3 * audio_total  # video dominates (Fig 14)
+    # Diurnal envelope: the busiest hour clearly beats the quietest.
+    hourly_video = [v for _t, v in resample_sum(series[VIDEO], 3600.0)]
+    busy, quiet = max(hourly_video), min(v for v in hourly_video)
+    assert busy > 2 * max(quiet, 1.0)
+
+
+def test_fig15_metric_cdfs(campus, report, benchmark):
+    _trace, _model, analysis = campus
+
+    rate, fps, sizes, jitter = benchmark.pedantic(
+        lambda: _per_stream_metric_values(analysis), rounds=1, iterations=1
+    )
+
+    fractions = (0.10, 0.25, 0.50, 0.75, 0.90)
+    rows = []
+    for label, values in (
+        ("a: rate kbit/s, audio", [v / 1000 for v in rate[AUDIO]]),
+        ("a: rate kbit/s, screen", [v / 1000 for v in rate[SCREEN]]),
+        ("a: rate kbit/s, video", [v / 1000 for v in rate[VIDEO]]),
+        ("b: fps, screen", fps[SCREEN]),
+        ("b: fps, video", fps[VIDEO]),
+        ("c: frame B, screen", sizes[SCREEN]),
+        ("c: frame B, video", sizes[VIDEO]),
+        ("d: jitter ms, video", jitter[VIDEO]),
+    ):
+        cdf = cdf_of(values)
+        rows.append([label, *cdf.quantile_row(fractions), cdf.count])
+    report(
+        "fig15_metric_cdfs",
+        format_table(["metric / media", "p10", "p25", "p50", "p75", "p90", "n"], rows),
+    )
+
+    # (a) screen-share rates sit near audio, far from video (§6.2).
+    video_rate = cdf_of(rate[VIDEO])
+    audio_rate = cdf_of(rate[AUDIO])
+    screen_rate = cdf_of(rate[SCREEN])
+    assert video_rate.median > 4 * audio_rate.median
+    assert screen_rate.median < video_rate.median / 2
+    # (b) screen share: a mass at 0 fps, roughly half at <=5 fps.
+    screen_fps = cdf_of(fps[SCREEN])
+    assert screen_fps.probability_below(0.0) > 0.05
+    assert 0.25 < screen_fps.probability_below(5.0) < 0.95
+    # (b) video: bimodal around 14 and 28 fps.
+    video_fps = cdf_of(fps[VIDEO])
+    low_cluster = video_fps.probability_below(18.0) - video_fps.probability_below(9.0)
+    high_cluster = video_fps.probability_below(31.0) - video_fps.probability_below(23.0)
+    assert low_cluster > 0.15 and high_cluster > 0.15
+    # (c) sizes: >40% of screen-share frames small, long tail; most video
+    # frames under ~2800 B.
+    screen_sizes = cdf_of(sizes[SCREEN])
+    assert screen_sizes.probability_below(500) > 0.4
+    assert screen_sizes.quantile(0.99) > 3 * screen_sizes.median
+    video_sizes = cdf_of(sizes[VIDEO])
+    assert video_sizes.probability_below(2800) > 0.5
+    # (d) jitter mostly below 20 ms, long tail present.
+    video_jitter = cdf_of(jitter[VIDEO])
+    assert video_jitter.probability_below(20.0) > 0.7
+    assert video_jitter.quantile(0.99) > 2 * video_jitter.median
+
+
+def test_fig16_jitter_uncorrelated(campus, report, benchmark):
+    _trace, _model, analysis = campus
+
+    def collect_pairs():
+        jitter_values, rate_values, fps_values = [], [], []
+        for stream in analysis.media_streams():
+            if stream.media_type != VIDEO:
+                continue
+            metrics = analysis.metrics_for(stream.key)
+            per_second_jitter = defaultdict(list)
+            for sample in metrics.jitter.samples:
+                per_second_jitter[int(sample.time)].append(sample.jitter * 1000)
+            per_second_fps = defaultdict(list)
+            for sample in metrics.framerate_delivered.samples:
+                per_second_fps[int(sample.time)].append(sample.fps)
+            rates = {
+                int(t): v
+                for t, v in analysis.bitrate.stream_rate_series(stream.five_tuple, stream.ssrc)
+            }
+            for second, jitters in per_second_jitter.items():
+                if second in per_second_fps and second in rates:
+                    jitter_values.append(sum(jitters) / len(jitters))
+                    fps_values.append(
+                        sum(per_second_fps[second]) / len(per_second_fps[second])
+                    )
+                    rate_values.append(rates[second])
+        return jitter_values, rate_values, fps_values
+
+    jitter_values, rate_values, fps_values = benchmark.pedantic(
+        collect_pairs, rounds=1, iterations=1
+    )
+    assert len(jitter_values) > 300
+    correlations = {
+        "pearson(jitter, bitrate)": pearson(jitter_values, rate_values),
+        "spearman(jitter, bitrate)": spearman(jitter_values, rate_values),
+        "pearson(jitter, fps)": pearson(jitter_values, fps_values),
+        "spearman(jitter, fps)": spearman(jitter_values, fps_values),
+    }
+    report(
+        "fig16_jitter_correlation",
+        format_table(
+            ["correlation", "value"],
+            [(k, f"{v:+.3f}") for k, v in correlations.items()],
+        )
+        + f"\nsamples: {len(jitter_values)} (1 s bins, video streams)",
+    )
+    # The paper's negative result: no strong relationship in either pairing.
+    for name, value in correlations.items():
+        assert abs(value) < 0.45, (name, value)

@@ -1,0 +1,64 @@
+"""Figure 18 — the Wireshark-plugin view of a Zoom video packet.
+
+Regenerates the packet-details tree the plugin screenshot shows and
+benchmarks dissection throughput (the plugin must keep up with live
+captures).
+"""
+
+from repro.core.dissector import dissect, dissect_text
+from repro.net.packet import parse_frame
+from repro.zoom.packets import parse_zoom_payload
+
+
+def _one_video_payload(campus):
+    trace, _model, _analysis = campus
+    for captured in trace.result.captures:
+        packet = parse_frame(captured.data, captured.timestamp)
+        if packet.is_udp and packet.dst_port == 8801 and len(packet.payload) > 400:
+            zoom = parse_zoom_payload(packet.payload, from_server=True)
+            if zoom.is_media and zoom.media.media_type == 16:
+                return packet.payload
+    raise AssertionError("no video packet found")
+
+
+def test_fig18_dissection_tree(campus, report, benchmark):
+    payload = _one_video_payload(campus)
+
+    def run():
+        return dissect(payload, from_server=True)
+
+    tree = benchmark(run)
+    text = tree.render()
+    report("fig18_dissector", text)
+
+    # The tree carries everything the Figure 18 screenshot shows.
+    for field in (
+        "zoom.sfu.type",
+        "zoom.sfu.direction",
+        "zoom.media.type",
+        "zoom.media.frame_seq",
+        "zoom.media.pkts_in_frame",
+        "rtp.p_type",
+        "rtp.seq",
+        "rtp.timestamp",
+        "rtp.ssrc",
+        "zoom.payload",
+    ):
+        assert tree.find(field) is not None, field
+    assert "Zoom Media Encapsulation (VIDEO)" in text
+    assert "Real-Time Transport Protocol" in text
+
+
+def test_fig18_dissection_throughput(campus, benchmark):
+    trace, _model, _analysis = campus
+    payloads = []
+    for captured in trace.result.captures[:2000]:
+        packet = parse_frame(captured.data, captured.timestamp)
+        if packet.is_udp and 8801 in (packet.src_port, packet.dst_port):
+            payloads.append(packet.payload)
+
+    def dissect_batch():
+        return sum(1 for payload in payloads if dissect_text(payload) is not None)
+
+    count = benchmark(dissect_batch)
+    assert count == len(payloads)

@@ -1,0 +1,58 @@
+"""Table 2 — media-encapsulation type values, offsets, and traffic shares.
+
+Paper (campus trace): video(16) 62.0%/80.7%, audio(15) ~27%/~12%, screen
+share(13) small, RTCP(33/34) ~1.2%, undecoded remainder just under 10% of
+packets (~8.4% of bytes); decodable media = 90.03% of packets, 91.57% of
+bytes.  The absolute mix depends on the meeting population; the *shape*
+(video ≫ audio ≫ rest; ~90% decodable) must hold.
+"""
+
+from repro.analysis.tables import format_table
+from repro.zoom.constants import RTP_OFFSET_SERVER
+
+PAPER_ROWS = {
+    16: ("RTP video", 32, 62.00, 80.67),
+    15: ("RTP audio", 27, 27.48, 10.86),
+    13: ("RTP screen share", 35, 1.39, 1.49),
+    34: ("RTCP SR + SDES", 16, 0.89, 0.09),
+    33: ("RTCP SR", 16, 0.27, 0.02),
+}
+
+
+def test_table2_shares(campus, report, benchmark):
+    _trace, _model, analysis = campus
+
+    def build_table():
+        return analysis.encap_share_table()
+
+    rows = benchmark(build_table)
+    shares = {value: (pct, byte_pct) for value, pct, byte_pct in rows}
+
+    out_rows = []
+    for value, (name, offset, paper_pct, paper_bytes) in PAPER_ROWS.items():
+        measured_pct, measured_bytes = shares.get(value, (0.0, 0.0))
+        out_rows.append(
+            (value, name, offset, paper_pct, measured_pct, paper_bytes, measured_bytes)
+        )
+    other_pct, other_bytes = shares.get("other", (0.0, 0.0))
+    out_rows.append(("other", "undecoded/control", "-", 9.97, other_pct, 8.43, other_bytes))
+    report(
+        "table2_media_encap_types",
+        format_table(
+            ["value", "packet type", "offset", "paper %pkts", "ours %pkts",
+             "paper %bytes", "ours %bytes"],
+            out_rows,
+        ),
+    )
+
+    # Shape assertions.
+    video_pct, video_bytes = shares[16]
+    audio_pct, audio_bytes = shares[15]
+    assert video_pct > audio_pct > shares.get(13, (0.0, 0.0))[0]
+    assert video_bytes > 55.0
+    decodable_pct = sum(shares.get(v, (0.0, 0.0))[0] for v in PAPER_ROWS)
+    assert 80.0 < decodable_pct < 97.5
+    assert 2.0 < other_pct < 17.0
+    # Offsets are definitional (Table 2 column 3).
+    for value, (_name, offset, _p, _b) in PAPER_ROWS.items():
+        assert RTP_OFFSET_SERVER[value] == offset

@@ -1,0 +1,54 @@
+"""Table 3 — RTP payload-type shares in the campus trace.
+
+Paper: video/98 62.00%/79.27%, audio/112 22.04%/7.92%, video-FEC/110
+6.14%/7.47%, screen/99 3.59%/3.72%, audio/113 2.96%/0.89%, audio/99 (silent)
+2.60%/0.56%, audio-FEC/110 0.62%/0.13%.  Shape to hold: video main first by
+a wide margin; speaking-mode audio ≫ silent-mode audio (muted participants
+send nothing at all); FEC a ~10% shadow of its main substream.
+"""
+
+from repro.analysis.tables import format_table
+
+PAPER = {
+    (16, 98): ("video main", 62.00, 79.27),
+    (15, 112): ("audio speaking", 22.04, 7.92),
+    (16, 110): ("video FEC", 6.14, 7.47),
+    (13, 99): ("screen share main", 3.59, 3.72),
+    (15, 113): ("audio mode unknown", 2.96, 0.89),
+    (15, 99): ("audio silent", 2.60, 0.56),
+    (15, 110): ("audio FEC", 0.62, 0.13),
+}
+
+
+def test_table3_payload_types(campus, report, benchmark):
+    _trace, _model, analysis = campus
+
+    def build_table():
+        return analysis.payload_type_table()
+
+    rows = benchmark(build_table)
+    shares = {(mt, pt): (pct, byte_pct) for mt, pt, pct, byte_pct in rows}
+
+    out_rows = []
+    for key, (name, paper_pct, paper_bytes) in PAPER.items():
+        measured_pct, measured_bytes = shares.get(key, (0.0, 0.0))
+        out_rows.append(
+            (f"{key[0]}/{key[1]}", name, paper_pct, measured_pct, paper_bytes, measured_bytes)
+        )
+    report(
+        "table3_rtp_payload_types",
+        format_table(
+            ["media/PT", "description", "paper %pkts", "ours %pkts",
+             "paper %bytes", "ours %bytes"],
+            out_rows,
+        ),
+    )
+
+    # Shape assertions.
+    assert shares[(16, 98)][0] == max(pct for pct, _ in shares.values())
+    assert shares[(16, 98)][1] > 60.0                        # video bytes dominate
+    assert shares[(15, 112)][0] > shares.get((15, 99), (0, 0))[0]  # speaking >> silent
+    video_fec = shares.get((16, 110), (0.0, 0.0))[0]
+    assert 0.02 * shares[(16, 98)][0] < video_fec < 0.25 * shares[(16, 98)][0]
+    if (15, 113) in shares:                                   # mobile clients present
+        assert shares[(15, 113)][0] < shares[(15, 112)][0]

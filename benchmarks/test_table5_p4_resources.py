@@ -1,0 +1,80 @@
+"""Table 5 — Tofino resource usage of the capture program, by component.
+
+Paper: Zoom-IP match 2 stages / 0.7% TCAM / 0.1% SRAM / 1.3% instr / 0% hash;
+P2P detection 7 / 1.0 / 10.9 / 3.4 / 16.7; anonymization 11 / 1.4 / 1.1 /
+5.2 / 8.3.  The cost model must reproduce these within tolerance, and the
+whole program must fit one Tofino ("lightweight": <15% of most resources).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.capture.resources import (
+    component_usage,
+    fits_budget,
+    resource_usage_table,
+    TableSpec,
+)
+
+PAPER = {
+    "Zoom IP Match": (2, 0.7, 0.1, 1.3, 0.0),
+    "P2P Detection": (7, 1.0, 10.9, 3.4, 16.7),
+    "Anonymization": (11, 1.4, 1.1, 5.2, 8.3),
+}
+
+
+def test_table5_resource_usage(report, benchmark):
+    table = benchmark(resource_usage_table)
+
+    rows = []
+    for component in table:
+        got = component.percentages()
+        paper = PAPER[component.name]
+        rows.append(
+            (component.name,
+             f"{paper[0]} / {got['stages']:.0f}",
+             f"{paper[1]} / {got['tcam']:.1f}",
+             f"{paper[2]} / {got['sram']:.1f}",
+             f"{paper[3]} / {got['instructions']:.1f}",
+             f"{paper[4]} / {got['hash_units']:.1f}")
+        )
+        assert got["stages"] == paper[0]
+        assert got["tcam"] == pytest.approx(paper[1], abs=1.0)
+        assert got["sram"] == pytest.approx(paper[2], abs=1.5)
+        assert got["instructions"] == pytest.approx(paper[3], abs=2.0)
+        assert got["hash_units"] == pytest.approx(paper[4], abs=1.5)
+    report(
+        "table5_p4_resources",
+        format_table(
+            ["component (paper / model)", "stages", "TCAM %", "SRAM %",
+             "instr %", "hash %"],
+            rows,
+        ),
+    )
+    assert fits_budget()
+
+
+def test_table5_ablation_register_sizing(report, benchmark):
+    """Ablation: how P2P-register capacity trades SRAM for collision risk."""
+
+    def sweep():
+        rows = []
+        for entries in (4096, 16384, 65536, 262144):
+            usage = component_usage(
+                "p2p-registers",
+                (
+                    TableSpec("src", "register", key_bits=104, entries=entries, hash_units=5, stages=3),
+                    TableSpec("dst", "register", key_bits=104, entries=entries, hash_units=5, stages=3),
+                ),
+            )
+            rows.append((entries, usage.percentages()["sram"]))
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        "table5_ablation_registers",
+        format_table(["register entries", "SRAM %"], rows),
+    )
+    sram = [s for _e, s in rows]
+    assert sram == sorted(sram)
+    assert sram[-1] > 4 * sram[-2] * 0.9  # linear in entries

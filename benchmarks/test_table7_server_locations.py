@@ -1,0 +1,60 @@
+"""Table 7 — Zoom server locations (MMRs and zone controllers).
+
+Paper: 5,452 MMRs and 256 ZCs across 15 locations, US sites first
+(California 1,410/68, New York 1,280/62, ...).  The synthetic directory
+reproduces the location list, the naming scheme, and the proportions at a
+configurable scale.
+"""
+
+from repro.analysis.tables import format_table
+from repro.simulation.infrastructure import TABLE7_LOCATIONS, ServerDirectory
+
+
+def test_table7_locations(report, benchmark):
+    def build():
+        return ServerDirectory(scale=0.05)
+
+    directory = benchmark(build)
+    table = directory.location_table()
+
+    paper_by_location = {loc: (mmr, zc) for loc, _code, mmr, zc in TABLE7_LOCATIONS}
+    rows = []
+    for location, mmrs, zcs in table:
+        paper_mmr, paper_zc = paper_by_location[location]
+        rows.append((location, paper_mmr, mmrs, paper_zc, zcs))
+    totals = (
+        "Total",
+        sum(m for m, _z in paper_by_location.values()),
+        sum(m for _l, m, _z in table),
+        sum(z for _m, z in paper_by_location.values()),
+        sum(z for _l, _m, z in table),
+    )
+    rows.append(totals)
+    report(
+        "table7_server_locations",
+        format_table(["location", "paper #MMR", "ours #MMR", "paper #ZC", "ours #ZC"], rows),
+    )
+
+    # Shape: same location set, proportional counts, US/California first.
+    assert len(table) == len(TABLE7_LOCATIONS)
+    assert table[0][0] == "United States / California"
+    for location, mmrs, zcs in table:
+        paper_mmr, paper_zc = paper_by_location[location]
+        assert mmrs == max(1, round(paper_mmr * 0.05))
+        assert zcs == max(1, round(paper_zc * 0.05))
+    # MMRs outnumber ZCs overall, as in the paper (5,452 vs 256).
+    assert totals[2] > 5 * totals[4]
+
+
+def test_table7_reverse_dns_scheme(benchmark):
+    directory = ServerDirectory(scale=0.02)
+
+    def resolve_all():
+        return [directory.lookup(server.ip) for server in directory.servers]
+
+    resolved = benchmark(resolve_all)
+    assert all(server is not None for server in resolved)
+    for server in directory.servers[:50]:
+        assert server.hostname.endswith(".zoom.us")
+        assert ("mmr" in server.hostname) == server.is_mmr
+        assert ("zc" in server.hostname) == server.is_zc

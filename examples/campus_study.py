@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""The §6.2 campus study at laptop scale: Figures 14-16 from synthetic data.
+
+Generates a scaled-down campus trace (diurnal meeting pattern, mixed media,
+P2P calls, congestion episodes), filters it through the P4 capture model,
+runs the analyzer, and prints:
+
+* the per-media-type bit-rate time series (Figure 14),
+* CDF quantile tables for data rate / frame rate / frame size / jitter per
+  media type (Figure 15a-d),
+* the jitter↔bitrate and jitter↔frame-rate correlations (Figure 16).
+
+Run:  python examples/campus_study.py [--hours N] [--peak M]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.analysis.cdfs import cdf_of
+from repro.analysis.correlation import pearson, spearman
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import ascii_plot, resample_sum
+from repro.capture.p4_model import P4CaptureModel
+from repro.core import ZoomAnalyzer
+from repro.simulation.campus import CampusTraceConfig, generate_campus_trace
+from repro.zoom.constants import ZoomMediaType
+
+MEDIA_NAMES = {13: "screen share", 15: "audio", 16: "video"}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=int, default=6)
+    parser.add_argument("--peak", type=float, default=2.0, help="meetings/hour at peak")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print(f"Generating a {args.hours}-hour campus trace ...")
+    trace = generate_campus_trace(
+        CampusTraceConfig(
+            hours=args.hours,
+            meetings_per_hour_peak=args.peak,
+            background_pps=0.05,
+            seed=args.seed,
+        )
+    )
+    print(
+        f"  {len(trace.meeting_configs)} meetings, "
+        f"{len(trace.result.captures)} Zoom packets, "
+        f"{len(trace.background)} background packets"
+    )
+
+    print("Filtering through the P4 capture model (Figure 13) ...")
+    model = P4CaptureModel(rate_bin_width=600.0)
+    zoom_only = list(model.process(trace.all_packets()))
+    counters = model.counters
+    print(
+        f"  processed {counters.processed}, passed {counters.passed} "
+        f"(server {counters.zoom_ip_matched}, p2p {counters.p2p_matched}), "
+        f"dropped {counters.dropped}"
+    )
+
+    print("Analyzing ...")
+    result = ZoomAnalyzer().analyze(zoom_only)
+    print(
+        f"  {len(result.meetings)} meetings inferred "
+        f"(ground truth: {len(trace.meeting_configs)}), "
+        f"{len(result.streams)} network streams, "
+        f"{result.grouper.unique_stream_count()} unique media streams\n"
+    )
+
+    # ---- Figure 14: data rate per media type over the day -----------------
+    print("=== Figure 14: media bit rate over the day ===")
+    for media_type in (16, 15, 13):
+        series = result.bitrate.media_type_rate_series(media_type)
+        if not series:
+            continue
+        rebinned = resample_sum(series, 900.0)
+        rebinned = [(t, v / 900.0) for t, v in rebinned]  # mean bit/s per bin
+        print(ascii_plot(rebinned, label=f"{MEDIA_NAMES[media_type]} bit/s ", height=8))
+        print()
+
+    # ---- Figure 15: per-metric CDFs by media type -------------------------
+    print("=== Figure 15: metric distributions per media type (quantiles) ===")
+    fractions = (0.10, 0.25, 0.50, 0.75, 0.90)
+    header = ["metric / media", "p10", "p25", "p50", "p75", "p90", "n"]
+
+    rate_rows = []
+    fps_rows = []
+    size_rows = []
+    jitter_rows = []
+    fps_by_type = defaultdict(list)
+    size_by_type = defaultdict(list)
+    jitter_by_type = defaultdict(list)
+    rate_by_type = defaultdict(list)
+    for stream in result.media_streams():
+        metrics = result.metrics_for(stream.key)
+        media_type = stream.media_type
+        rate_by_type[media_type].extend(
+            v / 1000.0 for v in result.bitrate.stream_rate_values(stream.five_tuple, stream.ssrc)
+        )
+        fps_by_type[media_type].extend(s.fps for s in metrics.framerate_delivered.samples)
+        size_by_type[media_type].extend(metrics.framesize.sizes())
+        if media_type == int(ZoomMediaType.VIDEO):
+            jitter_by_type[media_type].extend(1000.0 * s.jitter for s in metrics.jitter.samples)
+
+    for media_type in (15, 13, 16):
+        if rate_by_type[media_type]:
+            cdf = cdf_of(rate_by_type[media_type])
+            rate_rows.append([f"rate kbit/s / {MEDIA_NAMES[media_type]}", *cdf.quantile_row(fractions), cdf.count])
+    for media_type in (13, 16):
+        if fps_by_type[media_type]:
+            cdf = cdf_of(fps_by_type[media_type])
+            fps_rows.append([f"frame rate fps / {MEDIA_NAMES[media_type]}", *cdf.quantile_row(fractions), cdf.count])
+        if size_by_type[media_type]:
+            cdf = cdf_of(size_by_type[media_type])
+            size_rows.append([f"frame size B / {MEDIA_NAMES[media_type]}", *cdf.quantile_row(fractions), cdf.count])
+    if jitter_by_type[16]:
+        cdf = cdf_of(jitter_by_type[16])
+        jitter_rows.append(["jitter ms / video", *cdf.quantile_row(fractions), cdf.count])
+
+    for rows in (rate_rows, fps_rows, size_rows, jitter_rows):
+        if rows:
+            print(format_table(header, rows))
+            print()
+
+    # ---- Figure 16: (lack of) correlation ---------------------------------
+    print("=== Figure 16: jitter vs bit rate / frame rate (video, 1 s bins) ===")
+    jitter_values, rate_values, fps_values = [], [], []
+    for stream in result.media_streams():
+        if stream.media_type != int(ZoomMediaType.VIDEO):
+            continue
+        metrics = result.metrics_for(stream.key)
+        per_second_jitter = defaultdict(list)
+        for sample in metrics.jitter.samples:
+            per_second_jitter[int(sample.time)].append(sample.jitter * 1000)
+        per_second_fps = defaultdict(list)
+        for sample in metrics.framerate_delivered.samples:
+            per_second_fps[int(sample.time)].append(sample.fps)
+        rates = dict(
+            (int(t), v / 1000.0)
+            for t, v in result.bitrate.stream_rate_series(stream.five_tuple, stream.ssrc)
+        )
+        for second, jitters in per_second_jitter.items():
+            if second in per_second_fps and second in rates:
+                jitter_values.append(sum(jitters) / len(jitters))
+                fps_values.append(sum(per_second_fps[second]) / len(per_second_fps[second]))
+                rate_values.append(rates[second])
+    if jitter_values:
+        print(f"samples: {len(jitter_values)}")
+        print(f"pearson(jitter, bitrate)    = {pearson(jitter_values, rate_values):+.3f}")
+        print(f"spearman(jitter, bitrate)   = {spearman(jitter_values, rate_values):+.3f}")
+        print(f"pearson(jitter, frame rate) = {pearson(jitter_values, fps_values):+.3f}")
+        print(f"spearman(jitter, frame rate)= {spearman(jitter_values, fps_values):+.3f}")
+        print("(near zero = the paper's point: single metrics cannot judge quality)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""The §5 validation experiment: analyzer estimates vs SDK ground truth.
+
+Reproduces the Figure 10 methodology: a two-person call with cross-traffic
+injected twice, the per-second "Zoom SDK" QoS feed logged on the side, and
+the passive analyzer's estimates compared against it second by second:
+
+* Figure 10a — frame rate (Method 1) vs the SDK's delivered-frame count,
+* Figure 10b — latency (Method 1, RTP sequence matching) vs the SDK's
+  displayed latency, which only refreshes every 5 s,
+* Figure 10c — RFC 3550 frame-level jitter vs Zoom's over-smoothed figure
+  (they disagree — exactly the paper's observation).
+
+Run:  python examples/validation_experiment.py
+"""
+
+from collections import defaultdict
+
+from repro.analysis.tables import format_table
+from repro.core import ZoomAnalyzer
+from repro.simulation import (
+    CongestionEvent,
+    MeetingConfig,
+    MeetingSimulator,
+    ParticipantConfig,
+)
+
+
+def main() -> None:
+    duration = 60.0
+    config = MeetingConfig(
+        meeting_id="validation",
+        participants=(
+            ParticipantConfig(
+                name="sender",
+                on_campus=True,
+                congestion=(
+                    CongestionEvent(start=15.0, end=23.0),   # first bandwidth test
+                    CongestionEvent(start=38.0, end=48.0),   # second bandwidth test
+                ),
+            ),
+            ParticipantConfig(name="receiver", on_campus=True, join_time=0.5),
+        ),
+        duration=duration,
+        allow_p2p=False,
+        seed=23,
+    )
+    print(f"Running a {duration:.0f} s two-person validation call "
+          "(cross-traffic at 15-23 s and 38-48 s) ...")
+    result = MeetingSimulator(config).run()
+    analysis = ZoomAnalyzer().analyze(result.captures)
+
+    ssrc = 0x10  # sender's video stream
+    qos = result.qos
+
+    # Analyzer estimates, binned per second.
+    ingress = next(
+        s for s in analysis.media_streams() if s.ssrc == ssrc and s.to_server is False
+    )
+    metrics = analysis.metrics_for(ingress.key)
+    fps_by_second = defaultdict(list)
+    for sample in metrics.framerate_delivered.samples:
+        fps_by_second[int(sample.time)].append(sample.fps)
+    jitter_by_second = defaultdict(list)
+    for sample in metrics.jitter.samples:
+        jitter_by_second[int(sample.time)].append(sample.jitter * 1000)
+    latency_by_second = defaultdict(list)
+    for sample in analysis.rtp_latency.samples_for(ssrc):
+        latency_by_second[int(sample.time)].append(sample.rtt * 1000)
+
+    rows = []
+    fps_errors = []
+    latency_errors = []
+    for second in range(2, int(duration)):
+        truth = [s for s in qos.for_stream(ssrc) if abs(s.time - (second + 1)) < 0.01]
+        if not truth or second not in fps_by_second:
+            continue
+        t = truth[0]
+        est_fps = sum(fps_by_second[second]) / len(fps_by_second[second])
+        est_latency = (
+            sum(latency_by_second[second]) / len(latency_by_second[second])
+            if second in latency_by_second
+            else float("nan")
+        )
+        est_jitter = (
+            sum(jitter_by_second[second]) / len(jitter_by_second[second])
+            if second in jitter_by_second
+            else float("nan")
+        )
+        congested = "*" if (15 <= second <= 23 or 38 <= second <= 48) else " "
+        rows.append(
+            (f"{second:3d}{congested}",
+             est_fps, float(t.delivered_frames),
+             est_latency, t.latency_ms,
+             est_jitter, t.jitter_ms)
+        )
+        fps_errors.append(abs(est_fps - t.delivered_frames))
+        if est_latency == est_latency and t.true_latency_ms == t.true_latency_ms:
+            latency_errors.append(abs(est_latency - t.true_latency_ms))
+
+    print(format_table(
+        ["sec", "fps est", "fps SDK", "lat est ms", "lat SDK ms", "jit est ms", "jit SDK ms"],
+        rows,
+        float_format="{:7.1f}",
+    ))
+    print("\n(* = cross-traffic active; 'SDK' = the emulator's ground-truth feed,"
+          "\n standing in for the Zoom SDK logger of §5)")
+
+    print("\n=== Accuracy summary ===")
+    print(f"frame rate:  mean |error| = {sum(fps_errors) / len(fps_errors):5.2f} fps "
+          f"over {len(fps_errors)} seconds")
+    print(f"latency:     mean |error| = {sum(latency_errors) / len(latency_errors):5.2f} ms "
+          f"vs dense ground truth ({len(latency_errors)} seconds)")
+    print("jitter:      estimates track network events; the SDK figure is "
+          "over-smoothed and stays <2 ms — the Figure 10c disagreement is expected")
+
+
+if __name__ == "__main__":
+    main()

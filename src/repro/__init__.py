@@ -1,0 +1,40 @@
+"""repro — passive measurement of Zoom performance in production networks.
+
+A full reproduction of Michel, Sengupta, Kim, Netravali, Rexford,
+*Enabling Passive Measurement of Zoom Performance in Production Networks*
+(IMC 2022), as a self-contained Python library:
+
+* :mod:`repro.net` — pcap I/O and L2-L4 packet parsing (from scratch);
+* :mod:`repro.rtp` — RTP, RTCP, and STUN;
+* :mod:`repro.zoom` — Zoom's reverse-engineered proprietary encapsulation;
+* :mod:`repro.core` — the paper's analysis pipeline: detection, entropy
+  analysis, stream assembly, meeting grouping, performance metrics;
+* :mod:`repro.capture` — the P4/Tofino capture-system model;
+* :mod:`repro.simulation` — a packet-accurate Zoom traffic emulator standing
+  in for production captures (see DESIGN.md for the substitution argument);
+* :mod:`repro.analysis` — CDF/table/time-series reporting helpers.
+
+Quickstart::
+
+    from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
+    from repro.core import ZoomAnalyzer
+
+    config = MeetingConfig(
+        meeting_id="demo",
+        participants=(
+            ParticipantConfig(name="alice"),
+            ParticipantConfig(name="bob", join_time=1.0),
+        ),
+        duration=30.0,
+    )
+    captures = MeetingSimulator(config).run().captures
+    result = ZoomAnalyzer().analyze(captures)
+    print(len(result.meetings), "meeting(s) found")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import ZoomAnalyzer
+from repro.net import read_pcap, write_pcap
+
+__all__ = ["ZoomAnalyzer", "read_pcap", "write_pcap", "__version__"]

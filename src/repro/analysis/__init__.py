@@ -1,0 +1,29 @@
+"""Reporting helpers for the §6.2 campus study: CDFs, time series, tables.
+
+These are presentation utilities shared by the examples and the benchmark
+harness — they turn the analyzer's raw series into the exact rows/curves the
+paper's figures show, and render them as aligned text tables or ASCII plots
+so every experiment's output is inspectable without a plotting stack.
+"""
+
+from repro.analysis.cdfs import Cdf, cdf_of
+from repro.analysis.correlation import pearson, spearman
+from repro.analysis.export import feature_rows, write_feature_csv
+from repro.analysis.reportgen import full_report, meeting_report
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import ascii_plot, downsample, resample_sum
+
+__all__ = [
+    "Cdf",
+    "ascii_plot",
+    "cdf_of",
+    "downsample",
+    "feature_rows",
+    "format_table",
+    "full_report",
+    "meeting_report",
+    "pearson",
+    "resample_sum",
+    "spearman",
+    "write_feature_csv",
+]

@@ -1,0 +1,60 @@
+"""Empirical CDFs — the presentation form of Figure 15's per-metric results."""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution function.
+
+    Built by :func:`cdf_of`; supports quantile and probability queries and
+    rendering at fixed fractions for table output.
+    """
+
+    sorted_values: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.sorted_values)
+
+    def quantile(self, fraction: float) -> float:
+        """The value at CDF level ``fraction`` (0-1)."""
+        if not self.sorted_values:
+            return math.nan
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        index = min(int(fraction * self.count), self.count - 1)
+        return self.sorted_values[index]
+
+    def probability_below(self, value: float) -> float:
+        """P(X <= value)."""
+        if not self.sorted_values:
+            return math.nan
+        return bisect.bisect_right(self.sorted_values, value) / self.count
+
+    def quantile_row(
+        self, fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    ) -> list[float]:
+        """Values at several CDF levels (one table row per distribution)."""
+        return [self.quantile(fraction) for fraction in fractions]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        if not self.sorted_values:
+            return math.nan
+        return sum(self.sorted_values) / self.count
+
+
+def cdf_of(values: Iterable[float]) -> Cdf:
+    """Build an empirical CDF, dropping NaNs."""
+    cleaned = sorted(v for v in values if v == v)
+    return Cdf(tuple(cleaned))

@@ -1,0 +1,56 @@
+"""Correlation measures for the Figure 16 experiment.
+
+The paper's point is a *negative* result: jitter (a network-driven metric)
+does not correlate with bit rate or frame rate (user/content-driven
+metrics), so no single metric suffices to judge meeting quality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient; NaN for degenerate input."""
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    pairs = [(x, y) for x, y in zip(xs, ys) if x == x and y == y]
+    n = len(pairs)
+    if n < 2:
+        return math.nan
+    mean_x = sum(x for x, _y in pairs) / n
+    mean_y = sum(y for _x, y in pairs) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    var_x = sum((x - mean_x) ** 2 for x, _y in pairs)
+    var_y = sum((y - mean_y) ** 2 for _x, y in pairs)
+    if var_x <= 0 or var_y <= 0:
+        return math.nan
+    return cov / math.sqrt(var_x * var_y)
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (robust to the heavy tails jitter has)."""
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    pairs = [(x, y) for x, y in zip(xs, ys) if x == x and y == y]
+    if len(pairs) < 2:
+        return math.nan
+    xs_clean = [x for x, _y in pairs]
+    ys_clean = [y for _x, y in pairs]
+    return pearson(_ranks(xs_clean), _ranks(ys_clean))

@@ -1,0 +1,167 @@
+"""Feature-matrix export for ML-based QoE inference (§8).
+
+The paper's discussion proposes using its fine-grained metrics "as features
+in a QoE ML inference model" and notes the system "can help automatically
+generate large, feature-rich data sets from real-world traffic".  This
+module is that generator: one feature row per (stream, second) with every §5
+metric, written as CSV or returned as dictionaries for direct consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from collections import defaultdict
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.pipeline import AnalysisResult
+
+FEATURE_COLUMNS = (
+    "stream_id",
+    "ssrc",
+    "media_type",
+    "second",
+    "media_kbits",
+    "flow_kbits",
+    "packets",
+    "frames_completed",
+    "delivered_fps",
+    "encoder_fps",
+    "mean_frame_bytes",
+    "max_frame_bytes",
+    "jitter_ms",
+    "mean_frame_delay_ms",
+    "max_frame_delay_ms",
+    "rtt_ms",
+    "duplicates",
+    "suspected_retransmissions",
+)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else math.nan
+
+
+def feature_rows(result: AnalysisResult) -> list[dict[str, object]]:
+    """Build the per-(stream, second) feature matrix from one analysis.
+
+    Latency samples are attributed by SSRC (they come from matching egress
+    and ingress copies, so they describe the media stream rather than a
+    single flow); every other feature is per network stream.
+    """
+    latency_by_ssrc_second: dict[tuple[int, int], list[float]] = defaultdict(list)
+    for sample in result.rtp_latency.samples:
+        latency_by_ssrc_second[(sample.ssrc, int(sample.time))].append(sample.rtt * 1000)
+
+    rows: list[dict[str, object]] = []
+    for stream in result.media_streams():
+        metrics = result.metrics_for(stream.key)
+        if metrics is None:
+            continue
+        per_second: dict[int, dict[str, list[float]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for when, total in result.bitrate.stream_bins.get(
+            (stream.five_tuple, stream.ssrc), _EMPTY_BINNER
+        ).sums(fill_gaps=False):
+            per_second[int(when)]["media_bytes"].append(total)
+        flow_binner = result.bitrate.flow_bins.get(stream.five_tuple)
+        if flow_binner is not None:
+            for when, total in flow_binner.sums(fill_gaps=False):
+                per_second[int(when)]["flow_bytes"].append(total)
+        for sample in metrics.framerate_delivered.samples:
+            per_second[int(sample.time)]["delivered_fps"].append(sample.fps)
+        for sample in metrics.framerate_encoder.samples:
+            per_second[int(sample.time)]["encoder_fps"].append(sample.fps)
+        for sample in metrics.framesize.samples:
+            per_second[int(sample.time)]["frame_bytes"].append(float(sample.size))
+        for sample in metrics.jitter.samples:
+            per_second[int(sample.time)]["jitter_ms"].append(sample.jitter * 1000)
+        for sample in metrics.frame_delay.samples:
+            bucket = per_second[int(sample.time)]
+            bucket["frame_delay_ms"].append(sample.delay * 1000)
+            if sample.retransmission_suspected:
+                bucket["suspected_retx"].append(1.0)
+        report = metrics.loss.report()
+        stream_id = (
+            f"{stream.five_tuple[0]}:{stream.five_tuple[1]}-"
+            f"{stream.five_tuple[2]}:{stream.five_tuple[3]}-{stream.ssrc:#x}"
+        )
+        for second in sorted(per_second):
+            bucket = per_second[second]
+            frame_bytes = bucket.get("frame_bytes", [])
+            rtts = latency_by_ssrc_second.get((stream.ssrc, second), [])
+            rows.append(
+                {
+                    "stream_id": stream_id,
+                    "ssrc": stream.ssrc,
+                    "media_type": stream.media_type,
+                    "second": second,
+                    "media_kbits": 8.0 * sum(bucket.get("media_bytes", [])) / 1000,
+                    "flow_kbits": 8.0 * sum(bucket.get("flow_bytes", [])) / 1000,
+                    "packets": len(bucket.get("jitter_ms", []))
+                    + len(bucket.get("media_bytes", [])),
+                    "frames_completed": len(frame_bytes),
+                    "delivered_fps": _mean(bucket.get("delivered_fps", [])),
+                    "encoder_fps": _mean(bucket.get("encoder_fps", [])),
+                    "mean_frame_bytes": _mean(frame_bytes),
+                    "max_frame_bytes": max(frame_bytes) if frame_bytes else math.nan,
+                    "jitter_ms": _mean(bucket.get("jitter_ms", [])),
+                    "mean_frame_delay_ms": _mean(bucket.get("frame_delay_ms", [])),
+                    "max_frame_delay_ms": max(bucket.get("frame_delay_ms", []), default=math.nan),
+                    "rtt_ms": _mean(rtts),
+                    "duplicates": report.duplicates,
+                    "suspected_retransmissions": int(sum(bucket.get("suspected_retx", []))),
+                }
+            )
+    rows.sort(key=lambda row: (row["stream_id"], row["second"]))
+    return rows
+
+
+class _EmptyBinner:
+    """Sentinel empty binner so streams without media bytes stay cheap."""
+
+    @staticmethod
+    def sums(fill_gaps: bool = False):
+        return []
+
+
+_EMPTY_BINNER = _EmptyBinner()
+
+
+def write_feature_csv(result: AnalysisResult, destination: str | Path | TextIO) -> int:
+    """Write the feature matrix as CSV; returns the number of rows.
+
+    NaNs are written as empty cells, which pandas and friends read back as
+    missing values.
+    """
+    rows = feature_rows(result)
+    if hasattr(destination, "write"):
+        handle: TextIO = destination  # type: ignore[assignment]
+        owns = False
+    else:
+        handle = open(destination, "w", newline="")
+        owns = True
+    try:
+        writer = csv.DictWriter(handle, fieldnames=FEATURE_COLUMNS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(
+                {
+                    key: ("" if isinstance(value, float) and math.isnan(value) else value)
+                    for key, value in row.items()
+                }
+            )
+    finally:
+        if owns:
+            handle.close()
+    return len(rows)
+
+
+def feature_csv_string(result: AnalysisResult) -> str:
+    """The feature matrix as a CSV string (for quick inspection/tests)."""
+    buffer = io.StringIO()
+    write_feature_csv(result, buffer)
+    return buffer.getvalue()

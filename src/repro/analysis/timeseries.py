@@ -1,0 +1,58 @@
+"""Time-series helpers: resampling, downsampling, and ASCII rendering."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+Point = tuple[float, float]
+
+
+def resample_sum(points: Sequence[Point], width: float) -> list[Point]:
+    """Re-bin (time, value) points into wider bins by summation."""
+    if width <= 0:
+        raise ValueError("bin width must be positive")
+    bins: dict[int, float] = {}
+    for when, value in points:
+        bins[int(when // width)] = bins.get(int(when // width), 0.0) + value
+    if not bins:
+        return []
+    first, last = min(bins), max(bins)
+    return [(index * width, bins.get(index, 0.0)) for index in range(first, last + 1)]
+
+
+def downsample(points: Sequence[Point], max_points: int) -> list[Point]:
+    """Keep at most ``max_points`` evenly spaced points."""
+    if max_points <= 0:
+        raise ValueError("max_points must be positive")
+    if len(points) <= max_points:
+        return list(points)
+    step = len(points) / max_points
+    return [points[int(i * step)] for i in range(max_points)]
+
+
+def ascii_plot(
+    points: Sequence[Point],
+    *,
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A rough ASCII line plot — enough to eyeball a Figure 14-style series."""
+    if not points:
+        return f"{label}(no data)"
+    sampled = downsample(points, width)
+    values = [value for _t, value in sampled]
+    low, high = min(values), max(values)
+    span = high - low or 1.0
+    rows = [[" "] * len(sampled) for _ in range(height)]
+    for column, value in enumerate(values):
+        if math.isnan(value):
+            continue
+        level = int((value - low) / span * (height - 1))
+        rows[height - 1 - level][column] = "*"
+    lines = [f"{label} [{low:.3g} .. {high:.3g}]"]
+    lines += ["".join(row) for row in rows]
+    start, end = sampled[0][0], sampled[-1][0]
+    lines.append(f"t: {start:.1f}s .. {end:.1f}s")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Software model of the paper's Tofino-based Zoom capture system (§6.1).
+
+The paper deploys a P4 program on an Intel Tofino switch between the campus
+packet broker and the collection server: it receives *all* campus border
+traffic and passes through only Zoom packets — including STUN-predicted P2P
+flows — optionally anonymizing them on the way out (Figure 13).  This
+package reproduces that pipeline functionally:
+
+* :mod:`repro.capture.registers` — hash-indexed register arrays with the
+  collision semantics of data-plane SRAM registers;
+* :mod:`repro.capture.p4_model` — the match-action pipeline, stage by stage;
+* :mod:`repro.capture.anonymize` — ONTAS-style keyed IP/MAC anonymization;
+* :mod:`repro.capture.resources` — a cost model of the program's Tofino
+  resource usage, calibrated to reproduce Table 5.
+"""
+
+from repro.capture.anonymize import Anonymizer
+from repro.capture.p4_model import P4CaptureModel, PipelineCounters
+from repro.capture.registers import HashRegisterArray
+from repro.capture.resources import (
+    TOFINO_BUDGET,
+    ComponentUsage,
+    resource_usage_table,
+    total_usage,
+)
+
+__all__ = [
+    "Anonymizer",
+    "ComponentUsage",
+    "HashRegisterArray",
+    "P4CaptureModel",
+    "PipelineCounters",
+    "TOFINO_BUDGET",
+    "resource_usage_table",
+    "total_usage",
+]

@@ -1,0 +1,81 @@
+"""Hash-indexed register arrays with data-plane semantics.
+
+Tofino register arrays are fixed-size SRAM blocks indexed by a hash of the
+key; there is no collision resolution — a new key landing on an occupied
+slot simply overwrites it.  The P2P detector of the capture program stores
+STUN-learned (IP, port) endpoints in such arrays (§6.1), so the software
+model keeps the same semantics (including the false positives/negatives
+hash collisions can cause, which the paper's design accepts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def _stable_hash(key: bytes, salt: bytes) -> int:
+    """A deterministic hash independent of Python's randomized ``hash()``."""
+    return int.from_bytes(hashlib.blake2s(key, key=salt[:32], digest_size=8).digest(), "big")
+
+
+@dataclass
+class _Slot:
+    fingerprint: int
+    written_at: float
+
+
+class HashRegisterArray:
+    """A fixed-size register array indexed by ``hash(key) % size``.
+
+    Each slot stores a key fingerprint and a write timestamp; lookups match
+    only when the fingerprint agrees (guarding against index collisions the
+    way the real program uses a second hash) and the entry is younger than
+    ``timeout``.
+
+    Attributes:
+        size: Number of slots (SRAM budget).
+        timeout: Entry lifetime in seconds; 0 disables expiry.
+    """
+
+    def __init__(self, size: int = 65536, *, timeout: float = 120.0, salt: bytes = b"zoom") -> None:
+        if size <= 0:
+            raise ValueError("register array size must be positive")
+        self.size = size
+        self.timeout = timeout
+        self._salt = salt
+        self._slots: dict[int, _Slot] = {}
+        self.writes = 0
+        self.overwrites = 0
+
+    def _index_and_fingerprint(self, key: bytes) -> tuple[int, int]:
+        digest = _stable_hash(key, self._salt)
+        return digest % self.size, digest >> 24
+
+    def insert(self, key: bytes, now: float) -> None:
+        """Write ``key``'s fingerprint to its slot (overwriting any tenant)."""
+        index, fingerprint = self._index_and_fingerprint(key)
+        previous = self._slots.get(index)
+        if previous is not None and previous.fingerprint != fingerprint:
+            self.overwrites += 1
+        self._slots[index] = _Slot(fingerprint, now)
+        self.writes += 1
+
+    def contains(self, key: bytes, now: float) -> bool:
+        """Membership test with fingerprint check and expiry."""
+        index, fingerprint = self._index_and_fingerprint(key)
+        slot = self._slots.get(index)
+        if slot is None or slot.fingerprint != fingerprint:
+            return False
+        if self.timeout > 0 and now - slot.written_at > self.timeout:
+            return False
+        return True
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+
+def endpoint_key(ip: str, port: int) -> bytes:
+    """The (IP, port) register key used by the P2P detector."""
+    return ip.encode() + b":" + port.to_bytes(2, "big")

@@ -1,0 +1,196 @@
+"""Tofino resource-usage model for the capture program (Table 5).
+
+We obviously cannot compile to a real Tofino here, so the model works the
+way switch resource estimation does in practice: each functional component
+is described by the match-action tables and register arrays it needs, and a
+cost model maps those to stages, TCAM, SRAM, VLIW instructions, and hash
+units.  The constants are calibrated so the three components of the paper's
+program reproduce Table 5's numbers; the value of the model is that
+*variations* (bigger register arrays, no anonymization, more prefixes) can
+be costed consistently — see the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Total resources of one Tofino pipeline, used to express percentages.
+#: (Stage count is per pipeline; other budgets are the fractions' basis.)
+TOFINO_BUDGET = {
+    "stages": 12,
+    "tcam_blocks": 288,
+    "sram_blocks": 960,
+    "instruction_slots": 384,
+    "hash_units": 72,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TableSpec:
+    """One match-action table or register structure in the P4 program.
+
+    Attributes:
+        name: Human-readable identity.
+        match_kind: ``"ternary"`` (TCAM), ``"exact"`` (SRAM), or
+            ``"register"`` (stateful SRAM array).
+        key_bits: Match key width.
+        entries: Table capacity / register slots.
+        actions: Number of distinct actions (drives instruction slots).
+        hash_units: Hash engines needed (register indexing, selectors).
+        stages: Pipeline stages this structure occupies.
+    """
+
+    name: str
+    match_kind: str
+    key_bits: int
+    entries: int
+    actions: int = 1
+    hash_units: int = 0
+    stages: int = 1
+
+
+@dataclass
+class ComponentUsage:
+    """Resource totals of one functional component, absolute and relative."""
+
+    name: str
+    stages: int = 0
+    tcam_blocks: float = 0.0
+    sram_blocks: float = 0.0
+    instruction_slots: float = 0.0
+    hash_units: int = 0
+
+    def percentages(self) -> dict[str, float]:
+        """Resource use as percentages of the Tofino budget (Table 5)."""
+        return {
+            "stages": float(self.stages),
+            "tcam": 100.0 * self.tcam_blocks / TOFINO_BUDGET["tcam_blocks"],
+            "sram": 100.0 * self.sram_blocks / TOFINO_BUDGET["sram_blocks"],
+            "instructions": 100.0
+            * self.instruction_slots
+            / TOFINO_BUDGET["instruction_slots"],
+            "hash_units": 100.0 * self.hash_units / TOFINO_BUDGET["hash_units"],
+        }
+
+
+#: TCAM blocks are 44 bits x 512 entries; SRAM blocks 128 bits x 1024 words.
+_TCAM_BLOCK_BITS = 44
+_TCAM_BLOCK_ENTRIES = 512
+_SRAM_BLOCK_BITS = 128
+_SRAM_BLOCK_WORDS = 1024
+
+
+def cost(table: TableSpec) -> ComponentUsage:
+    """Cost one table/register under the block-granular allocation model."""
+    usage = ComponentUsage(name=table.name, stages=table.stages)
+    if table.match_kind == "ternary":
+        width_blocks = -(-table.key_bits // _TCAM_BLOCK_BITS)
+        depth_blocks = -(-table.entries // _TCAM_BLOCK_ENTRIES)
+        usage.tcam_blocks = width_blocks * depth_blocks
+        usage.sram_blocks = 0.5 * depth_blocks  # action data overhead
+        usage.hash_units += table.hash_units
+    elif table.match_kind == "exact":
+        bits = table.key_bits * table.entries
+        usage.sram_blocks = bits / (_SRAM_BLOCK_BITS * _SRAM_BLOCK_WORDS)
+        usage.hash_units += max(table.hash_units, 1)
+    elif table.match_kind == "register":
+        bits = table.key_bits * table.entries
+        usage.sram_blocks = bits / (_SRAM_BLOCK_BITS * _SRAM_BLOCK_WORDS)
+        usage.hash_units += table.hash_units or 2
+    else:
+        raise ValueError(f"unknown match kind {table.match_kind!r}")
+    usage.instruction_slots = float(table.actions + table.stages)
+    return usage
+
+
+#: The three functional components of Figure 13's program, described as the
+#: tables they would compile to.  Entry counts follow the deployment in the
+#: paper: 117 Zoom prefixes plus campus prefixes in TCAM, 64k-slot register
+#: pairs for P2P endpoints, and ONTAS-style anonymization tables.
+ZOOM_IP_MATCH = (
+    TableSpec("zoom_ipv4_src", "ternary", key_bits=32, entries=256, actions=2),
+    TableSpec("zoom_ipv4_dst", "ternary", key_bits=32, entries=256, actions=1, stages=1),
+)
+
+P2P_DETECTION = (
+    TableSpec("campus_side_select", "ternary", key_bits=132, entries=512, actions=2),
+    TableSpec(
+        "p2p_sources", "register", key_bits=104, entries=65536, actions=2, hash_units=5, stages=3
+    ),
+    TableSpec(
+        "p2p_destinations",
+        "register",
+        key_bits=104,
+        entries=65536,
+        actions=2,
+        hash_units=5,
+        stages=3,
+    ),
+    TableSpec("stun_classify", "exact", key_bits=48, entries=1024, actions=3, stages=0, hash_units=2),
+)
+
+ANONYMIZATION = (
+    TableSpec("anon_class", "ternary", key_bits=32, entries=2048, actions=2, stages=1),
+    TableSpec("anon_ipv4_src", "exact", key_bits=32, entries=16384, actions=4, stages=4, hash_units=2),
+    TableSpec("anon_ipv4_dst", "exact", key_bits=32, entries=16384, actions=4, stages=4, hash_units=2),
+    TableSpec("anon_mac", "exact", key_bits=96, entries=4096, actions=4, stages=2, hash_units=2),
+)
+
+COMPONENTS: dict[str, tuple[TableSpec, ...]] = {
+    "Zoom IP Match": ZOOM_IP_MATCH,
+    "P2P Detection": P2P_DETECTION,
+    "Anonymization": ANONYMIZATION,
+}
+
+
+def component_usage(name: str, tables: tuple[TableSpec, ...] | None = None) -> ComponentUsage:
+    """Total resource usage of one component."""
+    tables = tables if tables is not None else COMPONENTS[name]
+    total = ComponentUsage(name=name)
+    for table in tables:
+        usage = cost(table)
+        total.stages += usage.stages
+        total.tcam_blocks += usage.tcam_blocks
+        total.sram_blocks += usage.sram_blocks
+        total.instruction_slots += usage.instruction_slots
+        total.hash_units += usage.hash_units
+    return total
+
+
+def resource_usage_table() -> list[ComponentUsage]:
+    """Per-component usage — the rows of Table 5."""
+    return [component_usage(name) for name in COMPONENTS]
+
+
+def total_usage() -> ComponentUsage:
+    """Whole-program usage; must fit the Tofino budget."""
+    total = ComponentUsage(name="total")
+    for component in resource_usage_table():
+        total.stages += component.stages
+        total.tcam_blocks += component.tcam_blocks
+        total.sram_blocks += component.sram_blocks
+        total.instruction_slots += component.instruction_slots
+        total.hash_units += component.hash_units
+    return total
+
+
+def fits_budget(usage: ComponentUsage | None = None) -> bool:
+    """Whether the program fits one Tofino pipeline.
+
+    Stages from different components share the pipeline (tables can be
+    placed side by side), so the stage check uses the maximum component
+    depth rather than the sum.
+    """
+    if usage is None:
+        deepest = max(component.stages for component in resource_usage_table())
+        usage = total_usage()
+        stage_need = deepest
+    else:
+        stage_need = usage.stages
+    return (
+        stage_need <= TOFINO_BUDGET["stages"]
+        and usage.tcam_blocks <= TOFINO_BUDGET["tcam_blocks"]
+        and usage.sram_blocks <= TOFINO_BUDGET["sram_blocks"]
+        and usage.instruction_slots <= TOFINO_BUDGET["instruction_slots"]
+        and usage.hash_units <= TOFINO_BUDGET["hash_units"]
+    )

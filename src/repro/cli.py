@@ -1,0 +1,280 @@
+"""``zoom-analysis`` — the command-line face of the library.
+
+Subcommands mirror the paper's workflow:
+
+* ``simulate``  — generate a meeting or campus trace to a pcap (the stand-in
+  for a real capture);
+* ``filter``    — run a pcap through the P4 capture-pipeline model
+  (optionally anonymizing), writing the Zoom-only pcap;
+* ``analyze``   — the full passive analysis: meetings, streams, Table 2/3
+  style shares, latency, per-stream metrics; optional ML feature CSV;
+* ``dissect``   — Wireshark-plugin style packet dissection;
+* ``entropy``   — the §4.2 reverse-engineering sweep over a flow.
+
+Run ``zoom-analysis <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.net.pcap import write_pcap
+    from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
+    from repro.simulation.campus import CampusTraceConfig, generate_campus_trace
+
+    if args.kind == "campus":
+        trace = generate_campus_trace(
+            CampusTraceConfig(
+                hours=args.hours,
+                meetings_per_hour_peak=args.peak,
+                background_pps=args.background_pps,
+                seed=args.seed,
+            )
+        )
+        packets = trace.all_packets()
+        print(
+            f"campus trace: {len(trace.meeting_configs)} meetings, "
+            f"{len(trace.result.captures)} zoom + {len(trace.background)} background packets"
+        )
+    else:
+        participants = [
+            ParticipantConfig(name=f"p{i}", on_campus=(i % 2 == 0), join_time=0.4 * i)
+            for i in range(args.participants)
+        ]
+        config = MeetingConfig(
+            meeting_id="cli-meeting",
+            participants=tuple(participants),
+            duration=args.duration,
+            allow_p2p=args.participants == 2,
+            seed=args.seed,
+        )
+        result = MeetingSimulator(config).run()
+        packets = result.captures
+        print(f"meeting: {len(packets)} captured packets over {args.duration:.0f}s")
+    count = write_pcap(args.output, packets)
+    print(f"wrote {count} packets to {args.output}")
+    return 0
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    from repro.capture.anonymize import Anonymizer
+    from repro.capture.p4_model import P4CaptureModel
+    from repro.net.pcap import PcapWriter
+
+    from repro.net.pcapng import read_capture
+
+    anonymizer = Anonymizer(key=args.anonymize.encode()) if args.anonymize else None
+    model = P4CaptureModel(
+        zoom_subnets=args.zoom_subnets.split(","),
+        campus_subnets=args.campus_subnets.split(","),
+        anonymizer=anonymizer,
+    )
+    with PcapWriter(args.output) as writer:
+        for packet in model.process(read_capture(args.input)):
+            writer.write(packet)
+        written = writer.packets_written
+    counters = model.counters
+    print(
+        f"processed {counters.processed}, passed {written} "
+        f"(server {counters.zoom_ip_matched}, p2p {counters.p2p_matched}), "
+        f"dropped {counters.dropped}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core import ZoomAnalyzer
+    from repro.net.pcapng import read_capture
+
+    analyzer = ZoomAnalyzer(zoom_subnets=args.zoom_subnets.split(","))
+    result = analyzer.analyze(read_capture(args.input))
+
+    print(f"packets: {result.packets_total} total, {result.packets_zoom} zoom")
+    print(f"meetings: {len(result.meetings)}")
+    for meeting in result.meetings:
+        print(
+            f"  meeting {meeting.meeting_id}: ~{meeting.participant_estimate()} "
+            f"participants, {len(meeting.stream_uids)} media streams, "
+            f"{meeting.duration:.1f}s"
+        )
+    print("\nmedia encapsulation shares (cf. Table 2):")
+    print(
+        format_table(
+            ["type", "% pkts", "% bytes"],
+            [(str(v), p, b) for v, p, b in result.encap_share_table()],
+        )
+    )
+    print("\nRTP payload types (cf. Table 3):")
+    print(
+        format_table(
+            ["media/PT", "% pkts", "% bytes"],
+            [(f"{mt}/{pt}", p, b) for mt, pt, p, b in result.payload_type_table()],
+        )
+    )
+    if result.rtp_latency.samples:
+        mean_rtt = sum(s.rtt for s in result.rtp_latency.samples) / len(
+            result.rtp_latency.samples
+        )
+        print(
+            f"\nlatency (RTP matching): {len(result.rtp_latency.samples)} samples, "
+            f"mean {1000 * mean_rtt:.1f} ms"
+        )
+    print("\nper-stream metrics:")
+    rows = []
+    for stream in sorted(result.media_streams(), key=lambda s: s.first_time):
+        metrics = result.metrics_for(stream.key)
+        fps = metrics.framerate_delivered.samples
+        rows.append(
+            (
+                f"{stream.ssrc:#x}",
+                stream.media_type_name,
+                "p2p" if stream.is_p2p else ("up" if stream.to_server else "down"),
+                stream.packets,
+                (sum(s.fps for s in fps) / len(fps)) if fps else float("nan"),
+                metrics.jitter.jitter * 1000,
+                metrics.loss.report().duplicates,
+                len(metrics.stall_events()),
+            )
+        )
+    print(
+        format_table(
+            ["ssrc", "media", "dir", "pkts", "mean fps", "jitter ms", "dups", "stalls"],
+            rows,
+        )
+    )
+    if args.report:
+        from repro.analysis.reportgen import full_report
+
+        print("\n" + full_report(result))
+    if args.csv:
+        from repro.analysis.export import write_feature_csv
+
+        count = write_feature_csv(result, args.csv)
+        print(f"\nwrote {count} feature rows to {args.csv}")
+    return 0
+
+
+def _cmd_dissect(args: argparse.Namespace) -> int:
+    from repro.core.dissector import dissect_text
+    from repro.net.packet import parse_frame
+    from repro.net.pcapng import read_capture
+    from repro.rtp.stun import is_stun
+
+    printed = 0
+    for captured in read_capture(args.input):
+        packet = parse_frame(captured.data, captured.timestamp)
+        if not packet.is_udp or is_stun(packet.payload):
+            continue
+        from_server = 8801 in (packet.src_port, packet.dst_port)
+        print(
+            f"--- t={captured.timestamp:.4f}s "
+            f"{packet.src_ip}:{packet.src_port} -> {packet.dst_ip}:{packet.dst_port} ---"
+        )
+        print(dissect_text(packet.payload, from_server=from_server))
+        print()
+        printed += 1
+        if printed >= args.limit:
+            break
+    if printed == 0:
+        print("no dissectable Zoom UDP packets found", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_entropy(args: argparse.Namespace) -> int:
+    from collections import defaultdict
+
+    from repro.core.entropy import analyze_flow, find_rtp_signature
+    from repro.core.offset_finder import discover_offsets
+    from repro.net.packet import parse_frame
+    from repro.net.pcapng import read_capture
+
+    flows: dict = defaultdict(list)
+    for captured in read_capture(args.input):
+        packet = parse_frame(captured.data, captured.timestamp)
+        if packet.is_udp and packet.five_tuple is not None:
+            flows[packet.five_tuple].append(packet.payload)
+    if not flows:
+        print("no UDP flows in capture", file=sys.stderr)
+        return 1
+    flow_key, payloads = max(flows.items(), key=lambda kv: len(kv[1]))
+    print(f"busiest flow: {flow_key[0]}:{flow_key[1]} -> {flow_key[2]}:{flow_key[3]} "
+          f"({len(payloads)} packets)")
+    reports = analyze_flow(payloads, max_offset=args.max_offset)
+    rows = [
+        (r.offset, r.width, r.field_class.value, r.stats.distinct,
+         f"{r.stats.entropy:.2f}", f"{r.stats.increment_fraction:.2f}")
+        for r in reports
+        if r.field_class.value != "mixed"
+    ]
+    print(format_table(["offset", "width", "class", "distinct", "entropy", "inc"], rows))
+    print("RTP signature offsets:", find_rtp_signature(reports))
+    all_payloads = [p for ps in flows.values() for p in ps]
+    discovery = discover_offsets(all_payloads)
+    print("flow-wide RTP offsets:", dict(discovery.rtp_offsets))
+    print("type field position(s):", discovery.type_field_positions)
+    print("type -> offset map:", discovery.offset_by_type_value)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="zoom-analysis",
+        description="Passive measurement of Zoom performance (IMC'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate an emulated capture")
+    simulate.add_argument("output", type=Path)
+    simulate.add_argument("--kind", choices=("meeting", "campus"), default="meeting")
+    simulate.add_argument("--participants", type=int, default=3)
+    simulate.add_argument("--duration", type=float, default=30.0)
+    simulate.add_argument("--hours", type=int, default=4)
+    simulate.add_argument("--peak", type=float, default=2.0)
+    simulate.add_argument("--background-pps", type=float, default=0.05)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    filter_cmd = sub.add_parser("filter", help="run the P4 capture model over a pcap")
+    filter_cmd.add_argument("input", type=Path)
+    filter_cmd.add_argument("output", type=Path)
+    filter_cmd.add_argument("--zoom-subnets", default="170.114.0.0/16,203.0.113.0/24")
+    filter_cmd.add_argument("--campus-subnets", default="10.8.0.0/16,10.9.0.0/16")
+    filter_cmd.add_argument("--anonymize", metavar="KEY", default=None)
+    filter_cmd.set_defaults(func=_cmd_filter)
+
+    analyze = sub.add_parser("analyze", help="full passive analysis of a pcap")
+    analyze.add_argument("input", type=Path)
+    analyze.add_argument("--zoom-subnets", default="170.114.0.0/16,203.0.113.0/24")
+    analyze.add_argument("--csv", type=Path, default=None,
+                         help="write the per-(stream,second) ML feature matrix")
+    analyze.add_argument("--report", action="store_true",
+                         help="print per-meeting report cards with diagnoses")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    dissect = sub.add_parser("dissect", help="Wireshark-style packet dissection")
+    dissect.add_argument("input", type=Path)
+    dissect.add_argument("--limit", type=int, default=5)
+    dissect.set_defaults(func=_cmd_dissect)
+
+    entropy = sub.add_parser("entropy", help="reverse-engineering sweep over a pcap")
+    entropy.add_argument("input", type=Path)
+    entropy.add_argument("--max-offset", type=int, default=48)
+    entropy.set_defaults(func=_cmd_entropy)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

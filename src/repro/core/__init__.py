@@ -1,0 +1,32 @@
+"""The paper's contribution: passive analysis of Zoom traffic.
+
+Pipeline stages (Figure 6):
+
+1. :mod:`repro.core.detector` — find Zoom traffic, including P2P flows, via
+   the published server subnets and STUN-exchange tracking (§4.1).
+2. :mod:`repro.core.entropy` / :mod:`repro.core.offset_finder` — the
+   entropy-based header-analysis methodology that discovered the format
+   (§4.2); kept executable so the analysis can be repeated if Zoom changes
+   its protocol.
+3. :mod:`repro.zoom` parsing + :mod:`repro.core.streams` — decode packets and
+   assemble them into RTP streams keyed by 5-tuple and SSRC.
+4. :mod:`repro.core.meetings` — group streams into meetings (§4.3).
+5. :mod:`repro.core.metrics` — per-stream performance estimation (§5).
+6. :mod:`repro.core.pipeline` — the end-to-end analyzer.
+"""
+
+from repro.core.detector import StunTracker, ZoomClass, ZoomSubnetMatcher, ZoomTrafficDetector
+from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
+from repro.core.streams import MediaStream, RTPPacketRecord, StreamTable
+
+__all__ = [
+    "AnalysisResult",
+    "MediaStream",
+    "RTPPacketRecord",
+    "StreamTable",
+    "StunTracker",
+    "ZoomAnalyzer",
+    "ZoomClass",
+    "ZoomSubnetMatcher",
+    "ZoomTrafficDetector",
+]

@@ -1,0 +1,222 @@
+"""Zoom traffic detection, including deterministic P2P detection (§4.1).
+
+Server-based traffic is matched statelessly against Zoom's published IP
+prefixes.  P2P flows use ephemeral ports at both ends and client-owned
+addresses, so no stateless rule can catch them; the paper's key observation
+is that every P2P flow is *preceded* by a cleartext STUN binding exchange
+with a Zoom zone controller on UDP 3478, sent **from the very ephemeral port
+the media flow will use**.  :class:`StunTracker` remembers those
+(client IP, client port) endpoints for a configurable timeout and
+:class:`ZoomTrafficDetector` classifies later UDP traffic against them.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.net.ip import IPProtocol
+from repro.net.packet import ParsedPacket
+from repro.rtp.stun import STUN_PORT, is_stun
+from repro.zoom.constants import SERVER_MEDIA_PORT, SERVER_TLS_PORT, ZOOM_SERVER_SUBNETS
+
+
+class ZoomClass(enum.Enum):
+    """Classification of one packet by the detector."""
+
+    SERVER_MEDIA = "server_media"  # UDP to/from a Zoom server, port 8801
+    SERVER_STUN = "server_stun"  # STUN with a Zoom zone controller
+    SERVER_TLS = "server_tls"  # TCP 443 control connection to a Zoom server
+    SERVER_OTHER = "server_other"  # other traffic with Zoom server addresses
+    P2P_MEDIA = "p2p_media"  # STUN-predicted direct peer flow
+    NOT_ZOOM = "not_zoom"
+
+    @property
+    def is_zoom(self) -> bool:
+        return self is not ZoomClass.NOT_ZOOM
+
+    @property
+    def is_media(self) -> bool:
+        return self in (ZoomClass.SERVER_MEDIA, ZoomClass.P2P_MEDIA)
+
+
+class ZoomSubnetMatcher:
+    """Membership test against Zoom's published IP prefix list.
+
+    Prefixes are pre-split by the first address octet so per-packet matching
+    stays O(prefixes with that octet) — the same trick a TCAM would make
+    unnecessary in the Tofino version (§6.1).
+    """
+
+    def __init__(self, subnets: Iterable[str] = ZOOM_SERVER_SUBNETS) -> None:
+        self._networks: dict[int, list[ipaddress.IPv4Network | ipaddress.IPv6Network]]
+        self._networks = {}
+        for subnet in subnets:
+            network = ipaddress.ip_network(subnet)
+            first_octet = int(str(network.network_address).split(".")[0]) if network.version == 4 else -1
+            self._networks.setdefault(first_octet, []).append(network)
+
+    def __contains__(self, ip: str) -> bool:
+        try:
+            address = ipaddress.ip_address(ip)
+        except ValueError:
+            return False
+        key = int(ip.split(".", 1)[0]) if address.version == 4 else -1
+        return any(address in network for network in self._networks.get(key, ()))
+
+    def matches(self, ip: str | None) -> bool:
+        return ip is not None and ip in self
+
+
+@dataclass(frozen=True, slots=True)
+class StunBinding:
+    """One learned P2P endpoint: the client side of a STUN exchange."""
+
+    client_ip: str
+    client_port: int
+    learned_at: float
+
+
+@dataclass
+class StunTracker:
+    """Remembers client endpoints seen in STUN exchanges with Zoom servers.
+
+    When the same (client IP, client port) later talks UDP to *any other*
+    address, that flow is classified as Zoom P2P media (§4.1).  Entries
+    expire after ``timeout`` seconds; port reuse beyond the timeout is the
+    false-positive source the paper discusses, and false positives are
+    filtered downstream by checking the Zoom packet format.
+    """
+
+    timeout: float = 120.0
+    _bindings: dict[tuple[str, int], float] = field(default_factory=dict)
+    bindings_learned: int = 0
+
+    def learn(self, client_ip: str, client_port: int, now: float) -> None:
+        """Record a client endpoint observed in a Zoom STUN exchange."""
+        self._bindings[(client_ip, client_port)] = now
+        self.bindings_learned += 1
+
+    def lookup(self, ip: str, port: int, now: float) -> bool:
+        """Whether (ip, port) was STUN-registered within the timeout."""
+        learned = self._bindings.get((ip, port))
+        if learned is None:
+            return False
+        if now - learned > self.timeout:
+            del self._bindings[(ip, port)]
+            return False
+        return True
+
+    def active_bindings(self, now: float) -> list[StunBinding]:
+        """Unexpired endpoints (for inspection/diagnostics)."""
+        return [
+            StunBinding(ip, port, learned)
+            for (ip, port), learned in self._bindings.items()
+            if now - learned <= self.timeout
+        ]
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+
+@dataclass
+class DetectorCounters:
+    """Per-class packet counters (the detector's own telemetry)."""
+
+    by_class: dict[ZoomClass, int] = field(default_factory=dict)
+
+    def bump(self, klass: ZoomClass) -> None:
+        self.by_class[klass] = self.by_class.get(klass, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.by_class.values())
+
+    def zoom_total(self) -> int:
+        return sum(n for k, n in self.by_class.items() if k.is_zoom)
+
+
+class ZoomTrafficDetector:
+    """Stateful per-packet Zoom classifier (§4.1 + prior-work rules of §3).
+
+    The order of checks mirrors the P4 pipeline of Figure 13:
+
+    1. Zoom-subnet match on either address → server traffic (media on UDP
+       8801, STUN on 3478, TLS control on TCP 443, anything else "other").
+       STUN packets additionally *teach* the P2P tracker the client's
+       endpoint.
+    2. Otherwise, a UDP packet whose source or destination endpoint was
+       STUN-registered within the timeout → P2P media.
+    3. Everything else is not Zoom.
+    """
+
+    def __init__(
+        self,
+        subnets: Iterable[str] = ZOOM_SERVER_SUBNETS,
+        *,
+        campus_subnets: Iterable[str] | None = None,
+        stun_timeout: float = 120.0,
+    ) -> None:
+        self.matcher = ZoomSubnetMatcher(subnets)
+        self.campus_matcher = (
+            ZoomSubnetMatcher(campus_subnets) if campus_subnets is not None else None
+        )
+        self.stun = StunTracker(timeout=stun_timeout)
+        self.counters = DetectorCounters()
+
+    def classify(self, packet: ParsedPacket) -> ZoomClass:
+        """Classify one parsed packet and update detector state."""
+        result = self._classify(packet)
+        self.counters.bump(result)
+        return result
+
+    def _classify(self, packet: ParsedPacket) -> ZoomClass:
+        src_ip, dst_ip = packet.src_ip, packet.dst_ip
+        if src_ip is None:
+            return ZoomClass.NOT_ZOOM
+        src_is_zoom = self.matcher.matches(src_ip)
+        dst_is_zoom = self.matcher.matches(dst_ip)
+        if src_is_zoom or dst_is_zoom:
+            if packet.is_udp:
+                if STUN_PORT in (packet.src_port, packet.dst_port) and is_stun(
+                    packet.payload
+                ):
+                    self._learn_stun(packet, src_is_zoom)
+                    return ZoomClass.SERVER_STUN
+                if SERVER_MEDIA_PORT in (packet.src_port, packet.dst_port):
+                    return ZoomClass.SERVER_MEDIA
+                return ZoomClass.SERVER_OTHER
+            if packet.is_tcp and SERVER_TLS_PORT in (packet.src_port, packet.dst_port):
+                return ZoomClass.SERVER_TLS
+            return ZoomClass.SERVER_OTHER
+        if packet.is_udp:
+            now = packet.timestamp
+            if self._endpoint_is_campus(src_ip) is not False and self.stun.lookup(
+                src_ip, packet.src_port or 0, now
+            ):
+                return ZoomClass.P2P_MEDIA
+            if self._endpoint_is_campus(dst_ip) is not False and self.stun.lookup(
+                dst_ip, packet.dst_port or 0, now
+            ):
+                return ZoomClass.P2P_MEDIA
+        return ZoomClass.NOT_ZOOM
+
+    def _learn_stun(self, packet: ParsedPacket, src_is_zoom: bool) -> None:
+        """Record the client endpoint of a STUN exchange.
+
+        For a request, the client is the source; for a response, the
+        destination.  Either direction suffices to learn the binding.
+        """
+        if src_is_zoom:
+            client_ip, client_port = packet.dst_ip, packet.dst_port
+        else:
+            client_ip, client_port = packet.src_ip, packet.src_port
+        if client_ip is not None and client_port is not None:
+            self.stun.learn(client_ip, client_port, packet.timestamp)
+
+    def _endpoint_is_campus(self, ip: str | None) -> bool | None:
+        """Campus membership, or ``None`` when no campus list was given."""
+        if self.campus_matcher is None:
+            return None
+        return self.campus_matcher.matches(ip)

@@ -1,0 +1,53 @@
+"""Performance-metric estimators (§5, Table 4).
+
+Each estimator consumes :class:`repro.core.streams.RTPPacketRecord` objects
+in capture order and produces time series:
+
+========================  =====================================  =========
+Metric                    Module                                 Paper
+========================  =====================================  =========
+flow / media bit rate     :mod:`repro.core.metrics.bitrate`      §5.1
+frame assembly            :mod:`repro.core.metrics.frames`       §5.2
+frame rate (2 methods)    :mod:`repro.core.metrics.framerate`    §5.2
+frame size                :mod:`repro.core.metrics.framesize`    §5.2
+latency (RTP + TCP)       :mod:`repro.core.metrics.latency`      §5.3
+frame-level jitter        :mod:`repro.core.metrics.jitter`       §5.4
+loss / retransmissions    :mod:`repro.core.metrics.loss`         §5.5
+frame delay               :mod:`repro.core.metrics.frame_delay`  §5.5
+stall detection           :mod:`repro.core.metrics.stalls`       §5.5 (future work)
+RTCP clock sync / A-V skew :mod:`repro.core.metrics.sync`        §4.2.3
+1-second binning          :mod:`repro.core.metrics.binning`      §6.2
+========================  =====================================  =========
+"""
+
+from repro.core.metrics.binning import TimeBinner
+from repro.core.metrics.bitrate import BitrateMeter
+from repro.core.metrics.frame_delay import FrameDelayAnalyzer
+from repro.core.metrics.framerate import FrameRateMethod1, FrameRateMethod2
+from repro.core.metrics.frames import CompletedFrame, FrameAssembler
+from repro.core.metrics.framesize import FrameSizeCollector
+from repro.core.metrics.jitter import FrameJitterEstimator
+from repro.core.metrics.latency import RTPLatencyMatcher, TCPRTTEstimator
+from repro.core.metrics.loss import SequenceTracker
+from repro.core.metrics.stalls import StallDetector, StallEvent, detect_stalls
+from repro.core.metrics.sync import ClockMapping, SenderReportCollector
+
+__all__ = [
+    "ClockMapping",
+    "SenderReportCollector",
+    "StallDetector",
+    "StallEvent",
+    "detect_stalls",
+    "BitrateMeter",
+    "CompletedFrame",
+    "FrameAssembler",
+    "FrameDelayAnalyzer",
+    "FrameJitterEstimator",
+    "FrameRateMethod1",
+    "FrameRateMethod2",
+    "FrameSizeCollector",
+    "RTPLatencyMatcher",
+    "SequenceTracker",
+    "TCPRTTEstimator",
+    "TimeBinner",
+]

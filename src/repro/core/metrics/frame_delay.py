@@ -1,0 +1,97 @@
+"""Frame delay and stall-risk analysis (§5.5).
+
+*Frame delay* is the time from a frame's first packet to its completion.
+Because a frame's packets leave the sender back-to-back, elevated frame
+delay (≈ RTT + Zoom's ~100 ms retransmission timeout) is a strong signal
+that a retransmission was needed to complete the frame — even when the
+original loss happened upstream of the monitor and left no duplicate.
+
+Comparing frame delay against the *packetization time* (the media time the
+frame covers) indicates jitter-buffer drain: when delivery persistently
+takes longer than playback consumes, the receiver's buffer empties and the
+video stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics.frames import CompletedFrame
+from repro.zoom.constants import RETRANSMIT_TIMEOUT, VIDEO_SAMPLING_RATE
+
+RTP_TIMESTAMP_MODULUS = 1 << 32
+
+
+@dataclass(frozen=True, slots=True)
+class FrameDelaySample:
+    """One frame-delay observation.
+
+    Attributes:
+        time: Frame completion time.
+        delay: First-packet-to-completion time (s).
+        packetization_time: Media time this frame covers (s), NaN for the
+            first frame of a stream.
+        retransmission_suspected: Delay exceeded the retransmission-timeout
+            threshold (§5.5's heuristic).
+        buffer_debt: Running sum of (delay − packetization_time); growth
+            over consecutive frames predicts a stall.
+    """
+
+    time: float
+    delay: float
+    packetization_time: float
+    retransmission_suspected: bool
+    buffer_debt: float
+
+
+class FrameDelayAnalyzer:
+    """Per-stream frame-delay and stall-risk tracking.
+
+    Args:
+        sampling_rate: RTP clock of the stream (90 kHz for Zoom video).
+        rtt_hint: Current RTT estimate used in the retransmission heuristic;
+            callers may update :attr:`rtt_hint` as latency samples arrive.
+    """
+
+    def __init__(
+        self, sampling_rate: int = VIDEO_SAMPLING_RATE, *, rtt_hint: float = 0.03
+    ) -> None:
+        self.sampling_rate = sampling_rate
+        self.rtt_hint = rtt_hint
+        self.samples: list[FrameDelaySample] = []
+        self._last_timestamp: int | None = None
+        self._buffer_debt = 0.0
+        self.suspected_retransmissions = 0
+
+    def observe(self, frame: CompletedFrame) -> FrameDelaySample:
+        """Fold in one completed frame."""
+        if self._last_timestamp is None:
+            packetization = float("nan")
+        else:
+            increment = (frame.rtp_timestamp - self._last_timestamp) % RTP_TIMESTAMP_MODULUS
+            if increment >= RTP_TIMESTAMP_MODULUS // 2:
+                packetization = float("nan")
+            else:
+                packetization = increment / self.sampling_rate
+        self._last_timestamp = frame.rtp_timestamp
+        threshold = self.rtt_hint + RETRANSMIT_TIMEOUT * 0.8
+        suspected = frame.delay > threshold or frame.duplicates > 0
+        if suspected:
+            self.suspected_retransmissions += 1
+        if packetization == packetization:  # not NaN
+            self._buffer_debt = max(0.0, self._buffer_debt + frame.delay - packetization)
+        sample = FrameDelaySample(
+            time=frame.completed_time,
+            delay=frame.delay,
+            packetization_time=packetization,
+            retransmission_suspected=suspected,
+            buffer_debt=self._buffer_debt,
+        )
+        self.samples.append(sample)
+        return sample
+
+    @property
+    def stall_risk(self) -> bool:
+        """True when accumulated delivery debt exceeds a typical jitter
+        buffer (~200 ms): the stream is about to stall (§5.5)."""
+        return self._buffer_debt > 0.2

@@ -1,0 +1,141 @@
+"""Frame assembly: reconstructing media frames from their packets (§5.2).
+
+Zoom's media encapsulation tells us, for every video/screen-share packet,
+how many packets the current frame consists of (the ``packets_in_frame``
+field, Table 1).  A frame is *complete* once that many **distinct** RTP
+sequence numbers with the same RTP timestamp have been seen on the main
+substream — duplicates from retransmissions do not count twice, FEC packets
+(payload type 110) are excluded because they share timestamps but live in
+their own sequence space (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.streams import RTPPacketRecord
+from repro.zoom.constants import RTPPayloadType
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedFrame:
+    """One fully delivered media frame.
+
+    Attributes:
+        rtp_timestamp: The frame's RTP timestamp.
+        frame_sequence: Zoom's per-stream frame counter.
+        expected_packets: The ``packets_in_frame`` header field.
+        first_time / completed_time: Capture times of the first and last
+            packet of the frame; their difference is the *frame delay*.
+        payload_bytes: Sum of the packets' RTP payload sizes — the exact
+            frame size of §5.2.
+        duplicates: Packets seen more than once while assembling (a
+            retransmission indicator).
+    """
+
+    rtp_timestamp: int
+    frame_sequence: int
+    expected_packets: int
+    first_time: float
+    completed_time: float
+    payload_bytes: int
+    duplicates: int = 0
+
+    @property
+    def delay(self) -> float:
+        """Delivery time from first to last packet of the frame (§5.5)."""
+        return self.completed_time - self.first_time
+
+
+@dataclass
+class _PendingFrame:
+    expected: int
+    first_time: float
+    frame_sequence: int
+    sequences: set[int] = field(default_factory=set)
+    payload_bytes: int = 0
+    duplicates: int = 0
+
+
+class FrameAssembler:
+    """Per-stream frame reconstruction from main-substream packets.
+
+    Feed packets with :meth:`observe`; completed frames come back as
+    :class:`CompletedFrame` records, in completion order.  Frames that never
+    complete (tail loss) remain pending and can be drained for inspection
+    with :meth:`pending`.
+
+    Args:
+        fec_payload_type: The payload type to exclude from assembly.
+        max_pending: Abandon the oldest pending frames beyond this count
+            (protects memory on lossy streams).
+    """
+
+    def __init__(
+        self,
+        *,
+        fec_payload_type: int = int(RTPPayloadType.FEC),
+        max_pending: int = 64,
+    ) -> None:
+        self._fec_payload_type = fec_payload_type
+        self._max_pending = max_pending
+        self._pending: dict[int, _PendingFrame] = {}
+        self._recently_completed: OrderedDict[int, None] = OrderedDict()
+        self.completed_count = 0
+        self.abandoned_count = 0
+        self.late_duplicates = 0
+
+    def observe(self, record: RTPPacketRecord) -> CompletedFrame | None:
+        """Fold one packet in; returns the frame it completed, if any."""
+        if record.payload_type == self._fec_payload_type:
+            return None
+        if record.packets_in_frame <= 0:
+            return None
+        if record.rtp_timestamp in self._recently_completed:
+            # A retransmitted copy arriving after its frame completed must
+            # not re-open (and re-count) the frame.
+            self.late_duplicates += 1
+            return None
+        pending = self._pending.get(record.rtp_timestamp)
+        if pending is None:
+            pending = self._pending[record.rtp_timestamp] = _PendingFrame(
+                expected=record.packets_in_frame,
+                first_time=record.timestamp,
+                frame_sequence=record.frame_sequence,
+            )
+            self._evict_if_needed()
+        if record.sequence in pending.sequences:
+            pending.duplicates += 1
+            return None
+        pending.sequences.add(record.sequence)
+        pending.payload_bytes += record.payload_len
+        if len(pending.sequences) < pending.expected:
+            return None
+        del self._pending[record.rtp_timestamp]
+        self._recently_completed[record.rtp_timestamp] = None
+        while len(self._recently_completed) > 256:
+            self._recently_completed.popitem(last=False)
+        self.completed_count += 1
+        return CompletedFrame(
+            rtp_timestamp=record.rtp_timestamp,
+            frame_sequence=pending.frame_sequence,
+            expected_packets=pending.expected,
+            first_time=pending.first_time,
+            completed_time=record.timestamp,
+            payload_bytes=pending.payload_bytes,
+            duplicates=pending.duplicates,
+        )
+
+    def pending(self) -> list[tuple[int, int, int]]:
+        """(rtp_timestamp, packets seen, packets expected) per open frame."""
+        return [
+            (timestamp, len(frame.sequences), frame.expected)
+            for timestamp, frame in self._pending.items()
+        ]
+
+    def _evict_if_needed(self) -> None:
+        while len(self._pending) > self._max_pending:
+            oldest = min(self._pending, key=lambda ts: self._pending[ts].first_time)
+            del self._pending[oldest]
+            self.abandoned_count += 1

@@ -1,0 +1,119 @@
+"""Stall detection from frame delay vs packetization time (§5.5).
+
+The paper observes that "if the delay is larger than the packetization time
+over the course of several frames, the jitter buffer gets drained and the
+video will eventually stall", and leaves "the detection and deeper analysis
+of audio and video stalls ... for future work".  This module is that future
+work: a receiver-jitter-buffer model driven purely by monitor-side frame
+timings, producing discrete stall events with start, duration, and cause.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.metrics.frame_delay import FrameDelaySample
+
+
+@dataclass(frozen=True, slots=True)
+class StallEvent:
+    """One predicted playback stall.
+
+    Attributes:
+        start: When the modeled jitter buffer ran dry (capture clock).
+        duration: How long playback starved before the buffer refilled.
+        frames_late: Frames delivered while the buffer was dry.
+        max_debt: Peak delivery debt (s) during the event.
+    """
+
+    start: float
+    duration: float
+    frames_late: int
+    max_debt: float
+
+
+@dataclass
+class StallDetector:
+    """Jitter-buffer simulation over a stream's frame-delay samples.
+
+    The receiver is modeled with a playout buffer of ``buffer_depth``
+    seconds: each frame adds its packetization time of playable media and
+    consumes real time equal to its delivery delay.  When cumulative
+    delivery debt exceeds the buffer depth, playback stalls until the debt
+    drains below ``refill_fraction`` of the depth.
+
+    Attributes:
+        buffer_depth: Playout buffer in seconds (Zoom-like default 200 ms).
+        refill_fraction: Hysteresis: the stall ends once debt falls below
+            this fraction of the buffer.
+    """
+
+    buffer_depth: float = 0.200
+    refill_fraction: float = 0.5
+    events: list[StallEvent] = field(default_factory=list)
+    _debt: float = 0.0
+    _stalled_since: float | None = None
+    _frames_late: int = 0
+    _max_debt: float = 0.0
+
+    def observe(self, sample: FrameDelaySample) -> StallEvent | None:
+        """Fold in one frame-delay sample; returns a completed stall event
+        at the moment the buffer refills."""
+        if math.isnan(sample.packetization_time):
+            return None
+        self._debt = max(0.0, self._debt + sample.delay - sample.packetization_time)
+        self._max_debt = max(self._max_debt, self._debt)
+        if self._stalled_since is None:
+            if self._debt > self.buffer_depth:
+                self._stalled_since = sample.time
+                self._frames_late = 0
+                self._max_debt = self._debt
+            return None
+        self._frames_late += 1
+        if self._debt <= self.buffer_depth * self.refill_fraction:
+            event = StallEvent(
+                start=self._stalled_since,
+                duration=sample.time - self._stalled_since,
+                frames_late=self._frames_late,
+                max_debt=self._max_debt,
+            )
+            self.events.append(event)
+            self._stalled_since = None
+            self._max_debt = self._debt
+            return event
+        return None
+
+    def finalize(self, now: float) -> StallEvent | None:
+        """Close an open stall at end of stream."""
+        if self._stalled_since is None:
+            return None
+        event = StallEvent(
+            start=self._stalled_since,
+            duration=max(now - self._stalled_since, 0.0),
+            frames_late=self._frames_late,
+            max_debt=self._max_debt,
+        )
+        self.events.append(event)
+        self._stalled_since = None
+        return event
+
+    @property
+    def currently_stalled(self) -> bool:
+        return self._stalled_since is not None
+
+    @property
+    def total_stall_time(self) -> float:
+        return sum(event.duration for event in self.events)
+
+
+def detect_stalls(
+    samples: list[FrameDelaySample], *, buffer_depth: float = 0.200
+) -> list[StallEvent]:
+    """Batch convenience: run the detector over a finished stream."""
+    detector = StallDetector(buffer_depth=buffer_depth)
+    for sample in samples:
+        detector.observe(sample)
+    if samples:
+        detector.finalize(samples[-1].time)
+    return detector.events

@@ -1,0 +1,186 @@
+"""Discovering where RTP/RTCP headers start in Zoom packets (§4.2.2).
+
+Given a flow's payloads and no knowledge of Zoom's encapsulation, this
+module reproduces the paper's recipe:
+
+1. Scan every packet for plausible RTP headers (version bits, structural
+   fit) at every offset — encrypted bytes produce false positives, so
+   candidates are validated *flow-wide*: a true offset yields a small set of
+   heavily repeated SSRC values; false offsets yield noise.
+2. Group packets by their validated RTP offset and compare the bytes
+   *before* the header across groups.  A byte position that is constant
+   within every group but differs between groups is a packet-type field —
+   this is how the paper found the media-encapsulation type byte and that
+   the type determines the header offset.
+3. Search the packets with no RTP header for the SSRC values learned in
+   step 1; an embedded known SSRC preceded by a valid RTCP common header
+   reveals the RTCP offset (how the paper found Zoom's sender reports).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.rtp.rtp import looks_like_rtp
+
+RTCP_PACKET_TYPES = range(200, 205)
+
+
+@dataclass
+class OffsetDiscovery:
+    """Result of the §4.2.2 analysis over one flow.
+
+    Attributes:
+        rtp_offsets: Validated RTP header offsets with packet counts.
+        ssrcs: SSRC values accepted as genuine.
+        assignments: Per-packet index → chosen RTP offset (packets without
+            a validated RTP header are absent).
+        type_field_positions: Byte positions (before the earliest RTP
+            offset) that discriminate the offset groups — the discovered
+            type field(s).
+        offset_by_type_value: For the best type-field position: observed
+            mapping of type value → RTP offset (the discovered Table 2).
+        rtcp_offsets: Validated RTCP header offsets with packet counts.
+    """
+
+    rtp_offsets: Counter = field(default_factory=Counter)
+    ssrcs: set[int] = field(default_factory=set)
+    assignments: dict[int, int] = field(default_factory=dict)
+    type_field_positions: list[int] = field(default_factory=list)
+    offset_by_type_value: dict[int, int] = field(default_factory=dict)
+    rtcp_offsets: Counter = field(default_factory=Counter)
+
+
+def candidate_rtp_offsets(payload: bytes, *, max_offset: int = 48) -> list[int]:
+    """Offsets where ``payload`` could structurally hold an RTP header."""
+    return [
+        offset
+        for offset in range(0, min(max_offset, max(len(payload) - 12, 0)) + 1)
+        if looks_like_rtp(payload[offset:])
+    ]
+
+
+def discover_offsets(
+    payloads: Sequence[bytes],
+    *,
+    max_offset: int = 48,
+    min_ssrc_count: int = 8,
+) -> OffsetDiscovery:
+    """Run the full offset/type-field discovery over one flow's payloads."""
+    discovery = OffsetDiscovery()
+    # Pass 1: tally SSRC candidates per (offset, ssrc).
+    per_packet_candidates: list[list[int]] = []
+    ssrc_votes: Counter = Counter()
+    seq_values: dict[tuple[int, int], set[int]] = defaultdict(set)
+    for payload in payloads:
+        candidates = candidate_rtp_offsets(payload, max_offset=max_offset)
+        per_packet_candidates.append(candidates)
+        for offset in candidates:
+            if len(payload) >= offset + 12:
+                (ssrc,) = struct.unpack_from("!I", payload, offset + 8)
+                ssrc_votes[(offset, ssrc)] += 1
+                (sequence,) = struct.unpack_from("!H", payload, offset + 2)
+                seq_values[(offset, ssrc)].add(sequence)
+    # Accept (offset, SSRC) pairs that recur often enough AND whose sequence
+    # field actually behaves like a sequence: misaligned candidates landing
+    # on constant header bytes repeat heavily but show almost no distinct
+    # "sequence" values, which is how we reject them — the automated version
+    # of the paper's structural validation against the RTP spec.
+    accepted = set()
+    for (offset, ssrc), count in ssrc_votes.items():
+        if count < min_ssrc_count:
+            continue
+        distinct_fraction = len(seq_values[(offset, ssrc)]) / count
+        if distinct_fraction >= 0.25:
+            accepted.add((offset, ssrc))
+    # Pass 2: assign each packet the candidate offset whose SSRC was accepted
+    # (preferring the most popular (offset, ssrc) pair on ties).
+    for index, candidates in enumerate(per_packet_candidates):
+        best: tuple[int, int] | None = None
+        for offset in candidates:
+            payload = payloads[index]
+            (ssrc,) = struct.unpack_from("!I", payload, offset + 8)
+            if (offset, ssrc) in accepted:
+                votes = ssrc_votes[(offset, ssrc)]
+                if best is None or votes > best[0]:
+                    best = (votes, offset)
+        if best is not None:
+            discovery.assignments[index] = best[1]
+            discovery.rtp_offsets[best[1]] += 1
+    # Report only the SSRCs of packets that actually got an offset assigned:
+    # accepted-but-outvoted (offset, SSRC) pairs are misalignment artifacts.
+    for index, offset in discovery.assignments.items():
+        (ssrc,) = struct.unpack_from("!I", payloads[index], offset + 8)
+        discovery.ssrcs.add(ssrc)
+    _discover_type_field(payloads, discovery)
+    _discover_rtcp(payloads, discovery)
+    return discovery
+
+
+def _discover_type_field(payloads: Sequence[bytes], discovery: OffsetDiscovery) -> None:
+    """Step 2: bytes constant within an offset group, differing across."""
+    if not discovery.rtp_offsets:
+        return
+    groups: dict[int, list[bytes]] = defaultdict(list)
+    for index, offset in discovery.assignments.items():
+        groups[offset].append(payloads[index])
+    # Tiny groups are almost always residual false positives; keeping them
+    # would shrink the pre-header byte range (and break the comparison) for
+    # no information gain.
+    total_assigned = sum(len(members) for members in groups.values())
+    minimum_group = max(8, total_assigned // 100)
+    groups = {
+        offset: members
+        for offset, members in groups.items()
+        if len(members) >= minimum_group
+    }
+    if not groups:
+        return
+    min_offset = min(groups)
+    if len(groups) < 2:
+        # A single offset group: every pre-header byte is trivially
+        # "constant within group"; report none rather than everything.
+        return
+    positions: list[int] = []
+    for position in range(min_offset):
+        values_per_group: list[set[int]] = []
+        for offset, members in groups.items():
+            values = {payload[position] for payload in members if len(payload) > position}
+            values_per_group.append(values)
+        if all(len(values) == 1 for values in values_per_group):
+            distinct = {next(iter(values)) for values in values_per_group}
+            if len(distinct) > 1:
+                positions.append(position)
+    discovery.type_field_positions = positions
+    if positions:
+        best = positions[0]
+        for offset, members in groups.items():
+            for payload in members:
+                if len(payload) > best:
+                    discovery.offset_by_type_value[payload[best]] = offset
+                    break
+
+
+def _discover_rtcp(payloads: Sequence[bytes], discovery: OffsetDiscovery) -> None:
+    """Step 3: find known SSRCs inside the non-RTP packets (§4.2.1)."""
+    if not discovery.ssrcs:
+        return
+    assigned = set(discovery.assignments)
+    for index, payload in enumerate(payloads):
+        if index in assigned:
+            continue
+        for offset in range(0, max(len(payload) - 8, 0)):
+            if payload[offset] >> 6 != 2:  # RTCP shares RTP's version bits
+                continue
+            packet_type = payload[offset + 1]
+            if packet_type not in RTCP_PACKET_TYPES:
+                continue
+            if len(payload) < offset + 8:
+                continue
+            (ssrc,) = struct.unpack_from("!I", payload, offset + 4)
+            if ssrc in discovery.ssrcs:
+                discovery.rtcp_offsets[offset] += 1
+                break

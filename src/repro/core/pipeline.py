@@ -1,0 +1,335 @@
+"""The end-to-end analyzer: captured packets in, measurements out.
+
+:class:`ZoomAnalyzer` chains every stage of the paper's methodology
+(Figure 6): detection (§4.1) → Zoom/RTP decoding (§4.2) → stream assembly →
+meeting grouping (§4.3) → per-stream metrics (§5) → 1-second binning (§6.2).
+It runs fully streaming: one pass over the capture, bounded state per
+stream, no retained raw bytes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.detector import ZoomClass, ZoomTrafficDetector
+from repro.core.meetings import Meeting, MeetingGrouper
+from repro.core.metrics.bitrate import BitrateMeter
+from repro.core.metrics.frame_delay import FrameDelayAnalyzer
+from repro.core.metrics.framerate import FrameRateMethod1, FrameRateMethod2
+from repro.core.metrics.frames import FrameAssembler
+from repro.core.metrics.framesize import FrameSizeCollector
+from repro.core.metrics.jitter import FrameJitterEstimator
+from repro.core.metrics.latency import RTPLatencyMatcher, TCPRTTEstimator
+from repro.core.metrics.loss import StreamLossTracker
+from repro.core.metrics.stalls import StallEvent, detect_stalls
+from repro.core.metrics.sync import SenderReportCollector
+from repro.core.streams import MediaStream, RTPPacketRecord, StreamKey, StreamTable
+from repro.net.packet import CapturedPacket, ParsedPacket, parse_frame
+from repro.zoom.constants import (
+    AUDIO_SAMPLING_RATE,
+    SERVER_MEDIA_PORT,
+    VIDEO_SAMPLING_RATE,
+    ZOOM_SERVER_SUBNETS,
+    ZoomMediaType,
+)
+from repro.zoom.packets import parse_zoom_payload
+from repro.zoom.sfu_encap import Direction
+
+
+@dataclass
+class StreamMetrics:
+    """The metric estimators attached to one media stream."""
+
+    assembler: FrameAssembler
+    framerate_delivered: FrameRateMethod1
+    framerate_encoder: FrameRateMethod2
+    framesize: FrameSizeCollector
+    jitter: FrameJitterEstimator
+    loss: StreamLossTracker
+    frame_delay: FrameDelayAnalyzer
+
+    @classmethod
+    def for_media_type(cls, media_type: int) -> "StreamMetrics":
+        sampling = (
+            AUDIO_SAMPLING_RATE
+            if media_type == ZoomMediaType.AUDIO
+            else VIDEO_SAMPLING_RATE
+        )
+        return cls(
+            assembler=FrameAssembler(),
+            framerate_delivered=FrameRateMethod1(),
+            framerate_encoder=FrameRateMethod2(sampling),
+            framesize=FrameSizeCollector(),
+            jitter=FrameJitterEstimator(sampling),
+            loss=StreamLossTracker(),
+            frame_delay=FrameDelayAnalyzer(sampling),
+        )
+
+    def observe(self, record: RTPPacketRecord) -> None:
+        """Route one packet record through every estimator."""
+        self.loss.observe(record)
+        self.jitter.observe(record)
+        frame = self.assembler.observe(record)
+        if frame is not None:
+            self.framerate_delivered.observe(frame)
+            self.framerate_encoder.observe(frame)
+            self.framesize.observe(frame)
+            self.frame_delay.observe(frame)
+
+    def stall_events(self, *, buffer_depth: float = 0.200) -> list[StallEvent]:
+        """Predicted playback stalls for this stream (§5.5 future work)."""
+        return detect_stalls(self.frame_delay.samples, buffer_depth=buffer_depth)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer pass produces.
+
+    Attributes:
+        packets_total / packets_zoom: Input and Zoom-classified counts.
+        detector: The (stateful) detector with its per-class counters.
+        streams: The assembled stream table.
+        grouper: The meeting grouper (query meetings via ``meetings``).
+        stream_metrics: Estimators per stream key.
+        bitrate: Flow/stream/media-type binned byte counters.
+        rtp_latency: Method-1 latency matcher with all samples.
+        tcp_rtt: Method-2 estimators, keyed by (client IP, server IP).
+        encap_packets / encap_bytes: Zoom media-encapsulation type counters
+            over UDP media-classified packets — the data behind Table 2.
+        payload_type_packets / payload_type_bytes: (media type, RTP payload
+            type) counters — the data behind Table 3.
+        rtcp_sender_reports / rtcp_sdes_empty / rtcp_receiver_reports:
+            RTCP observations (§4.2.1: no RRs ever appear).
+        undecoded_packets: Media-class packets that did not parse as Zoom
+            media or RTCP (the ~10% control remainder).
+    """
+
+    packets_total: int = 0
+    packets_zoom: int = 0
+    bytes_total: int = 0
+    detector: ZoomTrafficDetector | None = None
+    streams: StreamTable = field(default_factory=StreamTable)
+    grouper: MeetingGrouper = field(default_factory=MeetingGrouper)
+    stream_metrics: dict[StreamKey, StreamMetrics] = field(default_factory=dict)
+    bitrate: BitrateMeter = field(default_factory=BitrateMeter)
+    rtp_latency: RTPLatencyMatcher = field(default_factory=RTPLatencyMatcher)
+    tcp_rtt: dict[tuple[str, str], TCPRTTEstimator] = field(default_factory=dict)
+    sync: SenderReportCollector = field(default_factory=SenderReportCollector)
+    encap_packets: Counter = field(default_factory=Counter)
+    encap_bytes: Counter = field(default_factory=Counter)
+    payload_type_packets: Counter = field(default_factory=Counter)
+    payload_type_bytes: Counter = field(default_factory=Counter)
+    rtcp_sender_reports: int = 0
+    rtcp_sdes_empty: int = 0
+    rtcp_receiver_reports: int = 0
+    undecoded_packets: int = 0
+    stun_packets: int = 0
+
+    @property
+    def meetings(self) -> list[Meeting]:
+        return self.grouper.meetings()
+
+    def media_streams(self) -> list[MediaStream]:
+        return self.streams.streams()
+
+    def metrics_for(self, key: StreamKey) -> StreamMetrics | None:
+        return self.stream_metrics.get(key)
+
+    def encap_share_table(self) -> list[tuple[int, float, float]]:
+        """Rows of (type value, % packets, % bytes) over media-class UDP
+        packets — directly comparable to Table 2."""
+        total_packets = sum(self.encap_packets.values())
+        total_bytes = sum(self.encap_bytes.values())
+        rows = []
+        for value, count in self.encap_packets.most_common():
+            rows.append(
+                (
+                    value,
+                    100.0 * count / total_packets if total_packets else 0.0,
+                    100.0 * self.encap_bytes[value] / total_bytes if total_bytes else 0.0,
+                )
+            )
+        return rows
+
+    def payload_type_table(self) -> list[tuple[int, int, float, float]]:
+        """Rows of (media type, payload type, % packets, % bytes) over
+        decoded media packets — directly comparable to Table 3."""
+        total_packets = sum(self.payload_type_packets.values())
+        total_bytes = sum(self.payload_type_bytes.values())
+        rows = []
+        for (media_type, payload_type), count in self.payload_type_packets.most_common():
+            rows.append(
+                (
+                    media_type,
+                    payload_type,
+                    100.0 * count / total_packets if total_packets else 0.0,
+                    100.0 * self.payload_type_bytes[(media_type, payload_type)] / total_bytes
+                    if total_bytes
+                    else 0.0,
+                )
+            )
+        return rows
+
+
+class ZoomAnalyzer:
+    """One-pass passive Zoom analyzer.
+
+    Args:
+        zoom_subnets: Zoom's published prefixes (defaults to the emulator's
+            synthetic directory prefixes).
+        campus_subnets: Optional campus prefixes to scope P2P detection.
+        stun_timeout: P2P endpoint memory (§4.1).
+        keep_records: Retain per-packet records on streams (memory-heavy;
+            only needed for offline re-analysis).
+
+    Usage::
+
+        analyzer = ZoomAnalyzer()
+        result = analyzer.analyze(captured_packets)
+    """
+
+    def __init__(
+        self,
+        zoom_subnets: Iterable[str] = ZOOM_SERVER_SUBNETS,
+        *,
+        campus_subnets: Iterable[str] | None = None,
+        stun_timeout: float = 120.0,
+        keep_records: bool = False,
+    ) -> None:
+        self.result = AnalysisResult()
+        self.result.detector = ZoomTrafficDetector(
+            zoom_subnets, campus_subnets=campus_subnets, stun_timeout=stun_timeout
+        )
+        self.result.streams = StreamTable(keep_records=keep_records)
+        self._known_streams: set[StreamKey] = set()
+
+    def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
+        """Feed a whole capture and return the result."""
+        for packet in packets:
+            self.feed(packet)
+        return self.result
+
+    def feed(self, captured: CapturedPacket) -> None:
+        """Feed one captured frame."""
+        parsed = parse_frame(captured.data, captured.timestamp)
+        self.feed_parsed(parsed)
+
+    def feed_parsed(self, parsed: ParsedPacket) -> None:
+        """Feed one already-parsed frame."""
+        result = self.result
+        result.packets_total += 1
+        result.bytes_total += len(parsed.raw)
+        assert result.detector is not None
+        klass = result.detector.classify(parsed)
+        if not klass.is_zoom:
+            return
+        result.packets_zoom += 1
+        if klass is ZoomClass.SERVER_TLS:
+            self._feed_tcp(parsed)
+            return
+        if klass is ZoomClass.SERVER_STUN:
+            result.stun_packets += 1
+            return
+        if not klass.is_media or not parsed.is_udp:
+            return
+        five_tuple = parsed.five_tuple
+        if five_tuple is None:
+            return
+        result.bitrate.observe_flow_bytes(
+            five_tuple, parsed.timestamp, len(parsed.payload)
+        )
+        from_server = klass is ZoomClass.SERVER_MEDIA
+        zoom = parse_zoom_payload(parsed.payload, from_server=from_server)
+        if zoom.media is None:
+            result.undecoded_packets += 1
+            result.encap_packets["other"] += 1
+            result.encap_bytes["other"] += len(parsed.payload)
+            return
+        media_type = zoom.media.media_type
+        if zoom.is_media or zoom.is_rtcp:
+            result.encap_packets[media_type] += 1
+            result.encap_bytes[media_type] += len(parsed.payload)
+        else:
+            result.undecoded_packets += 1
+            result.encap_packets["other"] += 1
+            result.encap_bytes["other"] += len(parsed.payload)
+            return
+        if zoom.is_rtcp:
+            self._feed_rtcp(zoom)
+            return
+        assert zoom.rtp is not None
+        to_server: bool | None
+        if zoom.is_p2p:
+            to_server = None
+        elif zoom.sfu is not None and zoom.sfu.direction == Direction.FROM_SFU:
+            to_server = False
+        elif zoom.sfu is not None and zoom.sfu.direction == Direction.TO_SFU:
+            to_server = True
+        else:
+            # Fall back on the well-known server port.
+            to_server = parsed.dst_port == SERVER_MEDIA_PORT
+        record = RTPPacketRecord(
+            timestamp=parsed.timestamp,
+            five_tuple=five_tuple,
+            ssrc=zoom.rtp.ssrc,
+            payload_type=zoom.rtp.payload_type,
+            sequence=zoom.rtp.sequence,
+            rtp_timestamp=zoom.rtp.timestamp,
+            marker=zoom.rtp.marker,
+            media_type=media_type,
+            payload_len=len(zoom.rtp_payload),
+            udp_payload_len=len(parsed.payload),
+            frame_sequence=zoom.media.frame_sequence,
+            packets_in_frame=zoom.media.packets_in_frame,
+            is_p2p=zoom.is_p2p,
+            to_server=to_server,
+        )
+        result.payload_type_packets[(media_type, record.payload_type)] += 1
+        result.payload_type_bytes[(media_type, record.payload_type)] += record.payload_len
+        self._feed_media_record(record)
+
+    # ------------------------------------------------------------- internals
+
+    def _feed_media_record(self, record: RTPPacketRecord) -> None:
+        result = self.result
+        stream = result.streams.observe(record)
+        key = record.stream_key
+        if key not in self._known_streams:
+            self._known_streams.add(key)
+            result.grouper.observe_new_stream(stream, result.streams)
+            result.stream_metrics[key] = StreamMetrics.for_media_type(record.media_type)
+        else:
+            result.grouper.observe_stream_update(stream)
+        result.bitrate.observe_media(record)
+        result.stream_metrics[key].observe(record)
+        result.rtp_latency.observe(record)
+
+    def _feed_rtcp(self, zoom) -> None:
+        from repro.rtp.rtcp import RTCPReceiverReport, RTCPSdes, RTCPSenderReport
+
+        for report in zoom.rtcp:
+            if isinstance(report, RTCPSenderReport):
+                self.result.rtcp_sender_reports += 1
+                self.result.sync.observe(report)
+            elif isinstance(report, RTCPSdes):
+                if report.is_empty:
+                    self.result.rtcp_sdes_empty += 1
+            elif isinstance(report, RTCPReceiverReport):
+                self.result.rtcp_receiver_reports += 1
+
+    def _feed_tcp(self, parsed: ParsedPacket) -> None:
+        assert self.result.detector is not None
+        src_is_zoom = self.result.detector.matcher.matches(parsed.src_ip)
+        if src_is_zoom:
+            client_ip, server_ip = parsed.dst_ip, parsed.src_ip
+        else:
+            client_ip, server_ip = parsed.src_ip, parsed.dst_ip
+        if client_ip is None or server_ip is None:
+            return
+        key = (client_ip, server_ip)
+        estimator = self.result.tcp_rtt.get(key)
+        if estimator is None:
+            estimator = self.result.tcp_rtt[key] = TCPRTTEstimator(client_ip, server_ip)
+        estimator.observe(parsed)

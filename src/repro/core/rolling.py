@@ -1,0 +1,142 @@
+"""Bounded-memory continuous analysis for 24/7 operation.
+
+The one-pass :class:`~repro.core.pipeline.ZoomAnalyzer` retains every stream
+and meeting it ever saw — fine for a trace file, unbounded for a permanent
+border tap.  :class:`RollingZoomAnalyzer` wraps it with time-based eviction:
+streams idle longer than ``idle_timeout`` are finalized (their loss trackers
+closed, their report card emitted to a callback) and dropped, meetings whose
+last stream is gone follow, and long-lived shared state (the latency
+matcher's pending table, the STUN tracker) is already bounded by design.
+
+This addresses the operational gap between the paper's 12-hour offline study
+and a deployment that never stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
+from repro.core.streams import MediaStream, StreamKey
+from repro.net.packet import CapturedPacket
+from repro.zoom.constants import ZOOM_SERVER_SUBNETS
+
+
+@dataclass(frozen=True, slots=True)
+class FinalizedStream:
+    """Everything retained about a stream at eviction time."""
+
+    key: StreamKey
+    ssrc: int
+    media_type: int
+    first_time: float
+    last_time: float
+    packets: int
+    bytes: int
+    frames_completed: int
+    mean_fps: float
+    jitter_ms: float
+    duplicates: int
+    lost: int
+    stall_count: int
+
+
+@dataclass
+class RollingZoomAnalyzer:
+    """A :class:`ZoomAnalyzer` with idle-stream eviction.
+
+    Args:
+        idle_timeout: Seconds of inactivity after which a stream is
+            finalized and evicted.
+        sweep_interval: How often (in capture time) to scan for idle
+            streams; keeps the sweep cost amortized.
+        on_stream_finalized: Optional callback receiving each
+            :class:`FinalizedStream` (e.g. to write a database row).
+    """
+
+    idle_timeout: float = 60.0
+    sweep_interval: float = 10.0
+    zoom_subnets: Iterable[str] = ZOOM_SERVER_SUBNETS
+    on_stream_finalized: Optional[Callable[[FinalizedStream], None]] = None
+    finalized: list[FinalizedStream] = field(default_factory=list)
+    streams_evicted: int = 0
+    _analyzer: ZoomAnalyzer = field(init=False)
+    _last_sweep: float = field(default=float("-inf"), init=False)
+
+    def __post_init__(self) -> None:
+        self._analyzer = ZoomAnalyzer(self.zoom_subnets)
+
+    @property
+    def result(self) -> AnalysisResult:
+        """The live (post-eviction) analysis state."""
+        return self._analyzer.result
+
+    def feed(self, packet: CapturedPacket) -> None:
+        """Feed one captured frame; may trigger an eviction sweep."""
+        self._analyzer.feed(packet)
+        if packet.timestamp - self._last_sweep >= self.sweep_interval:
+            self.sweep(packet.timestamp)
+
+    def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
+        for packet in packets:
+            self.feed(packet)
+        return self.result
+
+    def sweep(self, now: float) -> int:
+        """Finalize and evict streams idle since ``now - idle_timeout``.
+
+        Returns the number of streams evicted.
+        """
+        self._last_sweep = now
+        result = self._analyzer.result
+        stale = [
+            stream
+            for stream in result.streams.streams()
+            if now - stream.last_time > self.idle_timeout
+        ]
+        for stream in stale:
+            self._finalize(stream)
+            self._evict(stream)
+        return len(stale)
+
+    def live_stream_count(self) -> int:
+        return len(self._analyzer.result.streams)
+
+    # ------------------------------------------------------------- internals
+
+    def _finalize(self, stream: MediaStream) -> None:
+        result = self._analyzer.result
+        metrics = result.stream_metrics.get(stream.key)
+        frames = metrics.assembler.completed_count if metrics else 0
+        fps_samples = metrics.framerate_delivered.samples if metrics else []
+        loss = metrics.loss.report(finalize=True) if metrics else None
+        record = FinalizedStream(
+            key=stream.key,
+            ssrc=stream.ssrc,
+            media_type=stream.media_type,
+            first_time=stream.first_time,
+            last_time=stream.last_time,
+            packets=stream.packets,
+            bytes=stream.bytes,
+            frames_completed=frames,
+            mean_fps=(
+                sum(s.fps for s in fps_samples) / len(fps_samples)
+                if fps_samples
+                else float("nan")
+            ),
+            jitter_ms=(metrics.jitter.jitter * 1000 if metrics else float("nan")),
+            duplicates=loss.duplicates if loss else 0,
+            lost=loss.lost if loss else 0,
+            stall_count=len(metrics.stall_events()) if metrics else 0,
+        )
+        self.finalized.append(record)
+        if self.on_stream_finalized is not None:
+            self.on_stream_finalized(record)
+
+    def _evict(self, stream: MediaStream) -> None:
+        result = self._analyzer.result
+        result.stream_metrics.pop(stream.key, None)
+        result.streams.evict(stream.key)
+        self._analyzer._known_streams.discard(stream.key)
+        self.streams_evicted += 1

@@ -1,0 +1,38 @@
+"""Packet substrate: pcap I/O and L2-L4 header parsing built from scratch.
+
+This subpackage is a self-contained replacement for scapy/dpkt.  It provides
+binary parsers and serializers for Ethernet II (with 802.1Q), IPv4, IPv6, UDP
+and TCP, an internet-checksum helper, a ``ParsedPacket`` record that decodes a
+full frame in one call, and a libpcap-format reader/writer with microsecond
+and nanosecond timestamp resolution.
+
+Everything round-trips: ``parse(serialize(x)) == x`` for every header type,
+which the property-based test suite checks exhaustively.
+"""
+
+from repro.net.checksum import internet_checksum
+from repro.net.ethernet import EtherType, EthernetHeader
+from repro.net.ip import IPProtocol, IPv4Header, IPv6Header
+from repro.net.packet import CapturedPacket, ParsedPacket, parse_frame
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.tcp import TCPFlags, TCPHeader
+from repro.net.udp import UDPHeader
+
+__all__ = [
+    "CapturedPacket",
+    "EtherType",
+    "EthernetHeader",
+    "IPProtocol",
+    "IPv4Header",
+    "IPv6Header",
+    "ParsedPacket",
+    "PcapReader",
+    "PcapWriter",
+    "TCPFlags",
+    "TCPHeader",
+    "UDPHeader",
+    "internet_checksum",
+    "parse_frame",
+    "read_pcap",
+    "write_pcap",
+]

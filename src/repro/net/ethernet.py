@@ -1,0 +1,99 @@
+"""Ethernet II framing with optional 802.1Q VLAN tags."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+
+class EtherType(enum.IntEnum):
+    """EtherType values this library understands."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    IPV6 = 0x86DD
+
+
+def mac_to_str(mac: bytes) -> str:
+    """Render a 6-byte MAC address as ``aa:bb:cc:dd:ee:ff``."""
+    if len(mac) != 6:
+        raise ValueError(f"MAC address must be 6 bytes, got {len(mac)}")
+    return ":".join(f"{b:02x}" for b in mac)
+
+
+def mac_from_str(text: str) -> bytes:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into 6 packed bytes."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address {text!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+@dataclass(frozen=True, slots=True)
+class EthernetHeader:
+    """An Ethernet II header, optionally carrying one 802.1Q VLAN tag.
+
+    Attributes:
+        dst: Destination MAC, 6 packed bytes.
+        src: Source MAC, 6 packed bytes.
+        ethertype: Payload EtherType (after any VLAN tag).
+        vlan: 802.1Q VLAN ID (0-4095) or ``None`` when untagged.
+        vlan_pcp: 802.1Q priority code point; only meaningful when tagged.
+    """
+
+    dst: bytes = field(default=b"\x00" * 6)
+    src: bytes = field(default=b"\x00" * 6)
+    ethertype: int = EtherType.IPV4
+    vlan: int | None = None
+    vlan_pcp: int = 0
+
+    HEADER_LEN = 14
+    VLAN_TAG_LEN = 4
+
+    def __post_init__(self) -> None:
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise ValueError("MAC addresses must be 6 bytes")
+        if self.vlan is not None and not 0 <= self.vlan <= 0xFFF:
+            raise ValueError(f"VLAN ID out of range: {self.vlan}")
+        if not 0 <= self.vlan_pcp <= 7:
+            raise ValueError(f"VLAN PCP out of range: {self.vlan_pcp}")
+
+    @property
+    def header_len(self) -> int:
+        """Total on-wire length of this header in bytes."""
+        return self.HEADER_LEN + (self.VLAN_TAG_LEN if self.vlan is not None else 0)
+
+    def serialize(self) -> bytes:
+        """Encode to wire format."""
+        if self.vlan is None:
+            return self.dst + self.src + struct.pack("!H", self.ethertype)
+        tci = (self.vlan_pcp << 13) | self.vlan
+        return (
+            self.dst
+            + self.src
+            + struct.pack("!HHH", EtherType.VLAN, tci, self.ethertype)
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["EthernetHeader", int]:
+        """Decode from wire format.
+
+        Returns the header and the offset where the L3 payload begins.
+        """
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"frame too short for Ethernet: {len(data)} bytes")
+        dst, src = data[0:6], data[6:12]
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        offset = cls.HEADER_LEN
+        vlan: int | None = None
+        vlan_pcp = 0
+        if ethertype == EtherType.VLAN:
+            if len(data) < cls.HEADER_LEN + cls.VLAN_TAG_LEN:
+                raise ValueError("frame too short for 802.1Q tag")
+            tci, ethertype = struct.unpack_from("!HH", data, 12 + 2)
+            vlan = tci & 0xFFF
+            vlan_pcp = tci >> 13
+            offset += cls.VLAN_TAG_LEN
+        return cls(dst=dst, src=src, ethertype=ethertype, vlan=vlan, vlan_pcp=vlan_pcp), offset

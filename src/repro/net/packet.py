@@ -1,0 +1,236 @@
+"""Full-stack frame decoding and the packet records used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.ethernet import EtherType, EthernetHeader
+from repro.net.ip import IPProtocol, IPv4Header, IPv6Header
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+FiveTuple = tuple[str, int, str, int, int]
+"""(src_ip, src_port, dst_ip, dst_port, protocol) — the flow key used everywhere."""
+
+
+@dataclass(frozen=True, slots=True)
+class CapturedPacket:
+    """A raw captured frame with its capture timestamp.
+
+    Attributes:
+        timestamp: Capture time in seconds (float, monitor clock).
+        data: The raw Ethernet frame bytes.
+    """
+
+    timestamp: float
+    data: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedPacket:
+    """A decoded frame: L2 through L4 headers plus the transport payload.
+
+    Any of the header attributes may be ``None`` when the corresponding layer
+    is absent or not understood (e.g. an ARP frame has no ``ipv4``).
+
+    Attributes:
+        timestamp: Capture time in seconds.
+        ethernet: Decoded Ethernet header.
+        ipv4 / ipv6: Decoded IP header (at most one is set).
+        udp / tcp: Decoded transport header (at most one is set).
+        payload: Transport payload bytes (b"" when no transport layer).
+        raw: The original frame bytes.
+    """
+
+    timestamp: float
+    ethernet: Optional[EthernetHeader]
+    ipv4: Optional[IPv4Header]
+    ipv6: Optional[IPv6Header]
+    udp: Optional[UDPHeader]
+    tcp: Optional[TCPHeader]
+    payload: bytes
+    raw: bytes
+
+    @property
+    def src_ip(self) -> str | None:
+        if self.ipv4 is not None:
+            return self.ipv4.src_str
+        if self.ipv6 is not None:
+            return self.ipv6.src_str
+        return None
+
+    @property
+    def dst_ip(self) -> str | None:
+        if self.ipv4 is not None:
+            return self.ipv4.dst_str
+        if self.ipv6 is not None:
+            return self.ipv6.dst_str
+        return None
+
+    @property
+    def src_port(self) -> int | None:
+        transport = self.udp or self.tcp
+        return transport.src_port if transport is not None else None
+
+    @property
+    def dst_port(self) -> int | None:
+        transport = self.udp or self.tcp
+        return transport.dst_port if transport is not None else None
+
+    @property
+    def protocol(self) -> int | None:
+        if self.udp is not None:
+            return IPProtocol.UDP
+        if self.tcp is not None:
+            return IPProtocol.TCP
+        if self.ipv4 is not None:
+            return self.ipv4.protocol
+        if self.ipv6 is not None:
+            return self.ipv6.next_header
+        return None
+
+    @property
+    def five_tuple(self) -> FiveTuple | None:
+        """The (src_ip, src_port, dst_ip, dst_port, proto) key, or ``None``."""
+        if self.src_ip is None or self.src_port is None:
+            return None
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.protocol)
+
+    @property
+    def is_udp(self) -> bool:
+        return self.udp is not None
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.tcp is not None
+
+
+def parse_frame(data: bytes, timestamp: float = 0.0) -> ParsedPacket:
+    """Decode an Ethernet frame down to the transport payload.
+
+    Unknown or malformed upper layers degrade gracefully: the frame is still
+    returned with the layers that did decode and the remaining bytes exposed
+    as ``payload``.
+    """
+    ethernet = None
+    ipv4 = None
+    ipv6 = None
+    udp = None
+    tcp = None
+    payload = b""
+    try:
+        ethernet, offset = EthernetHeader.parse(data)
+    except ValueError:
+        return ParsedPacket(timestamp, None, None, None, None, None, b"", data)
+
+    remaining = data[offset:]
+    try:
+        if ethernet.ethertype == EtherType.IPV4:
+            ipv4, ip_len = IPv4Header.parse(remaining)
+            # Trust the IP total length over the frame length (Ethernet pads
+            # short frames to 60 bytes).
+            body = remaining[ip_len : ipv4.total_length]
+            udp, tcp, payload = _parse_transport(ipv4.protocol, body)
+        elif ethernet.ethertype == EtherType.IPV6:
+            ipv6, ip_len = IPv6Header.parse(remaining)
+            body = remaining[ip_len : ip_len + ipv6.payload_length]
+            udp, tcp, payload = _parse_transport(ipv6.next_header, body)
+        else:
+            payload = remaining
+    except ValueError:
+        # Leave whatever decoded so far; expose the rest as opaque payload.
+        payload = remaining
+
+    return ParsedPacket(timestamp, ethernet, ipv4, ipv6, udp, tcp, payload, data)
+
+
+def _parse_transport(
+    protocol: int, body: bytes
+) -> tuple[UDPHeader | None, TCPHeader | None, bytes]:
+    """Decode the transport layer of an IP payload."""
+    if protocol == IPProtocol.UDP:
+        udp, off = UDPHeader.parse(body)
+        return udp, None, body[off : udp.length]
+    if protocol == IPProtocol.TCP:
+        tcp, off = TCPHeader.parse(body)
+        return None, tcp, body[off:]
+    return None, None, body
+
+
+def build_udp_frame(
+    src_ip: str,
+    src_port: int,
+    dst_ip: str,
+    dst_port: int,
+    payload: bytes,
+    *,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+    ttl: int = 64,
+    identification: int = 0,
+    dscp: int = 0,
+) -> bytes:
+    """Build a complete Ethernet/IPv4/UDP frame around ``payload``.
+
+    The UDP checksum is computed over the IPv4 pseudo-header so the frame
+    survives strict re-parsing.
+    """
+    from repro.net.ip import ip_from_str
+
+    src = ip_from_str(src_ip)
+    dst = ip_from_str(dst_ip)
+    udp_len = UDPHeader.HEADER_LEN + len(payload)
+    udp = UDPHeader(src_port, dst_port, udp_len)
+    udp_bytes = udp.serialize_with_checksum(payload, src, dst)
+    ip = IPv4Header(
+        src=src,
+        dst=dst,
+        protocol=IPProtocol.UDP,
+        total_length=IPv4Header.HEADER_LEN + udp_len,
+        ttl=ttl,
+        identification=identification,
+        dscp=dscp,
+    )
+    ether = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=EtherType.IPV4)
+    return ether.serialize() + ip.serialize() + udp_bytes + payload
+
+
+def build_tcp_frame(
+    src_ip: str,
+    src_port: int,
+    dst_ip: str,
+    dst_port: int,
+    *,
+    seq: int,
+    ack: int = 0,
+    flags: int = 0x10,
+    payload: bytes = b"",
+    window: int = 65535,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+    ttl: int = 64,
+    identification: int = 0,
+) -> bytes:
+    """Build a complete Ethernet/IPv4/TCP frame."""
+    from repro.net.checksum import internet_checksum, pseudo_header_v4
+    from repro.net.ip import ip_from_str
+
+    src = ip_from_str(src_ip)
+    dst = ip_from_str(dst_ip)
+    tcp = TCPHeader(src_port, dst_port, seq=seq, ack=ack, flags=flags, window=window)
+    tcp_bytes = tcp.serialize()
+    seg_len = len(tcp_bytes) + len(payload)
+    pseudo = pseudo_header_v4(src, dst, IPProtocol.TCP, seg_len)
+    checksum = internet_checksum(pseudo + tcp_bytes + payload)
+    tcp_bytes = tcp_bytes[:16] + checksum.to_bytes(2, "big") + tcp_bytes[18:]
+    ip = IPv4Header(
+        src=src,
+        dst=dst,
+        protocol=IPProtocol.TCP,
+        total_length=IPv4Header.HEADER_LEN + seg_len,
+        ttl=ttl,
+        identification=identification,
+    )
+    ether = EthernetHeader(dst=dst_mac, src=src_mac, ethertype=EtherType.IPV4)
+    return ether.serialize() + ip.serialize() + tcp_bytes + payload

@@ -1,0 +1,177 @@
+"""Reader and writer for the classic libpcap capture-file format.
+
+Supports both microsecond (magic ``0xa1b2c3d4``) and nanosecond
+(``0xa1b23c4d``) timestamp resolution, either endianness on read, and the
+Ethernet link type.  This is the on-disk interchange format between the
+traffic emulator (:mod:`repro.simulation`) and the analyzer
+(:mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.packet import CapturedPacket
+
+MAGIC_MICROS = 0xA1B2C3D4
+MAGIC_NANOS = 0xA1B23C4D
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")  # endianness applied at use site
+_RECORD_HEADER = struct.Struct("IIII")
+
+
+@dataclass(frozen=True, slots=True)
+class PcapHeader:
+    """Parsed pcap global header."""
+
+    nanosecond: bool
+    little_endian: bool
+    version_major: int
+    version_minor: int
+    snaplen: int
+    linktype: int
+
+
+class PcapWriter:
+    """Write packets to a libpcap file.
+
+    Usage::
+
+        with PcapWriter("trace.pcap") as writer:
+            writer.write(CapturedPacket(1.5, frame_bytes))
+    """
+
+    def __init__(
+        self,
+        path: str | Path | BinaryIO,
+        *,
+        nanosecond: bool = True,
+        snaplen: int = 262144,
+        linktype: int = LINKTYPE_ETHERNET,
+    ) -> None:
+        if hasattr(path, "write"):
+            self._file: BinaryIO = path  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(path, "wb")
+            self._owns_file = True
+        self._nanosecond = nanosecond
+        self._tick = 1e-9 if nanosecond else 1e-6
+        magic = MAGIC_NANOS if nanosecond else MAGIC_MICROS
+        self._file.write(
+            struct.pack("<IHHiIII", magic, 2, 4, 0, 0, snaplen, linktype)
+        )
+        self.packets_written = 0
+
+    def write(self, packet: CapturedPacket) -> None:
+        """Append one packet record."""
+        whole = int(packet.timestamp)
+        frac = int(round((packet.timestamp - whole) / self._tick))
+        limit = 1_000_000_000 if self._nanosecond else 1_000_000
+        if frac >= limit:  # rounding pushed us into the next second
+            whole += 1
+            frac -= limit
+        length = len(packet.data)
+        self._file.write(struct.pack("<IIII", whole, frac, length, length))
+        self._file.write(packet.data)
+        self.packets_written += 1
+
+    def write_all(self, packets: Iterable[CapturedPacket]) -> int:
+        """Append many packets; returns the number written."""
+        count = 0
+        for packet in packets:
+            self.write(packet)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Read packets from a libpcap file.
+
+    Iterating yields :class:`CapturedPacket` records with float timestamps.
+    Handles both endiannesses and both timestamp resolutions.
+    """
+
+    def __init__(self, path: str | Path | BinaryIO) -> None:
+        if hasattr(path, "read"):
+            self._file: BinaryIO = path  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(path, "rb")
+            self._owns_file = True
+        header_bytes = self._file.read(24)
+        if len(header_bytes) < 24:
+            raise ValueError("file too short for a pcap global header")
+        (magic,) = struct.unpack("<I", header_bytes[:4])
+        if magic in (MAGIC_MICROS, MAGIC_NANOS):
+            endian = "<"
+        else:
+            (magic,) = struct.unpack(">I", header_bytes[:4])
+            if magic not in (MAGIC_MICROS, MAGIC_NANOS):
+                raise ValueError("not a libpcap file (bad magic)")
+            endian = ">"
+        major, minor, _tz, _sig, snaplen, linktype = struct.unpack(
+            endian + "HHiIII", header_bytes[4:]
+        )
+        self.header = PcapHeader(
+            nanosecond=(magic == MAGIC_NANOS),
+            little_endian=(endian == "<"),
+            version_major=major,
+            version_minor=minor,
+            snaplen=snaplen,
+            linktype=linktype,
+        )
+        self._endian = endian
+        self._tick = 1e-9 if self.header.nanosecond else 1e-6
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        record = struct.Struct(self._endian + "IIII")
+        while True:
+            header = self._file.read(16)
+            if not header:
+                return
+            if len(header) < 16:
+                raise ValueError("truncated pcap record header")
+            seconds, frac, caplen, _origlen = record.unpack(header)
+            data = self._file.read(caplen)
+            if len(data) < caplen:
+                raise ValueError("truncated pcap packet data")
+            yield CapturedPacket(seconds + frac * self._tick, data)
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_pcap(
+    path: str | Path, packets: Iterable[CapturedPacket], *, nanosecond: bool = True
+) -> int:
+    """Write all ``packets`` to ``path``; returns the count written."""
+    with PcapWriter(path, nanosecond=nanosecond) as writer:
+        return writer.write_all(packets)
+
+
+def read_pcap(path: str | Path) -> list[CapturedPacket]:
+    """Read every packet in the file at ``path`` into a list."""
+    with PcapReader(path) as reader:
+        return list(reader)

@@ -1,0 +1,254 @@
+"""Reader and writer for the pcapng capture format (RFC draft-tuexen).
+
+Campus capture systems increasingly hand researchers pcapng rather than
+classic pcap; this module covers the subset needed to interchange packet
+captures: Section Header Blocks, Interface Description Blocks (with the
+``if_tsresol`` option), Enhanced Packet Blocks, and Simple Packet Blocks.
+Unknown block types are skipped by length, per the spec.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.net.packet import CapturedPacket
+
+BLOCK_SHB = 0x0A0D0D0A
+BLOCK_IDB = 0x00000001
+BLOCK_SPB = 0x00000003
+BLOCK_EPB = 0x00000006
+
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+OPT_ENDOFOPT = 0
+OPT_IF_TSRESOL = 9
+LINKTYPE_ETHERNET = 1
+
+
+def _pad4(length: int) -> int:
+    return (-length) % 4
+
+
+@dataclass
+class _Interface:
+    linktype: int
+    ticks_per_second: float
+
+
+class PcapngWriter:
+    """Write packets as a single-section, single-interface pcapng file.
+
+    Timestamps are written at nanosecond resolution (``if_tsresol`` = 9).
+    """
+
+    def __init__(self, path: str | Path | BinaryIO, *, snaplen: int = 262144) -> None:
+        if hasattr(path, "write"):
+            self._file: BinaryIO = path  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._file = open(path, "wb")
+            self._owns = True
+        self.packets_written = 0
+        self._write_shb()
+        self._write_idb(snaplen)
+
+    def _write_block(self, block_type: int, body: bytes) -> None:
+        total = 12 + len(body)
+        self._file.write(struct.pack("<II", block_type, total) + body + struct.pack("<I", total))
+
+    def _write_shb(self) -> None:
+        body = struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+        self._write_block(BLOCK_SHB, body)
+
+    def _write_idb(self, snaplen: int) -> None:
+        # Option 9 (if_tsresol) = 9 -> 10^-9 seconds per tick.
+        options = struct.pack("<HHB3x", OPT_IF_TSRESOL, 1, 9)
+        options += struct.pack("<HH", OPT_ENDOFOPT, 0)
+        body = struct.pack("<HHI", LINKTYPE_ETHERNET, 0, snaplen) + options
+        self._write_block(BLOCK_IDB, body)
+
+    def write(self, packet: CapturedPacket) -> None:
+        ticks = int(round(packet.timestamp * 1_000_000_000))
+        high, low = ticks >> 32, ticks & 0xFFFFFFFF
+        length = len(packet.data)
+        body = struct.pack("<IIIII", 0, high, low, length, length)
+        body += packet.data + b"\x00" * _pad4(length)
+        self._write_block(BLOCK_EPB, body)
+        self.packets_written += 1
+
+    def write_all(self, packets: Iterable[CapturedPacket]) -> int:
+        count = 0
+        for packet in packets:
+            self.write(packet)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "PcapngWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class PcapngReader:
+    """Read packets from a pcapng file (either endianness).
+
+    Yields :class:`CapturedPacket` records.  Simple Packet Blocks carry no
+    timestamp; they are reported at time 0.0.  Multiple sections and
+    interfaces are supported; per-interface ``if_tsresol`` is honored.
+    """
+
+    def __init__(self, path: str | Path | BinaryIO) -> None:
+        if hasattr(path, "read"):
+            self._file: BinaryIO = path  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._file = open(path, "rb")
+            self._owns = True
+        self._endian = "<"
+        self._interfaces: list[_Interface] = []
+        header = self._file.read(8)
+        if len(header) < 8:
+            raise ValueError("file too short for pcapng")
+        (block_type,) = struct.unpack("<I", header[:4])
+        if block_type != BLOCK_SHB:
+            raise ValueError("not a pcapng file (no section header block)")
+        self._pending = header
+
+    def _read_exact(self, count: int) -> bytes | None:
+        if self._pending:
+            chunk, self._pending = self._pending, b""
+            rest = self._file.read(count - len(chunk))
+            data = chunk + rest
+        else:
+            data = self._file.read(count)
+        if not data:
+            return None
+        if len(data) < count:
+            raise ValueError("truncated pcapng block")
+        return data
+
+    def __iter__(self) -> Iterator[CapturedPacket]:
+        while True:
+            head = self._read_exact(8)
+            if head is None:
+                return
+            block_type, total_len = struct.unpack(self._endian + "II", head)
+            if block_type == BLOCK_SHB:
+                # Length may be in the other byte order until we read the magic.
+                body_start = self._read_exact(4)
+                if body_start is None:
+                    raise ValueError("truncated section header")
+                (magic_le,) = struct.unpack("<I", body_start)
+                self._endian = "<" if magic_le == BYTE_ORDER_MAGIC else ">"
+                (_type, total_len) = struct.unpack(self._endian + "II", head)
+                # Consume the rest of the block: body after the magic plus
+                # the trailing total-length word.
+                remaining = total_len - 8 - 4
+                body = self._read_exact(remaining)
+                if body is None:
+                    raise ValueError("truncated section header block")
+                self._interfaces = []  # interfaces are per section
+                continue
+            body_len = total_len - 12
+            if body_len < 0:
+                raise ValueError(f"invalid block length {total_len}")
+            body = self._read_exact(body_len + 4)  # body + trailing length
+            if body is None:
+                raise ValueError("truncated block body")
+            body = body[:-4]
+            if block_type == BLOCK_IDB:
+                self._handle_idb(body)
+            elif block_type == BLOCK_EPB:
+                packet = self._handle_epb(body)
+                if packet is not None:
+                    yield packet
+            elif block_type == BLOCK_SPB:
+                packet = self._handle_spb(body)
+                if packet is not None:
+                    yield packet
+            # Unknown block types are skipped silently, per spec.
+
+    def _handle_idb(self, body: bytes) -> None:
+        linktype, _reserved, _snaplen = struct.unpack_from(self._endian + "HHI", body, 0)
+        ticks_per_second = 1_000_000.0  # spec default: microseconds
+        position = 8
+        while position + 4 <= len(body):
+            code, length = struct.unpack_from(self._endian + "HH", body, position)
+            position += 4
+            if code == OPT_ENDOFOPT:
+                break
+            value = body[position : position + length]
+            position += length + _pad4(length)
+            if code == OPT_IF_TSRESOL and len(value) >= 1:
+                resol = value[0]
+                if resol & 0x80:
+                    ticks_per_second = float(2 ** (resol & 0x7F))
+                else:
+                    ticks_per_second = float(10 ** resol)
+        self._interfaces.append(_Interface(linktype, ticks_per_second))
+
+    def _handle_epb(self, body: bytes) -> CapturedPacket | None:
+        if len(body) < 20:
+            raise ValueError("enhanced packet block too short")
+        interface_id, high, low, caplen, _origlen = struct.unpack_from(
+            self._endian + "IIIII", body, 0
+        )
+        data = bytes(body[20 : 20 + caplen])
+        if len(data) < caplen:
+            raise ValueError("truncated packet data in EPB")
+        if interface_id < len(self._interfaces):
+            ticks_per_second = self._interfaces[interface_id].ticks_per_second
+        else:
+            ticks_per_second = 1_000_000.0
+        ticks = (high << 32) | low
+        return CapturedPacket(ticks / ticks_per_second, data)
+
+    def _handle_spb(self, body: bytes) -> CapturedPacket | None:
+        if len(body) < 4:
+            raise ValueError("simple packet block too short")
+        (origlen,) = struct.unpack_from(self._endian + "I", body, 0)
+        data = bytes(body[4 : 4 + origlen])
+        return CapturedPacket(0.0, data)
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "PcapngReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def write_pcapng(path: str | Path, packets: Iterable[CapturedPacket]) -> int:
+    """Write all packets to a pcapng file; returns the count."""
+    with PcapngWriter(path) as writer:
+        return writer.write_all(packets)
+
+
+def read_pcapng(path: str | Path) -> list[CapturedPacket]:
+    """Read every packet from a pcapng file."""
+    with PcapngReader(path) as reader:
+        return list(reader)
+
+
+def read_capture(path: str | Path) -> list[CapturedPacket]:
+    """Read a capture file, auto-detecting pcap vs pcapng by magic."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if len(magic) < 4:
+        raise ValueError("file too short to be a capture")
+    (value,) = struct.unpack("<I", magic)
+    if value == BLOCK_SHB:
+        return read_pcapng(path)
+    from repro.net.pcap import read_pcap
+
+    return read_pcap(path)

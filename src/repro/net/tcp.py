@@ -1,0 +1,153 @@
+"""TCP header parsing and serialization, including options."""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+
+class TCPFlags(enum.IntFlag):
+    """TCP control flags."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+@dataclass(frozen=True, slots=True)
+class TCPOption:
+    """A raw TCP option.
+
+    ``kind`` 0 (end of list) and 1 (NOP) carry no length or data; all other
+    kinds are encoded as kind/length/data per RFC 793.
+    """
+
+    kind: int
+    data: bytes = b""
+
+    END_OF_OPTIONS = 0
+    NOP = 1
+    MSS = 2
+    WINDOW_SCALE = 3
+    SACK_PERMITTED = 4
+    TIMESTAMPS = 8
+
+    def serialize(self) -> bytes:
+        if self.kind in (self.END_OF_OPTIONS, self.NOP):
+            return bytes([self.kind])
+        return bytes([self.kind, len(self.data) + 2]) + self.data
+
+
+@dataclass(frozen=True, slots=True)
+class TCPHeader:
+    """A TCP header.
+
+    Attributes:
+        src_port: Source port.
+        dst_port: Destination port.
+        seq: Sequence number.
+        ack: Acknowledgment number.
+        flags: Control flags (``TCPFlags``).
+        window: Receive window.
+        options: Parsed options, excluding padding NOPs on serialize input.
+        checksum: Checksum as seen on the wire (0 when locally built).
+        urgent: Urgent pointer.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int = 0
+    flags: int = TCPFlags.ACK
+    window: int = 65535
+    options: tuple[TCPOption, ...] = field(default=())
+    checksum: int = 0
+    urgent: int = 0
+
+    BASE_HEADER_LEN = 20
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_port <= 0xFFFF or not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError("TCP port out of range")
+        if not 0 <= self.seq <= 0xFFFFFFFF or not 0 <= self.ack <= 0xFFFFFFFF:
+            raise ValueError("TCP sequence/ack out of range")
+
+    @property
+    def header_len(self) -> int:
+        """On-wire header length including options and padding."""
+        options_len = sum(len(opt.serialize()) for opt in self.options)
+        return self.BASE_HEADER_LEN + (options_len + 3) // 4 * 4
+
+    def serialize(self) -> bytes:
+        """Encode to wire format (stored checksum used verbatim)."""
+        options_bytes = b"".join(opt.serialize() for opt in self.options)
+        padding = (-len(options_bytes)) % 4
+        options_bytes += b"\x01" * padding  # pad with NOPs
+        data_offset = (self.BASE_HEADER_LEN + len(options_bytes)) // 4
+        return (
+            struct.pack(
+                "!HHIIBBHHH",
+                self.src_port,
+                self.dst_port,
+                self.seq,
+                self.ack,
+                data_offset << 4,
+                int(self.flags),
+                self.window,
+                self.checksum,
+                self.urgent,
+            )
+            + options_bytes
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["TCPHeader", int]:
+        """Decode from wire format; returns the header and payload offset.
+
+        Padding NOPs and the end-of-options marker are dropped from the
+        parsed options list.
+        """
+        if len(data) < cls.BASE_HEADER_LEN:
+            raise ValueError(f"segment too short for TCP: {len(data)} bytes")
+        (src_port, dst_port, seq, ack, offset_byte, flags, window, checksum, urgent) = (
+            struct.unpack_from("!HHIIBBHHH", data, 0)
+        )
+        header_len = (offset_byte >> 4) * 4
+        if header_len < cls.BASE_HEADER_LEN or len(data) < header_len:
+            raise ValueError(f"invalid TCP data offset: {header_len}")
+        options: list[TCPOption] = []
+        pos = cls.BASE_HEADER_LEN
+        while pos < header_len:
+            kind = data[pos]
+            if kind == TCPOption.END_OF_OPTIONS:
+                break
+            if kind == TCPOption.NOP:
+                pos += 1
+                continue
+            if pos + 1 >= header_len:
+                raise ValueError("truncated TCP option")
+            opt_len = data[pos + 1]
+            if opt_len < 2 or pos + opt_len > header_len:
+                raise ValueError(f"invalid TCP option length {opt_len}")
+            options.append(TCPOption(kind, bytes(data[pos + 2 : pos + opt_len])))
+            pos += opt_len
+        return (
+            cls(
+                src_port=src_port,
+                dst_port=dst_port,
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                window=window,
+                options=tuple(options),
+                checksum=checksum,
+                urgent=urgent,
+            ),
+            header_len,
+        )

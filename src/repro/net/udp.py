@@ -1,0 +1,68 @@
+"""UDP header parsing and serialization."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum, pseudo_header_v4, pseudo_header_v6
+
+
+@dataclass(frozen=True, slots=True)
+class UDPHeader:
+    """A UDP header.
+
+    Attributes:
+        src_port: Source port.
+        dst_port: Destination port.
+        length: Header plus payload length in bytes.
+        checksum: Checksum field as seen on the wire (0 = not computed).
+    """
+
+    src_port: int
+    dst_port: int
+    length: int
+    checksum: int = 0
+
+    HEADER_LEN = 8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_port <= 0xFFFF or not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError("UDP port out of range")
+        if not self.HEADER_LEN <= self.length <= 0xFFFF:
+            raise ValueError(f"UDP length out of range: {self.length}")
+
+    @property
+    def payload_length(self) -> int:
+        """Length of the payload following this header."""
+        return self.length - self.HEADER_LEN
+
+    def serialize(self) -> bytes:
+        """Encode to wire format (using the stored checksum verbatim)."""
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, self.checksum)
+
+    def serialize_with_checksum(self, payload: bytes, src_ip: bytes, dst_ip: bytes) -> bytes:
+        """Encode with a freshly computed checksum over the pseudo-header.
+
+        ``src_ip``/``dst_ip`` are packed addresses; 4 bytes selects the IPv4
+        pseudo-header, 16 bytes the IPv6 one.
+        """
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+        if len(src_ip) == 4:
+            pseudo = pseudo_header_v4(src_ip, dst_ip, 17, self.length)
+        else:
+            pseudo = pseudo_header_v6(src_ip, dst_ip, 17, self.length)
+        checksum = internet_checksum(pseudo + header + payload)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted all-ones when computed zero
+        return header[:6] + struct.pack("!H", checksum)
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["UDPHeader", int]:
+        """Decode from wire format; returns the header and payload offset."""
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"segment too short for UDP: {len(data)} bytes")
+        src_port, dst_port, length, checksum = struct.unpack_from("!HHHH", data, 0)
+        if length < cls.HEADER_LEN:
+            raise ValueError(f"UDP length field too small: {length}")
+        return cls(src_port, dst_port, length, checksum), cls.HEADER_LEN

@@ -1,0 +1,41 @@
+"""Standard real-time protocols: RTP (RFC 3550), RTCP, and STUN (RFC 5389).
+
+Zoom embeds standard RTP and RTCP inside its proprietary encapsulation
+(:mod:`repro.zoom`); STUN binding exchanges precede every Zoom peer-to-peer
+media flow.  These implementations cover exactly the parts the paper relies
+on: full RTP fixed headers with extensions, RTCP sender reports with optional
+(empty) SDES, and STUN binding requests/responses.
+"""
+
+from repro.rtp.rtp import RTPHeader, RTP_VERSION
+from repro.rtp.rtcp import (
+    RTCPPacketType,
+    RTCPReceiverReport,
+    RTCPSdes,
+    RTCPSenderReport,
+    parse_rtcp_compound,
+)
+from repro.rtp.stun import (
+    STUN_BINDING_REQUEST,
+    STUN_BINDING_RESPONSE,
+    STUN_MAGIC_COOKIE,
+    STUN_PORT,
+    StunMessage,
+    is_stun,
+)
+
+__all__ = [
+    "RTPHeader",
+    "RTP_VERSION",
+    "RTCPPacketType",
+    "RTCPReceiverReport",
+    "RTCPSdes",
+    "RTCPSenderReport",
+    "parse_rtcp_compound",
+    "STUN_BINDING_REQUEST",
+    "STUN_BINDING_RESPONSE",
+    "STUN_MAGIC_COOKIE",
+    "STUN_PORT",
+    "StunMessage",
+    "is_stun",
+]

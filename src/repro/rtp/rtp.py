@@ -1,0 +1,155 @@
+"""RTP fixed header (RFC 3550 §5.1) with header-extension support.
+
+The paper's analyzer locates RTP headers inside Zoom packets and then uses
+the sequence number, timestamp, SSRC, payload type, and marker bit for every
+downstream metric, so a faithful, round-trippable implementation matters.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+RTP_VERSION = 2
+
+
+@dataclass(frozen=True, slots=True)
+class RTPHeader:
+    """An RTP fixed header plus optional extension (profile 0xBEDE etc.).
+
+    Attributes:
+        payload_type: 7-bit RTP payload type (Zoom: 98/99/110/112/113).
+        sequence: 16-bit packet sequence number, per sub-stream.
+        timestamp: 32-bit media timestamp in sampling-rate units.
+        ssrc: 32-bit synchronization source identifier.
+        marker: Marker bit; Zoom sets it on the last packet of a frame.
+        padding: RTP padding bit.
+        csrcs: Contributing sources; always empty in Zoom traffic (§4.2.3).
+        extension_profile: 16-bit profile of the header extension, or ``None``
+            when the extension bit is clear.
+        extension_data: Extension body, length a multiple of 4.
+    """
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    marker: bool = False
+    padding: bool = False
+    csrcs: tuple[int, ...] = field(default=())
+    extension_profile: int | None = None
+    extension_data: bytes = b""
+
+    FIXED_LEN = 12
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_type <= 127:
+            raise ValueError(f"payload type out of range: {self.payload_type}")
+        if not 0 <= self.sequence <= 0xFFFF:
+            raise ValueError(f"sequence out of range: {self.sequence}")
+        if not 0 <= self.timestamp <= 0xFFFFFFFF:
+            raise ValueError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.ssrc <= 0xFFFFFFFF:
+            raise ValueError(f"SSRC out of range: {self.ssrc}")
+        if len(self.csrcs) > 15:
+            raise ValueError("at most 15 CSRCs allowed")
+        if self.extension_profile is not None and len(self.extension_data) % 4:
+            raise ValueError("extension data length must be a multiple of 4")
+
+    @property
+    def header_len(self) -> int:
+        """On-wire length of the header including CSRCs and extension."""
+        length = self.FIXED_LEN + 4 * len(self.csrcs)
+        if self.extension_profile is not None:
+            length += 4 + len(self.extension_data)
+        return length
+
+    def serialize(self) -> bytes:
+        """Encode to wire format."""
+        first = (
+            (RTP_VERSION << 6)
+            | (int(self.padding) << 5)
+            | (int(self.extension_profile is not None) << 4)
+            | len(self.csrcs)
+        )
+        second = (int(self.marker) << 7) | self.payload_type
+        out = struct.pack(
+            "!BBHII", first, second, self.sequence, self.timestamp, self.ssrc
+        )
+        for csrc in self.csrcs:
+            out += struct.pack("!I", csrc)
+        if self.extension_profile is not None:
+            out += struct.pack(
+                "!HH", self.extension_profile, len(self.extension_data) // 4
+            )
+            out += self.extension_data
+        return out
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["RTPHeader", int]:
+        """Decode from wire format; returns the header and payload offset."""
+        if len(data) < cls.FIXED_LEN:
+            raise ValueError(f"buffer too short for RTP: {len(data)} bytes")
+        first, second, sequence, timestamp, ssrc = struct.unpack_from("!BBHII", data, 0)
+        version = first >> 6
+        if version != RTP_VERSION:
+            raise ValueError(f"not RTP (version={version})")
+        padding = bool(first & 0x20)
+        has_extension = bool(first & 0x10)
+        csrc_count = first & 0x0F
+        marker = bool(second & 0x80)
+        payload_type = second & 0x7F
+        offset = cls.FIXED_LEN
+        if len(data) < offset + 4 * csrc_count:
+            raise ValueError("buffer too short for CSRC list")
+        csrcs = tuple(
+            struct.unpack_from("!I", data, offset + 4 * i)[0] for i in range(csrc_count)
+        )
+        offset += 4 * csrc_count
+        extension_profile: int | None = None
+        extension_data = b""
+        if has_extension:
+            if len(data) < offset + 4:
+                raise ValueError("buffer too short for RTP extension header")
+            extension_profile, ext_words = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            if len(data) < offset + 4 * ext_words:
+                raise ValueError("buffer too short for RTP extension body")
+            extension_data = bytes(data[offset : offset + 4 * ext_words])
+            offset += 4 * ext_words
+        header = cls(
+            payload_type=payload_type,
+            sequence=sequence,
+            timestamp=timestamp,
+            ssrc=ssrc,
+            marker=marker,
+            padding=padding,
+            csrcs=csrcs,
+            extension_profile=extension_profile,
+            extension_data=extension_data,
+        )
+        return header, offset
+
+
+def looks_like_rtp(data: bytes) -> bool:
+    """Cheap plausibility check used when scanning for RTP at unknown offsets.
+
+    Verifies the version bits, that the CSRC list and any extension fit in the
+    buffer, and that the payload type is not in the RTCP packet-type range
+    (72-76 map to RTCP types 200-204 when the marker bit is set).
+    """
+    if len(data) < RTPHeader.FIXED_LEN:
+        return False
+    if data[0] >> 6 != RTP_VERSION:
+        return False
+    payload_type = data[1] & 0x7F
+    if 72 <= payload_type <= 76:
+        return False
+    csrc_count = data[0] & 0x0F
+    needed = RTPHeader.FIXED_LEN + 4 * csrc_count
+    if bool(data[0] & 0x10):
+        if len(data) < needed + 4:
+            return False
+        (ext_words,) = struct.unpack_from("!H", data, needed + 2)
+        needed += 4 + 4 * ext_words
+    return len(data) >= needed

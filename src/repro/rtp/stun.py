@@ -1,0 +1,144 @@
+"""STUN binding messages (RFC 5389), as used by Zoom's P2P establishment.
+
+Before a Zoom two-party meeting switches to a direct peer-to-peer media flow,
+each client exchanges cleartext STUN binding requests with a Zoom zone
+controller on UDP port 3478, *from the ephemeral port the later P2P media
+flow will use* (§4.1, Figure 2).  The P2P detector keys off exactly this.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+STUN_PORT = 3478
+STUN_MAGIC_COOKIE = 0x2112A442
+
+STUN_BINDING_REQUEST = 0x0001
+STUN_BINDING_RESPONSE = 0x0101
+STUN_BINDING_ERROR = 0x0111
+
+ATTR_MAPPED_ADDRESS = 0x0001
+ATTR_USERNAME = 0x0006
+ATTR_XOR_MAPPED_ADDRESS = 0x0020
+ATTR_SOFTWARE = 0x8022
+
+HEADER_LEN = 20
+
+
+@dataclass(frozen=True, slots=True)
+class StunMessage:
+    """A STUN message: type, 96-bit transaction ID, and raw attributes.
+
+    Attributes are kept as (type, value) pairs; values are the raw attribute
+    bytes without padding.  XOR-MAPPED-ADDRESS helpers are provided because
+    they are the only attribute the detector ever inspects.
+    """
+
+    message_type: int
+    transaction_id: bytes
+    attributes: tuple[tuple[int, bytes], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.transaction_id) != 12:
+            raise ValueError("STUN transaction ID must be 12 bytes")
+
+    @property
+    def is_request(self) -> bool:
+        return self.message_type == STUN_BINDING_REQUEST
+
+    @property
+    def is_response(self) -> bool:
+        return self.message_type == STUN_BINDING_RESPONSE
+
+    def serialize(self) -> bytes:
+        """Encode to wire format with 4-byte attribute padding."""
+        body = b""
+        for attr_type, value in self.attributes:
+            body += struct.pack("!HH", attr_type, len(value)) + value
+            body += b"\x00" * ((-len(value)) % 4)
+        return (
+            struct.pack("!HHI", self.message_type, len(body), STUN_MAGIC_COOKIE)
+            + self.transaction_id
+            + body
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "StunMessage":
+        """Decode from wire format; raises ``ValueError`` on anything that is
+        not a plausible STUN message."""
+        if len(data) < HEADER_LEN:
+            raise ValueError("buffer too short for STUN header")
+        message_type, length, cookie = struct.unpack_from("!HHI", data, 0)
+        if message_type >> 14:  # two most significant bits must be zero
+            raise ValueError("not STUN (leading bits set)")
+        if cookie != STUN_MAGIC_COOKIE:
+            raise ValueError("not STUN (bad magic cookie)")
+        if len(data) < HEADER_LEN + length:
+            raise ValueError("buffer too short for stated STUN length")
+        transaction_id = bytes(data[8:20])
+        attributes: list[tuple[int, bytes]] = []
+        pos = HEADER_LEN
+        end = HEADER_LEN + length
+        while pos + 4 <= end:
+            attr_type, attr_len = struct.unpack_from("!HH", data, pos)
+            pos += 4
+            if pos + attr_len > end:
+                raise ValueError("truncated STUN attribute")
+            attributes.append((attr_type, bytes(data[pos : pos + attr_len])))
+            pos += attr_len + ((-attr_len) % 4)
+        return cls(message_type, transaction_id, tuple(attributes))
+
+    def xor_mapped_address(self) -> tuple[str, int] | None:
+        """Decode the XOR-MAPPED-ADDRESS attribute, if present."""
+        for attr_type, value in self.attributes:
+            if attr_type == ATTR_XOR_MAPPED_ADDRESS and len(value) >= 8:
+                family = value[1]
+                port = struct.unpack_from("!H", value, 2)[0] ^ (STUN_MAGIC_COOKIE >> 16)
+                if family == 0x01:  # IPv4
+                    (raw,) = struct.unpack_from("!I", value, 4)
+                    addr = raw ^ STUN_MAGIC_COOKIE
+                    return (
+                        ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0)),
+                        port,
+                    )
+        return None
+
+    @classmethod
+    def binding_request(cls, transaction_id: bytes) -> "StunMessage":
+        """Build a minimal binding request like the ones Zoom clients emit."""
+        return cls(STUN_BINDING_REQUEST, transaction_id)
+
+    @classmethod
+    def binding_response(
+        cls, transaction_id: bytes, mapped_ip: str, mapped_port: int
+    ) -> "StunMessage":
+        """Build a binding response carrying XOR-MAPPED-ADDRESS."""
+        packed = 0
+        for part in mapped_ip.split("."):
+            packed = (packed << 8) | int(part)
+        value = struct.pack(
+            "!BBHI",
+            0,
+            0x01,
+            mapped_port ^ (STUN_MAGIC_COOKIE >> 16),
+            packed ^ STUN_MAGIC_COOKIE,
+        )
+        return cls(
+            STUN_BINDING_RESPONSE,
+            transaction_id,
+            ((ATTR_XOR_MAPPED_ADDRESS, value),),
+        )
+
+
+def is_stun(payload: bytes) -> bool:
+    """Cheap check whether a UDP payload is a STUN message."""
+    if len(payload) < HEADER_LEN:
+        return False
+    if payload[0] >> 6:  # leading two bits must be zero
+        return False
+    (cookie,) = struct.unpack_from("!I", payload, 4)
+    if cookie != STUN_MAGIC_COOKIE:
+        return False
+    (length,) = struct.unpack_from("!H", payload, 2)
+    return len(payload) >= HEADER_LEN + length

@@ -1,0 +1,324 @@
+"""Campus-scale workload generation: the stand-in for the 12-hour trace.
+
+The paper's §6 dataset is a 12-hour capture at the campus border (Table 6:
+1.8 B packets, 583 k flows, 59 k RTP streams).  This generator reproduces the
+*structure* of that trace at laptop scale: a diurnal meeting-arrival pattern
+with spikes on the hour and half hour, a lunchtime dip, and an evening
+decline (Figure 14); a realistic mix of media types, P2P two-party calls,
+off-campus participants, mobile clients, and congestion episodes.
+
+Scale-down: meetings last tens of simulated seconds rather than tens of
+minutes, and meeting counts are configurable.  Per-stream statistics (frame
+rates, frame sizes, jitter — Figure 15) are unaffected by the shortened
+durations; only absolute totals shrink, which EXPERIMENTS.md accounts for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.net.packet import CapturedPacket, build_tcp_frame, build_udp_frame
+from repro.simulation.infrastructure import ServerDirectory
+from repro.simulation.meeting import (
+    MeetingConfig,
+    MeetingSimulator,
+    ParticipantConfig,
+    SimulationResult,
+)
+from repro.simulation.netpath import CongestionEvent
+from repro.zoom.constants import ZoomMediaType
+
+#: Relative meeting-arrival intensity for the 12 one-hour bins starting at
+#: 09:00 local: morning ramp to an 11:00 peak, lunch dip, afternoon peak,
+#: evening decline — the shape of Figure 14.
+DIURNAL_PROFILE: tuple[float, ...] = (
+    0.60, 0.85, 1.00, 0.70, 0.55, 0.80, 1.00, 0.95, 0.80, 0.55, 0.35, 0.25,
+)
+
+
+@dataclass(frozen=True)
+class CampusTraceConfig:
+    """Parameters of a synthetic campus trace.
+
+    Attributes:
+        hours: Number of one-hour wall-clock bins (the paper used 12).
+        start_hour: Local hour of day of the first bin (for labeling).
+        meetings_per_hour_peak: Meeting arrivals in a bin with intensity 1.0.
+        meeting_duration: (min, max) seconds of simulated meeting time.
+        p2p_fraction: Fraction of two-party meetings allowed to go P2P.
+        screen_share_fraction: Meetings in which someone shares a screen.
+        off_campus_fraction: Probability that a given participant is
+            off campus (at least one participant is always on campus,
+            otherwise the meeting would be invisible to the monitor).
+        passive_fraction: Probability of a no-media (muted, camera-off)
+            participant — invisible to the grouping heuristic (Figure 9).
+        mobile_fraction: Probability a participant joins from mobile
+            (audio payload type 113).
+        congestion_fraction: Probability a participant suffers congestion
+            episodes during the meeting.
+        background_pps: Non-Zoom campus packets per second to synthesize
+            (input for the capture-filter experiments, Figures 13/17).
+        seed: Master seed; the whole trace is reproducible.
+    """
+
+    hours: int = 12
+    start_hour: int = 9
+    meetings_per_hour_peak: float = 3.0
+    meeting_duration: tuple[float, float] = (12.0, 30.0)
+    p2p_fraction: float = 0.5
+    screen_share_fraction: float = 0.18
+    off_campus_fraction: float = 0.45
+    passive_fraction: float = 0.10
+    mobile_fraction: float = 0.05
+    congestion_fraction: float = 0.25
+    background_pps: float = 0.0
+    seed: int = 42
+
+
+@dataclass
+class CampusTrace:
+    """A generated campus trace.
+
+    Attributes:
+        result: Merged Zoom traffic from all meetings (captures sorted).
+        background: Synthetic non-Zoom campus packets (unsorted share of the
+            same timeline), for capture-filter experiments.
+        config: The generating configuration.
+        meeting_configs: Every meeting that was simulated.
+        directory: The Zoom server directory used for MMR/ZC selection.
+    """
+
+    result: SimulationResult
+    background: list[CapturedPacket]
+    config: CampusTraceConfig
+    meeting_configs: list[MeetingConfig] = field(default_factory=list)
+    directory: ServerDirectory | None = None
+
+    def all_packets(self) -> list[CapturedPacket]:
+        """Zoom and background packets merged in time order — what the
+        capture filter would have to process."""
+        merged = list(self.result.captures) + list(self.background)
+        merged.sort(key=lambda packet: packet.timestamp)
+        return merged
+
+    def duration(self) -> float:
+        return self.config.hours * 3600.0
+
+    def hour_labels(self) -> list[str]:
+        return [
+            f"{(self.config.start_hour + h) % 24:02d}:00" for h in range(self.config.hours)
+        ]
+
+
+def _meeting_start_offset(rng: random.Random) -> float:
+    """Offset of a meeting start within its hour bin.
+
+    Meetings cluster at the full hour (55%) and the half hour (20%), which
+    is what produces the bit-rate spikes in Figure 14.
+    """
+    roll = rng.random()
+    if roll < 0.55:
+        return rng.uniform(0.0, 90.0)
+    if roll < 0.75:
+        return 1800.0 + rng.uniform(0.0, 90.0)
+    return rng.uniform(0.0, 3500.0)
+
+
+def _build_participant(
+    name: str,
+    rng: random.Random,
+    config: CampusTraceConfig,
+    *,
+    force_on_campus: bool,
+    duration: float,
+    share_screen: bool,
+) -> ParticipantConfig:
+    on_campus = force_on_campus or rng.random() >= config.off_campus_fraction
+    passive = (not share_screen) and rng.random() < config.passive_fraction
+    if passive:
+        media: tuple[ZoomMediaType, ...] = ()
+    else:
+        # Many campus participants keep the camera on but stay muted, which
+        # is why speaking-mode audio dominates silent-mode audio in Table 3:
+        # muted participants emit *no* audio stream at all.
+        # Table 3's packet mix implies audio streams are roughly half as
+        # common as video streams on campus: staying muted is the norm.
+        media_list = []
+        if rng.random() < 0.35:
+            media_list.append(ZoomMediaType.AUDIO)
+        if rng.random() < 0.85:
+            media_list.append(ZoomMediaType.VIDEO)
+        if not media_list:
+            media_list.append(ZoomMediaType.AUDIO)
+        if share_screen:
+            media_list.append(ZoomMediaType.SCREEN_SHARE)
+        media = tuple(sorted(media_list))
+    congestion: tuple[CongestionEvent, ...] = ()
+    if rng.random() < config.congestion_fraction and duration > 8.0:
+        count = rng.choice((1, 1, 2))
+        events = []
+        for _ in range(count):
+            start = rng.uniform(2.0, max(duration - 6.0, 3.0))
+            events.append(
+                CongestionEvent(
+                    start=start,
+                    end=start + rng.uniform(2.5, 5.0),
+                    extra_delay=rng.uniform(0.015, 0.050),
+                    extra_jitter=rng.uniform(0.006, 0.020),
+                    extra_loss=rng.uniform(0.005, 0.04),
+                )
+            )
+        congestion = tuple(events)
+    return ParticipantConfig(
+        name=name,
+        on_campus=on_campus,
+        media=media,
+        join_time=rng.uniform(0.0, min(4.0, duration / 4.0)),
+        mobile=rng.random() < config.mobile_fraction,
+        motion=rng.uniform(0.1, 0.9),
+        # §6.2: most campus video travels in the reduced-fps mode (receivers
+        # display thumbnails in gallery view) — Figure 15b/16b's ~14 fps mass.
+        thumbnail=rng.random() < 0.45,
+        external_delay=rng.uniform(0.008, 0.035),
+        jitter_std=rng.uniform(0.0003, 0.0012),
+        loss_rate=rng.uniform(0.0, 0.002),
+        congestion=congestion,
+    )
+
+
+def _congestion_shifted(
+    participant: ParticipantConfig, meeting_start: float
+) -> ParticipantConfig:
+    """Shift a participant's congestion windows to absolute trace time."""
+    if not participant.congestion:
+        return participant
+    shifted = tuple(
+        CongestionEvent(
+            start=event.start + meeting_start,
+            end=event.end + meeting_start,
+            extra_delay=event.extra_delay,
+            extra_jitter=event.extra_jitter,
+            extra_loss=event.extra_loss,
+        )
+        for event in participant.congestion
+    )
+    return dataclasses.replace(participant, congestion=shifted)
+
+
+def _background_packets(
+    config: CampusTraceConfig, rng: random.Random
+) -> list[CapturedPacket]:
+    """Synthesize non-Zoom campus traffic: web-like TCP and a little UDP.
+
+    Only the capture-filter experiments consume these; they must *not* match
+    the Zoom IP list nor look like STUN-registered P2P flows.
+    """
+    packets: list[CapturedPacket] = []
+    if config.background_pps <= 0:
+        return packets
+    duration = config.hours * 3600.0
+    total = int(config.background_pps * duration)
+    for _ in range(total):
+        when = rng.uniform(0.0, duration)
+        campus_ip = f"10.8.{rng.randrange(256)}.{rng.randrange(2, 255)}"
+        external_ip = f"93.184.{rng.randrange(256)}.{rng.randrange(2, 255)}"
+        outbound = rng.random() < 0.5
+        src, dst = (campus_ip, external_ip) if outbound else (external_ip, campus_ip)
+        if rng.random() < 0.8:
+            frame = build_tcp_frame(
+                src,
+                rng.randrange(1024, 65000),
+                dst,
+                443,
+                seq=rng.randrange(1 << 32),
+                ack=rng.randrange(1 << 32),
+                payload=rng.randbytes(rng.randrange(40, 1200)),
+            )
+        else:
+            frame = build_udp_frame(
+                src,
+                rng.randrange(1024, 65000),
+                dst,
+                rng.choice((53, 123, 4500)),
+                rng.randbytes(rng.randrange(30, 500)),
+            )
+        packets.append(CapturedPacket(when, frame))
+    return packets
+
+
+def generate_campus_trace(config: CampusTraceConfig | None = None) -> CampusTrace:
+    """Generate a full synthetic campus trace.
+
+    Meetings are drawn per hour bin from a Poisson process modulated by
+    :data:`DIURNAL_PROFILE`, configured with realistic participant mixes, and
+    simulated independently; their monitor captures are merged and sorted.
+    """
+    config = config or CampusTraceConfig()
+    rng = random.Random(config.seed)
+    directory = ServerDirectory(seed=config.seed)
+    merged = SimulationResult()
+    meeting_configs: list[MeetingConfig] = []
+    meeting_index = 0
+    for hour in range(config.hours):
+        intensity = DIURNAL_PROFILE[hour % len(DIURNAL_PROFILE)]
+        expected = config.meetings_per_hour_peak * intensity
+        count = _poisson(expected, rng)
+        for _ in range(count):
+            meeting_index += 1
+            start = hour * 3600.0 + _meeting_start_offset(rng)
+            duration = rng.uniform(*config.meeting_duration)
+            share_screen = rng.random() < config.screen_share_fraction
+            n_participants = rng.choices((2, 3, 4, 5, 6), weights=(40, 28, 16, 10, 6))[0]
+            participants = []
+            for i in range(n_participants):
+                participant = _build_participant(
+                    f"m{meeting_index}p{i}",
+                    rng,
+                    config,
+                    force_on_campus=(i == 0),
+                    duration=duration,
+                    share_screen=(share_screen and i == 0),
+                )
+                participants.append(_congestion_shifted(participant, start))
+            allow_p2p = n_participants == 2 and rng.random() < config.p2p_fraction
+            mmr = directory.pick_mmr(rng)
+            zc = directory.pick_zc(rng)
+            meeting_config = MeetingConfig(
+                meeting_id=f"meeting-{meeting_index}",
+                participants=tuple(participants),
+                duration=duration,
+                start_time=start,
+                sfu_ip=mmr.ip,
+                zc_ip=zc.ip,
+                allow_p2p=allow_p2p,
+                p2p_switch_delay=rng.uniform(4.0, 9.0),
+                seed=rng.randrange(1 << 30),
+                address_octet=meeting_index,
+            )
+            meeting_configs.append(meeting_config)
+            merged.merge(MeetingSimulator(meeting_config).run())
+    merged.captures.sort(key=lambda packet: packet.timestamp)
+    background = _background_packets(config, rng)
+    return CampusTrace(
+        result=merged,
+        background=background,
+        config=config,
+        meeting_configs=meeting_configs,
+        directory=directory,
+    )
+
+
+def _poisson(mean: float, rng: random.Random) -> int:
+    """Draw from a Poisson distribution (Knuth's method; means are small)."""
+    if mean <= 0:
+        return 0
+    threshold = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count

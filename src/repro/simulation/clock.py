@@ -1,0 +1,60 @@
+"""A deterministic discrete-event scheduler for the traffic emulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+
+class EventScheduler:
+    """Minimal discrete-event engine with deterministic ordering.
+
+    Events scheduled for the same instant fire in insertion order, which
+    keeps emulator runs byte-for-byte reproducible for a given seed.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute time ``when``.
+
+        Scheduling in the past raises ``ValueError`` — it would silently
+        reorder history otherwise.
+        """
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} < now {self._now}")
+        heapq.heappush(self._queue, (when, next(self._counter), callback, args))
+
+    def schedule_in(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        self.schedule(self._now + delay, callback, *args)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to and including ``end_time``."""
+        while self._queue and self._queue[0][0] <= end_time:
+            when, _order, callback, args = heapq.heappop(self._queue)
+            self._now = when
+            callback(*args)
+            self.events_processed += 1
+        self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Process all remaining events."""
+        while self._queue:
+            when, _order, callback, args = heapq.heappop(self._queue)
+            self._now = when
+            callback(*args)
+            self.events_processed += 1
+
+    def __len__(self) -> int:
+        return len(self._queue)

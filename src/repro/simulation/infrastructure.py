@@ -1,0 +1,130 @@
+"""A synthetic Zoom server directory modeled on Appendix B.
+
+Zoom publishes its IP prefixes; the paper reverse-resolved them and found
+5,452 multi-media routers (MMRs — Zoom's SFUs) and 256 zone controllers (ZCs
+— the STUN servers) named ``zoom<location><id><type>.<location>.zoom.us``
+across 15 locations (Table 7).  The emulator reproduces that structure at a
+configurable scale so the detection pipeline and Table 7 bench have a
+directory to work against.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+#: (location label, two-letter site code, MMR count, ZC count) — Table 7,
+#: with the per-state US rows folded into their sites.
+TABLE7_LOCATIONS: tuple[tuple[str, str, int, int], ...] = (
+    ("United States / California", "sc", 1410, 68),
+    ("United States / New York", "ny", 1280, 62),
+    ("United States / Colorado", "dv", 758, 21),
+    ("United States / Virginia", "wd", 166, 4),
+    ("United States / Washington", "se", 96, 12),
+    ("Netherlands / Amsterdam", "am", 419, 21),
+    ("China / Hongkong", "hk", 274, 8),
+    ("Germany / Frankfurt", "fr", 214, 2),
+    ("Australia / Sydney-Melbourne", "sy", 210, 20),
+    ("India / Mumbai-Hyderabad", "mb", 196, 10),
+    ("Japan / Tokyo", "ty", 128, 2),
+    ("Brasil / Sao Paulo", "sp", 124, 6),
+    ("Canada / Toronto", "tr", 93, 12),
+    ("China / Mainland", "cn", 84, 8),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ZoomServer:
+    """One Zoom server: an MMR (SFU) or a ZC (STUN zone controller).
+
+    Attributes:
+        ip: The server's IPv4 address.
+        hostname: Name following Zoom's scheme
+            ``zoom<location><id><type>.<location>.zoom.us``.
+        location: Human-readable location label.
+        kind: ``"mmr"`` or ``"zc"``.
+    """
+
+    ip: str
+    hostname: str
+    location: str
+    kind: str
+
+    @property
+    def is_mmr(self) -> bool:
+        return self.kind == "mmr"
+
+    @property
+    def is_zc(self) -> bool:
+        return self.kind == "zc"
+
+
+class ServerDirectory:
+    """The synthetic equivalent of Zoom's published IP list + reverse DNS.
+
+    Args:
+        scale: Fraction of Table 7's server counts to instantiate (1.0 would
+            build all 5,708 servers; the default keeps runs light).
+        subnet: The Zoom-AS prefix addresses are allocated from.
+        seed: RNG seed for the (deterministic) address shuffle.
+    """
+
+    def __init__(
+        self,
+        *,
+        scale: float = 0.02,
+        subnet: str = "170.114.0.0/16",
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.subnet = ipaddress.ip_network(subnet)
+        rng = random.Random(seed)
+        hosts: Iterator[ipaddress.IPv4Address] = self.subnet.hosts()
+        self.servers: list[ZoomServer] = []
+        for location, code, mmr_count, zc_count in TABLE7_LOCATIONS:
+            for kind, count in (("mmr", mmr_count), ("zc", zc_count)):
+                scaled = max(1, round(count * scale))
+                for index in range(scaled):
+                    ip = str(next(hosts))
+                    hostname = f"zoom{code}{index + 1}{kind}.{code}.zoom.us"
+                    self.servers.append(ZoomServer(ip, hostname, location, kind))
+        rng.shuffle(self.servers)
+        self._by_ip = {server.ip: server for server in self.servers}
+
+    @property
+    def mmrs(self) -> list[ZoomServer]:
+        return [s for s in self.servers if s.is_mmr]
+
+    @property
+    def zcs(self) -> list[ZoomServer]:
+        return [s for s in self.servers if s.is_zc]
+
+    def lookup(self, ip: str) -> ZoomServer | None:
+        """Reverse lookup: the server at ``ip``, or ``None``."""
+        return self._by_ip.get(ip)
+
+    def pick_mmr(self, rng: random.Random) -> ZoomServer:
+        """A random MMR, as Zoom's connection broker would assign one."""
+        mmrs = self.mmrs
+        return mmrs[rng.randrange(len(mmrs))]
+
+    def pick_zc(self, rng: random.Random) -> ZoomServer:
+        """A random zone controller for the STUN exchange."""
+        zcs = self.zcs
+        return zcs[rng.randrange(len(zcs))]
+
+    def location_table(self) -> list[tuple[str, int, int]]:
+        """Rows of (location, #MMRs, #ZCs) — the shape of Table 7."""
+        rows: dict[str, list[int]] = {}
+        for server in self.servers:
+            counts = rows.setdefault(server.location, [0, 0])
+            counts[0 if server.is_mmr else 1] += 1
+        ordered = sorted(rows.items(), key=lambda item: -item[1][0])
+        return [(location, mmr, zc) for location, (mmr, zc) in ordered]
+
+    def subnets(self) -> list[str]:
+        """The prefixes an operator would feed the capture filter."""
+        return [str(self.subnet)]

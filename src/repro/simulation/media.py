@@ -1,0 +1,248 @@
+"""Media sources: the frame/packet generators behind each Zoom stream.
+
+Frame timing and sizing follow what the paper observed on real Zoom traffic:
+
+* Video runs near 28 fps steady state and near 14 fps in thumbnail /
+  heavy-congestion mode, with the encoder's RTP timestamps on a 90 kHz clock
+  and variable packetization intervals (§5.2, §5.4, §6.2).
+* Audio emits one packet per 20 ms: payload type 112 with ~60-150 byte
+  payloads while the participant talks, type 99 with a fixed 40-byte payload
+  during silence (§4.2.3).
+* Screen share produces *no* frames while the picture is static (15% of the
+  paper's frame-rate samples are zero), small incremental frames otherwise,
+  and large frames on slide changes — a long-tailed size distribution with
+  more than half of frames under 500 bytes (§6.2, Figure 15b-c).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.zoom.constants import (
+    AUDIO_PTIME,
+    SILENT_AUDIO_PAYLOAD_LEN,
+    VIDEO_SAMPLING_RATE,
+    RTPPayloadType,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """A media frame produced by a source.
+
+    Attributes:
+        capture_time: Sampling instant on the sender's clock (s).
+        size: Encoded frame size in bytes.
+        is_keyframe: True for intra-coded frames (video/screen share).
+        rtp_timestamp: Media timestamp in the stream's RTP clock units.
+    """
+
+    capture_time: float
+    size: int
+    is_keyframe: bool
+    rtp_timestamp: int
+
+
+@dataclass(frozen=True, slots=True)
+class AudioPacketSpec:
+    """One audio packetization interval.
+
+    Attributes:
+        capture_time: Sampling instant (s).
+        payload_type: 112 while talking, 99 during silence.
+        payload_len: RTP payload length in bytes.
+        rtp_timestamp: Timestamp in the audio RTP clock.
+    """
+
+    capture_time: float
+    payload_type: int
+    payload_len: int
+    rtp_timestamp: int
+
+
+class VideoSource:
+    """A camera video source with rate adaptation.
+
+    The source holds a *target* frame rate that the client may change over
+    time (rate adaptation, thumbnail mode); frames are spaced at the current
+    target rate with small encoder timing noise, which is what makes Zoom's
+    packetization intervals variable (§5.4).
+
+    Attributes:
+        fps: Current target frame rate.
+        mean_frame_size: Mean encoded size of delta frames in bytes.
+        keyframe_interval: Every Nth frame is a keyframe (larger).
+        motion: 0-1 multiplier; high-motion video encodes larger deltas.
+    """
+
+    def __init__(
+        self,
+        *,
+        fps: float = 28.0,
+        mean_frame_size: int = 1700,
+        keyframe_interval: int = 60,
+        motion: float = 0.3,
+        sampling_rate: int = VIDEO_SAMPLING_RATE,
+        rng: random.Random | None = None,
+        timestamp_offset: int | None = None,
+    ) -> None:
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.fps = fps
+        self.mean_frame_size = mean_frame_size
+        self.keyframe_interval = keyframe_interval
+        self.motion = motion
+        self.sampling_rate = sampling_rate
+        self._rng = rng or random.Random(0)
+        self._frame_index = 0
+        self._timestamp = (
+            timestamp_offset
+            if timestamp_offset is not None
+            else self._rng.randrange(1 << 31)
+        )
+
+    def set_rate(self, fps: float) -> None:
+        """Adapt the encoder's target frame rate (e.g. 28 → 14 fps)."""
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.fps = fps
+
+    def next_frame(self, now: float) -> tuple[Frame, float]:
+        """Produce the frame captured at ``now``.
+
+        Returns the frame and the delay until the next capture instant at
+        the current target rate (with ±3% encoder timing noise).
+        """
+        interval = 1.0 / self.fps
+        is_key = self._frame_index % self.keyframe_interval == 0
+        base = self.mean_frame_size * (0.6 + 0.8 * self.motion)
+        if is_key:
+            size = int(base * self._rng.uniform(2.5, 4.0))
+        else:
+            size = max(120, int(self._rng.gauss(base, base * 0.35)))
+        frame = Frame(
+            capture_time=now,
+            size=size,
+            is_keyframe=is_key,
+            rtp_timestamp=self._timestamp & 0xFFFFFFFF,
+        )
+        self._frame_index += 1
+        next_in = interval * self._rng.uniform(0.97, 1.03)
+        self._timestamp += int(round(next_in * self.sampling_rate))
+        return frame, next_in
+
+
+class ScreenShareSource:
+    """A screen-sharing source with presentation-like dynamics.
+
+    Models three regimes: static picture (no frames at all), incremental
+    updates (small frames at a low rate), and slide changes (rare, large
+    frames).  Reproduces §6.2's observations: ~15% of one-second windows
+    with zero frames, about half of samples at ≤5 fps, >50% of frames under
+    500 bytes with a long tail.
+    """
+
+    def __init__(
+        self,
+        *,
+        update_rate: float = 4.0,
+        static_probability: float = 0.15,
+        slide_change_rate: float = 0.08,
+        sampling_rate: int = VIDEO_SAMPLING_RATE,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.update_rate = update_rate
+        self.static_probability = static_probability
+        self.slide_change_rate = slide_change_rate
+        self.sampling_rate = sampling_rate
+        self._rng = rng or random.Random(0)
+        self._timestamp = self._rng.randrange(1 << 31)
+        self._static_until = 0.0
+
+    def next_frame(self, now: float) -> tuple[Frame | None, float]:
+        """Produce the next frame, or ``None`` during a static period.
+
+        Returns ``(frame_or_none, delay_to_next_decision)``.
+        """
+        if now < self._static_until:
+            return None, self._static_until - now
+        # Occasionally go static for a second or more (presenter talking
+        # over an unchanged slide).
+        if self._rng.random() < self.static_probability:
+            self._static_until = now + self._rng.uniform(0.6, 2.5)
+            return None, self._static_until - now
+        if self._rng.random() < self.slide_change_rate:
+            size = int(self._rng.uniform(4_000, 14_000))  # slide change
+            is_key = True
+        else:
+            # Incremental update; log-normal-ish small sizes.
+            size = max(60, int(self._rng.lognormvariate(5.6, 0.9)))
+            is_key = False
+        frame = Frame(
+            capture_time=now,
+            size=size,
+            is_keyframe=is_key,
+            rtp_timestamp=self._timestamp & 0xFFFFFFFF,
+        )
+        next_in = self._rng.expovariate(self.update_rate)
+        next_in = min(max(next_in, 0.05), 3.0)
+        self._timestamp += int(round(next_in * self.sampling_rate))
+        return frame, next_in
+
+
+class AudioSource:
+    """A talk/silence audio source emitting one packet spec per 20 ms.
+
+    Talking and silent periods alternate as a two-state process with mean
+    durations ``mean_talk`` / ``mean_silence``; Zoom marks the former with
+    payload type 112 and the latter with fixed-size type-99 packets, which
+    is exactly how the paper quantifies who talks when (§4.2.3).
+    """
+
+    def __init__(
+        self,
+        *,
+        mean_talk: float = 12.0,
+        mean_silence: float = 1.5,
+        sampling_rate: int = 48_000,
+        mobile_mode: bool = False,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.mean_talk = mean_talk
+        self.mean_silence = mean_silence
+        self.sampling_rate = sampling_rate
+        self.mobile_mode = mobile_mode
+        self._rng = rng or random.Random(0)
+        self._timestamp = self._rng.randrange(1 << 31)
+        self._talking = self._rng.random() < 0.5
+        self._state_until = 0.0
+
+    def next_packet(self, now: float) -> tuple[AudioPacketSpec, float]:
+        """Produce the packet spec for the 20 ms interval starting at ``now``."""
+        if now >= self._state_until:
+            self._talking = not self._talking
+            mean = self.mean_talk if self._talking else self.mean_silence
+            self._state_until = now + self._rng.expovariate(1.0 / mean)
+        if self.mobile_mode:
+            payload_type = int(RTPPayloadType.AUDIO_UNKNOWN)
+            payload_len = max(30, int(self._rng.gauss(80, 15)))
+        elif self._talking:
+            payload_type = int(RTPPayloadType.AUDIO_SPEAKING)
+            payload_len = max(50, int(self._rng.gauss(110, 25)))
+        else:
+            payload_type = int(RTPPayloadType.MULTIPLEX_99)
+            payload_len = SILENT_AUDIO_PAYLOAD_LEN
+        spec = AudioPacketSpec(
+            capture_time=now,
+            payload_type=payload_type,
+            payload_len=payload_len,
+            rtp_timestamp=self._timestamp & 0xFFFFFFFF,
+        )
+        self._timestamp += int(AUDIO_PTIME * self.sampling_rate)
+        return spec, AUDIO_PTIME
+
+    @property
+    def talking(self) -> bool:
+        """Whether the source is currently in the talking state."""
+        return self._talking

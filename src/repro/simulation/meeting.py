@@ -1,0 +1,1113 @@
+"""Meeting orchestration: clients, SFU, the campus monitor, and P2P switching.
+
+This module wires the media sources, client packetizers, network paths, and
+SFU model into a discrete-event simulation whose observable output is exactly
+what the paper's capture system sees: a time-ordered list of raw Ethernet
+frames crossing the campus border, plus the ground-truth QoS feed used for
+validation.
+
+Vantage-point model (§6.1): the monitor sits at the campus border.  Each
+on-campus participant has *campus* path legs (client ↔ border) and *external*
+legs (border ↔ SFU or peer); packets are captured when they cross the border,
+so losses on the campus leg hide packets from the monitor while losses on the
+external leg happen after capture — reproducing the retransmission-visibility
+asymmetry of §5.5.  Off-campus participants never cross the border except as
+the far end of a forwarded stream, reproducing the passive-participant
+limitation of Figure 9.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.packet import CapturedPacket, build_tcp_frame, build_udp_frame
+from repro.net.tcp import TCPFlags
+from repro.rtp.stun import STUN_PORT, StunMessage
+from repro.simulation.client import MediaPacket, ZoomClientModel
+from repro.simulation.clock import EventScheduler
+from repro.simulation.media import AudioSource, Frame, ScreenShareSource, VideoSource
+from repro.simulation.netpath import CongestionEvent, NetworkPath
+from repro.simulation.qos import QoSCollector, QoSReport
+from repro.simulation.sfu import SfuModel
+from repro.zoom.constants import (
+    CONTROL_MEDIA_TYPES,
+    RETRANSMIT_LIMIT,
+    RETRANSMIT_TIMEOUT,
+    SERVER_MEDIA_PORT,
+    SERVER_TLS_PORT,
+    ZoomMediaType,
+)
+from repro.zoom.packets import build_control_payload, build_media_payload, build_rtcp_payload
+from repro.zoom.sfu_encap import Direction, SfuEncap
+
+NORMAL_FPS = 28.0
+"""Zoom's usual video frame-rate target (§6.2)."""
+
+REDUCED_FPS = 14.0
+"""The reduced-fps mode used for thumbnails and under congestion (§6.2)."""
+
+
+@dataclass(frozen=True)
+class ParticipantConfig:
+    """Static description of one meeting participant.
+
+    Attributes:
+        name: Human-readable identity (appears in ground truth).
+        on_campus: Whether the client sits inside the monitored network.
+        media: Media types this participant sends.  An empty tuple makes a
+            *passive* participant (muted, camera off) that emits no media
+            streams at all — invisible to the grouping heuristic (Figure 9).
+        join_time / leave_time: Presence window relative to meeting start;
+            ``leave_time=None`` means until the end.
+        mobile: Mobile clients send audio payload type 113 (§4.2.3).
+        motion: Video motion level, 0-1 (drives frame sizes).
+        video_fps: Initial encoder frame-rate target.
+        thumbnail: When True the *receivers* display this sender as a
+            thumbnail and the sender stays in reduced-fps mode (§6.2).
+        campus_delay / external_delay: One-way propagation per leg (s).
+        jitter_std: Per-packet delay noise on the external leg (s).
+        loss_rate: Base random loss on the external leg.
+        congestion: Congestion episodes applied to the external legs.
+        media_schedule: Mid-meeting media toggles as (time offset from
+            meeting start, media type, enabled) triples — muting the mic or
+            stopping the camera makes the corresponding UDP flow disappear
+            and reappear, the behaviour prior work used to identify flows
+            (§3).
+    """
+
+    name: str
+    on_campus: bool = True
+    media: tuple[ZoomMediaType, ...] = (ZoomMediaType.AUDIO, ZoomMediaType.VIDEO)
+    join_time: float = 0.0
+    leave_time: Optional[float] = None
+    mobile: bool = False
+    motion: float = 0.3
+    video_fps: float = NORMAL_FPS
+    thumbnail: bool = False
+    campus_delay: float = 0.0015
+    external_delay: float = 0.015
+    jitter_std: float = 0.0006
+    loss_rate: float = 0.0005
+    congestion: tuple[CongestionEvent, ...] = ()
+    media_schedule: tuple[tuple[float, ZoomMediaType, bool], ...] = ()
+
+
+@dataclass(frozen=True)
+class MeetingConfig:
+    """Static description of one meeting to simulate.
+
+    Attributes:
+        meeting_id: Identity used in ground truth records.
+        participants: The attendee list.
+        duration: Meeting length in seconds (from ``start_time``).
+        start_time: Absolute simulation start of the meeting.
+        sfu_ip: The MMR address (must fall in a Zoom subnet for detection).
+        zc_ip: Zone-controller address used for STUN.
+        allow_p2p: Whether a two-party meeting may switch to P2P.
+        p2p_switch_delay: Seconds after the second join before the switch.
+        control_ratio: Approximate fraction of undecodable control packets
+            to mix in (Table 2 reports just under 10%).
+        seed: Master random seed; every run is reproducible.
+        tcp_control: Emulate the TLS control connection (latency Method 2).
+        address_octet: Third octet of participant addresses.  ``None``
+            derives it from ``meeting_id`` (deterministic); the campus
+            generator assigns disjoint octets explicitly to keep concurrent
+            meetings' clients from colliding.
+    """
+
+    meeting_id: str
+    participants: tuple[ParticipantConfig, ...]
+    duration: float = 60.0
+    start_time: float = 0.0
+    sfu_ip: str = "170.114.10.5"
+    zc_ip: str = "170.114.200.9"
+    allow_p2p: bool = True
+    p2p_switch_delay: float = 8.0
+    control_ratio: float = 0.10
+    seed: int = 0
+    tcp_control: bool = True
+    address_octet: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class StreamTruth:
+    """Ground truth about one emitted media stream (for validating grouping)."""
+
+    meeting_id: str
+    participant: str
+    ssrc: int
+    media_type: int
+    on_campus: bool
+
+
+@dataclass(frozen=True, slots=True)
+class P2PFlowTruth:
+    """Ground truth about one P2P flow (for validating the STUN detector)."""
+
+    meeting_id: str
+    client_ip: str
+    client_port: int
+    peer_ip: str
+    peer_port: int
+    established_at: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produces.
+
+    Attributes:
+        captures: Monitor-captured frames, sorted by capture time.
+        qos: Ground-truth per-second statistics feed.
+        stream_truths: Every media stream that existed, with its sender.
+        p2p_flows: Every P2P flow that was established.
+        packets_generated: Total packets emitted by all endpoints.
+        packets_captured: Packets that crossed the monitor.
+    """
+
+    captures: list[CapturedPacket] = field(default_factory=list)
+    qos: QoSReport = field(default_factory=QoSReport)
+    stream_truths: list[StreamTruth] = field(default_factory=list)
+    p2p_flows: list[P2PFlowTruth] = field(default_factory=list)
+    packets_generated: int = 0
+    packets_captured: int = 0
+
+    def merge(self, other: "SimulationResult") -> None:
+        """Fold another run's output into this one (used by the campus
+        generator); captures must be re-sorted by the caller."""
+        self.captures.extend(other.captures)
+        self.qos.samples.extend(other.qos.samples)
+        self.stream_truths.extend(other.stream_truths)
+        self.p2p_flows.extend(other.p2p_flows)
+        self.packets_generated += other.packets_generated
+        self.packets_captured += other.packets_captured
+
+
+class _Participant:
+    """Runtime state of one participant."""
+
+    def __init__(
+        self,
+        index: int,
+        config: ParticipantConfig,
+        meeting: "MeetingSimulator",
+        rng: random.Random,
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.meeting = meeting
+        self.rng = rng
+        subnet = 8 if config.on_campus else 18
+        if config.on_campus:
+            self.ip = f"10.{subnet}.{meeting.address_octet}.{10 + index}"
+        else:
+            self.ip = f"198.{subnet}.{meeting.address_octet}.{10 + index}"
+        self.client = ZoomClientModel(
+            index, mobile=config.mobile, rng=random.Random(rng.randrange(1 << 30))
+        )
+        # Directional paths.  Campus legs are quiet; external legs carry the
+        # configured jitter/loss/congestion.
+        def _path(base: float, jitter: float, loss: float, congested: bool) -> NetworkPath:
+            return NetworkPath(
+                base_delay=base,
+                jitter_std=jitter,
+                loss_rate=loss,
+                congestion=list(config.congestion) if congested else [],
+                rng=random.Random(rng.randrange(1 << 30)),
+            )
+
+        self.campus_up = _path(config.campus_delay, 0.00008, 0.0, False)
+        self.campus_down = _path(config.campus_delay, 0.00008, 0.0001, False)
+        self.ext_up = _path(config.external_delay, config.jitter_std, config.loss_rate, True)
+        self.ext_down = _path(config.external_delay, config.jitter_std, config.loss_rate, True)
+        # Media sources.
+        source_seed = rng.randrange(1 << 30)
+        self.video = VideoSource(
+            fps=REDUCED_FPS if config.thumbnail else config.video_fps,
+            motion=config.motion,
+            rng=random.Random(source_seed),
+        )
+        self.audio = AudioSource(
+            mobile_mode=config.mobile, rng=random.Random(source_seed + 1)
+        )
+        self.screen = ScreenShareSource(rng=random.Random(source_seed + 2))
+        # SFU-mode flow state.
+        self.sfu_seq: dict[int, int] = {}
+        self.ports: dict[ZoomMediaType, int] = {}
+        self.p2p_port: int | None = None
+        # TCP control connection state.
+        self.tcp_port = 40000 + 91 * index + meeting.address_octet
+        self.tcp_seq = rng.randrange(1 << 20)
+        self.server_tcp_seq = rng.randrange(1 << 20)
+        # Rate-adaptation hysteresis.
+        self.congested_since: float | None = None
+        self.clear_since: float | None = None
+        self.reduced = config.thumbnail
+        self.present = False
+        # Per-media enable state (media toggles, §3).
+        self.media_enabled: dict[ZoomMediaType, bool] = {
+            media: True for media in config.media
+        }
+
+    def sends(self, media_type: ZoomMediaType) -> bool:
+        return self.media_enabled.get(media_type, False)
+
+    def port_for(self, media_type: ZoomMediaType) -> int:
+        return self.ports[media_type]
+
+    def next_sfu_seq(self, flow_key: int) -> int:
+        value = self.sfu_seq.get(flow_key, 0)
+        self.sfu_seq[flow_key] = (value + 1) & 0xFFFF
+        return value
+
+    def is_present(self, now: float) -> bool:
+        start = self.meeting.config.start_time
+        if now < start + self.config.join_time:
+            return False
+        if self.config.leave_time is not None and now > start + self.config.leave_time:
+            return False
+        return now <= start + self.meeting.config.duration
+
+
+class MeetingSimulator:
+    """Simulates one Zoom meeting and records the monitor's view of it.
+
+    Usage::
+
+        result = MeetingSimulator(config).run()
+        write_pcap("meeting.pcap", result.captures)
+    """
+
+    def __init__(self, config: MeetingConfig, *, scheduler: EventScheduler | None = None) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        if config.address_octet is not None:
+            self.address_octet = config.address_octet % 250 + 1
+        else:
+            self.address_octet = zlib.crc32(config.meeting_id.encode()) % 250 + 1
+        self.scheduler = scheduler or EventScheduler(config.start_time)
+        self.sfu = SfuModel(ip=config.sfu_ip)
+        self.participants = [
+            _Participant(i, p, self, random.Random(config.seed * 1009 + i))
+            for i, p in enumerate(config.participants)
+        ]
+        self.result = SimulationResult()
+        self.qos = QoSCollector(config.meeting_id)
+        self.result.qos = self.qos.report
+        self.mode = "sfu"
+        self.mode_epoch = 0
+        self.p2p_banned = False
+        self._frame_counter = 0
+        self._frames: dict[int, tuple[Frame, int]] = {}  # frame_id -> (frame, ssrc)
+        self._rx_frames: dict[tuple[str, int, int], set[int]] = {}
+        self._rx_done: set[tuple[str, int, int]] = set()
+        self._assign_ports()
+
+    # ------------------------------------------------------------------ setup
+
+    def _assign_ports(self) -> None:
+        """Assign the per-media ephemeral ports for the current mode epoch.
+
+        Server-based meetings use one UDP flow per media type; a switch to or
+        from P2P allocates fresh ports everywhere (§3, §4.3.1).
+        """
+        offsets = {
+            ZoomMediaType.AUDIO: 0,
+            ZoomMediaType.VIDEO: 1,
+            ZoomMediaType.SCREEN_SHARE: 2,
+        }
+        for participant in self.participants:
+            base = 50000 + participant.index * 211 + self.mode_epoch * 13
+            participant.ports = {
+                media: base + offset for media, offset in offsets.items()
+            }
+
+    # ------------------------------------------------------------ capture I/O
+
+    def _capture(self, when: float, frame: bytes) -> None:
+        self.result.captures.append(CapturedPacket(when, frame))
+        self.result.packets_captured += 1
+
+    # ---------------------------------------------------------------- running
+
+    def run(self) -> SimulationResult:
+        """Execute the meeting and return the monitor's view plus truth."""
+        start = self.config.start_time
+        end = start + self.config.duration
+        for participant in self.participants:
+            join_at = start + participant.config.join_time
+            self.scheduler.schedule(join_at, self._join, participant)
+        second = 1
+        while start + second <= end + 0.5:
+            self.scheduler.schedule(start + second, self._per_second_tick, start + second)
+            second += 1
+        self.scheduler.run_until(end)
+        self.result.captures.sort(key=lambda c: c.timestamp)
+        return self.result
+
+    # ----------------------------------------------------------------- events
+
+    def _join(self, participant: _Participant) -> None:
+        now = self.scheduler.now
+        participant.present = True
+        for media_type in participant.config.media:
+            stream = participant.client.stream(media_type)
+            self.result.stream_truths.append(
+                StreamTruth(
+                    meeting_id=self.config.meeting_id,
+                    participant=participant.config.name,
+                    ssrc=stream.ssrc,
+                    media_type=int(media_type),
+                    on_campus=participant.config.on_campus,
+                )
+            )
+            fps = participant.video.fps if media_type == ZoomMediaType.VIDEO else 0.0
+            self.qos.register_stream(
+                stream.ssrc, participant.config.name, int(media_type), fps
+            )
+            if media_type == ZoomMediaType.VIDEO:
+                self.scheduler.schedule(now + 0.01, self._video_tick, participant)
+            elif media_type == ZoomMediaType.AUDIO:
+                self.scheduler.schedule(now + 0.01, self._audio_tick, participant)
+            elif media_type == ZoomMediaType.SCREEN_SHARE:
+                self.scheduler.schedule(now + 0.05, self._screen_tick, participant)
+        if participant.config.media:
+            self.scheduler.schedule(now + 1.0, self._rtcp_tick, participant)
+            self.scheduler.schedule(
+                now + 0.05, self._control_tick, participant
+            )
+        if self.config.tcp_control:
+            self.scheduler.schedule(now + 0.1, self._tcp_tick, participant)
+        for offset, media_type, enabled in participant.config.media_schedule:
+            self.scheduler.schedule(
+                self.config.start_time + offset,
+                self._toggle_media,
+                participant,
+                media_type,
+                enabled,
+            )
+        self._evaluate_topology()
+
+    def _toggle_media(
+        self, participant: _Participant, media_type: ZoomMediaType, enabled: bool
+    ) -> None:
+        """Mute/unmute a media source mid-meeting: the flow stops or
+        resumes, which is exactly how prior work identified Zoom's
+        one-flow-per-media-type layout (§3)."""
+        participant.media_enabled[media_type] = enabled
+
+    def _evaluate_topology(self) -> None:
+        """Switch to P2P for two-party meetings; revert when a third joins."""
+        now = self.scheduler.now
+        joined = [p for p in self.participants if p.present]
+        if len(joined) == 2 and self.config.allow_p2p and not self.p2p_banned:
+            if self.mode == "sfu":
+                self.scheduler.schedule(
+                    now + self.config.p2p_switch_delay * 0.3, self._stun_exchange
+                )
+                self.scheduler.schedule(
+                    now + self.config.p2p_switch_delay, self._switch_to_p2p
+                )
+        elif len(joined) >= 3 and self.mode == "p2p":
+            self.p2p_banned = True
+            self._switch_to_sfu()
+
+    def _stun_exchange(self) -> None:
+        """Each client exchanges STUN binding requests with the zone
+        controller from the port the P2P flow will later use (§4.1)."""
+        if self.p2p_banned or self.mode != "sfu":
+            return
+        now = self.scheduler.now
+        for participant in self.participants:
+            if not participant.present:
+                continue
+            participant.p2p_port = (
+                52000 + participant.index * 97 + self.mode_epoch * 7 + self.address_octet
+            )
+            for attempt in range(3):
+                self.scheduler.schedule(
+                    now + 0.05 * attempt + participant.index * 0.011,
+                    self._send_stun,
+                    participant,
+                    attempt,
+                )
+
+    def _send_stun(self, participant: _Participant, attempt: int) -> None:
+        now = self.scheduler.now
+        transaction = self.rng.randbytes(12)
+        request = StunMessage.binding_request(transaction)
+        frame = build_udp_frame(
+            participant.ip,
+            participant.p2p_port or 0,
+            self.config.zc_ip,
+            STUN_PORT,
+            request.serialize(),
+        )
+        self.result.packets_generated += 1
+        if participant.config.on_campus:
+            delay = participant.campus_up.transit(now)
+            if delay is not None:
+                self._capture(now + delay, frame)
+        # Response comes back after the external round trip.
+        rtt = 2 * (participant.config.campus_delay + participant.config.external_delay)
+        response = StunMessage.binding_response(
+            transaction, participant.ip, participant.p2p_port or 0
+        )
+        response_frame = build_udp_frame(
+            self.config.zc_ip,
+            STUN_PORT,
+            participant.ip,
+            participant.p2p_port or 0,
+            response.serialize(),
+        )
+        self.result.packets_generated += 1
+        if participant.config.on_campus:
+            delay = participant.ext_down.transit(now + rtt / 2)
+            if delay is not None:
+                self._capture(now + rtt / 2 + delay, response_frame)
+
+    def _switch_to_p2p(self) -> None:
+        if self.p2p_banned or self.mode != "sfu":
+            return
+        joined = [p for p in self.participants if p.present]
+        if len(joined) != 2:
+            return
+        self.mode = "p2p"
+        self.mode_epoch += 1
+        first, second = joined
+        for participant, peer in ((first, second), (second, first)):
+            if participant.p2p_port is None:
+                participant.p2p_port = 52000 + participant.index * 97
+            self.result.p2p_flows.append(
+                P2PFlowTruth(
+                    meeting_id=self.config.meeting_id,
+                    client_ip=participant.ip,
+                    client_port=participant.p2p_port,
+                    peer_ip=peer.ip,
+                    peer_port=peer.p2p_port or 0,
+                    established_at=self.scheduler.now,
+                )
+            )
+
+    def _switch_to_sfu(self) -> None:
+        self.mode = "sfu"
+        self.mode_epoch += 1
+        self._assign_ports()
+
+    # ----------------------------------------------------------- media events
+
+    def _video_tick(self, participant: _Participant) -> None:
+        now = self.scheduler.now
+        if not participant.is_present(now):
+            return
+        if not participant.sends(ZoomMediaType.VIDEO):
+            self.scheduler.schedule(now + 0.1, self._video_tick, participant)
+            return
+        self._adapt_rate(participant)
+        frame, next_in = participant.video.next_frame(now)
+        stream = participant.client.stream(ZoomMediaType.VIDEO)
+        frame_id = self._frame_counter
+        self._frame_counter += 1
+        self._frames[frame_id] = (frame, stream.ssrc)
+        self.qos.record_frame_sent(stream.ssrc)
+        packets = participant.client.packetize_frame(ZoomMediaType.VIDEO, frame, frame_id)
+        self._send_media(participant, ZoomMediaType.VIDEO, packets, now)
+        self.scheduler.schedule(now + next_in, self._video_tick, participant)
+
+    def _screen_tick(self, participant: _Participant) -> None:
+        now = self.scheduler.now
+        if not participant.is_present(now):
+            return
+        if not participant.sends(ZoomMediaType.SCREEN_SHARE):
+            self.scheduler.schedule(now + 0.1, self._screen_tick, participant)
+            return
+        frame, next_in = participant.screen.next_frame(now)
+        if frame is not None:
+            stream = participant.client.stream(ZoomMediaType.SCREEN_SHARE)
+            frame_id = self._frame_counter
+            self._frame_counter += 1
+            self._frames[frame_id] = (frame, stream.ssrc)
+            self.qos.record_frame_sent(stream.ssrc)
+            packets = participant.client.packetize_frame(
+                ZoomMediaType.SCREEN_SHARE, frame, frame_id
+            )
+            self._send_media(participant, ZoomMediaType.SCREEN_SHARE, packets, now)
+        self.scheduler.schedule(now + max(next_in, 0.02), self._screen_tick, participant)
+
+    def _audio_tick(self, participant: _Participant) -> None:
+        now = self.scheduler.now
+        if not participant.is_present(now):
+            return
+        if not participant.sends(ZoomMediaType.AUDIO):
+            self.scheduler.schedule(now + 0.1, self._audio_tick, participant)
+            return
+        spec, next_in = participant.audio.next_packet(now)
+        packets = participant.client.packetize_audio(spec)
+        self._send_media(participant, ZoomMediaType.AUDIO, packets, now)
+        self.scheduler.schedule(now + next_in, self._audio_tick, participant)
+
+    def _rtcp_tick(self, participant: _Participant) -> None:
+        now = self.scheduler.now
+        if not participant.is_present(now):
+            return
+        for media_encap, reports in participant.client.rtcp_reports(now):
+            # RTCP rides the UDP flow of its media stream.
+            ssrc = reports[0].ssrc
+            media_type = ZoomMediaType(ssrc & 0xFF)
+            if self.mode == "p2p":
+                payload = build_rtcp_payload(media=media_encap, reports=reports)
+                self._send_p2p_raw(participant, payload, now)
+            else:
+                flow_port = participant.port_for(media_type)
+                sfu_encap = SfuEncap(
+                    sequence=participant.next_sfu_seq(flow_port),
+                    direction=Direction.TO_SFU,
+                )
+                payload = build_rtcp_payload(
+                    media=media_encap, reports=reports, sfu=sfu_encap
+                )
+                self._send_to_sfu_raw(participant, media_type, payload, now, forward=True)
+        self.scheduler.schedule(now + 1.0, self._rtcp_tick, participant)
+
+    def _control_tick(self, participant: _Participant) -> None:
+        """Emit the ~10% undecodable control/probing packets (Table 2)."""
+        now = self.scheduler.now
+        if not participant.is_present(now):
+            return
+        media_types = participant.config.media or (ZoomMediaType.AUDIO,)
+        control_type = self.rng.choice(CONTROL_MEDIA_TYPES)
+        body = self.rng.randbytes(self.rng.randrange(180, 850))
+        if self.mode == "p2p":
+            payload = build_control_payload(
+                control_type=control_type, sequence=self.rng.randrange(1 << 16), body=body
+            )
+            self._send_p2p_raw(participant, payload, now)
+        else:
+            media_type = self.rng.choice(list(media_types))
+            flow_port = participant.port_for(media_type)
+            sfu_encap = SfuEncap(
+                sequence=participant.next_sfu_seq(flow_port), direction=Direction.TO_SFU
+            )
+            payload = build_control_payload(
+                control_type=control_type,
+                sequence=self.rng.randrange(1 << 16),
+                body=body,
+                sfu=sfu_encap,
+            )
+            self._send_to_sfu_raw(participant, media_type, payload, now, forward=False)
+            # The SFU answers with its own control packets at a similar rate.
+            self._send_from_sfu_control(participant, media_type, now)
+        # Pace control packets so they make up roughly ``control_ratio`` of
+        # this participant's monitor-visible packets.  Each tick emits two
+        # packets (one per direction); media contributes roughly twice the
+        # sending rate (sent plus received copies).
+        pps = {
+            ZoomMediaType.VIDEO: 90.0,
+            ZoomMediaType.AUDIO: 52.0,
+            ZoomMediaType.SCREEN_SHARE: 25.0,
+        }
+        media_pps = 2.0 * sum(pps[m] for m in media_types)
+        ratio = max(self.config.control_ratio, 0.002)
+        control_pps = media_pps * ratio / max(1.0 - ratio, 0.05)
+        interval = 2.0 / max(control_pps, 0.5)
+        self.scheduler.schedule(
+            now + self.rng.uniform(0.7, 1.3) * interval, self._control_tick, participant
+        )
+
+    def _send_to_sfu_raw(
+        self,
+        participant: _Participant,
+        media_type: ZoomMediaType,
+        payload: bytes,
+        now: float,
+        *,
+        forward: bool,
+    ) -> None:
+        """Send an already-encapsulated payload (RTCP/control) to the SFU.
+
+        With ``forward=True`` the SFU replicates the inner layers to every
+        other participant — Zoom forwards RTCP sender reports so receivers
+        can synchronize streams (§4.2.3).
+        """
+        flow_port = participant.port_for(media_type)
+        frame = build_udp_frame(
+            participant.ip, flow_port, self.sfu.ip, SERVER_MEDIA_PORT, payload
+        )
+        self.result.packets_generated += 1
+        clock = now
+        if participant.config.on_campus:
+            campus_delay = participant.campus_up.transit(clock)
+            if campus_delay is None:
+                return
+            clock += campus_delay
+            self._capture(clock, frame)
+        external_delay = participant.ext_up.transit(clock)
+        if external_delay is None:
+            return
+        arrival = clock + external_delay
+        if forward:
+            inner = payload[SfuEncap.HEADER_LEN :]
+            self.scheduler.schedule(
+                arrival, self._sfu_forward_raw, participant, media_type, inner
+            )
+
+    def _sfu_forward_raw(
+        self, sender: _Participant, media_type: ZoomMediaType, inner: bytes
+    ) -> None:
+        """SFU fan-out of a non-media payload (RTCP) to other participants."""
+        now = self.scheduler.now
+        for receiver in self.participants:
+            if receiver is sender or not receiver.is_present(now):
+                continue
+            payload = self.sfu.wrap(receiver.ip).serialize() + inner
+            frame = build_udp_frame(
+                self.sfu.ip,
+                SERVER_MEDIA_PORT,
+                receiver.ip,
+                receiver.port_for(media_type),
+                payload,
+            )
+            self.result.packets_generated += 1
+            if receiver.config.on_campus:
+                delay = receiver.ext_down.transit(now + self.sfu.processing_delay)
+                if delay is not None:
+                    self._capture(now + self.sfu.processing_delay + delay, frame)
+
+    def _send_from_sfu_control(
+        self, participant: _Participant, media_type: ZoomMediaType, now: float
+    ) -> None:
+        payload = build_control_payload(
+            control_type=self.rng.choice(CONTROL_MEDIA_TYPES),
+            sequence=self.rng.randrange(1 << 16),
+            body=self.rng.randbytes(self.rng.randrange(120, 600)),
+            sfu=self.sfu.wrap(participant.ip),
+        )
+        frame = build_udp_frame(
+            self.sfu.ip,
+            SERVER_MEDIA_PORT,
+            participant.ip,
+            participant.port_for(media_type),
+            payload,
+        )
+        self.result.packets_generated += 1
+        if participant.config.on_campus:
+            delay = participant.ext_down.transit(now)
+            if delay is not None:
+                self._capture(now + delay, frame)
+
+    # ------------------------------------------------------------ media paths
+
+    def _send_media(
+        self,
+        participant: _Participant,
+        media_type: ZoomMediaType,
+        packets: list[MediaPacket],
+        now: float,
+    ) -> None:
+        stream = participant.client.stream(media_type)
+        for packet in packets:
+            self.qos.record_packet_sent(stream.ssrc, packet.size)
+            if self.mode == "p2p":
+                self._send_p2p_media(participant, packet, now, attempt=0)
+            else:
+                self._send_media_to_sfu(participant, media_type, packet, now, attempt=0)
+
+    def _send_media_to_sfu(
+        self,
+        participant: _Participant,
+        media_type: ZoomMediaType,
+        packet: MediaPacket,
+        now: float,
+        attempt: int,
+    ) -> None:
+        """One client→SFU media packet, with capture, loss, and retransmit."""
+        flow_port = participant.port_for(media_type)
+        sfu_encap = SfuEncap(
+            sequence=participant.next_sfu_seq(flow_port), direction=Direction.TO_SFU
+        )
+        payload = build_media_payload(
+            media=packet.media, rtp=packet.rtp, rtp_payload=packet.rtp_payload, sfu=sfu_encap
+        )
+        frame = build_udp_frame(
+            participant.ip, flow_port, self.sfu.ip, SERVER_MEDIA_PORT, payload
+        )
+        self.result.packets_generated += 1
+        egress_capture: float | None = None
+        if participant.config.on_campus:
+            campus_delay = participant.campus_up.transit(now)
+            if campus_delay is None:
+                self._maybe_retransmit_up(participant, media_type, packet, now, attempt)
+                return
+            egress_capture = now + campus_delay
+            self._capture(egress_capture, frame)
+            departure = egress_capture
+        else:
+            departure = now
+        external_delay = participant.ext_up.transit(departure)
+        if external_delay is None:
+            self._maybe_retransmit_up(participant, media_type, packet, now, attempt)
+            return
+        arrival = departure + external_delay
+        self.scheduler.schedule(
+            arrival, self._sfu_forward, participant, media_type, packet, egress_capture
+        )
+
+    def _maybe_retransmit_up(
+        self,
+        participant: _Participant,
+        media_type: ZoomMediaType,
+        packet: MediaPacket,
+        now: float,
+        attempt: int,
+    ) -> None:
+        if attempt >= RETRANSMIT_LIMIT:
+            return
+        retransmit_at = now + RETRANSMIT_TIMEOUT + self.rng.uniform(0.0, 0.01)
+        self.scheduler.schedule(
+            retransmit_at,
+            self._send_media_to_sfu,
+            participant,
+            media_type,
+            packet,
+            retransmit_at,
+            attempt + 1,
+        )
+
+    def _sfu_forward(
+        self,
+        sender: _Participant,
+        media_type: ZoomMediaType,
+        packet: MediaPacket,
+        egress_capture: float | None,
+    ) -> None:
+        """SFU replicates the packet to every other present participant."""
+        now = self.scheduler.now
+        for receiver in self.participants:
+            if receiver is sender or not receiver.is_present(now):
+                continue
+            self._sfu_send_one(
+                sender, receiver, media_type, packet, now, egress_capture, attempt=0
+            )
+
+    def _sfu_send_one(
+        self,
+        sender: _Participant,
+        receiver: _Participant,
+        media_type: ZoomMediaType,
+        packet: MediaPacket,
+        now: float,
+        egress_capture: float | None,
+        attempt: int,
+    ) -> None:
+        payload = build_media_payload(
+            media=packet.media,
+            rtp=packet.rtp,
+            rtp_payload=packet.rtp_payload,
+            sfu=self.sfu.wrap(receiver.ip),
+        )
+        frame = build_udp_frame(
+            self.sfu.ip,
+            SERVER_MEDIA_PORT,
+            receiver.ip,
+            receiver.port_for(media_type),
+            payload,
+        )
+        self.result.packets_generated += 1
+        send_time = now + self.sfu.processing_delay
+        if receiver.config.on_campus:
+            external_delay = receiver.ext_down.transit(send_time)
+            if external_delay is None:
+                # Lost before the border: the monitor never sees this copy.
+                self._maybe_retransmit_down(
+                    sender, receiver, media_type, packet, now, egress_capture, attempt
+                )
+                return
+            ingress_capture = send_time + external_delay
+            self._capture(ingress_capture, frame)
+            if egress_capture is not None:
+                self.qos.record_latency(
+                    packet.rtp.ssrc, ingress_capture - egress_capture
+                )
+            campus_delay = receiver.campus_down.transit(ingress_capture)
+            if campus_delay is None:
+                # Lost after the border: the monitor will see the retransmit
+                # as a duplicate sequence number (§5.5).
+                self._maybe_retransmit_down(
+                    sender, receiver, media_type, packet, now, egress_capture, attempt
+                )
+                return
+            arrival = ingress_capture + campus_delay
+        else:
+            external_delay = receiver.ext_down.transit(send_time)
+            if external_delay is None:
+                self._maybe_retransmit_down(
+                    sender, receiver, media_type, packet, now, egress_capture, attempt
+                )
+                return
+            arrival = send_time + external_delay
+        self._deliver(receiver, packet, arrival)
+
+    def _maybe_retransmit_down(
+        self,
+        sender: _Participant,
+        receiver: _Participant,
+        media_type: ZoomMediaType,
+        packet: MediaPacket,
+        now: float,
+        egress_capture: float | None,
+        attempt: int,
+    ) -> None:
+        if attempt >= RETRANSMIT_LIMIT:
+            return
+        retransmit_at = now + RETRANSMIT_TIMEOUT + self.rng.uniform(0.0, 0.01)
+        self.scheduler.schedule(
+            retransmit_at,
+            self._sfu_send_one,
+            sender,
+            receiver,
+            media_type,
+            packet,
+            retransmit_at,
+            egress_capture,
+            attempt + 1,
+        )
+
+    def _send_p2p_media(
+        self, participant: _Participant, packet: MediaPacket, now: float, attempt: int
+    ) -> None:
+        payload = build_media_payload(
+            media=packet.media, rtp=packet.rtp, rtp_payload=packet.rtp_payload
+        )
+        delivered = self._send_p2p_raw(participant, payload, now)
+        peer = next(
+            (p for p in self.participants if p is not participant and p.present), None
+        )
+        if peer is None:
+            return
+        if delivered is None:
+            if attempt < RETRANSMIT_LIMIT:
+                retransmit_at = now + RETRANSMIT_TIMEOUT + self.rng.uniform(0.0, 0.01)
+                self.scheduler.schedule(
+                    retransmit_at, self._send_p2p_media, participant, packet, retransmit_at, attempt + 1
+                )
+            return
+        self._deliver(peer, packet, delivered)
+
+    def _send_p2p_raw(
+        self, participant: _Participant, payload: bytes, now: float
+    ) -> float | None:
+        """Send a raw Zoom payload over the P2P flow; returns arrival time.
+
+        The packet is captured at the border only when exactly one endpoint
+        is on campus; two on-campus peers never cross the monitor (Figure 9).
+        """
+        peer = next(
+            (p for p in self.participants if p is not participant and p.present), None
+        )
+        if peer is None or participant.p2p_port is None or peer.p2p_port is None:
+            return None
+        frame = build_udp_frame(
+            participant.ip, participant.p2p_port, peer.ip, peer.p2p_port, payload
+        )
+        self.result.packets_generated += 1
+        clock = now
+        if participant.config.on_campus:
+            campus_delay = participant.campus_up.transit(clock)
+            if campus_delay is None:
+                return None
+            clock += campus_delay
+            if not peer.config.on_campus:
+                self._capture(clock, frame)
+        external_delay = participant.ext_up.transit(clock)
+        if external_delay is None:
+            return None
+        clock += external_delay
+        if peer.config.on_campus:
+            if not participant.config.on_campus:
+                self._capture(clock, frame)
+            campus_delay = peer.campus_down.transit(clock)
+            if campus_delay is None:
+                return None
+            clock += campus_delay
+        return clock
+
+    # -------------------------------------------------------------- reception
+
+    def _deliver(self, receiver: _Participant, packet: MediaPacket, arrival: float) -> None:
+        """Track frame completion at the designated primary receiver."""
+        if receiver is not self._primary_receiver_for(packet.rtp.ssrc):
+            return
+        ssrc = packet.rtp.ssrc
+        if packet.frame_id is None:
+            # FEC or audio packet.  Audio packets count as single-packet
+            # frames for the arrival-jitter ground truth.
+            media_type = ssrc & 0xFF
+            if media_type == ZoomMediaType.AUDIO and not packet.is_fec:
+                self.qos.record_frame_arrival(
+                    ssrc, arrival, packet.rtp.timestamp / 48_000.0
+                )
+            return
+        frame, _ssrc = self._frames[packet.frame_id]
+        key = (receiver.config.name, ssrc, packet.frame_id)
+        if key in self._rx_done:
+            return
+        seen = self._rx_frames.setdefault(key, set())
+        seen.add(packet.rtp.sequence)
+        if len(seen) >= packet.media.packets_in_frame:
+            self._rx_done.add(key)
+            del self._rx_frames[key]
+            self.qos.record_frame_delivered(ssrc)
+            self.qos.record_frame_arrival(ssrc, arrival, frame.capture_time)
+
+    def _primary_receiver_for(self, ssrc: int) -> _Participant | None:
+        """The single receiver whose deliveries feed ground truth (avoids
+        double counting when the SFU fans out to many participants)."""
+        sender_index = ssrc >> 8
+        candidates = [
+            p for p in self.participants if p.index != sender_index and p.present
+        ]
+        if not candidates:
+            return None
+        on_campus = [p for p in candidates if p.config.on_campus]
+        return (on_campus or candidates)[0]
+
+    # ------------------------------------------------------------- adaptation
+
+    def _adapt_rate(self, participant: _Participant) -> None:
+        """Jitter-driven rate adaptation with hysteresis (§3: Zoom adapts the
+        sender's bit and frame rate, keying on jitter rather than delay)."""
+        if participant.config.thumbnail:
+            return
+        now = self.scheduler.now
+        congested = participant.ext_up.is_congested(now)
+        stream = participant.client.stream(ZoomMediaType.VIDEO)
+        if congested:
+            participant.clear_since = None
+            if participant.congested_since is None:
+                participant.congested_since = now
+            elif not participant.reduced and now - participant.congested_since > 0.7:
+                participant.reduced = True
+                participant.video.set_rate(REDUCED_FPS)
+                participant.video.mean_frame_size = int(
+                    participant.video.mean_frame_size * 0.55
+                )
+                self.qos.record_encoder_rate(stream.ssrc, REDUCED_FPS)
+        else:
+            participant.congested_since = None
+            if participant.clear_since is None:
+                participant.clear_since = now
+            elif participant.reduced and now - participant.clear_since > 2.5:
+                participant.reduced = False
+                participant.video.set_rate(participant.config.video_fps)
+                participant.video.mean_frame_size = int(
+                    participant.video.mean_frame_size / 0.55
+                )
+                self.qos.record_encoder_rate(stream.ssrc, participant.config.video_fps)
+
+    # ------------------------------------------------------------ TCP control
+
+    def _tcp_tick(self, participant: _Participant) -> None:
+        """The TLS control connection: request/ACK pairs usable as an RTT
+        proxy by latency Method 2 (§5.3)."""
+        now = self.scheduler.now
+        if not participant.is_present(now):
+            return
+        size = self.rng.randrange(80, 400)
+        data_frame = build_tcp_frame(
+            participant.ip,
+            participant.tcp_port,
+            self.config.sfu_ip,
+            SERVER_TLS_PORT,
+            seq=participant.tcp_seq,
+            ack=participant.server_tcp_seq,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            payload=self.rng.randbytes(size),
+        )
+        self.result.packets_generated += 1
+        participant.tcp_seq = (participant.tcp_seq + size) & 0xFFFFFFFF
+        captured_out: float | None = None
+        if participant.config.on_campus:
+            campus_delay = participant.campus_up.transit(now)
+            if campus_delay is not None:
+                captured_out = now + campus_delay
+                self._capture(captured_out, data_frame)
+        base = captured_out if captured_out is not None else now
+        external_delay = participant.ext_up.transit(base)
+        if external_delay is not None:
+            # Server ACKs immediately; ACK crosses the border on the way back.
+            ack_frame = build_tcp_frame(
+                self.config.sfu_ip,
+                SERVER_TLS_PORT,
+                participant.ip,
+                participant.tcp_port,
+                seq=participant.server_tcp_seq,
+                ack=participant.tcp_seq,
+                flags=TCPFlags.ACK,
+            )
+            self.result.packets_generated += 1
+            if participant.config.on_campus:
+                down_delay = participant.ext_down.transit(base + external_delay)
+                if down_delay is not None:
+                    self._capture(base + external_delay + down_delay, ack_frame)
+        # Occasionally the server pushes data; the client's ACK then yields a
+        # monitor↔client RTT sample for latency Method 2 (§5.3).
+        if self.rng.random() < 0.6:
+            self._tcp_server_push(participant, now + self.rng.uniform(0.02, 0.1))
+        self.scheduler.schedule(
+            now + self.rng.uniform(0.2, 0.4), self._tcp_tick, participant
+        )
+
+    def _tcp_server_push(self, participant: _Participant, when: float) -> None:
+        self.scheduler.schedule(when, self._tcp_server_push_now, participant)
+
+    def _tcp_server_push_now(self, participant: _Participant) -> None:
+        now = self.scheduler.now
+        if not participant.is_present(now):
+            return
+        size = self.rng.randrange(60, 300)
+        data_frame = build_tcp_frame(
+            self.config.sfu_ip,
+            SERVER_TLS_PORT,
+            participant.ip,
+            participant.tcp_port,
+            seq=participant.server_tcp_seq,
+            ack=participant.tcp_seq,
+            flags=TCPFlags.ACK | TCPFlags.PSH,
+            payload=self.rng.randbytes(size),
+        )
+        self.result.packets_generated += 1
+        participant.server_tcp_seq = (participant.server_tcp_seq + size) & 0xFFFFFFFF
+        if not participant.config.on_campus:
+            return
+        down_delay = participant.ext_down.transit(now)
+        if down_delay is None:
+            return
+        ingress = now + down_delay
+        self._capture(ingress, data_frame)
+        campus_delay = participant.campus_down.transit(ingress)
+        if campus_delay is None:
+            return
+        # Client ACKs immediately; the ACK crosses the border on its way out.
+        ack_at = ingress + campus_delay
+        up_delay = participant.campus_up.transit(ack_at)
+        if up_delay is None:
+            return
+        ack_frame = build_tcp_frame(
+            participant.ip,
+            participant.tcp_port,
+            self.config.sfu_ip,
+            SERVER_TLS_PORT,
+            seq=participant.tcp_seq,
+            ack=participant.server_tcp_seq,
+            flags=TCPFlags.ACK,
+        )
+        self.result.packets_generated += 1
+        self._capture(ack_at + up_delay, ack_frame)
+
+    # ------------------------------------------------------------- per second
+
+    def _per_second_tick(self, when: float) -> None:
+        self.qos.flush(when)

@@ -1,0 +1,109 @@
+"""Network path model: delay, jitter, loss, and congestion episodes.
+
+Each emulated path segment (client↔campus border, border↔SFU, peer↔peer)
+is a :class:`NetworkPath`.  Congestion episodes — the "cross-traffic twice
+during each call" of the paper's §5 validation experiments — add delay,
+jitter, and loss over a time window, which is what drives the analyzer-visible
+fluctuations in Figures 10a-c.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CongestionEvent:
+    """A congestion episode on a path.
+
+    Attributes:
+        start / end: Episode window in simulation seconds.
+        extra_delay: Added one-way queueing delay at the episode peak (s).
+        extra_jitter: Added delay standard deviation at the peak (s).
+        extra_loss: Added packet loss probability at the peak (0-1).
+    """
+
+    start: float
+    end: float
+    extra_delay: float = 0.030
+    extra_jitter: float = 0.010
+    extra_loss: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("congestion event must have end > start")
+        if not 0.0 <= self.extra_loss <= 1.0:
+            raise ValueError("extra_loss must be a probability")
+
+    def intensity(self, now: float) -> float:
+        """Ramped intensity in [0, 1]: rises and falls over the window.
+
+        A triangular ramp (up over the first half, down over the second)
+        avoids unrealistic step changes in delay.
+        """
+        if not self.start <= now <= self.end:
+            return 0.0
+        middle = (self.start + self.end) / 2
+        half = (self.end - self.start) / 2
+        return 1.0 - abs(now - middle) / half
+
+
+@dataclass
+class NetworkPath:
+    """A one-way path with stochastic delay and loss.
+
+    Attributes:
+        base_delay: Propagation delay in seconds.
+        jitter_std: Standard deviation of per-packet delay noise (s).
+        loss_rate: Base random-loss probability.
+        congestion: Congestion episodes affecting this path.
+        rng: Dedicated random source; pass a seeded ``random.Random`` for
+            reproducible runs.
+    """
+
+    base_delay: float = 0.010
+    jitter_std: float = 0.0005
+    loss_rate: float = 0.0
+    congestion: list[CongestionEvent] = field(default_factory=list)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    packets_sent: int = 0
+    packets_lost: int = 0
+    _last_exit: float = 0.0
+
+    def conditions(self, now: float) -> tuple[float, float, float]:
+        """Effective (delay, jitter_std, loss) at time ``now``."""
+        delay = self.base_delay
+        jitter = self.jitter_std
+        loss = self.loss_rate
+        for event in self.congestion:
+            weight = event.intensity(now)
+            if weight > 0.0:
+                delay += weight * event.extra_delay
+                jitter += weight * event.extra_jitter
+                loss += weight * event.extra_loss
+        return delay, jitter, min(loss, 1.0)
+
+    def transit(self, now: float) -> float | None:
+        """Sample the one-way delay for a packet sent at ``now``.
+
+        Returns ``None`` when the packet is lost.  Delay noise is drawn from
+        a folded normal so delay never goes below the propagation floor, and
+        the path is FIFO: a packet never exits before one sent earlier
+        (queues do not reorder), which matters for back-to-back packets of
+        the same frame.
+        """
+        self.packets_sent += 1
+        delay, jitter, loss = self.conditions(now)
+        if loss > 0.0 and self.rng.random() < loss:
+            self.packets_lost += 1
+            return None
+        exit_time = now + delay + abs(self.rng.gauss(0.0, jitter))
+        exit_time = max(exit_time, self._last_exit + 1e-7)
+        self._last_exit = exit_time
+        return exit_time - now
+
+    def is_congested(self, now: float) -> bool:
+        """True when any congestion episode is active at ``now``."""
+        return any(event.intensity(now) > 0.0 for event in self.congestion)

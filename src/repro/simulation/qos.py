@@ -1,0 +1,198 @@
+"""Ground-truth QoS reporting, standing in for the Zoom SDK statistics feed.
+
+The paper validates its estimators against per-second statistics logged by a
+custom Zoom SDK client (§5, "Validation of Metrics").  The emulator knows the
+true encoder rates and path delays, so it publishes the same feed: one
+:class:`QoSSample` per stream per second.  Two Zoom quirks are reproduced
+because the paper leans on them:
+
+* the latency figure only *updates* every five seconds (Figure 10b), and
+* the jitter figure is so heavily smoothed that it never exceeds ~2 ms even
+  under congestion (Figure 10c) — which is why the paper's RFC-3550 estimate
+  visibly disagrees with it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+ZOOM_LATENCY_UPDATE_PERIOD = 5.0
+"""Zoom's client UI refreshes its latency figure only every 5 s (§5.3)."""
+
+ZOOM_JITTER_SMOOTHING = 1.0 / 1024.0
+"""EWMA weight of the Zoom-style jitter figure; small enough that the
+reported value stays below ~2 ms, as the paper observed (§5.4)."""
+
+
+@dataclass(frozen=True, slots=True)
+class QoSSample:
+    """One per-second ground-truth statistics record for one stream.
+
+    Attributes:
+        time: End of the one-second window (simulation clock).
+        meeting_id: Emulator meeting identity.
+        participant: Sender name.
+        media_type: Zoom media type value (13/15/16).
+        ssrc: The stream's SSRC.
+        sent_frames: Frames the encoder emitted in the window.
+        sent_packets / sent_bytes: Media packets/bytes emitted in the window.
+        delivered_frames: Frames fully delivered to at least one receiver.
+        latency_ms: Zoom-style displayed latency (updates every 5 s).
+        true_latency_ms: Actual mean monitor↔SFU↔monitor latency over the
+            window (dense truth the analyzer should track).
+        jitter_ms: Zoom-style over-smoothed jitter figure.
+        true_jitter_ms: RFC-3550-style frame-level jitter computed from true
+            arrival times.
+        encoder_fps: The encoder's current target frame rate.
+    """
+
+    time: float
+    meeting_id: str
+    participant: str
+    media_type: int
+    ssrc: int
+    sent_frames: int
+    sent_packets: int
+    sent_bytes: int
+    delivered_frames: int
+    latency_ms: float
+    true_latency_ms: float
+    jitter_ms: float
+    true_jitter_ms: float
+    encoder_fps: float
+
+
+@dataclass
+class QoSReport:
+    """The full ground-truth feed for one simulation run."""
+
+    samples: list[QoSSample] = field(default_factory=list)
+
+    def add(self, sample: QoSSample) -> None:
+        self.samples.append(sample)
+
+    def for_stream(self, ssrc: int, meeting_id: str | None = None) -> list[QoSSample]:
+        """All samples of one stream, in time order."""
+        picked = [
+            s
+            for s in self.samples
+            if s.ssrc == ssrc and (meeting_id is None or s.meeting_id == meeting_id)
+        ]
+        picked.sort(key=lambda s: s.time)
+        return picked
+
+    def streams(self) -> list[tuple[str, int]]:
+        """All (meeting_id, ssrc) pairs present in the report."""
+        return sorted({(s.meeting_id, s.ssrc) for s in self.samples})
+
+    def series(
+        self, ssrc: int, attribute: str, meeting_id: str | None = None
+    ) -> tuple[list[float], list[float]]:
+        """Extract (times, values) for one attribute of one stream."""
+        samples = self.for_stream(ssrc, meeting_id)
+        return [s.time for s in samples], [getattr(s, attribute) for s in samples]
+
+    def value_at(
+        self, ssrc: int, attribute: str, time: float, meeting_id: str | None = None
+    ) -> float | None:
+        """The most recent value of ``attribute`` at or before ``time``."""
+        times, values = self.series(ssrc, attribute, meeting_id)
+        index = bisect.bisect_right(times, time) - 1
+        return values[index] if index >= 0 else None
+
+
+class QoSCollector:
+    """Accumulates per-window counters and emits :class:`QoSSample` records.
+
+    The meeting simulator calls the ``record_*`` methods as events happen and
+    :meth:`flush` at each one-second boundary.
+    """
+
+    def __init__(self, meeting_id: str) -> None:
+        self.meeting_id = meeting_id
+        self.report = QoSReport()
+        self._sent_frames: dict[int, int] = defaultdict(int)
+        self._sent_packets: dict[int, int] = defaultdict(int)
+        self._sent_bytes: dict[int, int] = defaultdict(int)
+        self._delivered_frames: dict[int, int] = defaultdict(int)
+        self._latencies: dict[int, list[float]] = defaultdict(list)
+        self._displayed_latency: dict[int, float] = {}
+        self._latency_updated_at: dict[int, float] = {}
+        self._smoothed_jitter: dict[int, float] = defaultdict(float)
+        self._true_jitter: dict[int, float] = defaultdict(float)
+        self._last_arrival: dict[int, tuple[float, float]] = {}
+        self._stream_info: dict[int, tuple[str, int]] = {}
+        self._encoder_fps: dict[int, float] = {}
+
+    def register_stream(
+        self, ssrc: int, participant: str, media_type: int, encoder_fps: float
+    ) -> None:
+        self._stream_info[ssrc] = (participant, media_type)
+        self._encoder_fps[ssrc] = encoder_fps
+
+    def record_frame_sent(self, ssrc: int) -> None:
+        self._sent_frames[ssrc] += 1
+
+    def record_packet_sent(self, ssrc: int, size: int) -> None:
+        self._sent_packets[ssrc] += 1
+        self._sent_bytes[ssrc] += size
+
+    def record_frame_delivered(self, ssrc: int) -> None:
+        self._delivered_frames[ssrc] += 1
+
+    def record_latency(self, ssrc: int, latency_seconds: float) -> None:
+        self._latencies[ssrc].append(latency_seconds)
+
+    def record_encoder_rate(self, ssrc: int, fps: float) -> None:
+        self._encoder_fps[ssrc] = fps
+
+    def record_frame_arrival(
+        self, ssrc: int, arrival_time: float, media_time: float
+    ) -> None:
+        """Feed the jitter estimators with a frame arrival.
+
+        ``media_time`` is the frame's position in the media signal (capture
+        time); the RFC 3550 transit-difference uses both.
+        """
+        if ssrc in self._last_arrival:
+            last_arrival, last_media = self._last_arrival[ssrc]
+            difference = abs((arrival_time - last_arrival) - (media_time - last_media))
+            self._true_jitter[ssrc] += (difference - self._true_jitter[ssrc]) / 16.0
+            self._smoothed_jitter[ssrc] += ZOOM_JITTER_SMOOTHING * (
+                difference - self._smoothed_jitter[ssrc]
+            )
+        self._last_arrival[ssrc] = (arrival_time, media_time)
+
+    def flush(self, now: float) -> None:
+        """Emit one sample per registered stream for the window ending now."""
+        for ssrc, (participant, media_type) in self._stream_info.items():
+            latencies = self._latencies.pop(ssrc, [])
+            true_latency = (
+                sum(latencies) / len(latencies) * 1000.0 if latencies else float("nan")
+            )
+            last_update = self._latency_updated_at.get(ssrc)
+            if latencies and (
+                last_update is None or now - last_update >= ZOOM_LATENCY_UPDATE_PERIOD
+            ):
+                self._displayed_latency[ssrc] = true_latency
+                self._latency_updated_at[ssrc] = now
+            self.report.add(
+                QoSSample(
+                    time=now,
+                    meeting_id=self.meeting_id,
+                    participant=participant,
+                    media_type=media_type,
+                    ssrc=ssrc,
+                    sent_frames=self._sent_frames.pop(ssrc, 0),
+                    sent_packets=self._sent_packets.pop(ssrc, 0),
+                    sent_bytes=self._sent_bytes.pop(ssrc, 0),
+                    delivered_frames=self._delivered_frames.pop(ssrc, 0),
+                    latency_ms=self._displayed_latency.get(ssrc, float("nan")),
+                    true_latency_ms=true_latency,
+                    jitter_ms=self._smoothed_jitter.get(ssrc, 0.0) * 1000.0,
+                    true_jitter_ms=self._true_jitter.get(ssrc, 0.0) * 1000.0,
+                    encoder_fps=self._encoder_fps.get(ssrc, 0.0),
+                )
+            )

@@ -1,0 +1,50 @@
+"""The SFU (Zoom "multi-media router") forwarding model.
+
+The paper establishes two properties of Zoom's SFU that the whole grouping
+heuristic rests on (§4.3.2):
+
+* it **replicates** media packets to each other participant rather than
+  transcoding (CSRC count is always zero — §4.2.3), and
+* it does **not** translate RTP sequence numbers or timestamps, so a stream
+  copy forwarded back into the campus is byte-identical at the RTP layer.
+
+The model therefore forwards the media-encapsulation + RTP + payload bytes
+untouched and only re-wraps the outer SFU encapsulation layer: a fresh
+per-destination-flow sequence counter and the FROM_SFU direction byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.zoom.sfu_encap import Direction, SfuEncap
+
+
+@dataclass
+class SfuModel:
+    """Per-meeting SFU state.
+
+    Attributes:
+        ip: The MMR's IP address (a Zoom-subnet address).
+        port: Always 8801 for media.
+        processing_delay: Replication latency added per forwarded packet.
+    """
+
+    ip: str
+    port: int = 8801
+    processing_delay: float = 0.0008
+    _sequence_by_flow: dict[str, int] = field(default_factory=dict)
+
+    def next_sequence(self, destination: str) -> int:
+        """The SFU encapsulation sequence counter toward one destination."""
+        value = self._sequence_by_flow.get(destination, 0)
+        self._sequence_by_flow[destination] = (value + 1) & 0xFFFF
+        return value
+
+    def wrap(self, destination: str) -> SfuEncap:
+        """Build the outgoing SFU encapsulation header toward ``destination``."""
+        return SfuEncap(
+            sfu_type=SfuEncap.TYPE_MEDIA,
+            sequence=self.next_sequence(destination),
+            direction=Direction.FROM_SFU,
+        )

@@ -1,0 +1,48 @@
+"""Zoom's proprietary packet format, as reverse-engineered by the paper.
+
+Zoom media traffic is standard RTP/RTCP wrapped in up to two proprietary
+layers (§4.2, Figure 7, Tables 1-2):
+
+* **Zoom SFU encapsulation** — a fixed 8-byte header present only on
+  server-based (client ↔ MMR) traffic.  Type value 5 means a media
+  encapsulation header follows; byte 7 encodes direction (0x00 to the SFU,
+  0x04 from it).
+* **Zoom media encapsulation** — a variable-length header whose first byte
+  selects the packet type and therefore the offset at which the inner
+  RTP/RTCP header starts: video (16, RTP at UDP-payload offset 32),
+  audio (15, offset 27), screen share (13, offset 35), RTCP (33/34,
+  offset 16).  P2P traffic omits the SFU layer, shifting every offset
+  down by 8.
+
+This package provides byte-exact parsers and serializers for both layers and
+for complete Zoom UDP payloads.
+"""
+
+from repro.zoom.constants import (
+    MEDIA_ENCAP_LEN,
+    RTP_OFFSET_P2P,
+    RTP_OFFSET_SERVER,
+    SERVER_MEDIA_PORT,
+    VIDEO_SAMPLING_RATE,
+    RTPPayloadType,
+    ZoomMediaType,
+)
+from repro.zoom.media_encap import MediaEncap
+from repro.zoom.sfu_encap import Direction, SfuEncap
+from repro.zoom.packets import ZoomPacket, build_media_payload, parse_zoom_payload
+
+__all__ = [
+    "Direction",
+    "MEDIA_ENCAP_LEN",
+    "MediaEncap",
+    "RTPPayloadType",
+    "RTP_OFFSET_P2P",
+    "RTP_OFFSET_SERVER",
+    "SERVER_MEDIA_PORT",
+    "SfuEncap",
+    "VIDEO_SAMPLING_RATE",
+    "ZoomMediaType",
+    "ZoomPacket",
+    "build_media_payload",
+    "parse_zoom_payload",
+]

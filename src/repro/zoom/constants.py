@@ -1,0 +1,127 @@
+"""Constants of Zoom's network protocol, as documented by the paper.
+
+Sources: §3 (ports), §4.2 Tables 1-3 and Figure 7 (header layout and type
+values), §4.2.3 and §5.2 (payload types, sampling rate), Appendix B (server
+infrastructure).
+"""
+
+from __future__ import annotations
+
+import enum
+
+SERVER_MEDIA_PORT = 8801
+"""UDP port used on the Zoom server (MMR) side of every media flow."""
+
+SERVER_TLS_PORT = 443
+"""TCP port of the TLS control connections to Zoom servers."""
+
+STUN_SERVER_PORT = 3478
+"""UDP port of Zoom zone controllers' STUN service (P2P establishment)."""
+
+
+class ZoomMediaType(enum.IntEnum):
+    """Zoom media-encapsulation type values (Table 2).
+
+    The five listed values cover 90.03% of packets (91.57% of bytes) in the
+    paper's campus trace; the remainder are control packets whose payload the
+    paper did not decode further.
+    """
+
+    SCREEN_SHARE = 13
+    AUDIO = 15
+    VIDEO = 16
+    RTCP_SR = 33
+    RTCP_SR_SDES = 34
+
+    @property
+    def is_rtp(self) -> bool:
+        return self in (self.SCREEN_SHARE, self.AUDIO, self.VIDEO)
+
+    @property
+    def is_rtcp(self) -> bool:
+        return self in (self.RTCP_SR, self.RTCP_SR_SDES)
+
+
+#: Media-encapsulation types observed but not decoded by the paper (roughly
+#: 10% of packets; presumed congestion-control / probing traffic).  The
+#: emulator uses these values for its control packets.
+CONTROL_MEDIA_TYPES = (7, 20, 24)
+
+
+class RTPPayloadType(enum.IntEnum):
+    """RTP payload types Zoom uses per media stream (Table 3, §4.2.3)."""
+
+    VIDEO_MAIN = 98
+    #: Audio while silent (fixed 40-byte RTP payload) and screen-share main.
+    MULTIPLEX_99 = 99
+    FEC = 110
+    AUDIO_SPEAKING = 112
+    AUDIO_UNKNOWN = 113
+
+
+#: Payload types that occur in a Zoom stream of each media type.
+PAYLOAD_TYPES_BY_MEDIA: dict[ZoomMediaType, tuple[int, ...]] = {
+    ZoomMediaType.VIDEO: (RTPPayloadType.VIDEO_MAIN, RTPPayloadType.FEC),
+    ZoomMediaType.AUDIO: (
+        RTPPayloadType.MULTIPLEX_99,
+        RTPPayloadType.FEC,
+        RTPPayloadType.AUDIO_SPEAKING,
+        RTPPayloadType.AUDIO_UNKNOWN,
+    ),
+    ZoomMediaType.SCREEN_SHARE: (RTPPayloadType.MULTIPLEX_99,),
+}
+
+SFU_ENCAP_LEN = 8
+"""Length of the Zoom SFU encapsulation header (server-based traffic only)."""
+
+#: Zoom media-encapsulation header length per type.  Derived from Table 2's
+#: RTP offsets minus the 8-byte SFU layer: video 32-8, audio 27-8, screen
+#: share 35-8, RTCP 16-8.
+MEDIA_ENCAP_LEN: dict[int, int] = {
+    ZoomMediaType.VIDEO: 24,
+    ZoomMediaType.AUDIO: 19,
+    ZoomMediaType.SCREEN_SHARE: 27,
+    ZoomMediaType.RTCP_SR: 8,
+    ZoomMediaType.RTCP_SR_SDES: 8,
+}
+
+#: Offset (from the end of the UDP header) where the inner RTP/RTCP header
+#: starts, for server-based traffic (Table 2).
+RTP_OFFSET_SERVER: dict[int, int] = {
+    media_type: SFU_ENCAP_LEN + length for media_type, length in MEDIA_ENCAP_LEN.items()
+}
+
+#: Same, for P2P traffic, which carries no SFU encapsulation (Figure 7).
+RTP_OFFSET_P2P: dict[int, int] = dict(MEDIA_ENCAP_LEN)
+
+VIDEO_SAMPLING_RATE = 90_000
+"""RTP timestamp clock of Zoom video streams (§5.2; also RFC 3551's
+recommendation for conferencing video)."""
+
+AUDIO_SAMPLING_RATE = 48_000
+"""Assumed RTP clock of Zoom audio (Opus-style); the paper does not confirm
+audio/screen-share clocks, which is why its §6.2 jitter study is video-only."""
+
+SILENT_AUDIO_PAYLOAD_LEN = 40
+"""RTP payload length of type-99 silence-mode audio packets (§4.2.3)."""
+
+AUDIO_PTIME = 0.020
+"""Audio packetization interval (one packet per 20 ms, 50 packets/s)."""
+
+RETRANSMIT_LIMIT = 2
+"""Zoom retransmits a lost media packet at most this many times (§5.5)."""
+
+RETRANSMIT_TIMEOUT = 0.100
+"""Apparent retransmission timeout observed in frame-delay analysis (§5.5)."""
+
+#: Synthetic Zoom server address space used by the emulator.  Real Zoom
+#: publishes 117 prefixes (Appendix B); we model its own AS with a /16 and
+#: keep MMRs and zone controllers in disjoint /24-aligned slices so reverse
+#: lookups in :mod:`repro.simulation.infrastructure` stay unambiguous.
+ZOOM_SERVER_SUBNETS = (
+    "170.114.0.0/16",  # Zoom's own AS30103 (really published)
+    "203.0.113.0/24",  # synthetic stand-in for the AWS-hosted ranges
+)
+
+#: Campus address space monitored by the capture system in the emulator.
+CAMPUS_SUBNETS = ("10.8.0.0/16", "10.9.0.0/16")

@@ -1,0 +1,154 @@
+"""The Zoom media encapsulation header (Table 1, Figure 7).
+
+A variable-length header whose first byte selects the packet type and thus
+the total header length (and therefore where the inner RTP/RTCP header
+starts).  Fields the paper identified, with byte ranges relative to the
+start of this header:
+
+========  ============== ===========================================
+Byte(s)   Field          Present in
+========  ============== ===========================================
+0         type           all (13/15/16 media, 33/34 RTCP, others ctl)
+9-10      sequence       media types
+11-14     timestamp      media types
+21-22     frame seq #    video and screen share
+23        pkts in frame  video and screen share
+========  ============== ===========================================
+
+Header lengths per type: video 24 B, audio 19 B, screen share 27 B, RTCP 8 B
+(derived from Table 2's RTP offsets).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.zoom.constants import MEDIA_ENCAP_LEN, ZoomMediaType
+
+_SEQ_OFFSET = 9
+_TS_OFFSET = 11
+_FRAME_SEQ_OFFSET = 21
+_PKTS_IN_FRAME_OFFSET = 23
+
+
+@dataclass(frozen=True, slots=True)
+class MediaEncap:
+    """A parsed Zoom media encapsulation header.
+
+    Attributes:
+        media_type: Byte 0 — a :class:`ZoomMediaType` value for decodable
+            packets, or any other value for control packets.
+        sequence: Zoom-level 16-bit sequence number (bytes 9-10); 0 for RTCP.
+        timestamp: Zoom-level 32-bit timestamp (bytes 11-14); 0 for RTCP.
+        frame_sequence: Per-stream frame counter (bytes 21-22); only video
+            and screen share carry it.
+        packets_in_frame: Number of RTP packets that make up the current
+            frame (byte 23); only video and screen share carry it.  This is
+            the field frame-rate Method 1 and frame-size computation rely on.
+        opaque: The unidentified filler bytes, preserved so that
+            ``parse(serialize(x)) == x`` holds byte-exactly.
+    """
+
+    media_type: int
+    sequence: int = 0
+    timestamp: int = 0
+    frame_sequence: int = 0
+    packets_in_frame: int = 0
+    opaque: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.media_type <= 0xFF:
+            raise ValueError(f"media type out of range: {self.media_type}")
+        if not 0 <= self.sequence <= 0xFFFF:
+            raise ValueError(f"sequence out of range: {self.sequence}")
+        if not 0 <= self.timestamp <= 0xFFFFFFFF:
+            raise ValueError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.frame_sequence <= 0xFFFF:
+            raise ValueError(f"frame sequence out of range: {self.frame_sequence}")
+        if not 0 <= self.packets_in_frame <= 0xFF:
+            raise ValueError(f"packets_in_frame out of range: {self.packets_in_frame}")
+
+    @property
+    def header_len(self) -> int:
+        """On-wire length of this header (depends on the type)."""
+        return MEDIA_ENCAP_LEN.get(self.media_type, 8)
+
+    @property
+    def has_frame_fields(self) -> bool:
+        """True when bytes 21-23 (frame seq, packets-in-frame) exist."""
+        return self.media_type in (ZoomMediaType.VIDEO, ZoomMediaType.SCREEN_SHARE)
+
+    @property
+    def is_rtp(self) -> bool:
+        return self.media_type in (
+            ZoomMediaType.SCREEN_SHARE,
+            ZoomMediaType.AUDIO,
+            ZoomMediaType.VIDEO,
+        )
+
+    @property
+    def is_rtcp(self) -> bool:
+        return self.media_type in (ZoomMediaType.RTCP_SR, ZoomMediaType.RTCP_SR_SDES)
+
+    def serialize(self) -> bytes:
+        """Encode to wire format at the type's fixed length."""
+        length = self.header_len
+        buf = bytearray(length)
+        buf[0] = self.media_type
+        # Fill the unidentified bytes from ``opaque`` (zero-padded).
+        filler = self.opaque.ljust(length - 1, b"\x00")
+        buf[1:length] = filler[: length - 1]
+        if length > _TS_OFFSET + 3:  # media types carry sequence + timestamp
+            struct.pack_into("!H", buf, _SEQ_OFFSET, self.sequence)
+            struct.pack_into("!I", buf, _TS_OFFSET, self.timestamp)
+        if self.has_frame_fields:
+            struct.pack_into("!H", buf, _FRAME_SEQ_OFFSET, self.frame_sequence)
+            buf[_PKTS_IN_FRAME_OFFSET] = self.packets_in_frame
+        return bytes(buf)
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["MediaEncap", int]:
+        """Decode from wire format; returns the header and payload offset.
+
+        Raises ``ValueError`` when the buffer is shorter than the header
+        length implied by the type byte.
+        """
+        if not data:
+            raise ValueError("empty buffer")
+        media_type = data[0]
+        length = MEDIA_ENCAP_LEN.get(media_type, 8)
+        if len(data) < length:
+            raise ValueError(
+                f"buffer too short for media encap type {media_type}: "
+                f"{len(data)} < {length} bytes"
+            )
+        sequence = 0
+        timestamp = 0
+        frame_sequence = 0
+        packets_in_frame = 0
+        if length > _TS_OFFSET + 3:
+            (sequence,) = struct.unpack_from("!H", data, _SEQ_OFFSET)
+            (timestamp,) = struct.unpack_from("!I", data, _TS_OFFSET)
+        if media_type in (ZoomMediaType.VIDEO, ZoomMediaType.SCREEN_SHARE):
+            (frame_sequence,) = struct.unpack_from("!H", data, _FRAME_SEQ_OFFSET)
+            packets_in_frame = data[_PKTS_IN_FRAME_OFFSET]
+        # Preserve the unidentified bytes so serialization round-trips.
+        opaque = bytearray(data[1:length])
+        if length > _TS_OFFSET + 3:
+            opaque[_SEQ_OFFSET - 1 : _SEQ_OFFSET + 1] = b"\x00\x00"
+            opaque[_TS_OFFSET - 1 : _TS_OFFSET + 3] = b"\x00\x00\x00\x00"
+        if media_type in (ZoomMediaType.VIDEO, ZoomMediaType.SCREEN_SHARE):
+            opaque[_FRAME_SEQ_OFFSET - 1 : _FRAME_SEQ_OFFSET + 1] = b"\x00\x00"
+            opaque[_PKTS_IN_FRAME_OFFSET - 1] = 0
+        return (
+            cls(
+                media_type=media_type,
+                sequence=sequence,
+                timestamp=timestamp,
+                frame_sequence=frame_sequence,
+                packets_in_frame=packets_in_frame,
+                opaque=bytes(opaque).rstrip(b"\x00"),
+            ),
+            length,
+        )

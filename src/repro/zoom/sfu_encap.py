@@ -1,0 +1,85 @@
+"""The Zoom SFU encapsulation header (Table 1, Figure 7).
+
+A fixed 8-byte header present on all server-based Zoom UDP packets (it is
+absent from P2P flows).  Fields the paper identified:
+
+========  ==========  =======================================
+Byte      Field       Notes
+========  ==========  =======================================
+0         type        0x05 for 98.4% of packets (= media follows)
+1-2       sequence    16-bit counter
+3-6       (opaque)    not identified by the paper
+7         direction   0x00 toward the SFU, 0x04 from the SFU
+========  ==========  =======================================
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+
+class Direction(enum.IntEnum):
+    """Direction byte of the SFU encapsulation."""
+
+    TO_SFU = 0x00
+    FROM_SFU = 0x04
+
+
+@dataclass(frozen=True, slots=True)
+class SfuEncap:
+    """A parsed Zoom SFU encapsulation header.
+
+    Attributes:
+        sfu_type: First byte; 5 means a media-encapsulation header follows.
+        sequence: 16-bit sequence counter (bytes 1-2).
+        direction: Byte 7; see :class:`Direction`.
+        opaque: The unidentified bytes 3-6, preserved verbatim.
+    """
+
+    sfu_type: int = 5
+    sequence: int = 0
+    direction: int = Direction.TO_SFU
+    opaque: bytes = b"\x00\x00\x00\x00"
+
+    TYPE_MEDIA = 5
+    HEADER_LEN = 8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sfu_type <= 0xFF:
+            raise ValueError(f"SFU type out of range: {self.sfu_type}")
+        if not 0 <= self.sequence <= 0xFFFF:
+            raise ValueError(f"SFU sequence out of range: {self.sequence}")
+        if not 0 <= self.direction <= 0xFF:
+            raise ValueError(f"direction out of range: {self.direction}")
+        if len(self.opaque) != 4:
+            raise ValueError("opaque field must be exactly 4 bytes")
+
+    @property
+    def carries_media(self) -> bool:
+        """True when a media-encapsulation header follows (type 5)."""
+        return self.sfu_type == self.TYPE_MEDIA
+
+    def serialize(self) -> bytes:
+        return (
+            struct.pack("!BH", self.sfu_type, self.sequence)
+            + self.opaque
+            + bytes([self.direction])
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["SfuEncap", int]:
+        """Decode from wire format; returns the header and payload offset."""
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"buffer too short for SFU encap: {len(data)} bytes")
+        sfu_type, sequence = struct.unpack_from("!BH", data, 0)
+        return (
+            cls(
+                sfu_type=sfu_type,
+                sequence=sequence,
+                direction=data[7],
+                opaque=bytes(data[3:7]),
+            ),
+            cls.HEADER_LEN,
+        )

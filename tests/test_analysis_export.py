@@ -1,0 +1,96 @@
+"""Tests for the ML feature-matrix export (§8)."""
+
+import csv
+import io
+import math
+
+from repro.analysis.export import (
+    FEATURE_COLUMNS,
+    feature_csv_string,
+    feature_rows,
+    write_feature_csv,
+)
+
+
+def test_rows_cover_streams_and_seconds(analyzed_sfu):
+    rows = feature_rows(analyzed_sfu)
+    assert rows
+    stream_ids = {row["stream_id"] for row in rows}
+    assert len(stream_ids) == len(analyzed_sfu.streams.streams())
+    # Seconds are ordered per stream.
+    for stream_id in stream_ids:
+        seconds = [row["second"] for row in rows if row["stream_id"] == stream_id]
+        assert seconds == sorted(seconds)
+
+
+def test_video_rows_have_frame_features(analyzed_sfu):
+    rows = [r for r in feature_rows(analyzed_sfu) if r["media_type"] == 16]
+    assert rows
+    with_frames = [r for r in rows if r["frames_completed"] > 0]
+    assert len(with_frames) > len(rows) // 2
+    for row in with_frames[:20]:
+        assert row["mean_frame_bytes"] > 0
+        assert 0 < row["delivered_fps"] < 60
+        assert row["media_kbits"] > 0
+
+
+def test_media_rate_below_flow_rate(analyzed_sfu):
+    rows = feature_rows(analyzed_sfu)
+    checked = 0
+    for row in rows:
+        if row["flow_kbits"] > 0 and row["media_kbits"] > 0:
+            # Flow bins aggregate all streams of the flow, so flow >= media.
+            assert row["flow_kbits"] >= row["media_kbits"] * 0.99
+            checked += 1
+    assert checked > 50
+
+
+def test_rtt_column_populated_for_forwarded_streams(analyzed_sfu):
+    rows = feature_rows(analyzed_sfu)
+    with_rtt = [r for r in rows if r["rtt_ms"] == r["rtt_ms"]]
+    assert with_rtt
+    for row in with_rtt[:20]:
+        assert 1.0 < row["rtt_ms"] < 500.0
+
+
+def test_csv_round_trips(analyzed_sfu):
+    text = feature_csv_string(analyzed_sfu)
+    reader = csv.DictReader(io.StringIO(text))
+    assert reader.fieldnames == list(FEATURE_COLUMNS)
+    parsed = list(reader)
+    assert len(parsed) == len(feature_rows(analyzed_sfu))
+    # NaNs become empty cells.
+    sample_row = parsed[0]
+    for column in FEATURE_COLUMNS:
+        assert column in sample_row
+
+
+def test_write_to_path(analyzed_sfu, tmp_path):
+    path = tmp_path / "features.csv"
+    count = write_feature_csv(analyzed_sfu, path)
+    assert count > 0
+    content = path.read_text()
+    assert content.startswith("stream_id,")
+    assert content.count("\n") == count + 1
+
+
+def test_empty_analysis_exports_header_only():
+    from repro.core.pipeline import AnalysisResult
+
+    text = feature_csv_string(AnalysisResult())
+    assert text.strip() == ",".join(FEATURE_COLUMNS)
+
+
+def test_congestion_visible_in_features(analyzed_sfu):
+    """The fixture's congestion window (12-17 s) shows up as elevated jitter
+    in alice's video feature rows — the label-ready signal the paper's §8
+    envisions feeding a QoE model."""
+    rows = [
+        r
+        for r in feature_rows(analyzed_sfu)
+        if r["ssrc"] == 0x10 and r["jitter_ms"] == r["jitter_ms"]
+    ]
+    clean = [r["jitter_ms"] for r in rows if 4 <= r["second"] <= 10]
+    congested = [r["jitter_ms"] for r in rows if 13 <= r["second"] <= 16]
+    assert clean and congested
+    assert max(congested) > 1.5 * (sum(clean) / len(clean))

@@ -1,0 +1,148 @@
+"""Tests for CDFs, tables, time series, and correlation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.cdfs import cdf_of
+from repro.analysis.correlation import pearson, spearman
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import ascii_plot, downsample, resample_sum
+
+
+class TestCdf:
+    def test_quantiles(self):
+        cdf = cdf_of(range(100))
+        assert cdf.quantile(0.0) == 0
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 99
+        assert cdf.median == 50
+
+    def test_probability_below(self):
+        cdf = cdf_of([1, 2, 3, 4])
+        assert cdf.probability_below(2) == 0.5
+        assert cdf.probability_below(0) == 0.0
+        assert cdf.probability_below(10) == 1.0
+
+    def test_nan_dropped(self):
+        cdf = cdf_of([1.0, float("nan"), 2.0])
+        assert cdf.count == 2
+
+    def test_empty(self):
+        cdf = cdf_of([])
+        assert math.isnan(cdf.quantile(0.5))
+        assert math.isnan(cdf.mean)
+
+    def test_quantile_row(self):
+        cdf = cdf_of(range(1000))
+        row = cdf.quantile_row((0.1, 0.9))
+        assert row[0] == pytest.approx(100, abs=2)
+        assert row[1] == pytest.approx(900, abs=2)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            cdf_of([1.0]).quantile(1.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_quantiles_monotone(self, values):
+        cdf = cdf_of(values)
+        quantiles = [cdf.quantile(f / 10) for f in range(11)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        xs = list(range(50))
+        assert pearson(xs, xs) == pytest.approx(1.0)
+        assert spearman(xs, xs) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        xs = list(range(50))
+        ys = list(reversed(xs))
+        assert pearson(xs, ys) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        import random
+
+        rng = random.Random(7)
+        xs = [rng.random() for _ in range(3000)]
+        ys = [rng.random() for _ in range(3000)]
+        assert abs(pearson(xs, ys)) < 0.08
+        assert abs(spearman(xs, ys)) < 0.08
+
+    def test_monotone_nonlinear_spearman_one(self):
+        xs = list(range(1, 40))
+        ys = [x**3 for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+        assert pearson(xs, ys) < 1.0
+
+    def test_nan_pairs_dropped(self):
+        assert pearson([1, 2, float("nan"), 4], [1, 2, 3, 4]) == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        assert math.isnan(pearson([1.0], [1.0]))
+        assert math.isnan(pearson([1, 1, 1], [1, 2, 3]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+        with pytest.raises(ValueError):
+            spearman([1], [1, 2])
+
+    def test_spearman_with_ties(self):
+        assert spearman([1, 1, 2, 2], [1, 1, 2, 2]) == pytest.approx(1.0)
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["long-name", 22.25]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        assert "1.50" in text and "22.25" in text
+
+    def test_empty_rows(self):
+        text = format_table(["x", "y"], [])
+        assert "x" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in text
+
+
+class TestTimeseries:
+    def test_resample_sum(self):
+        points = [(0.5, 1.0), (0.9, 2.0), (2.2, 5.0)]
+        assert resample_sum(points, 1.0) == [(0.0, 3.0), (1.0, 0.0), (2.0, 5.0)]
+
+    def test_resample_validation(self):
+        with pytest.raises(ValueError):
+            resample_sum([], 0)
+
+    def test_resample_empty(self):
+        assert resample_sum([], 1.0) == []
+
+    def test_downsample_keeps_bounds(self):
+        points = [(float(i), float(i)) for i in range(100)]
+        sampled = downsample(points, 10)
+        assert len(sampled) == 10
+        assert sampled[0] == (0.0, 0.0)
+
+    def test_downsample_short_input_unchanged(self):
+        points = [(1.0, 2.0)]
+        assert downsample(points, 10) == points
+
+    def test_downsample_validation(self):
+        with pytest.raises(ValueError):
+            downsample([], 0)
+
+    def test_ascii_plot_renders(self):
+        points = [(float(i), math.sin(i / 5)) for i in range(100)]
+        plot = ascii_plot(points, width=40, height=8, label="sine")
+        assert "sine" in plot
+        assert "*" in plot
+        assert len(plot.splitlines()) == 10
+
+    def test_ascii_plot_empty(self):
+        assert "no data" in ascii_plot([])

@@ -1,0 +1,138 @@
+"""Tests for in-network control actions: DSCP marking and SVC thinning (§8)."""
+
+from repro.capture.control import (
+    BEST_EFFORT_DSCP,
+    DEFAULT_DSCP_PLAN,
+    DscpAnnotator,
+    SvcLayerDropper,
+)
+from repro.core import ZoomAnalyzer
+from repro.net.packet import CapturedPacket, build_udp_frame, parse_frame
+from repro.rtp.rtp import RTPHeader
+from repro.zoom.constants import ZoomMediaType
+from repro.zoom.media_encap import MediaEncap
+from repro.zoom.packets import build_control_payload, build_media_payload
+from repro.zoom.sfu_encap import SfuEncap
+
+
+def _media_packet(media_type, payload_type, *, frame_seq=0, t=1.0):
+    media = MediaEncap(
+        media_type=int(media_type), sequence=1, timestamp=2,
+        frame_sequence=frame_seq,
+        packets_in_frame=1 if media_type in (13, 16) else 0,
+    )
+    rtp = RTPHeader(payload_type=payload_type, sequence=frame_seq, timestamp=2, ssrc=0x110)
+    payload = build_media_payload(media=media, rtp=rtp, rtp_payload=b"\x7c\x00" + b"m" * 60, sfu=SfuEncap())
+    return CapturedPacket(t, build_udp_frame("170.114.1.1", 8801, "10.8.1.2", 50001, payload))
+
+
+class TestDscpAnnotator:
+    def test_audio_marked_ef(self):
+        annotator = DscpAnnotator()
+        out = annotator.annotate(_media_packet(ZoomMediaType.AUDIO, 112))
+        assert parse_frame(out.data).ipv4.dscp == 46
+
+    def test_video_marked_af41(self):
+        annotator = DscpAnnotator()
+        out = annotator.annotate(_media_packet(ZoomMediaType.VIDEO, 98))
+        assert parse_frame(out.data).ipv4.dscp == 34
+
+    def test_screen_share_marked_af31(self):
+        annotator = DscpAnnotator()
+        out = annotator.annotate(_media_packet(ZoomMediaType.SCREEN_SHARE, 99))
+        assert parse_frame(out.data).ipv4.dscp == 26
+
+    def test_control_best_effort(self):
+        annotator = DscpAnnotator()
+        payload = build_control_payload(control_type=20, body=b"\x00" * 40, sfu=SfuEncap())
+        packet = CapturedPacket(1.0, build_udp_frame("170.114.1.1", 8801, "10.8.1.2", 50001, payload))
+        out = annotator.annotate(packet)
+        assert parse_frame(out.data).ipv4.dscp == BEST_EFFORT_DSCP
+        assert annotator.best_effort == 1
+
+    def test_checksum_still_valid_after_rewrite(self):
+        annotator = DscpAnnotator()
+        out = annotator.annotate(_media_packet(ZoomMediaType.VIDEO, 98))
+        parsed = parse_frame(out.data)  # IPv4 parse verifies the checksum
+        assert parsed.ipv4 is not None
+
+    def test_payload_untouched(self):
+        packet = _media_packet(ZoomMediaType.VIDEO, 98)
+        out = DscpAnnotator().annotate(packet)
+        assert parse_frame(out.data).payload == parse_frame(packet.data).payload
+
+    def test_custom_plan(self):
+        annotator = DscpAnnotator(plan={int(ZoomMediaType.AUDIO): 12})
+        out = annotator.annotate(_media_packet(ZoomMediaType.AUDIO, 112))
+        assert parse_frame(out.data).ipv4.dscp == 12
+
+    def test_counters(self):
+        annotator = DscpAnnotator()
+        annotator.annotate(_media_packet(ZoomMediaType.AUDIO, 112))
+        annotator.annotate(_media_packet(ZoomMediaType.VIDEO, 98))
+        assert annotator.marked == 2
+
+    def test_plan_covers_all_media_types(self):
+        assert set(DEFAULT_DSCP_PLAN) == {13, 15, 16}
+
+
+class TestSvcLayerDropper:
+    def test_uncongested_passes_everything(self):
+        dropper = SvcLayerDropper(congested=lambda t: False, halve_frame_rate=True)
+        packets = [_media_packet(ZoomMediaType.VIDEO, 110, frame_seq=i) for i in range(10)]
+        assert len(dropper.process(packets)) == 10
+
+    def test_fec_dropped_under_congestion(self):
+        dropper = SvcLayerDropper(congested=lambda t: True)
+        fec = _media_packet(ZoomMediaType.VIDEO, 110)
+        main = _media_packet(ZoomMediaType.VIDEO, 98)
+        assert dropper.admit(fec) is None
+        assert dropper.admit(main) is not None
+        assert dropper.dropped_fec == 1
+
+    def test_temporal_layer_halving(self):
+        dropper = SvcLayerDropper(congested=lambda t: True, halve_frame_rate=True)
+        packets = [
+            _media_packet(ZoomMediaType.VIDEO, 98, frame_seq=i) for i in range(20)
+        ]
+        kept = dropper.process(packets)
+        assert len(kept) == 10  # odd frames dropped whole
+        assert dropper.dropped_frames == 10
+
+    def test_audio_never_thinned(self):
+        dropper = SvcLayerDropper(congested=lambda t: True, halve_frame_rate=True)
+        audio = _media_packet(ZoomMediaType.AUDIO, 112, frame_seq=1)
+        assert dropper.admit(audio) is not None
+
+    def test_time_windowed_congestion(self):
+        dropper = SvcLayerDropper(congested=lambda t: 5.0 <= t <= 10.0)
+        early = _media_packet(ZoomMediaType.VIDEO, 110, t=1.0)
+        during = _media_packet(ZoomMediaType.VIDEO, 110, t=7.0)
+        assert dropper.admit(early) is not None
+        assert dropper.admit(during) is None
+
+
+class TestEndToEndThinning:
+    def test_halving_visible_in_analyzer(self, sfu_meeting_result):
+        """Thinned traffic analyzed downstream shows roughly half the video
+        frame rate during the thinning window — the §8 control loop closed."""
+        window = (5.0, 10.0)
+        dropper = SvcLayerDropper(
+            congested=lambda t: window[0] <= t <= window[1], halve_frame_rate=True
+        )
+        thinned = dropper.process(sfu_meeting_result.captures)
+        analysis = ZoomAnalyzer().analyze(thinned)
+        stream = next(
+            s for s in analysis.media_streams() if s.ssrc == 0x110 and s.to_server is True
+        )
+        metrics = analysis.metrics_for(stream.key)
+        inside = [
+            s.fps for s in metrics.framerate_delivered.samples
+            if window[0] + 1.2 <= s.time <= window[1] - 0.2
+        ]
+        outside = [
+            s.fps for s in metrics.framerate_delivered.samples if 11.0 <= s.time <= 12.0
+        ]
+        assert inside and outside
+        ratio = (sum(inside) / len(inside)) / (sum(outside) / len(outside))
+        assert 0.35 < ratio < 0.75

@@ -1,0 +1,121 @@
+"""Tests for the zoom-analysis command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def meeting_pcap(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "meeting.pcap"
+    code = main(
+        ["simulate", str(path), "--participants", "2", "--duration", "8", "--seed", "3"]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["simulate", "x"],
+            ["filter", "in", "out"],
+            ["analyze", "x"],
+            ["dissect", "x"],
+            ["entropy", "x"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_filter_needs_two_paths(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["filter", "only-one"])
+
+
+class TestSimulate:
+    def test_meeting_pcap_created(self, meeting_pcap):
+        assert meeting_pcap.exists()
+        assert meeting_pcap.stat().st_size > 10_000
+
+    def test_campus_kind(self, tmp_path, capsys):
+        path = tmp_path / "campus.pcap"
+        code = main([
+            "simulate", str(path), "--kind", "campus", "--hours", "1",
+            "--peak", "1.0", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campus trace" in out
+        assert path.exists()
+
+
+class TestAnalyze:
+    def test_summary_output(self, meeting_pcap, capsys):
+        assert main(["analyze", str(meeting_pcap)]) == 0
+        out = capsys.readouterr().out
+        assert "meetings: 1" in out
+        assert "Table 2" in out
+        assert "per-stream metrics" in out
+        assert "VIDEO" in out
+
+    def test_csv_export(self, meeting_pcap, tmp_path, capsys):
+        csv_path = tmp_path / "features.csv"
+        assert main(["analyze", str(meeting_pcap), "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("stream_id,")
+
+
+class TestFilter:
+    def test_filter_roundtrip(self, meeting_pcap, tmp_path, capsys):
+        out_path = tmp_path / "filtered.pcap"
+        assert main(["filter", str(meeting_pcap), str(out_path)]) == 0
+        output = capsys.readouterr().out
+        assert "passed" in output
+        assert out_path.exists()
+
+    def test_filter_with_anonymization(self, meeting_pcap, tmp_path):
+        out_path = tmp_path / "anon.pcap"
+        assert main([
+            "filter", str(meeting_pcap), str(out_path), "--anonymize", "secret-key",
+        ]) == 0
+        from repro.net.packet import parse_frame
+        from repro.net.pcap import read_pcap
+
+        for packet in read_pcap(out_path)[:20]:
+            parsed = parse_frame(packet.data)
+            if parsed.src_ip:
+                assert not parsed.src_ip.startswith("198.18.")
+
+
+class TestDissect:
+    def test_dissection_printed(self, meeting_pcap, capsys):
+        assert main(["dissect", str(meeting_pcap), "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Zoom" in out
+        assert "Real-Time Transport Protocol" in out
+
+    def test_empty_pcap_errors(self, tmp_path, capsys):
+        from repro.net.pcap import write_pcap
+
+        empty = tmp_path / "empty.pcap"
+        write_pcap(empty, [])
+        assert main(["dissect", str(empty)]) == 1
+
+
+class TestEntropy:
+    def test_sweep_output(self, meeting_pcap, capsys):
+        assert main(["entropy", str(meeting_pcap)]) == 0
+        out = capsys.readouterr().out
+        assert "busiest flow" in out
+        assert "type -> offset map" in out
+        assert "counter" in out
+
+    def test_empty_pcap_errors(self, tmp_path, capsys):
+        from repro.net.pcap import write_pcap
+
+        empty = tmp_path / "empty.pcap"
+        write_pcap(empty, [])
+        assert main(["entropy", str(empty)]) == 1

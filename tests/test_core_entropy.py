@@ -1,0 +1,165 @@
+"""Tests for entropy-based header analysis (§4.2.1)."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.entropy import (
+    FieldClass,
+    analyze_flow,
+    classify,
+    classify_field,
+    extract_values,
+    fields_of_class,
+    find_rtp_signature,
+    sequence_stats,
+)
+
+
+def _payloads_counter(n=200, width=2, offset=4, step=1):
+    """Payloads with a counter field at a known position, random elsewhere."""
+    rng = random.Random(0)
+    out = []
+    for i in range(n):
+        prefix = rng.randbytes(offset)
+        counter = ((i * step) % (1 << (8 * width))).to_bytes(width, "big")
+        out.append(prefix + counter + rng.randbytes(8))
+    return out
+
+
+class TestExtract:
+    def test_basic_extraction(self):
+        payloads = [b"\x00\x01\x02\x03", b"\x10\x11\x12\x13"]
+        assert extract_values(payloads, 1, 2) == [0x0102, 0x1112]
+
+    def test_short_payloads_skipped(self):
+        payloads = [b"\x00\x01", b"\x00\x01\x02\x03"]
+        assert extract_values(payloads, 2, 2) == [0x0203]
+
+
+class TestClassify:
+    def test_constant(self):
+        report = classify_field([b"\x07" + bytes(3)] * 50, 0, 1)
+        assert report.field_class is FieldClass.CONSTANT
+
+    def test_identifier_few_values(self):
+        rng = random.Random(1)
+        payloads = [bytes([rng.choice([13, 15, 16])]) + rng.randbytes(4) for _ in range(300)]
+        report = classify_field(payloads, 0, 1)
+        assert report.field_class is FieldClass.IDENTIFIER
+
+    def test_counter_sequential(self):
+        report = classify_field(_payloads_counter(), 4, 2)
+        assert report.field_class is FieldClass.COUNTER
+
+    def test_counter_with_wraparound(self):
+        payloads = [((0xFFF0 + i) % 0x10000).to_bytes(2, "big") for i in range(64)]
+        report = classify_field(payloads, 0, 2)
+        assert report.field_class is FieldClass.COUNTER
+
+    def test_random_bytes(self):
+        rng = random.Random(2)
+        payloads = [rng.randbytes(8) for _ in range(400)]
+        report = classify_field(payloads, 2, 4)
+        assert report.field_class is FieldClass.RANDOM
+
+    def test_empty(self):
+        assert classify(sequence_stats([], 1)) is FieldClass.MIXED
+
+
+class TestAnalyzeFlow:
+    def test_sweep_covers_widths_and_offsets(self):
+        payloads = _payloads_counter(50)
+        reports = analyze_flow(payloads, widths=(1, 2), max_offset=8)
+        keys = {(r.offset, r.width) for r in reports}
+        assert (0, 1) in keys and (6, 2) in keys
+
+    def test_fields_of_class_filter(self):
+        reports = analyze_flow(_payloads_counter(), widths=(2,), max_offset=8)
+        counters = fields_of_class(reports, FieldClass.COUNTER)
+        assert any(r.offset == 4 for r in counters)
+
+
+class TestRtpSignature:
+    def test_finds_rtp_structure(self):
+        """seq(2B counter) at o+2, ts(4B counter) at o+4, ssrc(4B id) at
+        o+8 — built synthetically at offset 3."""
+        rng = random.Random(3)
+        payloads = []
+        for i in range(400):
+            buffer = bytearray(rng.randbytes(20))
+            buffer[3] = 0x80  # version bits
+            buffer[5:7] = (1000 + i).to_bytes(2, "big")
+            buffer[7:11] = (90_000 + 3000 * i).to_bytes(4, "big")
+            buffer[11:15] = (0x110).to_bytes(4, "big")
+            payloads.append(bytes(buffer))
+        reports = analyze_flow(payloads, widths=(1, 2, 4), max_offset=20)
+        assert 3 in find_rtp_signature(reports)
+
+    def test_no_signature_in_random_data(self):
+        rng = random.Random(4)
+        payloads = [rng.randbytes(24) for _ in range(400)]
+        reports = analyze_flow(payloads, widths=(1, 2, 4), max_offset=20)
+        assert find_rtp_signature(reports) == []
+
+
+class TestOnZoomTraffic:
+    @staticmethod
+    def _one_video_flow(result):
+        """Payloads of a single video UDP flow, as the paper analyzes them
+        (the multi-line overlap effect appears when flows are mixed)."""
+        from collections import Counter
+
+        from repro.net.packet import parse_frame
+        from repro.zoom.packets import parse_zoom_payload
+
+        by_flow = {}
+        for captured in result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            if not packet.is_udp or packet.dst_port != 8801:
+                continue
+            zoom = parse_zoom_payload(packet.payload, from_server=True)
+            if zoom.is_media and zoom.media.media_type == 16:
+                by_flow.setdefault(packet.five_tuple, []).append(packet.payload)
+        biggest = max(by_flow.values(), key=len)
+        return biggest
+
+    def test_video_flow_fields(self, sfu_meeting_result):
+        """On a real (emulated) Zoom video flow: type byte is an identifier,
+        Zoom media sequence is a counter, deep payload is random."""
+        payloads = self._one_video_flow(sfu_meeting_result)
+        assert len(payloads) > 300
+        # Byte 8: the media-encapsulation type byte (constant 16 here).
+        assert classify_field(payloads, 8, 1).field_class in (
+            FieldClass.CONSTANT,
+            FieldClass.IDENTIFIER,
+        )
+        # Bytes 17-18: the Zoom media sequence number.
+        assert classify_field(payloads, 17, 2).field_class is FieldClass.COUNTER
+        # Bytes 19-22: the Zoom media timestamp.
+        assert classify_field(payloads, 19, 4).field_class is FieldClass.COUNTER
+        # RTP sequence at 34-35 (RTP header at offset 32).
+        assert classify_field(payloads, 34, 2).field_class is FieldClass.COUNTER
+        # SSRC at 40-43.
+        assert classify_field(payloads, 40, 4).field_class in (
+            FieldClass.CONSTANT,
+            FieldClass.IDENTIFIER,
+        )
+        # Encrypted payload well past the headers.
+        assert classify_field(payloads, 60, 4).field_class is FieldClass.RANDOM
+
+    def test_rtp_signature_on_video_flow(self, sfu_meeting_result):
+        payloads = self._one_video_flow(sfu_meeting_result)
+        reports = analyze_flow(payloads, widths=(1, 2, 4), max_offset=48)
+        assert 32 in find_rtp_signature(reports)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300))
+def test_stats_invariants(values):
+    stats = sequence_stats(values, 1)
+    assert stats.samples == len(values)
+    assert 1 <= stats.distinct <= len(values)
+    assert 0.0 <= stats.entropy <= 1.0 + 1e-9
+    assert 0.0 <= stats.increment_fraction <= 1.0
+    assert 0.0 < stats.top_share <= 1.0

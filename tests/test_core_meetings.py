@@ -1,0 +1,193 @@
+"""Tests for the stream-to-meeting grouping heuristic (§4.3)."""
+
+from repro.core.meetings import Meeting, MeetingGrouper, _rtp_distance
+from repro.core.streams import RTPPacketRecord, StreamTable
+
+SFU = "170.114.10.5"
+
+
+def _record(src_ip, src_port, dst_ip, dst_port, *, ssrc, rtp_ts, t, to_server, media_type=16):
+    return RTPPacketRecord(
+        timestamp=t,
+        five_tuple=(src_ip, src_port, dst_ip, dst_port, 17),
+        ssrc=ssrc,
+        payload_type=98,
+        sequence=int(t * 100) & 0xFFFF,
+        rtp_timestamp=rtp_ts,
+        marker=False,
+        media_type=media_type,
+        payload_len=500,
+        udp_payload_len=550,
+        is_p2p=to_server is None,
+        to_server=to_server,
+    )
+
+
+def _setup():
+    return StreamTable(), MeetingGrouper()
+
+
+def _feed(table, grouper, records):
+    seen = set()
+    for rec in sorted(records, key=lambda r: r.timestamp):
+        stream = table.observe(rec)
+        if rec.stream_key not in seen:
+            seen.add(rec.stream_key)
+            grouper.observe_new_stream(stream, table)
+        else:
+            grouper.observe_stream_update(stream)
+
+
+class TestRtpDistance:
+    def test_zero(self):
+        assert _rtp_distance(100, 100) == 0
+
+    def test_symmetric(self):
+        assert _rtp_distance(100, 400) == _rtp_distance(400, 100) == 300
+
+    def test_wraparound(self):
+        assert _rtp_distance(5, (1 << 32) - 5) == 10
+
+
+class TestStepOneDuplicates:
+    def test_sfu_replica_gets_same_uid(self):
+        """Egress copy and SFU-forwarded ingress copy share a unique id."""
+        table, grouper = _setup()
+        records = []
+        for i in range(5):
+            records.append(_record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110,
+                                   rtp_ts=90000 + i * 3000, t=1.0 + i * 0.033, to_server=True))
+            records.append(_record(SFU, 8801, "10.8.1.3", 50011, ssrc=0x110,
+                                   rtp_ts=90000 + i * 3000, t=1.03 + i * 0.033, to_server=False))
+        _feed(table, grouper, records)
+        assert grouper.unique_stream_count() == 1
+        assert len(grouper.meetings()) == 1
+
+    def test_same_ssrc_distant_timestamp_not_merged(self):
+        """SSRC reuse across meetings must not collapse them (§4.3.1 #2)."""
+        table, grouper = _setup()
+        records = [
+            _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=100_000, t=1.0, to_server=True),
+            _record("10.8.9.9", 50002, "170.114.20.7", 8801, ssrc=0x110,
+                    rtp_ts=3_000_000_000, t=1.5, to_server=True),
+        ]
+        _feed(table, grouper, records)
+        assert grouper.unique_stream_count() == 2
+        assert len(grouper.meetings()) == 2
+
+    def test_same_ssrc_stale_time_not_merged(self):
+        table, grouper = _setup()
+        records = [
+            _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=100_000, t=1.0, to_server=True),
+            _record("10.8.9.9", 50002, SFU, 8801, ssrc=0x110, rtp_ts=101_000, t=500.0, to_server=True),
+        ]
+        _feed(table, grouper, records)
+        assert grouper.unique_stream_count() == 2
+
+    def test_p2p_transition_keeps_uid(self):
+        """An SFU→P2P switch changes the 5-tuple but not RTP state, so the
+        new flow continues the same unique stream (§4.3.2 step 1)."""
+        table, grouper = _setup()
+        records = [
+            _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=90_000, t=1.0, to_server=True),
+            _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=180_000, t=2.0, to_server=True),
+            # switch: new ports, direct peer, timestamps continue
+            _record("10.8.1.2", 52001, "198.18.5.5", 52099, ssrc=0x110,
+                    rtp_ts=270_000, t=3.0, to_server=None),
+        ]
+        _feed(table, grouper, records)
+        assert grouper.unique_stream_count() == 1
+        assert len(grouper.meetings()) == 1
+
+
+class TestStepTwoAssignment:
+    def test_streams_from_same_client_share_meeting(self):
+        """Audio and video of one client (different SSRCs and ports... same
+        IP) land in one meeting via the client-IP mapping."""
+        table, grouper = _setup()
+        records = [
+            _record("10.8.1.2", 50000, SFU, 8801, ssrc=0x10F, rtp_ts=1000, t=1.0,
+                    to_server=True, media_type=15),
+            _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=5_000_000, t=1.1,
+                    to_server=True, media_type=16),
+        ]
+        _feed(table, grouper, records)
+        assert grouper.unique_stream_count() == 2
+        assert len(grouper.meetings()) == 1
+
+    def test_separate_meetings_stay_separate(self):
+        table, grouper = _setup()
+        records = [
+            _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=1000, t=1.0, to_server=True),
+            _record("10.8.7.7", 50001, "170.114.44.4", 8801, ssrc=0x210,
+                    rtp_ts=900_000, t=1.2, to_server=True),
+        ]
+        _feed(table, grouper, records)
+        assert len(grouper.meetings()) == 2
+
+    def test_merge_via_shared_uid(self):
+        """Two meetings created from different clients merge when a stream
+        copy links them (the SFU forwards client A's stream to client B)."""
+        table, grouper = _setup()
+        records = [
+            # B's own egress first: creates meeting 1.
+            _record("10.8.1.3", 50002, SFU, 8801, ssrc=0x20F, rtp_ts=77_000, t=0.9,
+                    to_server=True, media_type=15),
+            # A's egress: creates meeting 2.
+            _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=90_000, t=1.0, to_server=True),
+            # SFU forwards A's stream to B: same uid as A's stream, client B
+            # endpoint already known -> merge.
+            _record(SFU, 8801, "10.8.1.3", 50012, ssrc=0x110, rtp_ts=90_500, t=1.05, to_server=False),
+        ]
+        _feed(table, grouper, records)
+        assert len(grouper.meetings()) == 1
+        assert grouper.merges == 1
+        meeting = grouper.meetings()[0]
+        assert meeting.client_ips == {"10.8.1.2", "10.8.1.3"}
+
+    def test_meeting_of_lookup(self):
+        table, grouper = _setup()
+        rec = _record("10.8.1.2", 50001, SFU, 8801, ssrc=0x110, rtp_ts=1, t=1.0, to_server=True)
+        _feed(table, grouper, [rec])
+        assert grouper.meeting_of(rec.stream_key) is not None
+        assert grouper.uid_of(rec.stream_key) == 0
+        assert grouper.meeting_of((("9.9.9.9", 1, "8.8.8.8", 2, 17), 5)) is None
+
+
+class TestParticipantEstimate:
+    def test_campus_only(self):
+        meeting = Meeting(meeting_id=0)
+        meeting.client_ips = {"10.8.1.2", "10.8.1.3"}
+        assert meeting.participant_estimate() == 2
+
+    def test_inbound_only_counts_off_campus(self):
+        meeting = Meeting(meeting_id=0)
+        meeting.client_ips = {"10.8.1.2"}
+        meeting.uid_media_types = {1: 16, 2: 15, 3: 16}
+        meeting.uid_has_egress = {1: True, 2: False, 3: False}
+        # Two inbound-only streams: one audio, one video -> at least one
+        # off-campus sender (max per media type = 1).
+        assert meeting.participant_estimate() == 2
+
+    def test_two_off_campus_video_senders(self):
+        meeting = Meeting(meeting_id=0)
+        meeting.client_ips = {"10.8.1.2"}
+        meeting.uid_media_types = {1: 16, 2: 16}
+        meeting.uid_has_egress = {1: False, 2: False}
+        assert meeting.participant_estimate() == 3
+
+
+class TestOnSimulatedMeetings:
+    def test_sfu_meeting_grouped_as_one(self, analyzed_sfu, sfu_meeting_result):
+        meetings = analyzed_sfu.meetings
+        assert len(meetings) == 1
+        truth_ssrcs = {t.ssrc for t in sfu_meeting_result.stream_truths}
+        assert len(meetings[0].stream_uids) == len(truth_ssrcs)
+
+    def test_sfu_participant_estimate_matches_truth(self, analyzed_sfu, sfu_meeting_result):
+        truth_participants = {t.participant for t in sfu_meeting_result.stream_truths}
+        assert analyzed_sfu.meetings[0].participant_estimate() == len(truth_participants)
+
+    def test_p2p_meeting_single_meeting_across_transition(self, analyzed_p2p):
+        """The port change at the SFU→P2P switch must not split the meeting."""
+        assert len(analyzed_p2p.meetings) == 1

@@ -1,0 +1,102 @@
+"""Tests for RTP/RTCP offset and type-field discovery (§4.2.2)."""
+
+import random
+
+from repro.core.offset_finder import candidate_rtp_offsets, discover_offsets
+from repro.net.packet import parse_frame
+from repro.rtp.rtp import RTPHeader
+from repro.zoom.packets import parse_zoom_payload
+
+
+def _collect_payloads(result, *, direction_port=8801, limit=8000):
+    payloads = []
+    for captured in result.captures[:limit]:
+        packet = parse_frame(captured.data, captured.timestamp)
+        if packet.is_udp and direction_port in (packet.src_port, packet.dst_port):
+            payloads.append(packet.payload)
+    return payloads
+
+
+class TestCandidates:
+    def test_finds_true_offset(self):
+        rtp = RTPHeader(payload_type=98, sequence=1, timestamp=2, ssrc=3)
+        payload = b"\x00" * 10 + rtp.serialize() + b"\x00" * 4
+        assert 10 in candidate_rtp_offsets(payload)
+
+    def test_no_candidates_in_low_bytes(self):
+        assert candidate_rtp_offsets(b"\x00" * 40) == []
+
+    def test_respects_max_offset(self):
+        rtp = RTPHeader(payload_type=98, sequence=1, timestamp=2, ssrc=3)
+        payload = b"\x00" * 30 + rtp.serialize()
+        assert 30 not in candidate_rtp_offsets(payload, max_offset=20)
+
+
+class TestDiscovery:
+    def test_discovers_server_offsets_and_type_field(self, sfu_meeting_result):
+        """The full §4.2.2 result on emulated server traffic: RTP offsets
+        {27, 32, 35}, the type byte at position 8, the Table 2 mapping, and
+        RTCP at offset 16."""
+        payloads = _collect_payloads(sfu_meeting_result)
+        discovery = discover_offsets(payloads)
+        top_offsets = {
+            offset for offset, count in discovery.rtp_offsets.items() if count > 50
+        }
+        assert {27, 32} <= top_offsets
+        assert discovery.type_field_positions[0] == 8
+        assert discovery.offset_by_type_value.get(15) == 27
+        assert discovery.offset_by_type_value.get(16) == 32
+        assert 16 in discovery.rtcp_offsets
+
+    def test_discovers_p2p_offsets(self, p2p_meeting_result):
+        """P2P payloads have no SFU layer: the type byte is position 0 and
+        RTP offsets are 8 lower (Figure 7)."""
+        payloads = []
+        for captured in p2p_meeting_result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            if not packet.is_udp:
+                continue
+            if 8801 in (packet.src_port, packet.dst_port):
+                continue
+            if packet.dst_port == 3478 or packet.src_port == 3478:
+                continue
+            payloads.append(packet.payload)
+        assert payloads
+        discovery = discover_offsets(payloads)
+        top_offsets = {
+            offset for offset, count in discovery.rtp_offsets.items() if count > 50
+        }
+        assert {19, 24} & top_offsets  # audio 19 and/or video 24
+        if discovery.type_field_positions:
+            assert discovery.type_field_positions[0] == 0
+
+    def test_true_ssrcs_recovered(self, sfu_meeting_result):
+        """Every SSRC with enough packets to clear the vote threshold is
+        recovered; sparse streams (e.g. a mostly-static screen share) may
+        legitimately stay below it."""
+        from collections import Counter
+
+        payloads = _collect_payloads(sfu_meeting_result, limit=10**9)
+        per_ssrc = Counter()
+        for payload in payloads:
+            zoom = parse_zoom_payload(payload, from_server=True)
+            if zoom.is_media:
+                per_ssrc[zoom.rtp.ssrc] += 1
+        discovery = discover_offsets(payloads)
+        truth = {t.ssrc for t in sfu_meeting_result.stream_truths}
+        recoverable = {ssrc for ssrc in truth if per_ssrc[ssrc] >= 8}
+        assert recoverable
+        assert recoverable <= discovery.ssrcs
+
+    def test_random_noise_yields_nothing(self):
+        rng = random.Random(9)
+        payloads = [rng.randbytes(60) for _ in range(500)]
+        discovery = discover_offsets(payloads)
+        assert sum(discovery.rtp_offsets.values()) < 25
+        assert not discovery.rtcp_offsets
+
+    def test_empty_input(self):
+        discovery = discover_offsets([])
+        assert not discovery.rtp_offsets
+        assert not discovery.ssrcs
+        assert not discovery.type_field_positions

@@ -1,0 +1,132 @@
+"""Tests for RTP stream assembly."""
+
+from repro.core.streams import (
+    MediaStream,
+    RTPPacketRecord,
+    StreamTable,
+    _seq_newer,
+)
+
+FT = ("10.8.1.2", 50001, "170.114.10.5", 8801, 17)
+
+
+def record(**overrides) -> RTPPacketRecord:
+    defaults = dict(
+        timestamp=1.0,
+        five_tuple=FT,
+        ssrc=0x110,
+        payload_type=98,
+        sequence=100,
+        rtp_timestamp=90000,
+        marker=False,
+        media_type=16,
+        payload_len=500,
+        udp_payload_len=550,
+        frame_sequence=1,
+        packets_in_frame=2,
+        to_server=True,
+    )
+    defaults.update(overrides)
+    return RTPPacketRecord(**defaults)
+
+
+class TestRecord:
+    def test_stream_key(self):
+        assert record().stream_key == (FT, 0x110)
+
+    def test_src_dst(self):
+        r = record()
+        assert r.src == ("10.8.1.2", 50001)
+        assert r.dst == ("170.114.10.5", 8801)
+
+
+class TestMediaStream:
+    def test_observe_updates_bounds(self):
+        stream = MediaStream(key=(FT, 0x110), media_type=16, is_p2p=False, to_server=True)
+        stream.observe(record(timestamp=1.0, rtp_timestamp=100))
+        stream.observe(record(timestamp=2.5, rtp_timestamp=200, sequence=101))
+        assert stream.first_time == 1.0
+        assert stream.last_time == 2.5
+        assert stream.first_rtp_timestamp == 100
+        assert stream.last_rtp_timestamp == 200
+        assert stream.packets == 2
+        assert stream.bytes == 1000
+        assert stream.duration == 1.5
+
+    def test_substream_separation(self):
+        stream = MediaStream(key=(FT, 0x110), media_type=16, is_p2p=False, to_server=True)
+        stream.observe(record(payload_type=98, sequence=10))
+        stream.observe(record(payload_type=110, sequence=500))
+        stream.observe(record(payload_type=98, sequence=11))
+        assert set(stream.substreams) == {98, 110}
+        assert stream.substreams[98].packets == 2
+        assert stream.main_substream().payload_type == 98
+
+    def test_record_retention_flag(self):
+        keep = MediaStream(key=(FT, 1), media_type=16, is_p2p=False, to_server=True, keep_records=True)
+        drop = MediaStream(key=(FT, 1), media_type=16, is_p2p=False, to_server=True, keep_records=False)
+        keep.observe(record())
+        drop.observe(record())
+        assert len(keep.records) == 1
+        assert len(drop.records) == 0
+
+    def test_media_type_name(self):
+        stream = MediaStream(key=(FT, 1), media_type=16, is_p2p=False, to_server=True)
+        assert stream.media_type_name == "VIDEO"
+        other = MediaStream(key=(FT, 1), media_type=77, is_p2p=False, to_server=True)
+        assert other.media_type_name == "TYPE_77"
+
+    def test_highest_sequence_wraparound(self):
+        stream = MediaStream(key=(FT, 1), media_type=16, is_p2p=False, to_server=True)
+        stream.observe(record(sequence=0xFFFE))
+        stream.observe(record(sequence=0xFFFF))
+        stream.observe(record(sequence=0x0000))  # wrapped
+        assert stream.substreams[98].highest_sequence == 0x0000
+
+
+class TestStreamTable:
+    def test_streams_created_per_key(self):
+        table = StreamTable()
+        table.observe(record(ssrc=1))
+        table.observe(record(ssrc=2))
+        table.observe(record(ssrc=1, sequence=101))
+        assert len(table) == 2
+
+    def test_ssrc_index(self):
+        table = StreamTable()
+        other_flow = ("170.114.10.5", 8801, "10.8.1.3", 50002, 17)
+        table.observe(record(ssrc=7))
+        table.observe(record(ssrc=7, five_tuple=other_flow, to_server=False))
+        assert len(table.with_ssrc(7)) == 2
+        assert table.with_ssrc(8) == []
+
+    def test_get(self):
+        table = StreamTable()
+        table.observe(record())
+        assert table.get((FT, 0x110)) is not None
+        assert table.get((FT, 0x999)) is None
+
+    def test_iteration(self):
+        table = StreamTable()
+        table.observe(record(ssrc=1))
+        table.observe(record(ssrc=2))
+        assert {stream.ssrc for stream in table} == {1, 2}
+
+    def test_keep_records_propagates(self):
+        table = StreamTable(keep_records=False)
+        stream = table.observe(record())
+        assert stream.records == []
+
+
+class TestSeqNewer:
+    def test_simple(self):
+        assert _seq_newer(101, 100)
+        assert not _seq_newer(100, 101)
+        assert not _seq_newer(100, 100)
+
+    def test_wraparound(self):
+        assert _seq_newer(5, 0xFFFE)
+        assert not _seq_newer(0xFFFE, 5)
+
+    def test_far_apart_is_old(self):
+        assert not _seq_newer(0x8001, 0)

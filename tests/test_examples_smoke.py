@@ -1,0 +1,47 @@
+"""Smoke tests: the quickest examples must run cleanly end to end.
+
+The slower examples (campus study, validation, QoE dataset) are exercised
+indirectly through the benchmark fixtures; these subprocess runs guard the
+two fastest entry points a new user will try first.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: float = 180.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "meetings found:      1" in result.stdout
+    assert "Latency to SFU" in result.stdout
+
+
+@pytest.mark.slow
+def test_dissect_pcap_runs(tmp_path):
+    result = _run("dissect_pcap.py")
+    assert result.returncode == 0, result.stderr
+    assert "Zoom" in result.stdout
+    assert "Real-Time Transport Protocol" in result.stdout
+
+
+def test_all_examples_compile():
+    """Every example at least parses (cheap guard for the slow ones)."""
+    import py_compile
+
+    for script in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,103 @@
+"""Tests for mid-meeting media toggles: flows disappear and reappear (§3).
+
+Prior work confirmed Zoom's one-flow-per-media-type layout "by enabling and
+disabling audio, video, and screen sharing during a meeting and observing
+the respective flows appear or disappear in their network trace" — the
+emulator reproduces exactly that observable, and the analyzer handles the
+gaps without splitting streams.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core import ZoomAnalyzer
+from repro.net.packet import parse_frame
+from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
+from repro.zoom.constants import ZoomMediaType
+from repro.zoom.packets import parse_zoom_payload
+
+
+@pytest.fixture(scope="module")
+def toggled_meeting():
+    config = MeetingConfig(
+        meeting_id="toggles",
+        participants=(
+            ParticipantConfig(
+                name="toggler",
+                on_campus=True,
+                media=(ZoomMediaType.AUDIO, ZoomMediaType.VIDEO),
+                media_schedule=(
+                    (6.0, ZoomMediaType.VIDEO, False),   # camera off
+                    (12.0, ZoomMediaType.VIDEO, True),   # camera back on
+                    (15.0, ZoomMediaType.AUDIO, False),  # mute
+                ),
+            ),
+            ParticipantConfig(name="peer", on_campus=True, join_time=0.5),
+        ),
+        duration=20.0,
+        allow_p2p=False,
+        seed=73,
+    )
+    return MeetingSimulator(config).run()
+
+
+def _flow_activity(result, media_type):
+    """Per-second packet counts on the toggler's egress flow of one type."""
+    per_second = defaultdict(int)
+    for captured in result.captures:
+        packet = parse_frame(captured.data, captured.timestamp)
+        if not packet.is_udp or packet.dst_port != 8801:
+            continue
+        if not packet.src_ip.endswith(".10"):  # the toggler (index 0)
+            continue
+        zoom = parse_zoom_payload(packet.payload, from_server=True)
+        if zoom.is_media and zoom.media.media_type == int(media_type):
+            per_second[int(captured.timestamp)] += 1
+    return per_second
+
+
+def test_video_flow_disappears_and_reappears(toggled_meeting):
+    video = _flow_activity(toggled_meeting, ZoomMediaType.VIDEO)
+    assert video[3] > 20            # active before the toggle
+    assert video.get(8, 0) == 0     # silent while camera is off
+    assert video.get(10, 0) == 0
+    assert video[14] > 20           # active again after re-enable
+
+
+def test_audio_flow_stops_at_mute(toggled_meeting):
+    audio = _flow_activity(toggled_meeting, ZoomMediaType.AUDIO)
+    assert audio[10] > 30
+    assert audio.get(17, 0) == 0
+    assert audio.get(19, 0) == 0
+
+
+def test_other_media_unaffected(toggled_meeting):
+    """Muting video must not interrupt the audio flow (separate flows)."""
+    audio = _flow_activity(toggled_meeting, ZoomMediaType.AUDIO)
+    for second in range(7, 12):  # while the camera is off
+        assert audio[second] > 30
+
+
+def test_analyzer_does_not_split_toggled_stream(toggled_meeting):
+    """A 6-second gap on the same flow stays one stream and one unique id
+    (same 5-tuple; step 1 never even runs), and the meeting stays whole."""
+    analysis = ZoomAnalyzer().analyze(toggled_meeting.captures)
+    truth = {t.ssrc for t in toggled_meeting.stream_truths}
+    assert analysis.grouper.unique_stream_count() == len(truth)
+    assert len(analysis.meetings) == 1
+
+
+def test_frame_rate_zero_during_gap(toggled_meeting):
+    """Method 1 correctly reports ~0 fps while the camera is off."""
+    analysis = ZoomAnalyzer().analyze(toggled_meeting.captures)
+    stream = next(
+        s for s in analysis.media_streams() if s.ssrc == 0x10 and s.to_server is True
+    )
+    metrics = analysis.metrics_for(stream.key)
+    # No frames complete while the camera is off...
+    gap = [s for s in metrics.framerate_delivered.samples if 7.5 < s.time < 11.5]
+    assert gap == []
+    # ...and the rate recovers after the re-enable.
+    active = [s.fps for s in metrics.framerate_delivered.samples if 13.5 < s.time < 15]
+    assert active and max(active) > 20

@@ -1,0 +1,133 @@
+"""Tests for both frame-rate estimation methods (§5.2)."""
+
+import pytest
+
+from repro.core.metrics.framerate import (
+    FrameRateMethod1,
+    FrameRateMethod2,
+    infer_sampling_rate,
+)
+from repro.core.metrics.frames import CompletedFrame
+
+
+def frame(ts, completed, *, first=None, n=2, size=1000):
+    return CompletedFrame(
+        rtp_timestamp=ts,
+        frame_sequence=0,
+        expected_packets=n,
+        first_time=first if first is not None else completed - 0.005,
+        completed_time=completed,
+        payload_bytes=size,
+    )
+
+
+class TestMethod1:
+    def test_steady_30fps(self):
+        meter = FrameRateMethod1()
+        sample = None
+        for i in range(60):
+            sample = meter.observe(frame(i * 3000, 1.0 + i / 30.0))
+        assert sample.fps == pytest.approx(30.0, abs=1.5)
+
+    def test_rate_at_decays_when_frames_stop(self):
+        meter = FrameRateMethod1()
+        for i in range(30):
+            meter.observe(frame(i * 3000, 1.0 + i / 30.0))
+        assert meter.rate_at(2.0) > 20
+        assert meter.rate_at(10.0) == 0.0
+
+    def test_rate_halves_with_rate_change(self):
+        meter = FrameRateMethod1()
+        t = 0.0
+        for i in range(30):
+            t += 1 / 30.0
+            meter.observe(frame(i, t))
+        for i in range(30, 60):
+            t += 1 / 15.0
+            meter.observe(frame(i, t))
+        assert meter.samples[-1].fps == pytest.approx(15.0, abs=2.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FrameRateMethod1(window=0)
+
+
+class TestMethod2:
+    def test_encoder_rate_from_increments(self):
+        meter = FrameRateMethod2(90_000)
+        meter.observe(frame(0, 1.0))
+        sample = meter.observe(frame(3000, 1.033))
+        assert sample.fps == pytest.approx(30.0)
+
+    def test_first_frame_yields_no_sample(self):
+        meter = FrameRateMethod2(90_000)
+        assert meter.observe(frame(0, 1.0)) is None
+
+    def test_duplicate_timestamp_skipped(self):
+        meter = FrameRateMethod2(90_000)
+        meter.observe(frame(0, 1.0))
+        assert meter.observe(frame(0, 1.01)) is None
+
+    def test_wraparound_increment(self):
+        meter = FrameRateMethod2(90_000)
+        meter.observe(frame((1 << 32) - 1500, 1.0))
+        sample = meter.observe(frame(1500, 1.033))
+        assert sample.fps == pytest.approx(30.0)
+
+    def test_out_of_order_timestamp_skipped(self):
+        meter = FrameRateMethod2(90_000)
+        meter.observe(frame(90_000, 1.0))
+        assert meter.observe(frame(45_000, 1.03)) is None
+
+    def test_packetization_time(self):
+        meter = FrameRateMethod2(90_000)
+        meter.observe(frame(0, 1.0))
+        meter.observe(frame(9000, 1.1))
+        assert meter.packetization_time() == pytest.approx(0.1)
+        assert FrameRateMethod2().packetization_time() is None
+
+    def test_divergence_under_congestion(self):
+        """Method 1 (delivered) dips while Method 2 (encoder) holds when the
+        network delays frames without the encoder adapting — the §5.2
+        network-problem indicator."""
+        delivered = FrameRateMethod1()
+        encoder = FrameRateMethod2(90_000)
+        for i in range(90):
+            # Encoder runs at a constant 30 fps (3000-tick increments), but
+            # during frames 30-59 a queue builds: each frame is delivered
+            # 40 ms later than the previous one's schedule.
+            queueing = 0.04 * max(0, min(i, 59) - 29)
+            t = (i + 1) / 30.0 + queueing
+            completed = frame(i * 3000, t)
+            delivered.observe(completed)
+            encoder.observe(completed)
+        window = (1.5, 2.8)  # during the queue build-up
+        congested_delivered = [
+            s.fps for s in delivered.samples if window[0] <= s.time <= window[1]
+        ]
+        congested_encoder = [
+            s.fps for s in encoder.samples if window[0] <= s.time <= window[1]
+        ]
+        assert congested_delivered and min(congested_delivered) < 18
+        assert congested_encoder and min(congested_encoder) > 25
+
+    def test_sampling_rate_validation(self):
+        with pytest.raises(ValueError):
+            FrameRateMethod2(0)
+
+
+class TestInferSamplingRate:
+    def test_finds_90khz(self):
+        """The §5.2 parameter sweep on 30 fps video timestamps."""
+        increments = [3000] * 20
+        intervals = [1 / 30.0] * 20
+        assert infer_sampling_rate(increments, intervals) == 90_000
+
+    def test_finds_48khz_audio(self):
+        increments = [960] * 20
+        intervals = [0.020] * 20
+        assert infer_sampling_rate(increments, intervals) == 48_000
+
+    def test_empty_or_mismatched(self):
+        assert infer_sampling_rate([], []) is None
+        assert infer_sampling_rate([1], []) is None

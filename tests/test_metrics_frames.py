@@ -1,0 +1,117 @@
+"""Tests for frame assembly from packets (§5.2)."""
+
+import pytest
+
+from repro.core.metrics.frames import FrameAssembler
+from repro.core.streams import RTPPacketRecord
+
+FT = ("10.8.1.2", 50001, "170.114.10.5", 8801, 17)
+
+
+def packet(seq, rtp_ts, *, t=1.0, n=2, payload_type=98, payload_len=500, frame_seq=1):
+    return RTPPacketRecord(
+        timestamp=t,
+        five_tuple=FT,
+        ssrc=0x110,
+        payload_type=payload_type,
+        sequence=seq,
+        rtp_timestamp=rtp_ts,
+        marker=False,
+        media_type=16,
+        payload_len=payload_len,
+        udp_payload_len=payload_len + 50,
+        frame_sequence=frame_seq,
+        packets_in_frame=n,
+        to_server=True,
+    )
+
+
+def test_single_packet_frame_completes_immediately():
+    assembler = FrameAssembler()
+    frame = assembler.observe(packet(1, 100, n=1))
+    assert frame is not None
+    assert frame.expected_packets == 1
+    assert frame.payload_bytes == 500
+
+
+def test_multi_packet_frame():
+    assembler = FrameAssembler()
+    assert assembler.observe(packet(1, 100, n=3, t=1.00)) is None
+    assert assembler.observe(packet(2, 100, n=3, t=1.01)) is None
+    frame = assembler.observe(packet(3, 100, n=3, t=1.02))
+    assert frame is not None
+    assert frame.first_time == 1.00
+    assert frame.completed_time == 1.02
+    assert frame.delay == pytest.approx(0.02)
+    assert frame.payload_bytes == 1500
+
+
+def test_duplicate_does_not_double_count():
+    """Retransmitted packets (same seq) must not complete a frame early."""
+    assembler = FrameAssembler()
+    assembler.observe(packet(1, 100, n=2, t=1.0))
+    assert assembler.observe(packet(1, 100, n=2, t=1.1)) is None  # duplicate
+    frame = assembler.observe(packet(2, 100, n=2, t=1.2))
+    assert frame is not None
+    assert frame.duplicates == 1
+    assert frame.payload_bytes == 1000  # duplicate bytes not counted
+
+
+def test_fec_excluded():
+    """FEC packets share the timestamp but live in their own sequence space
+    and must not contribute to frame completion (§4.2.3)."""
+    assembler = FrameAssembler()
+    assembler.observe(packet(1, 100, n=2))
+    assert assembler.observe(packet(900, 100, n=2, payload_type=110)) is None
+    assert assembler.completed_count == 0
+    frame = assembler.observe(packet(2, 100, n=2))
+    assert frame is not None
+
+
+def test_interleaved_frames():
+    """Packets of two frames interleaved (e.g. retransmit tail + new frame)."""
+    assembler = FrameAssembler()
+    assembler.observe(packet(1, 100, n=2, t=1.0))
+    assembler.observe(packet(3, 200, n=2, t=1.1))
+    first = assembler.observe(packet(2, 100, n=2, t=1.2))
+    second = assembler.observe(packet(4, 200, n=2, t=1.3))
+    assert first.rtp_timestamp == 100
+    assert second.rtp_timestamp == 200
+    assert assembler.completed_count == 2
+
+
+def test_zero_packets_in_frame_ignored():
+    """Audio packets carry no frame fields; the assembler skips them."""
+    assembler = FrameAssembler()
+    assert assembler.observe(packet(1, 100, n=0)) is None
+    assert assembler.completed_count == 0
+
+
+def test_pending_inspection():
+    assembler = FrameAssembler()
+    assembler.observe(packet(1, 100, n=3))
+    assert assembler.pending() == [(100, 1, 3)]
+
+
+def test_eviction_bounds_memory():
+    assembler = FrameAssembler(max_pending=4)
+    for i in range(10):
+        assembler.observe(packet(i * 10, 1000 + i, n=5, t=1.0 + i))
+    assert len(assembler.pending()) <= 4
+    assert assembler.abandoned_count >= 6
+
+
+def test_late_duplicate_does_not_recount_frame():
+    """A retransmitted copy arriving after the frame completed must not
+    re-open it (that would double-count in frame-rate Method 1)."""
+    assembler = FrameAssembler()
+    assert assembler.observe(packet(1, 100, n=1, t=1.0)) is not None
+    assert assembler.observe(packet(1, 100, n=1, t=1.15)) is None
+    assert assembler.completed_count == 1
+    assert assembler.late_duplicates == 1
+
+
+def test_frame_sequence_carried():
+    assembler = FrameAssembler()
+    frame = assembler.observe(packet(1, 100, n=1, frame_seq=77))
+    assert frame.frame_sequence == 77

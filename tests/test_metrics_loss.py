@@ -1,0 +1,133 @@
+"""Tests for loss/retransmission/reordering inference (§5.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics.loss import SequenceTracker, StreamLossTracker
+from repro.core.streams import RTPPacketRecord
+
+FT = ("10.8.1.2", 50001, "170.114.10.5", 8801, 17)
+
+
+def packet(seq, *, t=1.0, payload_type=98):
+    return RTPPacketRecord(
+        timestamp=t,
+        five_tuple=FT,
+        ssrc=0x110,
+        payload_type=payload_type,
+        sequence=seq & 0xFFFF,
+        rtp_timestamp=seq * 100,
+        marker=False,
+        media_type=16,
+        payload_len=100,
+        udp_payload_len=150,
+        to_server=True,
+    )
+
+
+class TestSequenceTracker:
+    def test_in_order_clean(self):
+        tracker = SequenceTracker()
+        for i in range(100):
+            assert tracker.observe(packet(i)) == "in_order"
+        stats = tracker.finalize()
+        assert stats.received == 100
+        assert stats.duplicates == 0
+        assert stats.unfilled_gaps == 0
+        assert stats.late_fills == 0
+
+    def test_duplicate_detected(self):
+        tracker = SequenceTracker()
+        tracker.observe(packet(1))
+        tracker.observe(packet(2))
+        assert tracker.observe(packet(2)) == "duplicate"
+        assert tracker.stats.duplicates == 1
+
+    def test_gap_filled_later_is_late_fill(self):
+        """Reordering or upstream-loss retransmission (§5.5's ambiguity)."""
+        tracker = SequenceTracker()
+        tracker.observe(packet(1))
+        assert tracker.observe(packet(3)) == "future_gap"
+        assert tracker.observe(packet(2)) == "late_fill"
+        stats = tracker.finalize()
+        assert stats.late_fills == 1
+        assert stats.unfilled_gaps == 0
+
+    def test_gap_never_filled_is_loss(self):
+        tracker = SequenceTracker()
+        tracker.observe(packet(1))
+        tracker.observe(packet(4))
+        stats = tracker.finalize()
+        assert stats.unfilled_gaps == 2  # 2 and 3
+
+    def test_wraparound_not_a_gap(self):
+        tracker = SequenceTracker()
+        tracker.observe(packet(0xFFFE))
+        tracker.observe(packet(0xFFFF))
+        assert tracker.observe(packet(0x0000)) == "in_order"
+        assert tracker.finalize().unfilled_gaps == 0
+
+    def test_wild_jump_resets_instead_of_mass_loss(self):
+        """A mode switch can skip thousands of sequence numbers; that must
+        not be reported as thousands of losses."""
+        tracker = SequenceTracker(window=512)
+        tracker.observe(packet(1))
+        tracker.observe(packet(2))
+        tracker.observe(packet(5000))
+        stats = tracker.finalize()
+        assert stats.unfilled_gaps == 0
+
+    def test_gap_expires_out_of_window(self):
+        tracker = SequenceTracker(window=16)
+        tracker.observe(packet(1))
+        tracker.observe(packet(3))  # 2 missing
+        for i in range(4, 40):
+            tracker.observe(packet(i))
+        assert tracker.stats.unfilled_gaps == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SequenceTracker(window=0)
+        with pytest.raises(ValueError):
+            SequenceTracker(window=40000)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    def test_counters_never_negative_and_bounded(self, seqs):
+        tracker = SequenceTracker(window=64)
+        for seq in seqs:
+            tracker.observe(packet(seq))
+        stats = tracker.finalize()
+        assert stats.received == len(seqs)
+        assert stats.duplicates >= 0
+        assert stats.late_fills >= 0
+        assert stats.unfilled_gaps >= 0
+        # Cannot detect more events than packets plus open gap space.
+        assert stats.duplicates + stats.late_fills <= stats.received
+
+
+class TestStreamLossTracker:
+    def test_substreams_tracked_separately(self):
+        """Sequence spaces are per payload type; interleaving substreams
+        must not fabricate gaps (§5.4)."""
+        tracker = StreamLossTracker()
+        for i in range(10):
+            tracker.observe(packet(i, payload_type=98))
+            tracker.observe(packet(5000 + i * 3, payload_type=110))
+        report = tracker.report(finalize=False)
+        assert report.per_substream[98].duplicates == 0
+        assert report.duplicates == 0
+
+    def test_report_aggregates(self):
+        tracker = StreamLossTracker()
+        tracker.observe(packet(1))
+        tracker.observe(packet(1))  # duplicate
+        tracker.observe(packet(3))  # gap: 2 missing
+        report = tracker.report(finalize=True)
+        assert report.received == 3
+        assert report.duplicates == 1
+        assert report.lost == 1
+        assert 0 < report.loss_rate < 1
+
+    def test_loss_rate_zero_when_empty(self):
+        assert StreamLossTracker().report().loss_rate == 0.0

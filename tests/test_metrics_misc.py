@@ -1,0 +1,210 @@
+"""Tests for frame size, frame delay, bit rate, and time binning."""
+
+import math
+
+import pytest
+
+from repro.core.metrics.binning import TimeBinner
+from repro.core.metrics.bitrate import BitrateMeter
+from repro.core.metrics.frame_delay import FrameDelayAnalyzer
+from repro.core.metrics.frames import CompletedFrame
+from repro.core.metrics.framesize import FrameSizeCollector
+from repro.core.streams import RTPPacketRecord
+
+FT = ("10.8.1.2", 50001, "170.114.10.5", 8801, 17)
+
+
+def frame(ts, completed, *, first=None, size=1000, duplicates=0):
+    return CompletedFrame(
+        rtp_timestamp=ts,
+        frame_sequence=0,
+        expected_packets=2,
+        first_time=first if first is not None else completed - 0.004,
+        completed_time=completed,
+        payload_bytes=size,
+        duplicates=duplicates,
+    )
+
+
+def record(t, size, *, ssrc=0x110, media_type=16):
+    return RTPPacketRecord(
+        timestamp=t,
+        five_tuple=FT,
+        ssrc=ssrc,
+        payload_type=98,
+        sequence=0,
+        rtp_timestamp=0,
+        marker=False,
+        media_type=media_type,
+        payload_len=size,
+        udp_payload_len=size + 44,
+        to_server=True,
+    )
+
+
+class TestTimeBinner:
+    def test_sums_per_bin(self):
+        binner = TimeBinner(1.0)
+        binner.add(0.2, 10)
+        binner.add(0.9, 5)
+        binner.add(2.1, 7)
+        assert binner.sums() == [(0.0, 15.0), (1.0, 0.0), (2.0, 7.0)]
+
+    def test_counts_and_means(self):
+        binner = TimeBinner(1.0)
+        binner.add(0.5, 10)
+        binner.add(0.6, 20)
+        assert binner.counts() == [(0.0, 2)]
+        assert binner.means() == [(0.0, 15.0)]
+
+    def test_gap_filling_optional(self):
+        binner = TimeBinner(1.0)
+        binner.add(0.0, 1)
+        binner.add(3.0, 1)
+        assert len(binner.sums(fill_gaps=True)) == 4
+        assert len(binner.sums(fill_gaps=False)) == 2
+
+    def test_rates(self):
+        binner = TimeBinner(2.0)
+        binner.add(1.0, 100)
+        assert binner.rates() == [(0.0, 50.0)]
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBinner(0)
+
+    def test_empty(self):
+        binner = TimeBinner(1.0)
+        assert binner.sums() == []
+        assert binner.span is None
+
+
+class TestFrameSize:
+    def test_collects_sizes(self):
+        collector = FrameSizeCollector()
+        collector.observe(frame(0, 1.0, size=500))
+        collector.observe(frame(1, 1.1, size=1500))
+        assert collector.sizes() == [500, 1500]
+
+    def test_keyframe_flagging(self):
+        collector = FrameSizeCollector(keyframe_factor=2.0)
+        for i in range(20):
+            collector.observe(frame(i, 1.0 + i * 0.03, size=1000))
+        sample = collector.observe(frame(99, 2.0, size=5000))
+        assert sample.is_probable_keyframe
+
+    def test_small_frames_not_keyframes(self):
+        collector = FrameSizeCollector()
+        for i in range(20):
+            sample = collector.observe(frame(i, 1.0 + i * 0.03, size=1000))
+        assert not sample.is_probable_keyframe
+
+    def test_summary_stats(self):
+        collector = FrameSizeCollector()
+        for size in (100, 200, 300, 400, 10000):
+            collector.observe(frame(size, 1.0, size=size))
+        summary = collector.summary()
+        assert summary["count"] == 5
+        assert summary["max"] == 10000
+        assert summary["median"] == 300
+
+    def test_summary_empty(self):
+        summary = FrameSizeCollector().summary()
+        assert math.isnan(summary["mean"])
+
+
+class TestFrameDelay:
+    def test_delay_computed(self):
+        analyzer = FrameDelayAnalyzer()
+        sample = analyzer.observe(frame(0, 1.010, first=1.000))
+        assert sample.delay == pytest.approx(0.010)
+
+    def test_packetization_time_from_timestamps(self):
+        analyzer = FrameDelayAnalyzer(90_000)
+        analyzer.observe(frame(0, 1.0))
+        sample = analyzer.observe(frame(3000, 1.033))
+        assert sample.packetization_time == pytest.approx(1 / 30.0)
+
+    def test_retransmission_suspected_on_high_delay(self):
+        """delay > rtt_hint + ~RTO flags a retransmission (§5.5)."""
+        analyzer = FrameDelayAnalyzer(rtt_hint=0.030)
+        sample = analyzer.observe(frame(0, 1.150, first=1.0))
+        assert sample.retransmission_suspected
+        assert analyzer.suspected_retransmissions == 1
+
+    def test_duplicates_also_flag(self):
+        analyzer = FrameDelayAnalyzer()
+        sample = analyzer.observe(frame(0, 1.002, first=1.0, duplicates=1))
+        assert sample.retransmission_suspected
+
+    def test_normal_delay_not_suspected(self):
+        analyzer = FrameDelayAnalyzer(rtt_hint=0.030)
+        sample = analyzer.observe(frame(0, 1.005, first=1.0))
+        assert not sample.retransmission_suspected
+
+    def test_buffer_debt_accumulates_to_stall(self):
+        """Delivery consistently slower than playback drains the jitter
+        buffer — the §5.5 stall indicator."""
+        analyzer = FrameDelayAnalyzer(90_000)
+        analyzer.observe(frame(0, 1.0))
+        ts = 0
+        t = 1.0
+        for i in range(10):
+            ts += 3000          # 33ms of media per frame...
+            t += 0.033
+            analyzer.observe(frame(ts, t + 0.060, first=t))  # ...60ms to deliver
+        assert analyzer.stall_risk
+
+    def test_healthy_stream_no_stall(self):
+        analyzer = FrameDelayAnalyzer(90_000)
+        ts, t = 0, 1.0
+        for i in range(20):
+            analyzer.observe(frame(ts, t, first=t - 0.004))
+            ts += 3000
+            t += 0.033
+        assert not analyzer.stall_risk
+
+
+class TestBitrateMeter:
+    def test_flow_rate_series(self):
+        meter = BitrateMeter()
+        meter.observe_flow_bytes(FT, 0.5, 1000)
+        meter.observe_flow_bytes(FT, 0.7, 1000)
+        meter.observe_flow_bytes(FT, 1.5, 500)
+        series = meter.flow_rate_series(FT)
+        assert series[0] == (0.0, 16000.0)  # 2000 B/s = 16 kbit/s
+        assert series[1] == (1.0, 4000.0)
+
+    def test_media_vs_flow_rate_differs(self):
+        """The §5.1 point: media rate counts only RTP payload bytes."""
+        meter = BitrateMeter()
+        rec = record(0.5, 1000)
+        meter.observe_flow_bytes(FT, 0.5, rec.udp_payload_len)
+        meter.observe_media(rec)
+        flow = meter.flow_rate_series(FT)[0][1]
+        media = meter.stream_rate_series(FT, 0x110)[0][1]
+        assert media < flow
+
+    def test_media_type_aggregation(self):
+        meter = BitrateMeter()
+        meter.observe_media(record(0.5, 1000, ssrc=1, media_type=16))
+        meter.observe_media(record(0.6, 2000, ssrc=2, media_type=16))
+        meter.observe_media(record(0.7, 100, ssrc=3, media_type=15))
+        video = meter.media_type_rate_series(16)
+        audio = meter.media_type_rate_series(15)
+        assert video[0][1] == 8.0 * 3000
+        assert audio[0][1] == 8.0 * 100
+
+    def test_missing_series_empty(self):
+        meter = BitrateMeter()
+        assert meter.flow_rate_series(FT) == []
+        assert meter.stream_rate_series(FT, 1) == []
+        assert meter.media_type_rate_series(16) == []
+        assert meter.stream_rate_values(FT, 1) == []
+
+    def test_stream_rate_values_for_cdf(self):
+        meter = BitrateMeter()
+        meter.observe_media(record(0.5, 1000))
+        meter.observe_media(record(1.5, 3000))
+        values = sorted(meter.stream_rate_values(FT, 0x110))
+        assert values == [8000.0, 24000.0]

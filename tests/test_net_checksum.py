@@ -1,0 +1,74 @@
+"""Tests for the internet checksum (RFC 1071)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import internet_checksum, pseudo_header_v4, pseudo_header_v6
+
+
+def test_empty_input():
+    assert internet_checksum(b"") == 0xFFFF
+
+
+def test_all_zero_bytes():
+    assert internet_checksum(b"\x00" * 8) == 0xFFFF
+
+
+def test_rfc1071_example():
+    # RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2, cksum 220d.
+    data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+    assert internet_checksum(data) == 0x220D
+
+
+def test_odd_length_pads_right():
+    # 0xAB padded to 0xAB00.
+    assert internet_checksum(b"\xab") == (~0xAB00) & 0xFFFF
+
+
+def test_verification_property_fixed():
+    """A datagram with the correct checksum inserted re-sums to zero."""
+    data = bytearray(b"\x45\x00\x00\x1c" + b"\x00" * 16)
+    checksum = internet_checksum(bytes(data))
+    data[10:12] = checksum.to_bytes(2, "big")
+    assert internet_checksum(bytes(data)) == 0
+
+
+@given(st.binary(min_size=0, max_size=200))
+def test_checksum_in_range(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+@given(st.binary(min_size=20, max_size=120).filter(lambda d: len(d) % 2 == 0))
+def test_inserting_checksum_validates(data):
+    """For even-length data with a zeroed checksum slot, inserting the
+    computed checksum makes the total sum verify to zero."""
+    buffer = bytearray(data)
+    buffer[4:6] = b"\x00\x00"
+    checksum = internet_checksum(bytes(buffer))
+    buffer[4:6] = checksum.to_bytes(2, "big")
+    assert internet_checksum(bytes(buffer)) == 0
+
+
+def test_pseudo_header_v4_layout():
+    pseudo = pseudo_header_v4(b"\x0a\x08\x00\x01", b"\xaa\x72\x00\x05", 17, 100)
+    assert len(pseudo) == 12
+    assert pseudo[8] == 0
+    assert pseudo[9] == 17
+    assert int.from_bytes(pseudo[10:12], "big") == 100
+
+
+def test_pseudo_header_v6_layout():
+    src = bytes(range(16))
+    dst = bytes(range(16, 32))
+    pseudo = pseudo_header_v6(src, dst, 17, 1500)
+    assert len(pseudo) == 40
+    assert int.from_bytes(pseudo[32:36], "big") == 1500
+    assert pseudo[39] == 17
+
+
+@pytest.mark.parametrize("value", [0, 1, 0xFFFF, 0x1234])
+def test_carry_folding(value):
+    """Sums that overflow 16 bits fold carries back in."""
+    data = value.to_bytes(2, "big") * 40
+    assert 0 <= internet_checksum(data) <= 0xFFFF

@@ -1,0 +1,97 @@
+"""Tests for Ethernet II framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ethernet import EtherType, EthernetHeader, mac_from_str, mac_to_str
+
+MAC_A = bytes.fromhex("02aabbccddee")
+MAC_B = bytes.fromhex("021122334455")
+
+
+def test_serialize_untagged_layout():
+    header = EthernetHeader(dst=MAC_A, src=MAC_B, ethertype=EtherType.IPV4)
+    wire = header.serialize()
+    assert len(wire) == 14
+    assert wire[0:6] == MAC_A
+    assert wire[6:12] == MAC_B
+    assert wire[12:14] == b"\x08\x00"
+
+
+def test_parse_untagged_roundtrip():
+    header = EthernetHeader(dst=MAC_A, src=MAC_B, ethertype=EtherType.IPV6)
+    parsed, offset = EthernetHeader.parse(header.serialize() + b"payload")
+    assert parsed == header
+    assert offset == 14
+
+
+def test_vlan_tag_roundtrip():
+    header = EthernetHeader(dst=MAC_A, src=MAC_B, ethertype=EtherType.IPV4, vlan=42, vlan_pcp=5)
+    wire = header.serialize()
+    assert len(wire) == 18
+    assert wire[12:14] == b"\x81\x00"
+    parsed, offset = EthernetHeader.parse(wire)
+    assert parsed == header
+    assert offset == 18
+
+
+def test_header_len_property():
+    assert EthernetHeader(dst=MAC_A, src=MAC_B).header_len == 14
+    assert EthernetHeader(dst=MAC_A, src=MAC_B, vlan=1).header_len == 18
+
+
+def test_too_short_frame_rejected():
+    with pytest.raises(ValueError):
+        EthernetHeader.parse(b"\x00" * 13)
+
+
+def test_truncated_vlan_rejected():
+    frame = MAC_A + MAC_B + b"\x81\x00\x00"
+    with pytest.raises(ValueError):
+        EthernetHeader.parse(frame)
+
+
+def test_bad_mac_length_rejected():
+    with pytest.raises(ValueError):
+        EthernetHeader(dst=b"\x00" * 5, src=MAC_B)
+
+
+def test_vlan_range_validation():
+    with pytest.raises(ValueError):
+        EthernetHeader(dst=MAC_A, src=MAC_B, vlan=4096)
+    with pytest.raises(ValueError):
+        EthernetHeader(dst=MAC_A, src=MAC_B, vlan=1, vlan_pcp=8)
+
+
+def test_mac_string_conversion_roundtrip():
+    assert mac_from_str(mac_to_str(MAC_A)) == MAC_A
+    assert mac_to_str(MAC_A) == "02:aa:bb:cc:dd:ee"
+
+
+def test_mac_to_str_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        mac_to_str(b"\x00" * 5)
+
+
+def test_mac_from_str_rejects_garbage():
+    with pytest.raises(ValueError):
+        mac_from_str("not-a-mac")
+
+
+@given(
+    dst=st.binary(min_size=6, max_size=6),
+    src=st.binary(min_size=6, max_size=6),
+    ethertype=st.integers(min_value=0x0600, max_value=0xFFFF).filter(lambda v: v != 0x8100),
+    vlan=st.one_of(st.none(), st.integers(min_value=0, max_value=4095)),
+    pcp=st.integers(min_value=0, max_value=7),
+)
+def test_roundtrip_property(dst, src, ethertype, vlan, pcp):
+    # PCP only exists on the wire when a VLAN tag is present.
+    header = EthernetHeader(
+        dst=dst, src=src, ethertype=ethertype, vlan=vlan,
+        vlan_pcp=pcp if vlan is not None else 0,
+    )
+    parsed, offset = EthernetHeader.parse(header.serialize())
+    assert parsed == header
+    assert offset == header.header_len

@@ -1,0 +1,137 @@
+"""Tests for the pcapng reader/writer."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import CapturedPacket, build_udp_frame
+from repro.net.pcapng import (
+    BLOCK_SHB,
+    PcapngReader,
+    PcapngWriter,
+    read_capture,
+    read_pcapng,
+    write_pcapng,
+)
+
+
+def _packets(n=3):
+    return [
+        CapturedPacket(
+            10.0 + i * 0.123456789,
+            build_udp_frame("10.8.0.1", 1000 + i, "170.114.0.1", 8801, bytes([i]) * 20),
+        )
+        for i in range(n)
+    ]
+
+
+def test_roundtrip_memory():
+    buffer = io.BytesIO()
+    packets = _packets()
+    PcapngWriter(buffer).write_all(packets)
+    buffer.seek(0)
+    restored = list(PcapngReader(buffer))
+    assert [p.data for p in restored] == [p.data for p in packets]
+    for original, new in zip(packets, restored):
+        assert abs(original.timestamp - new.timestamp) < 1e-9
+
+
+def test_roundtrip_file(tmp_path):
+    path = tmp_path / "trace.pcapng"
+    assert write_pcapng(path, _packets(5)) == 5
+    restored = read_pcapng(path)
+    assert len(restored) == 5
+
+
+def test_starts_with_shb(tmp_path):
+    path = tmp_path / "t.pcapng"
+    write_pcapng(path, _packets(1))
+    (magic,) = struct.unpack("<I", path.read_bytes()[:4])
+    assert magic == BLOCK_SHB
+
+
+def test_nanosecond_resolution_preserved():
+    buffer = io.BytesIO()
+    PcapngWriter(buffer).write(CapturedPacket(1.000000001, b"x" * 14))
+    buffer.seek(0)
+    packet = next(iter(PcapngReader(buffer)))
+    assert packet.timestamp == pytest.approx(1.000000001, abs=1e-10)
+
+
+def test_unknown_blocks_skipped():
+    buffer = io.BytesIO()
+    writer = PcapngWriter(buffer)
+    writer.write(_packets(1)[0])
+    # Append a custom block (type 0x0BAD) that a reader must skip.
+    body = b"\xde\xad\xbe\xef"
+    total = 12 + len(body)
+    buffer.write(struct.pack("<II", 0x0BAD, total) + body + struct.pack("<I", total))
+    writer.write(_packets(2)[1])
+    buffer.seek(0)
+    restored = list(PcapngReader(buffer))
+    assert len(restored) == 2
+
+
+def test_not_pcapng_rejected():
+    with pytest.raises(ValueError):
+        PcapngReader(io.BytesIO(b"\x00" * 32))
+
+
+def test_truncated_rejected():
+    buffer = io.BytesIO()
+    PcapngWriter(buffer).write(_packets(1)[0])
+    data = buffer.getvalue()[:-6]
+    with pytest.raises(ValueError):
+        list(PcapngReader(io.BytesIO(data)))
+
+
+def test_simple_packet_block():
+    buffer = io.BytesIO()
+    writer = PcapngWriter(buffer)
+    frame = b"\xaa" * 24
+    body = struct.pack("<I", len(frame)) + frame
+    total = 12 + len(body)
+    buffer.write(struct.pack("<II", 3, total) + body + struct.pack("<I", total))
+    buffer.seek(0)
+    packets = list(PcapngReader(buffer))
+    assert packets == [CapturedPacket(0.0, frame)]
+
+
+def test_read_capture_autodetect(tmp_path):
+    from repro.net.pcap import write_pcap
+
+    packets = _packets(2)
+    pcap_path = tmp_path / "a.pcap"
+    pcapng_path = tmp_path / "a.pcapng"
+    write_pcap(pcap_path, packets)
+    write_pcapng(pcapng_path, packets)
+    assert [p.data for p in read_capture(pcap_path)] == [p.data for p in packets]
+    assert [p.data for p in read_capture(pcapng_path)] == [p.data for p in packets]
+
+
+def test_analyzer_accepts_pcapng(tmp_path, sfu_meeting_result):
+    from repro.core import ZoomAnalyzer
+
+    path = tmp_path / "meeting.pcapng"
+    write_pcapng(path, sfu_meeting_result.captures[:3000])
+    result = ZoomAnalyzer().analyze(read_capture(path))
+    assert result.packets_total == 3000
+    assert result.packets_zoom == 3000
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.binary(min_size=0, max_size=120),
+), max_size=15))
+def test_roundtrip_property(items):
+    packets = [CapturedPacket(t, d) for t, d in items]
+    buffer = io.BytesIO()
+    PcapngWriter(buffer).write_all(packets)
+    buffer.seek(0)
+    restored = list(PcapngReader(buffer))
+    assert [p.data for p in restored] == [p.data for p in packets]
+    for original, new in zip(packets, restored):
+        assert abs(original.timestamp - new.timestamp) < 1e-8

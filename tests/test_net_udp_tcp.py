@@ -1,0 +1,132 @@
+"""Tests for UDP and TCP header handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import internet_checksum, pseudo_header_v4
+from repro.net.ip import ip_from_str
+from repro.net.tcp import TCPFlags, TCPHeader, TCPOption
+from repro.net.udp import UDPHeader
+
+SRC = ip_from_str("10.8.0.1")
+DST = ip_from_str("170.114.0.1")
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        header = UDPHeader(50000, 8801, 108, checksum=0xBEEF)
+        parsed, offset = UDPHeader.parse(header.serialize())
+        assert parsed == header
+        assert offset == 8
+
+    def test_payload_length(self):
+        assert UDPHeader(1, 2, 108).payload_length == 100
+
+    def test_checksum_verifies_with_pseudo_header(self):
+        payload = b"hello zoom"
+        header = UDPHeader(1234, 8801, 8 + len(payload))
+        wire = header.serialize_with_checksum(payload, SRC, DST)
+        pseudo = pseudo_header_v4(SRC, DST, 17, header.length)
+        assert internet_checksum(pseudo + wire + payload) == 0
+
+    def test_zero_checksum_becomes_ffff(self):
+        # Find nothing special — just assert the rule is applied on the path
+        # where the computed checksum would be zero is hard to construct;
+        # instead verify the serialized checksum is never zero.
+        for port in range(50):
+            header = UDPHeader(port, 8801, 9)
+            wire = header.serialize_with_checksum(b"A", SRC, DST)
+            assert wire[6:8] != b"\x00\x00"
+
+    def test_parse_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            UDPHeader.parse(b"\x00" * 7)
+
+    def test_parse_rejects_length_below_header(self):
+        bad = UDPHeader(1, 2, 8).serialize()[:4] + (4).to_bytes(2, "big") + b"\x00\x00"
+        with pytest.raises(ValueError):
+            UDPHeader.parse(bad)
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            UDPHeader(70000, 1, 8)
+
+    @given(
+        src=st.integers(min_value=0, max_value=0xFFFF),
+        dst=st.integers(min_value=0, max_value=0xFFFF),
+        length=st.integers(min_value=8, max_value=0xFFFF),
+    )
+    def test_roundtrip_property(self, src, dst, length):
+        header = UDPHeader(src, dst, length)
+        parsed, _offset = UDPHeader.parse(header.serialize())
+        assert parsed == header
+
+
+class TestTCP:
+    def test_roundtrip_no_options(self):
+        header = TCPHeader(443, 51000, seq=123456, ack=654321, flags=TCPFlags.ACK | TCPFlags.PSH)
+        parsed, offset = TCPHeader.parse(header.serialize())
+        assert parsed == header
+        assert offset == 20
+
+    def test_roundtrip_with_options(self):
+        options = (
+            TCPOption(TCPOption.MSS, (1460).to_bytes(2, "big")),
+            TCPOption(TCPOption.WINDOW_SCALE, b"\x07"),
+        )
+        header = TCPHeader(1, 2, seq=9, options=options)
+        parsed, offset = TCPHeader.parse(header.serialize())
+        assert parsed.options == options
+        assert offset == header.header_len
+        assert offset % 4 == 0
+
+    def test_nop_padding_dropped_on_parse(self):
+        header = TCPHeader(1, 2, seq=0, options=(TCPOption(TCPOption.WINDOW_SCALE, b"\x02"),))
+        wire = header.serialize()
+        parsed, _ = TCPHeader.parse(wire)
+        assert parsed.options == header.options  # padding NOPs not reported
+
+    def test_flags_preserved(self):
+        header = TCPHeader(1, 2, seq=0, flags=TCPFlags.SYN | TCPFlags.ECE)
+        parsed, _ = TCPHeader.parse(header.serialize())
+        assert parsed.flags & TCPFlags.SYN
+        assert parsed.flags & TCPFlags.ECE
+        assert not parsed.flags & TCPFlags.ACK
+
+    def test_parse_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            TCPHeader.parse(b"\x00" * 19)
+
+    def test_parse_rejects_bad_data_offset(self):
+        wire = bytearray(TCPHeader(1, 2, seq=0).serialize())
+        wire[12] = 0x30  # data offset 3 words < 5
+        with pytest.raises(ValueError):
+            TCPHeader.parse(bytes(wire))
+
+    def test_parse_rejects_truncated_option(self):
+        wire = bytearray(TCPHeader(1, 2, seq=0).serialize())
+        wire[12] = 0x60  # claim 24-byte header
+        wire.extend(b"\x02\x08\x00\x00")  # MSS option claiming length 8
+        with pytest.raises(ValueError):
+            TCPHeader.parse(bytes(wire))
+
+    def test_seq_validation(self):
+        with pytest.raises(ValueError):
+            TCPHeader(1, 2, seq=1 << 32)
+
+    @given(
+        seq=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        ack=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        flags=st.integers(min_value=0, max_value=0xFF),
+        window=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_roundtrip_property(self, seq, ack, flags, window):
+        header = TCPHeader(1024, 443, seq=seq, ack=ack, flags=flags, window=window)
+        parsed, _offset = TCPHeader.parse(header.serialize())
+        assert (parsed.seq, parsed.ack, int(parsed.flags), parsed.window) == (
+            seq,
+            ack,
+            flags,
+            window,
+        )

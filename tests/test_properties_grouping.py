@@ -1,0 +1,121 @@
+"""Property-based tests on grouping and frame-assembly invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.meetings import MeetingGrouper
+from repro.core.metrics.frames import FrameAssembler
+from repro.core.streams import RTPPacketRecord, StreamTable
+
+SFU = "170.114.1.1"
+
+
+def _record(src_ip, src_port, *, ssrc, rtp_ts, t, seq=0, n=0, payload_type=98):
+    return RTPPacketRecord(
+        timestamp=t,
+        five_tuple=(src_ip, src_port, SFU, 8801, 17),
+        ssrc=ssrc,
+        payload_type=payload_type,
+        sequence=seq & 0xFFFF,
+        rtp_timestamp=rtp_ts & 0xFFFFFFFF,
+        marker=False,
+        media_type=16,
+        payload_len=500,
+        udp_payload_len=550,
+        packets_in_frame=n,
+        to_server=True,
+    )
+
+
+stream_spec = st.tuples(
+    st.integers(min_value=2, max_value=9),     # client last octet
+    st.integers(min_value=50_000, max_value=50_020),  # port
+    st.integers(min_value=1, max_value=6),     # ssrc low part
+    st.integers(min_value=0, max_value=1 << 31),  # rtp ts base
+    st.floats(min_value=0.0, max_value=200.0, allow_nan=False),  # start time
+)
+
+
+class TestGroupingInvariants:
+    @given(st.lists(stream_spec, min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_every_stream_lands_in_exactly_one_meeting(self, specs):
+        table = StreamTable()
+        grouper = MeetingGrouper()
+        keys = []
+        for octet, port, ssrc, ts_base, start in sorted(specs, key=lambda s: s[-1]):
+            record = _record(f"10.8.0.{octet}", port, ssrc=ssrc, rtp_ts=ts_base, t=start)
+            if record.stream_key in {k for k in keys}:
+                continue
+            stream = table.observe(record)
+            grouper.observe_new_stream(stream, table)
+            keys.append(record.stream_key)
+        meetings = grouper.meetings()
+        # Partition property: every stream key in exactly one live meeting.
+        seen: dict = {}
+        for meeting in meetings:
+            for key in meeting.stream_keys:
+                assert key not in seen, "stream assigned to two meetings"
+                seen[key] = meeting.meeting_id
+        assert set(seen) == set(keys)
+        # Unique ids never exceed streams; meetings never exceed unique ids.
+        assert grouper.unique_stream_count() <= len(keys)
+        assert len(meetings) <= grouper.unique_stream_count()
+
+    @given(st.lists(stream_spec, min_size=2, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_merges_never_lose_streams(self, specs):
+        table = StreamTable()
+        grouper = MeetingGrouper()
+        total = 0
+        seen_keys = set()
+        for octet, port, ssrc, ts_base, start in sorted(specs, key=lambda s: s[-1]):
+            record = _record(f"10.8.0.{octet}", port, ssrc=ssrc, rtp_ts=ts_base, t=start)
+            if record.stream_key in seen_keys:
+                continue
+            seen_keys.add(record.stream_key)
+            stream = table.observe(record)
+            grouper.observe_new_stream(stream, table)
+            total += 1
+        assert sum(len(m.stream_keys) for m in grouper.meetings()) == total
+
+
+class TestAssemblerInvariants:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_arrival_order_completes_frame(self, count, seq_base, rng):
+        """A frame completes exactly when its N distinct packets arrived,
+        regardless of order or duplication."""
+        assembler = FrameAssembler()
+        packets = [
+            _record("10.8.0.2", 50_000, ssrc=1, rtp_ts=777, t=1.0 + i * 0.001,
+                    seq=seq_base + i, n=count)
+            for i in range(count)
+        ]
+        # Duplicate a random subset and shuffle.
+        duplicated = packets + [packets[rng.randrange(count)] for _ in range(3)]
+        rng.shuffle(duplicated)
+        completions = [assembler.observe(p) for p in duplicated]
+        frames = [f for f in completions if f is not None]
+        assert len(frames) == 1
+        assert frames[0].expected_packets == count
+        assert frames[0].payload_bytes == 500 * count
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_completed_never_exceeds_distinct_frames(self, frame_choices):
+        assembler = FrameAssembler()
+        seq = 0
+        for i, choice in enumerate(frame_choices):
+            assembler.observe(
+                _record("10.8.0.2", 50_000, ssrc=1, rtp_ts=1000 + choice,
+                        t=1.0 + i * 0.001, seq=seq, n=3)
+            )
+            seq += 1
+        assert assembler.completed_count <= len(set(frame_choices))

@@ -1,0 +1,156 @@
+"""Tests for RTCP sender reports, receiver reports, and SDES."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.rtcp import (
+    NTP_EPOCH_OFFSET,
+    ReportBlock,
+    RTCPPacketType,
+    RTCPReceiverReport,
+    RTCPSdes,
+    RTCPSenderReport,
+    ntp_from_unix,
+    parse_rtcp_compound,
+    unix_from_ntp,
+)
+
+
+def _sender_report(**overrides) -> RTCPSenderReport:
+    defaults = dict(
+        ssrc=0x110,
+        ntp_seconds=NTP_EPOCH_OFFSET + 1000,
+        ntp_fraction=1 << 31,
+        rtp_timestamp=90000,
+        packet_count=500,
+        octet_count=600000,
+    )
+    defaults.update(overrides)
+    return RTCPSenderReport(**defaults)
+
+
+class TestNTP:
+    def test_roundtrip(self):
+        seconds, fraction = ntp_from_unix(1234.5)
+        assert abs(unix_from_ntp(seconds, fraction) - 1234.5) < 1e-6
+
+    def test_epoch_offset(self):
+        seconds, fraction = ntp_from_unix(0.0)
+        assert seconds == NTP_EPOCH_OFFSET
+        assert fraction == 0
+
+
+class TestSenderReport:
+    def test_roundtrip(self):
+        report = _sender_report()
+        parsed, length = RTCPSenderReport.parse(report.serialize())
+        assert parsed == report
+        assert length == 28
+
+    def test_header_fields(self):
+        wire = _sender_report().serialize()
+        assert wire[0] >> 6 == 2
+        assert wire[1] == RTCPPacketType.SENDER_REPORT
+        assert int.from_bytes(wire[2:4], "big") == 6  # length words
+
+    def test_with_report_blocks(self):
+        block = ReportBlock(ssrc=0x99, fraction_lost=10, cumulative_lost=42, jitter=7)
+        report = _sender_report(report_blocks=(block,))
+        parsed, length = RTCPSenderReport.parse(report.serialize())
+        assert parsed.report_blocks == (block,)
+        assert length == 28 + 24
+
+    def test_ntp_unix_time(self):
+        report = _sender_report(ntp_seconds=NTP_EPOCH_OFFSET + 50, ntp_fraction=0)
+        assert report.ntp_unix_time == pytest.approx(50.0)
+
+    def test_rejects_wrong_type(self):
+        wire = bytearray(_sender_report().serialize())
+        wire[1] = RTCPPacketType.RECEIVER_REPORT
+        with pytest.raises(ValueError):
+            RTCPSenderReport.parse(bytes(wire))
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            RTCPSenderReport.parse(_sender_report().serialize()[:20])
+
+
+class TestReceiverReport:
+    def test_roundtrip(self):
+        report = RTCPReceiverReport(ssrc=5, report_blocks=(ReportBlock(ssrc=0x10),))
+        parsed, length = RTCPReceiverReport.parse(report.serialize())
+        assert parsed == report
+        assert length == 8 + 24
+
+
+class TestSdes:
+    def test_empty_roundtrip(self):
+        sdes = RTCPSdes(ssrc=0x110)
+        parsed, _length = RTCPSdes.parse(sdes.serialize())
+        assert parsed == sdes
+        assert parsed.is_empty
+
+    def test_with_items(self):
+        sdes = RTCPSdes(ssrc=1, items=((1, b"user@host"),))
+        parsed, _length = RTCPSdes.parse(sdes.serialize())
+        assert parsed.items == ((1, b"user@host"),)
+        assert not parsed.is_empty
+
+    def test_chunk_padding_alignment(self):
+        for name_length in range(1, 9):
+            sdes = RTCPSdes(ssrc=1, items=((1, b"x" * name_length),))
+            assert len(sdes.serialize()) % 4 == 0
+
+
+class TestCompound:
+    def test_sr_plus_empty_sdes(self):
+        """The exact compound Zoom emits for media-encap type 34."""
+        compound = _sender_report().serialize() + RTCPSdes(ssrc=0x110).serialize()
+        reports = parse_rtcp_compound(compound)
+        assert len(reports) == 2
+        assert isinstance(reports[0], RTCPSenderReport)
+        assert isinstance(reports[1], RTCPSdes)
+        assert reports[1].is_empty
+
+    def test_lone_sr(self):
+        reports = parse_rtcp_compound(_sender_report().serialize())
+        assert len(reports) == 1
+
+    def test_garbage_returns_empty(self):
+        assert parse_rtcp_compound(b"\x00" * 40) == []
+
+    def test_trailing_garbage_stops_cleanly(self):
+        compound = _sender_report().serialize() + b"\x12\x34"
+        reports = parse_rtcp_compound(compound)
+        assert len(reports) == 1
+
+    def test_unknown_type_skipped(self):
+        # RTCP BYE (203) between two SRs: skipped via its stated length.
+        bye = bytes([0x80, 203, 0, 1]) + (0x110).to_bytes(4, "big")
+        compound = _sender_report().serialize() + bye + _sender_report(ssrc=0x111).serialize()
+        reports = parse_rtcp_compound(compound)
+        assert [type(r).__name__ for r in reports] == ["RTCPSenderReport", "RTCPSenderReport"]
+
+
+@given(
+    ssrc=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ntp_seconds=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ntp_fraction=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    rtp_timestamp=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    packet_count=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    octet_count=st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+def test_sr_roundtrip_property(
+    ssrc, ntp_seconds, ntp_fraction, rtp_timestamp, packet_count, octet_count
+):
+    report = RTCPSenderReport(
+        ssrc=ssrc,
+        ntp_seconds=ntp_seconds,
+        ntp_fraction=ntp_fraction,
+        rtp_timestamp=rtp_timestamp,
+        packet_count=packet_count,
+        octet_count=octet_count,
+    )
+    parsed, _length = RTCPSenderReport.parse(report.serialize())
+    assert parsed == report

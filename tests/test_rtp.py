@@ -1,0 +1,138 @@
+"""Tests for the RTP header (RFC 3550)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.rtp import RTP_VERSION, RTPHeader, looks_like_rtp
+
+
+def _header(**overrides) -> RTPHeader:
+    defaults = dict(payload_type=98, sequence=1000, timestamp=90000, ssrc=0x10)
+    defaults.update(overrides)
+    return RTPHeader(**defaults)
+
+
+def test_fixed_header_layout():
+    wire = _header().serialize()
+    assert len(wire) == 12
+    assert wire[0] >> 6 == RTP_VERSION
+    assert wire[1] & 0x7F == 98
+    assert int.from_bytes(wire[2:4], "big") == 1000
+    assert int.from_bytes(wire[4:8], "big") == 90000
+    assert int.from_bytes(wire[8:12], "big") == 0x10
+
+
+def test_roundtrip_minimal():
+    header = _header()
+    parsed, offset = RTPHeader.parse(header.serialize() + b"media")
+    assert parsed == header
+    assert offset == 12
+
+
+def test_marker_bit():
+    wire = _header(marker=True).serialize()
+    assert wire[1] & 0x80
+    parsed, _ = RTPHeader.parse(wire)
+    assert parsed.marker
+
+
+def test_extension_roundtrip():
+    header = _header(extension_profile=0xBEDE, extension_data=b"\x10\x01\x02\x03")
+    parsed, offset = RTPHeader.parse(header.serialize())
+    assert parsed == header
+    assert offset == 12 + 4 + 4
+    assert header.header_len == offset
+
+
+def test_csrc_roundtrip():
+    header = _header(csrcs=(7, 8, 9))
+    parsed, offset = RTPHeader.parse(header.serialize())
+    assert parsed.csrcs == (7, 8, 9)
+    assert offset == 12 + 12
+
+
+def test_zoom_csrc_count_is_zero():
+    """Zoom RTP always has CSRC count 0 (§4.2.3) — the default."""
+    wire = _header().serialize()
+    assert wire[0] & 0x0F == 0
+
+
+def test_rejects_wrong_version():
+    wire = bytearray(_header().serialize())
+    wire[0] = 0x40  # version 1
+    with pytest.raises(ValueError):
+        RTPHeader.parse(bytes(wire))
+
+
+def test_rejects_short_buffer():
+    with pytest.raises(ValueError):
+        RTPHeader.parse(b"\x80" * 11)
+
+
+def test_rejects_truncated_extension():
+    header = _header(extension_profile=0xBEDE, extension_data=b"\x00" * 8)
+    wire = header.serialize()[:-4]
+    with pytest.raises(ValueError):
+        RTPHeader.parse(wire)
+
+
+def test_field_range_validation():
+    with pytest.raises(ValueError):
+        _header(payload_type=128)
+    with pytest.raises(ValueError):
+        _header(sequence=1 << 16)
+    with pytest.raises(ValueError):
+        _header(timestamp=1 << 32)
+    with pytest.raises(ValueError):
+        _header(ssrc=1 << 32)
+    with pytest.raises(ValueError):
+        _header(extension_profile=0xBEDE, extension_data=b"\x00" * 3)
+
+
+class TestLooksLikeRTP:
+    def test_accepts_valid(self):
+        assert looks_like_rtp(_header().serialize() + b"xx")
+
+    def test_rejects_wrong_version(self):
+        assert not looks_like_rtp(b"\x00" * 16)
+
+    def test_rejects_rtcp_range_payload_types(self):
+        """Payload types 72-76 collide with RTCP packet types 200-204."""
+        for payload_type in range(72, 77):
+            wire = bytearray(_header(payload_type=payload_type).serialize())
+            assert not looks_like_rtp(bytes(wire))
+
+    def test_rejects_short(self):
+        assert not looks_like_rtp(b"\x80\x62")
+
+    def test_rejects_extension_overflow(self):
+        header = _header(extension_profile=0xBEDE, extension_data=b"\x00" * 4)
+        assert not looks_like_rtp(header.serialize()[:-2])
+
+
+@given(
+    payload_type=st.integers(min_value=0, max_value=127),
+    sequence=st.integers(min_value=0, max_value=0xFFFF),
+    timestamp=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    ssrc=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    marker=st.booleans(),
+    padding=st.booleans(),
+    extension_words=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+)
+def test_roundtrip_property(
+    payload_type, sequence, timestamp, ssrc, marker, padding, extension_words
+):
+    header = RTPHeader(
+        payload_type=payload_type,
+        sequence=sequence,
+        timestamp=timestamp,
+        ssrc=ssrc,
+        marker=marker,
+        padding=padding,
+        extension_profile=0xBEDE if extension_words is not None else None,
+        extension_data=b"\xab" * (4 * extension_words) if extension_words is not None else b"",
+    )
+    parsed, offset = RTPHeader.parse(header.serialize())
+    assert parsed == header
+    assert offset == header.header_len

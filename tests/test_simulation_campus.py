@@ -1,0 +1,164 @@
+"""Tests for the campus workload generator and server directory."""
+
+import random
+
+import pytest
+
+from repro.simulation.campus import (
+    DIURNAL_PROFILE,
+    CampusTraceConfig,
+    _meeting_start_offset,
+    _poisson,
+    generate_campus_trace,
+)
+from repro.simulation.infrastructure import TABLE7_LOCATIONS, ServerDirectory
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_campus_trace(
+        CampusTraceConfig(
+            hours=4,
+            meetings_per_hour_peak=1.5,
+            meeting_duration=(6.0, 10.0),
+            background_pps=0.02,
+            seed=21,
+        )
+    )
+
+
+class TestDirectory:
+    def test_mmr_zc_split(self):
+        directory = ServerDirectory(scale=0.02)
+        assert directory.mmrs and directory.zcs
+        assert len(directory.mmrs) > len(directory.zcs)
+
+    def test_naming_scheme(self):
+        """Appendix B: zoom<location><id><type>.<location>.zoom.us."""
+        directory = ServerDirectory(scale=0.02)
+        server = directory.mmrs[0]
+        assert server.hostname.endswith(".zoom.us")
+        assert "mmr" in server.hostname
+        zc = directory.zcs[0]
+        assert "zc" in zc.hostname
+
+    def test_all_in_subnet(self):
+        import ipaddress
+
+        directory = ServerDirectory(scale=0.02, subnet="170.114.0.0/16")
+        network = ipaddress.ip_network("170.114.0.0/16")
+        assert all(
+            ipaddress.ip_address(server.ip) in network for server in directory.servers
+        )
+
+    def test_lookup(self):
+        directory = ServerDirectory(scale=0.02)
+        server = directory.servers[0]
+        assert directory.lookup(server.ip) == server
+        assert directory.lookup("8.8.8.8") is None
+
+    def test_location_table_shape(self):
+        """Table 7's shape: US sites dominate; every location has both."""
+        directory = ServerDirectory(scale=0.05)
+        table = directory.location_table()
+        assert len(table) == len(TABLE7_LOCATIONS)
+        assert table[0][0].startswith("United States")
+        assert all(mmr >= 1 and zc >= 1 for _loc, mmr, zc in table)
+
+    def test_scaling_proportional(self):
+        small = ServerDirectory(scale=0.02)
+        large = ServerDirectory(scale=0.10)
+        assert len(large.servers) > 3 * len(small.servers)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ServerDirectory(scale=0.0)
+
+    def test_pick_deterministic_with_seeded_rng(self):
+        directory = ServerDirectory(scale=0.02)
+        assert directory.pick_mmr(random.Random(5)) == directory.pick_mmr(random.Random(5))
+
+
+class TestHelpers:
+    def test_poisson_mean(self):
+        rng = random.Random(1)
+        draws = [_poisson(3.0, rng) for _ in range(2000)]
+        assert sum(draws) / len(draws) == pytest.approx(3.0, rel=0.1)
+
+    def test_poisson_zero_mean(self):
+        assert _poisson(0.0, random.Random(1)) == 0
+
+    def test_meeting_starts_cluster_on_the_hour(self):
+        """Figure 14's spikes: most meetings start near :00 or :30."""
+        rng = random.Random(2)
+        offsets = [_meeting_start_offset(rng) for _ in range(2000)]
+        near_hour = sum(1 for o in offsets if o < 120)
+        near_half = sum(1 for o in offsets if 1800 <= o < 1920)
+        assert near_hour / len(offsets) > 0.4
+        assert near_half / len(offsets) > 0.1
+
+    def test_diurnal_profile_shape(self):
+        assert max(DIURNAL_PROFILE) == 1.0
+        assert DIURNAL_PROFILE[3] < DIURNAL_PROFILE[2]  # lunch dip
+        assert DIURNAL_PROFILE[-1] < 0.5  # evening decline
+
+
+class TestCampusTrace:
+    def test_trace_generated(self, small_trace):
+        assert small_trace.result.captures
+        assert small_trace.meeting_configs
+        assert small_trace.result.packets_captured == len(small_trace.result.captures)
+
+    def test_captures_sorted(self, small_trace):
+        times = [c.timestamp for c in small_trace.result.captures]
+        assert times == sorted(times)
+
+    def test_meetings_within_their_hour_bins(self, small_trace):
+        for config in small_trace.meeting_configs:
+            assert 0 <= config.start_time < small_trace.duration()
+
+    def test_background_traffic_present_and_non_zoom(self, small_trace):
+        from repro.core.detector import ZoomTrafficDetector
+        from repro.net.packet import parse_frame
+
+        assert small_trace.background
+        detector = ZoomTrafficDetector()
+        for packet in small_trace.background[:100]:
+            parsed = parse_frame(packet.data, packet.timestamp)
+            assert not detector.classify(parsed).is_zoom
+
+    def test_all_packets_merged_sorted(self, small_trace):
+        merged = small_trace.all_packets()
+        assert len(merged) == len(small_trace.result.captures) + len(small_trace.background)
+        times = [p.timestamp for p in merged]
+        assert times == sorted(times)
+
+    def test_every_meeting_has_campus_participant(self, small_trace):
+        for config in small_trace.meeting_configs:
+            assert any(p.on_campus for p in config.participants)
+
+    def test_hour_labels(self, small_trace):
+        labels = small_trace.hour_labels()
+        assert labels[0] == "09:00"
+        assert len(labels) == 4
+
+    def test_deterministic(self):
+        config = CampusTraceConfig(hours=2, meetings_per_hour_peak=1.0,
+                                   meeting_duration=(5.0, 8.0), seed=33)
+        first = generate_campus_trace(config)
+        second = generate_campus_trace(config)
+        assert len(first.result.captures) == len(second.result.captures)
+        assert [c.data for c in first.result.captures[:50]] == [
+            c.data for c in second.result.captures[:50]
+        ]
+
+    def test_analyzer_consumes_campus_trace(self, small_trace):
+        """End-to-end: the whole campus trace flows through the analyzer and
+        meeting count lands near the ground truth."""
+        from repro.core import ZoomAnalyzer
+
+        result = ZoomAnalyzer().analyze(small_trace.result.captures)
+        assert result.packets_zoom == result.packets_total
+        truth_meetings = len(small_trace.meeting_configs)
+        found = len(result.meetings)
+        assert truth_meetings * 0.5 <= found <= truth_meetings * 1.5

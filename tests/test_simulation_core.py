@@ -1,0 +1,258 @@
+"""Tests for the emulator's building blocks: clock, paths, media sources."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.clock import EventScheduler
+from repro.simulation.media import AudioSource, ScreenShareSource, VideoSource
+from repro.simulation.netpath import CongestionEvent, NetworkPath
+
+
+class TestScheduler:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(2.0, fired.append, "b")
+        scheduler.schedule(1.0, fired.append, "a")
+        scheduler.schedule(3.0, fired.append, "c")
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        for name in "abc":
+            scheduler.schedule(1.0, fired.append, name)
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_boundary_inclusive(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, fired.append, 1)
+        scheduler.schedule(2.0, fired.append, 2)
+        scheduler.run_until(1.0)
+        assert fired == [1]
+        assert scheduler.now == 1.0
+        assert len(scheduler) == 1
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                scheduler.schedule_in(1.0, chain, n + 1)
+
+        scheduler.schedule(0.0, chain, 0)
+        scheduler.run()
+        assert fired == [0, 1, 2, 3]
+        assert scheduler.now == 3.0
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler(start_time=10.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule(5.0, lambda: None)
+
+    def test_counter(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        assert scheduler.events_processed == 1
+
+
+class TestNetworkPath:
+    def test_delay_at_least_base(self):
+        path = NetworkPath(base_delay=0.010, jitter_std=0.001, rng=random.Random(1))
+        for i in range(100):
+            delay = path.transit(i * 0.01)
+            assert delay is not None and delay >= 0.010
+
+    def test_fifo_no_reordering(self):
+        """Exit times must be monotonic for packets sent in order."""
+        path = NetworkPath(base_delay=0.01, jitter_std=0.005, rng=random.Random(2))
+        last_exit = 0.0
+        for i in range(500):
+            now = i * 0.0001
+            delay = path.transit(now)
+            exit_time = now + delay
+            assert exit_time > last_exit
+            last_exit = exit_time
+
+    def test_loss_rate_applied(self):
+        path = NetworkPath(base_delay=0.01, loss_rate=0.5, rng=random.Random(3))
+        losses = sum(1 for i in range(1000) if path.transit(i * 0.01) is None)
+        assert 380 < losses < 620
+        assert path.packets_lost == losses
+        assert path.packets_sent == 1000
+
+    def test_congestion_adds_delay(self):
+        event = CongestionEvent(start=10.0, end=20.0, extra_delay=0.050, extra_jitter=0.0, extra_loss=0.0)
+        path = NetworkPath(base_delay=0.010, jitter_std=0.0, congestion=[event], rng=random.Random(4))
+        clean_delay, _j, _l = path.conditions(5.0)
+        peak_delay, _j, _l = path.conditions(15.0)
+        assert clean_delay == pytest.approx(0.010)
+        assert peak_delay == pytest.approx(0.060)
+
+    def test_congestion_ramp(self):
+        event = CongestionEvent(start=0.0, end=10.0)
+        assert event.intensity(-1.0) == 0.0
+        assert event.intensity(5.0) == pytest.approx(1.0)
+        assert event.intensity(2.5) == pytest.approx(0.5)
+        assert event.intensity(11.0) == 0.0
+
+    def test_is_congested(self):
+        path = NetworkPath(congestion=[CongestionEvent(start=1.0, end=2.0)])
+        assert path.is_congested(1.5)
+        assert not path.is_congested(3.0)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            CongestionEvent(start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            CongestionEvent(start=0.0, end=1.0, extra_loss=1.5)
+
+    def test_loss_capped_at_one(self):
+        event = CongestionEvent(start=0.0, end=10.0, extra_loss=0.9)
+        path = NetworkPath(loss_rate=0.5, congestion=[event])
+        _d, _j, loss = path.conditions(5.0)
+        assert loss == 1.0
+
+
+class TestVideoSource:
+    def test_frame_spacing_matches_fps(self):
+        source = VideoSource(fps=30.0, rng=random.Random(1))
+        intervals = []
+        now = 0.0
+        for _ in range(100):
+            _frame, next_in = source.next_frame(now)
+            intervals.append(next_in)
+            now += next_in
+        mean = sum(intervals) / len(intervals)
+        assert mean == pytest.approx(1 / 30.0, rel=0.05)
+
+    def test_rtp_timestamps_advance_at_sampling_rate(self):
+        source = VideoSource(fps=30.0, sampling_rate=90_000, rng=random.Random(2))
+        now = 0.0
+        frames = []
+        for _ in range(50):
+            frame, next_in = source.next_frame(now)
+            frames.append(frame)
+            now += next_in
+        increments = [
+            (b.rtp_timestamp - a.rtp_timestamp) & 0xFFFFFFFF
+            for a, b in zip(frames, frames[1:])
+        ]
+        mean_increment = sum(increments) / len(increments)
+        assert mean_increment == pytest.approx(3000, rel=0.06)
+
+    def test_keyframes_periodic_and_larger(self):
+        source = VideoSource(fps=30.0, keyframe_interval=10, rng=random.Random(3))
+        now = 0.0
+        frames = []
+        for _ in range(30):
+            frame, next_in = source.next_frame(now)
+            frames.append(frame)
+            now += next_in
+        keys = [f for f in frames if f.is_keyframe]
+        deltas = [f for f in frames if not f.is_keyframe]
+        assert len(keys) == 3
+        assert min(f.size for f in keys) > max(f.size for f in deltas) * 0.8
+
+    def test_set_rate(self):
+        source = VideoSource(fps=28.0, rng=random.Random(4))
+        source.set_rate(14.0)
+        _frame, next_in = source.next_frame(0.0)
+        assert next_in == pytest.approx(1 / 14.0, rel=0.05)
+        with pytest.raises(ValueError):
+            source.set_rate(0)
+
+    def test_motion_scales_size(self):
+        low = VideoSource(motion=0.1, rng=random.Random(5))
+        high = VideoSource(motion=0.9, rng=random.Random(5))
+        low_sizes = [low.next_frame(i / 28)[0].size for i in range(1, 50)]
+        high_sizes = [high.next_frame(i / 28)[0].size for i in range(1, 50)]
+        assert sum(high_sizes) > 1.3 * sum(low_sizes)
+
+
+class TestScreenShareSource:
+    def test_static_periods_produce_no_frames(self):
+        source = ScreenShareSource(static_probability=1.0, rng=random.Random(1))
+        frame, delay = source.next_frame(0.0)
+        assert frame is None
+        assert delay > 0
+
+    def test_some_zero_frame_seconds(self):
+        """§6.2: ~15% of screen-share seconds have zero frames."""
+        source = ScreenShareSource(rng=random.Random(2))
+        now = 0.0
+        seconds_with_frames = set()
+        while now < 120.0:
+            frame, delay = source.next_frame(now)
+            if frame is not None:
+                seconds_with_frames.add(int(now))
+            now += max(delay, 0.001)
+        zero_fraction = 1.0 - len(seconds_with_frames) / 120.0
+        assert 0.03 < zero_fraction < 0.6
+
+    def test_long_tailed_sizes(self):
+        source = ScreenShareSource(static_probability=0.0, rng=random.Random(3))
+        sizes = []
+        now = 0.0
+        for _ in range(400):
+            frame, delay = source.next_frame(now)
+            now += max(delay, 0.001)
+            if frame is not None:
+                sizes.append(frame.size)
+        sizes.sort()
+        median = sizes[len(sizes) // 2]
+        assert median < 1000          # over half small (Fig 15c)
+        assert sizes[-1] > 4000       # long tail of slide changes
+
+
+class TestAudioSource:
+    def test_packet_every_20ms(self):
+        source = AudioSource(rng=random.Random(1))
+        _spec, delay = source.next_packet(0.0)
+        assert delay == pytest.approx(0.020)
+
+    def test_silent_packets_fixed_40_bytes(self):
+        source = AudioSource(mean_talk=0.001, mean_silence=1000.0, rng=random.Random(2))
+        now = 0.0
+        silent_sizes = set()
+        for _ in range(200):
+            spec, delay = source.next_packet(now)
+            now += delay
+            if spec.payload_type == 99:
+                silent_sizes.add(spec.payload_len)
+        assert silent_sizes == {40}
+
+    def test_talking_uses_pt112(self):
+        source = AudioSource(mean_talk=1000.0, mean_silence=0.001, rng=random.Random(3))
+        source.next_packet(0.0)  # settle state machine
+        specs = [source.next_packet(0.02 * i)[0] for i in range(2, 100)]
+        types = {spec.payload_type for spec in specs}
+        assert 112 in types
+
+    def test_mobile_mode_uses_pt113_exclusively(self):
+        source = AudioSource(mobile_mode=True, rng=random.Random(4))
+        specs = [source.next_packet(0.02 * i)[0] for i in range(100)]
+        assert {spec.payload_type for spec in specs} == {113}
+
+    def test_timestamps_advance_at_audio_clock(self):
+        source = AudioSource(sampling_rate=48_000, rng=random.Random(5))
+        first, _d = source.next_packet(0.0)
+        second, _d = source.next_packet(0.02)
+        assert (second.rtp_timestamp - first.rtp_timestamp) & 0xFFFFFFFF == 960
+
+
+@given(st.integers(min_value=1, max_value=60))
+def test_video_source_any_fps_valid(fps):
+    source = VideoSource(fps=float(fps), rng=random.Random(fps))
+    frame, next_in = source.next_frame(0.0)
+    assert frame.size > 0
+    assert 0 < next_in < 2.0 / fps

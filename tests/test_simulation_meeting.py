@@ -1,0 +1,277 @@
+"""Tests for the meeting orchestrator and ground-truth QoS feed."""
+
+from collections import Counter
+
+import pytest
+
+from repro.net.packet import parse_frame
+from repro.rtp.stun import is_stun
+from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
+from repro.simulation.client import MAX_RTP_PAYLOAD, ZoomClientModel
+from repro.simulation.media import AudioPacketSpec, Frame
+from repro.zoom.constants import ZoomMediaType
+from repro.zoom.packets import parse_zoom_payload
+
+
+def _two_party(seed=1, **overrides):
+    defaults = dict(
+        meeting_id="m",
+        participants=(
+            ParticipantConfig(name="a", on_campus=True),
+            ParticipantConfig(name="b", on_campus=True, join_time=0.5),
+        ),
+        duration=10.0,
+        allow_p2p=False,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return MeetingConfig(**defaults)
+
+
+class TestClientModel:
+    def test_ssrc_scheme(self):
+        """SSRCs are small, structured, reused across meetings (§4.3.1)."""
+        client = ZoomClientModel(2)
+        assert client.stream(ZoomMediaType.VIDEO).ssrc == (2 << 8) | 16
+        assert client.stream(ZoomMediaType.AUDIO).ssrc == (2 << 8) | 15
+
+    def test_frame_split_and_marker(self):
+        client = ZoomClientModel(0, fec_ratio=0.0)
+        frame = Frame(capture_time=1.0, size=MAX_RTP_PAYLOAD * 2 + 100, is_keyframe=False, rtp_timestamp=5000)
+        packets = client.packetize_frame(ZoomMediaType.VIDEO, frame, frame_id=1)
+        assert len(packets) == 3
+        assert all(p.media.packets_in_frame == 3 for p in packets)
+        assert [p.rtp.marker for p in packets] == [False, False, True]
+        assert len({p.rtp.sequence for p in packets}) == 3
+        assert len({p.rtp.timestamp for p in packets}) == 1
+
+    def test_video_payload_has_fu_header(self):
+        client = ZoomClientModel(0, fec_ratio=0.0)
+        frame = Frame(capture_time=1.0, size=500, is_keyframe=False, rtp_timestamp=1)
+        packet = client.packetize_frame(ZoomMediaType.VIDEO, frame, frame_id=1)[0]
+        assert packet.rtp_payload[0] == 0x7C
+
+    def test_fec_shares_timestamp_not_sequence_space(self):
+        client = ZoomClientModel(0, fec_ratio=1.0)
+        frame = Frame(capture_time=1.0, size=500, is_keyframe=False, rtp_timestamp=777)
+        packets = client.packetize_frame(ZoomMediaType.VIDEO, frame, frame_id=1)
+        fec = [p for p in packets if p.is_fec]
+        main = [p for p in packets if not p.is_fec]
+        assert fec and main
+        assert fec[0].rtp.timestamp == main[0].rtp.timestamp
+        assert fec[0].rtp.payload_type == 110
+
+    def test_audio_packetization(self):
+        client = ZoomClientModel(0, fec_ratio=0.0)
+        spec = AudioPacketSpec(capture_time=1.0, payload_type=112, payload_len=100, rtp_timestamp=5)
+        packets = client.packetize_audio(spec)
+        assert len(packets) == 1
+        assert packets[0].media.media_type == 15
+        assert len(packets[0].rtp_payload) == 100
+
+    def test_rtcp_reports_per_stream(self):
+        client = ZoomClientModel(0, fec_ratio=0.0)
+        frame = Frame(capture_time=1.0, size=300, is_keyframe=False, rtp_timestamp=10)
+        client.packetize_frame(ZoomMediaType.VIDEO, frame, frame_id=1)
+        spec = AudioPacketSpec(capture_time=1.0, payload_type=112, payload_len=80, rtp_timestamp=5)
+        client.packetize_audio(spec)
+        reports = client.rtcp_reports(now=1.0)
+        assert len(reports) == 2
+        media_types = {media.media_type for media, _reports in reports}
+        assert media_types <= {33, 34}
+
+    def test_rtcp_silent_before_any_media(self):
+        """No SR for a stream that has not sent media yet (a static screen
+        share) — sender reports describe sent media."""
+        client = ZoomClientModel(0)
+        client.stream(ZoomMediaType.SCREEN_SHARE)
+        assert client.rtcp_reports(now=1.0) == []
+
+    def test_frame_rejects_audio_type(self):
+        client = ZoomClientModel(0)
+        frame = Frame(capture_time=1.0, size=100, is_keyframe=False, rtp_timestamp=1)
+        with pytest.raises(ValueError):
+            client.packetize_frame(ZoomMediaType.AUDIO, frame, frame_id=1)
+
+
+class TestMeetingRuntime:
+    def test_captures_sorted(self, sfu_meeting_result):
+        times = [c.timestamp for c in sfu_meeting_result.captures]
+        assert times == sorted(times)
+
+    def test_deterministic_given_seed(self):
+        first = MeetingSimulator(_two_party(seed=9)).run()
+        second = MeetingSimulator(_two_party(seed=9)).run()
+        assert len(first.captures) == len(second.captures)
+        assert [c.data for c in first.captures[:100]] == [c.data for c in second.captures[:100]]
+
+    def test_different_seed_differs(self):
+        first = MeetingSimulator(_two_party(seed=1)).run()
+        second = MeetingSimulator(_two_party(seed=2)).run()
+        assert [c.data for c in first.captures[:50]] != [c.data for c in second.captures[:50]]
+
+    def test_off_campus_sender_not_captured_directly(self):
+        config = MeetingConfig(
+            meeting_id="m",
+            participants=(
+                ParticipantConfig(name="on", on_campus=True),
+                ParticipantConfig(name="off", on_campus=False, join_time=0.2),
+            ),
+            duration=8.0,
+            allow_p2p=False,
+            seed=4,
+        )
+        result = MeetingSimulator(config).run()
+        for captured in result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            # Every captured packet touches the on-campus client or a server;
+            # the off-campus client's address never appears as a source going
+            # to the SFU (its uplink does not cross the border).
+            if packet.is_udp and packet.dst_port == 8801:
+                assert packet.src_ip.startswith("10.")
+
+    def test_passive_participant_emits_nothing(self):
+        config = MeetingConfig(
+            meeting_id="m",
+            participants=(
+                ParticipantConfig(name="a", on_campus=True),
+                ParticipantConfig(name="passive", on_campus=True, media=(), join_time=0.2),
+            ),
+            duration=6.0,
+            allow_p2p=False,
+            seed=5,
+        )
+        result = MeetingSimulator(config).run()
+        passive_truths = [t for t in result.stream_truths if t.participant == "passive"]
+        assert passive_truths == []
+        # The passive participant still *receives* a's streams.
+        sim_ips = set()
+        for captured in result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            if packet.is_udp and packet.src_port == 8801:
+                sim_ips.add(packet.dst_ip)
+        assert len(sim_ips) == 2
+
+    def test_stream_truth_covers_all_media(self, sfu_meeting_result):
+        by_participant = Counter(t.participant for t in sfu_meeting_result.stream_truths)
+        assert by_participant == {"alice": 2, "bob": 2, "carol": 3}
+
+    def test_retransmissions_visible_as_duplicates(self):
+        """Loss after the monitor leads to duplicate sequence numbers at the
+        monitor (§5.5)."""
+        config = _two_party(seed=6)
+        config = MeetingConfig(
+            **{
+                **config.__dict__,
+                "participants": (
+                    ParticipantConfig(name="a", on_campus=True, loss_rate=0.05),
+                    ParticipantConfig(name="b", on_campus=True, join_time=0.5, loss_rate=0.05),
+                ),
+            }
+        )
+        result = MeetingSimulator(config).run()
+        seen = Counter()
+        duplicates = 0
+        for captured in result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            if not packet.is_udp or is_stun(packet.payload):
+                continue
+            zoom = parse_zoom_payload(packet.payload, from_server=True)
+            if zoom.is_media:
+                key = (packet.five_tuple, zoom.rtp.ssrc, zoom.rtp.payload_type, zoom.rtp.sequence)
+                if key in seen:
+                    duplicates += 1
+                seen[key] += 1
+        assert duplicates > 10
+
+    def test_qos_feed_complete(self, sfu_meeting_result):
+        qos = sfu_meeting_result.qos
+        streams = qos.streams()
+        assert len(streams) == 7
+        alice_video = qos.for_stream(0x10)
+        assert len(alice_video) >= 20
+        assert all(s.sent_frames <= 35 for s in alice_video)
+
+    def test_zoom_style_jitter_is_oversmoothed(self, sfu_meeting_result):
+        """Reproduces the paper's Figure 10c observation: the Zoom-reported
+        jitter stays tiny even when true frame-level jitter spikes."""
+        samples = sfu_meeting_result.qos.for_stream(0x10)
+        congested = [s for s in samples if 13 <= s.time <= 17]
+        assert congested
+        assert max(s.jitter_ms for s in congested) < 3.0
+        assert max(s.true_jitter_ms for s in congested) > 1.5
+
+    def test_latency_display_updates_every_5s(self, sfu_meeting_result):
+        samples = sfu_meeting_result.qos.for_stream(0x110)
+        displayed = [s.latency_ms for s in samples if s.latency_ms == s.latency_ms]
+        # Values repeat across consecutive seconds because the display only
+        # refreshes every 5 s.
+        assert len(set(displayed)) < len(displayed) / 2
+
+
+class TestP2PRuntime:
+    def test_stun_precedes_p2p_flow(self, p2p_meeting_result):
+        stun_times = []
+        p2p_times = []
+        for captured in p2p_meeting_result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            if not packet.is_udp:
+                continue
+            if is_stun(packet.payload):
+                stun_times.append(captured.timestamp)
+            elif 8801 not in (packet.src_port, packet.dst_port) and packet.dst_port != 3478:
+                p2p_times.append(captured.timestamp)
+        assert stun_times and p2p_times
+        assert min(stun_times) < min(p2p_times)
+
+    def test_p2p_flow_uses_stun_port(self, p2p_meeting_result):
+        truth = p2p_meeting_result.p2p_flows[0]
+        stun_ports = set()
+        for captured in p2p_meeting_result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            if packet.is_udp and is_stun(packet.payload):
+                if packet.dst_port == 3478:
+                    stun_ports.add((packet.src_ip, packet.src_port))
+        assert (truth.client_ip, truth.client_port) in stun_ports
+
+    def test_p2p_single_flow_carries_all_media(self, p2p_meeting_result):
+        media_types = set()
+        flows = set()
+        for captured in p2p_meeting_result.captures:
+            packet = parse_frame(captured.data, captured.timestamp)
+            if not packet.is_udp or is_stun(packet.payload):
+                continue
+            if 8801 in (packet.src_port, packet.dst_port):
+                continue
+            zoom = parse_zoom_payload(packet.payload, from_server=False)
+            if zoom.is_media:
+                media_types.add(zoom.media.media_type)
+                flows.add(tuple(sorted([packet.src_port, packet.dst_port])))
+        assert media_types >= {15, 16}
+        assert len(flows) == 1
+
+    def test_third_join_reverts_to_sfu(self):
+        config = MeetingConfig(
+            meeting_id="revert",
+            participants=(
+                ParticipantConfig(name="a", on_campus=True),
+                ParticipantConfig(name="b", on_campus=False, join_time=0.5),
+                ParticipantConfig(name="c", on_campus=True, join_time=10.0),
+            ),
+            duration=16.0,
+            allow_p2p=True,
+            p2p_switch_delay=3.0,
+            seed=8,
+        )
+        simulator = MeetingSimulator(config)
+        result = simulator.run()
+        assert result.p2p_flows  # P2P happened...
+        assert simulator.mode == "sfu"  # ...and reverted
+        assert simulator.p2p_banned
+        late_server_packets = [
+            c for c in result.captures
+            if c.timestamp > 12.0
+            and (p := parse_frame(c.data, c.timestamp)).is_udp
+            and 8801 in (p.src_port, p.dst_port)
+        ]
+        assert late_server_packets

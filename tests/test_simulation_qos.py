@@ -1,0 +1,140 @@
+"""Tests for the ground-truth QoS feed (the Zoom-SDK stand-in)."""
+
+import math
+
+import pytest
+
+from repro.simulation.qos import QoSCollector, QoSReport, QoSSample
+
+
+def sample(time, ssrc=0x10, **overrides):
+    defaults = dict(
+        time=time,
+        meeting_id="m",
+        participant="a",
+        media_type=16,
+        ssrc=ssrc,
+        sent_frames=28,
+        sent_packets=60,
+        sent_bytes=80_000,
+        delivered_frames=28,
+        latency_ms=32.0,
+        true_latency_ms=32.0,
+        jitter_ms=0.5,
+        true_jitter_ms=1.0,
+        encoder_fps=28.0,
+    )
+    defaults.update(overrides)
+    return QoSSample(**defaults)
+
+
+class TestReport:
+    def test_for_stream_sorted(self):
+        report = QoSReport()
+        report.add(sample(3.0))
+        report.add(sample(1.0))
+        report.add(sample(2.0, ssrc=0x99))
+        rows = report.for_stream(0x10)
+        assert [s.time for s in rows] == [1.0, 3.0]
+
+    def test_series_extraction(self):
+        report = QoSReport()
+        report.add(sample(1.0, encoder_fps=28.0))
+        report.add(sample(2.0, encoder_fps=14.0))
+        times, values = report.series(0x10, "encoder_fps")
+        assert times == [1.0, 2.0]
+        assert values == [28.0, 14.0]
+
+    def test_value_at_latest_before(self):
+        report = QoSReport()
+        report.add(sample(1.0, encoder_fps=28.0))
+        report.add(sample(5.0, encoder_fps=14.0))
+        assert report.value_at(0x10, "encoder_fps", 3.0) == 28.0
+        assert report.value_at(0x10, "encoder_fps", 6.0) == 14.0
+        assert report.value_at(0x10, "encoder_fps", 0.5) is None
+
+    def test_streams_listing(self):
+        report = QoSReport()
+        report.add(sample(1.0, ssrc=1))
+        report.add(sample(1.0, ssrc=2))
+        assert report.streams() == [("m", 1), ("m", 2)]
+
+    def test_meeting_filter(self):
+        report = QoSReport()
+        report.add(sample(1.0))
+        report.add(sample(2.0, meeting_id="other"))
+        assert len(report.for_stream(0x10, meeting_id="m")) == 1
+
+
+class TestCollector:
+    def test_counters_reset_each_window(self):
+        collector = QoSCollector("m")
+        collector.register_stream(1, "a", 16, 28.0)
+        collector.record_frame_sent(1)
+        collector.record_frame_sent(1)
+        collector.flush(1.0)
+        collector.record_frame_sent(1)
+        collector.flush(2.0)
+        rows = collector.report.for_stream(1)
+        assert [s.sent_frames for s in rows] == [2, 1]
+
+    def test_latency_display_refresh_cadence(self):
+        collector = QoSCollector("m")
+        collector.register_stream(1, "a", 16, 28.0)
+        for second in range(1, 13):
+            collector.record_latency(1, 0.010 * second)
+            collector.flush(float(second))
+        rows = collector.report.for_stream(1)
+        displayed = [s.latency_ms for s in rows]
+        # First window displays; then holds for 5 s before refreshing.
+        assert displayed[0] == pytest.approx(10.0)
+        assert displayed[1] == displayed[0]
+        assert len(set(displayed)) <= 4
+
+    def test_true_latency_always_fresh(self):
+        collector = QoSCollector("m")
+        collector.register_stream(1, "a", 16, 28.0)
+        for second in range(1, 5):
+            collector.record_latency(1, 0.010 * second)
+            collector.flush(float(second))
+        trues = [s.true_latency_ms for s in collector.report.for_stream(1)]
+        assert trues == pytest.approx([10.0, 20.0, 30.0, 40.0])
+
+    def test_no_latency_samples_nan(self):
+        collector = QoSCollector("m")
+        collector.register_stream(1, "a", 16, 28.0)
+        collector.flush(1.0)
+        row = collector.report.for_stream(1)[0]
+        assert math.isnan(row.true_latency_ms)
+
+    def test_jitter_smoothing_difference(self):
+        """The true jitter estimator converges much faster than the
+        Zoom-style over-smoothed one."""
+        collector = QoSCollector("m")
+        collector.register_stream(1, "a", 16, 28.0)
+        arrival = 0.0
+        media = 0.0
+        for i in range(300):
+            arrival += 1 / 30.0 + (0.010 if i % 2 else 0.0)  # alternating delay
+            media += 1 / 30.0
+            collector.record_frame_arrival(1, arrival, media)
+        collector.flush(10.0)
+        row = collector.report.for_stream(1)[0]
+        assert row.true_jitter_ms > 3 * row.jitter_ms
+
+    def test_frame_delivery_counted(self):
+        collector = QoSCollector("m")
+        collector.register_stream(1, "a", 16, 28.0)
+        for _ in range(5):
+            collector.record_frame_delivered(1)
+        collector.flush(1.0)
+        assert collector.report.for_stream(1)[0].delivered_frames == 5
+
+    def test_encoder_rate_updates(self):
+        collector = QoSCollector("m")
+        collector.register_stream(1, "a", 16, 28.0)
+        collector.flush(1.0)
+        collector.record_encoder_rate(1, 14.0)
+        collector.flush(2.0)
+        rows = collector.report.for_stream(1)
+        assert [s.encoder_fps for s in rows] == [28.0, 14.0]

@@ -1,0 +1,120 @@
+"""Tests for STUN binding messages (RFC 5389)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtp.stun import (
+    STUN_BINDING_REQUEST,
+    STUN_BINDING_RESPONSE,
+    STUN_MAGIC_COOKIE,
+    StunMessage,
+    is_stun,
+)
+
+TXN = b"0123456789ab"
+
+
+def test_binding_request_roundtrip():
+    message = StunMessage.binding_request(TXN)
+    parsed = StunMessage.parse(message.serialize())
+    assert parsed == message
+    assert parsed.is_request and not parsed.is_response
+
+
+def test_binding_response_roundtrip():
+    message = StunMessage.binding_response(TXN, "10.8.4.5", 53211)
+    parsed = StunMessage.parse(message.serialize())
+    assert parsed.is_response
+    assert parsed.xor_mapped_address() == ("10.8.4.5", 53211)
+
+
+def test_magic_cookie_on_wire():
+    wire = StunMessage.binding_request(TXN).serialize()
+    assert int.from_bytes(wire[4:8], "big") == STUN_MAGIC_COOKIE
+
+
+def test_xor_mapped_address_is_xored():
+    """The mapped address must not appear in cleartext on the wire."""
+    message = StunMessage.binding_response(TXN, "192.0.2.1", 4242)
+    wire = message.serialize()
+    assert bytes([192, 0, 2, 1]) not in wire
+    assert (4242).to_bytes(2, "big") not in wire[24:28]
+
+
+def test_attribute_padding():
+    message = StunMessage(STUN_BINDING_REQUEST, TXN, ((0x8022, b"zoom!"),))
+    wire = message.serialize()
+    assert len(wire) % 4 == 0
+    parsed = StunMessage.parse(wire)
+    assert parsed.attributes == ((0x8022, b"zoom!"),)
+
+
+def test_xor_mapped_address_absent():
+    assert StunMessage.binding_request(TXN).xor_mapped_address() is None
+
+
+def test_transaction_id_validation():
+    with pytest.raises(ValueError):
+        StunMessage(STUN_BINDING_REQUEST, b"short")
+
+
+def test_parse_rejects_bad_cookie():
+    wire = bytearray(StunMessage.binding_request(TXN).serialize())
+    wire[4] ^= 0xFF
+    with pytest.raises(ValueError):
+        StunMessage.parse(bytes(wire))
+
+
+def test_parse_rejects_leading_bits():
+    wire = bytearray(StunMessage.binding_request(TXN).serialize())
+    wire[0] |= 0xC0
+    with pytest.raises(ValueError):
+        StunMessage.parse(bytes(wire))
+
+
+def test_parse_rejects_truncated_attribute():
+    message = StunMessage(STUN_BINDING_REQUEST, TXN, ((0x8022, b"abcd"),))
+    wire = message.serialize()[:-2]
+    with pytest.raises(ValueError):
+        StunMessage.parse(wire)
+
+
+class TestIsStun:
+    def test_accepts_request_and_response(self):
+        assert is_stun(StunMessage.binding_request(TXN).serialize())
+        assert is_stun(StunMessage.binding_response(TXN, "1.2.3.4", 5).serialize())
+
+    def test_rejects_rtp(self):
+        from repro.rtp.rtp import RTPHeader
+
+        rtp = RTPHeader(payload_type=98, sequence=1, timestamp=2, ssrc=3)
+        assert not is_stun(rtp.serialize() + b"\x00" * 8)
+
+    def test_rejects_short(self):
+        assert not is_stun(b"\x00\x01\x00\x00")
+
+    def test_rejects_zoom_media(self):
+        from repro.zoom.media_encap import MediaEncap
+
+        payload = MediaEncap(media_type=16).serialize() + b"\x00" * 20
+        assert not is_stun(payload)
+
+
+@given(
+    message_type=st.sampled_from([STUN_BINDING_REQUEST, STUN_BINDING_RESPONSE]),
+    transaction_id=st.binary(min_size=12, max_size=12),
+    attributes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=0xFFFF),
+            st.binary(min_size=0, max_size=20),
+        ),
+        max_size=4,
+    ),
+)
+def test_roundtrip_property(message_type, transaction_id, attributes):
+    message = StunMessage(message_type, transaction_id, tuple(attributes))
+    parsed = StunMessage.parse(message.serialize())
+    assert parsed.message_type == message_type
+    assert parsed.transaction_id == transaction_id
+    assert parsed.attributes == tuple((t, bytes(v)) for t, v in attributes)

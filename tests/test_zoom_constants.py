@@ -1,0 +1,59 @@
+"""Definitional invariants among the Zoom protocol constants."""
+
+from repro.zoom.constants import (
+    CONTROL_MEDIA_TYPES,
+    MEDIA_ENCAP_LEN,
+    PAYLOAD_TYPES_BY_MEDIA,
+    RTP_OFFSET_P2P,
+    RTP_OFFSET_SERVER,
+    SFU_ENCAP_LEN,
+    RTPPayloadType,
+    ZoomMediaType,
+)
+
+
+def test_server_offsets_are_p2p_plus_sfu_layer():
+    """Figure 7: P2P traffic lacks exactly the 8-byte SFU layer."""
+    for media_type, server_offset in RTP_OFFSET_SERVER.items():
+        assert server_offset == RTP_OFFSET_P2P[media_type] + SFU_ENCAP_LEN
+
+
+def test_offsets_cover_every_decodable_type():
+    for media_type in ZoomMediaType:
+        assert media_type in RTP_OFFSET_SERVER
+        assert media_type in MEDIA_ENCAP_LEN
+
+
+def test_media_encap_long_enough_for_declared_fields():
+    """Types carrying seq/timestamp need ≥15 bytes; frame fields need ≥24."""
+    for media_type in (ZoomMediaType.VIDEO, ZoomMediaType.AUDIO, ZoomMediaType.SCREEN_SHARE):
+        assert MEDIA_ENCAP_LEN[media_type] >= 15
+    for media_type in (ZoomMediaType.VIDEO, ZoomMediaType.SCREEN_SHARE):
+        assert MEDIA_ENCAP_LEN[media_type] >= 24
+
+
+def test_control_types_disjoint_from_media_types():
+    assert not set(CONTROL_MEDIA_TYPES) & {int(m) for m in ZoomMediaType}
+
+
+def test_rtp_and_rtcp_predicates_partition():
+    for media_type in ZoomMediaType:
+        assert media_type.is_rtp != media_type.is_rtcp
+
+
+def test_payload_type_map_matches_table3():
+    assert RTPPayloadType.VIDEO_MAIN in PAYLOAD_TYPES_BY_MEDIA[ZoomMediaType.VIDEO]
+    assert RTPPayloadType.FEC in PAYLOAD_TYPES_BY_MEDIA[ZoomMediaType.VIDEO]
+    assert RTPPayloadType.AUDIO_SPEAKING in PAYLOAD_TYPES_BY_MEDIA[ZoomMediaType.AUDIO]
+    assert RTPPayloadType.MULTIPLEX_99 in PAYLOAD_TYPES_BY_MEDIA[ZoomMediaType.AUDIO]
+    # PT 99 is genuinely multiplexed: silent audio AND screen share (§4.2.3).
+    assert RTPPayloadType.MULTIPLEX_99 in PAYLOAD_TYPES_BY_MEDIA[ZoomMediaType.SCREEN_SHARE]
+    # All payload types are valid 7-bit RTP values.
+    for payload_types in PAYLOAD_TYPES_BY_MEDIA.values():
+        assert all(0 <= int(pt) <= 127 for pt in payload_types)
+
+
+def test_payload_types_avoid_rtcp_collision_range():
+    """PTs 72-76 collide with RTCP packet types; Zoom's never do."""
+    for payload_types in PAYLOAD_TYPES_BY_MEDIA.values():
+        assert all(not 72 <= int(pt) <= 76 for pt in payload_types)

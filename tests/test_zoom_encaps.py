@@ -1,0 +1,173 @@
+"""Tests for Zoom's SFU and media encapsulation headers (Table 1, Figure 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.zoom.constants import (
+    MEDIA_ENCAP_LEN,
+    RTP_OFFSET_P2P,
+    RTP_OFFSET_SERVER,
+    ZoomMediaType,
+)
+from repro.zoom.media_encap import MediaEncap
+from repro.zoom.sfu_encap import Direction, SfuEncap
+
+
+class TestSfuEncap:
+    def test_length_is_eight(self):
+        assert len(SfuEncap().serialize()) == 8
+
+    def test_field_positions(self):
+        """Table 1: type at byte 0, sequence at 1-2, direction at 7."""
+        wire = SfuEncap(sfu_type=5, sequence=0x1234, direction=Direction.FROM_SFU).serialize()
+        assert wire[0] == 5
+        assert wire[1:3] == b"\x12\x34"
+        assert wire[7] == 0x04
+
+    def test_roundtrip(self):
+        header = SfuEncap(sfu_type=5, sequence=999, direction=Direction.TO_SFU, opaque=b"\x01\x02\x03\x04")
+        parsed, offset = SfuEncap.parse(header.serialize())
+        assert parsed == header
+        assert offset == 8
+
+    def test_carries_media_only_for_type_5(self):
+        assert SfuEncap(sfu_type=5).carries_media
+        assert not SfuEncap(sfu_type=7).carries_media
+
+    def test_direction_values(self):
+        assert Direction.TO_SFU == 0x00
+        assert Direction.FROM_SFU == 0x04
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            SfuEncap.parse(b"\x05" * 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SfuEncap(sequence=1 << 16)
+        with pytest.raises(ValueError):
+            SfuEncap(opaque=b"\x00" * 3)
+
+    @given(
+        sfu_type=st.integers(min_value=0, max_value=255),
+        sequence=st.integers(min_value=0, max_value=0xFFFF),
+        direction=st.integers(min_value=0, max_value=255),
+        opaque=st.binary(min_size=4, max_size=4),
+    )
+    def test_roundtrip_property(self, sfu_type, sequence, direction, opaque):
+        header = SfuEncap(sfu_type=sfu_type, sequence=sequence, direction=direction, opaque=opaque)
+        parsed, _ = SfuEncap.parse(header.serialize())
+        assert parsed == header
+
+
+class TestMediaEncap:
+    def test_header_lengths_match_table2(self):
+        """Header lengths derive from Table 2's RTP offsets minus the SFU
+        layer: video 24, audio 19, screen share 27, RTCP 8."""
+        assert MEDIA_ENCAP_LEN[ZoomMediaType.VIDEO] == 24
+        assert MEDIA_ENCAP_LEN[ZoomMediaType.AUDIO] == 19
+        assert MEDIA_ENCAP_LEN[ZoomMediaType.SCREEN_SHARE] == 27
+        assert MEDIA_ENCAP_LEN[ZoomMediaType.RTCP_SR] == 8
+        assert MEDIA_ENCAP_LEN[ZoomMediaType.RTCP_SR_SDES] == 8
+
+    def test_table2_offsets(self):
+        assert RTP_OFFSET_SERVER[ZoomMediaType.VIDEO] == 32
+        assert RTP_OFFSET_SERVER[ZoomMediaType.AUDIO] == 27
+        assert RTP_OFFSET_SERVER[ZoomMediaType.SCREEN_SHARE] == 35
+        assert RTP_OFFSET_SERVER[ZoomMediaType.RTCP_SR] == 16
+        assert RTP_OFFSET_P2P[ZoomMediaType.VIDEO] == 24
+
+    def test_field_positions_video(self):
+        """Table 1: seq at 9-10, timestamp at 11-14, frame seq at 21-22,
+        packets-in-frame at 23."""
+        header = MediaEncap(
+            media_type=16, sequence=0x0102, timestamp=0x0A0B0C0D,
+            frame_sequence=0x0E0F, packets_in_frame=7,
+        )
+        wire = header.serialize()
+        assert len(wire) == 24
+        assert wire[0] == 16
+        assert wire[9:11] == b"\x01\x02"
+        assert wire[11:15] == b"\x0a\x0b\x0c\x0d"
+        assert wire[21:23] == b"\x0e\x0f"
+        assert wire[23] == 7
+
+    def test_audio_has_no_frame_fields(self):
+        header = MediaEncap(media_type=15, sequence=5, timestamp=6)
+        assert not header.has_frame_fields
+        assert len(header.serialize()) == 19
+
+    def test_rtcp_minimal(self):
+        header = MediaEncap(media_type=33)
+        assert header.is_rtcp and not header.is_rtp
+        assert len(header.serialize()) == 8
+
+    def test_roundtrip_all_types(self):
+        for media_type in (13, 15, 16, 33, 34):
+            header = MediaEncap(
+                media_type=media_type,
+                sequence=100 if media_type in (13, 15, 16) else 0,
+                timestamp=200 if media_type in (13, 15, 16) else 0,
+                frame_sequence=3 if media_type in (13, 16) else 0,
+                packets_in_frame=2 if media_type in (13, 16) else 0,
+            )
+            parsed, offset = MediaEncap.parse(header.serialize())
+            assert parsed == header, media_type
+            assert offset == MEDIA_ENCAP_LEN[media_type]
+
+    def test_wire_roundtrip_preserves_unknown_bytes(self):
+        """serialize(parse(x)) == x even for arbitrary filler bytes."""
+        for media_type in (13, 15, 16, 33, 34):
+            length = MEDIA_ENCAP_LEN[media_type]
+            wire = bytes([media_type]) + bytes(range(1, length))
+            parsed, parsed_length = MediaEncap.parse(wire + b"trailing")
+            assert parsed_length == length
+            assert parsed.serialize() == wire
+
+    def test_unknown_type_gets_default_length(self):
+        parsed, offset = MediaEncap.parse(bytes([7]) + b"\x00" * 20)
+        assert parsed.media_type == 7
+        assert offset == 8
+        assert not parsed.is_rtp and not parsed.is_rtcp
+
+    def test_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            MediaEncap.parse(bytes([16]) + b"\x00" * 10)
+        with pytest.raises(ValueError):
+            MediaEncap.parse(b"")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MediaEncap(media_type=16, packets_in_frame=256)
+        with pytest.raises(ValueError):
+            MediaEncap(media_type=16, frame_sequence=1 << 16)
+
+    @given(
+        media_type=st.sampled_from([13, 15, 16, 33, 34]),
+        sequence=st.integers(min_value=0, max_value=0xFFFF),
+        timestamp=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        frame_sequence=st.integers(min_value=0, max_value=0xFFFF),
+        packets_in_frame=st.integers(min_value=0, max_value=255),
+    )
+    def test_roundtrip_property(
+        self, media_type, sequence, timestamp, frame_sequence, packets_in_frame
+    ):
+        is_rtp = media_type in (13, 15, 16)
+        has_frames = media_type in (13, 16)
+        header = MediaEncap(
+            media_type=media_type,
+            sequence=sequence if is_rtp else 0,
+            timestamp=timestamp if is_rtp else 0,
+            frame_sequence=frame_sequence if has_frames else 0,
+            packets_in_frame=packets_in_frame if has_frames else 0,
+        )
+        parsed, _ = MediaEncap.parse(header.serialize())
+        assert parsed == header
+
+    @given(data=st.binary(min_size=27, max_size=60))
+    def test_wire_roundtrip_property(self, data):
+        """For any buffer, serialize(parse(data)) reproduces the header
+        bytes exactly (wire-level idempotence)."""
+        parsed, length = MediaEncap.parse(data)
+        assert parsed.serialize() == data[:length]

@@ -1,0 +1,167 @@
+"""Tests for complete Zoom UDP payload composition and parsing."""
+
+import pytest
+
+from repro.rtp.rtcp import RTCPSdes, RTCPSenderReport
+from repro.rtp.rtp import RTPHeader
+from repro.zoom.constants import RTP_OFFSET_P2P, RTP_OFFSET_SERVER, ZoomMediaType
+from repro.zoom.media_encap import MediaEncap
+from repro.zoom.packets import (
+    build_control_payload,
+    build_media_payload,
+    build_rtcp_payload,
+    parse_zoom_payload,
+)
+from repro.zoom.sfu_encap import Direction, SfuEncap
+
+
+def _rtp(**overrides) -> RTPHeader:
+    defaults = dict(payload_type=98, sequence=42, timestamp=90000, ssrc=0x210)
+    defaults.update(overrides)
+    return RTPHeader(**defaults)
+
+
+def _video_media(**overrides) -> MediaEncap:
+    defaults = dict(media_type=16, sequence=7, timestamp=90000, frame_sequence=3, packets_in_frame=2)
+    defaults.update(overrides)
+    return MediaEncap(**defaults)
+
+
+def _sr() -> RTCPSenderReport:
+    return RTCPSenderReport(
+        ssrc=0x210, ntp_seconds=1, ntp_fraction=2, rtp_timestamp=3,
+        packet_count=4, octet_count=5,
+    )
+
+
+class TestServerPackets:
+    def test_video_rtp_offset_matches_table2(self):
+        payload = build_media_payload(
+            media=_video_media(), rtp=_rtp(), rtp_payload=b"x" * 50, sfu=SfuEncap()
+        )
+        assert payload.index(_rtp().serialize()) == RTP_OFFSET_SERVER[ZoomMediaType.VIDEO]
+
+    def test_audio_rtp_offset(self):
+        media = MediaEncap(media_type=15, sequence=1, timestamp=2)
+        rtp = _rtp(payload_type=112, ssrc=0x20F)
+        payload = build_media_payload(media=media, rtp=rtp, rtp_payload=b"a" * 40, sfu=SfuEncap())
+        assert payload.index(rtp.serialize()) == RTP_OFFSET_SERVER[ZoomMediaType.AUDIO]
+
+    def test_screen_share_rtp_offset(self):
+        media = MediaEncap(media_type=13, sequence=1, timestamp=2, frame_sequence=1, packets_in_frame=1)
+        rtp = _rtp(payload_type=99, ssrc=0x20D)
+        payload = build_media_payload(media=media, rtp=rtp, rtp_payload=b"s" * 40, sfu=SfuEncap())
+        assert payload.index(rtp.serialize()) == RTP_OFFSET_SERVER[ZoomMediaType.SCREEN_SHARE]
+
+    def test_rtcp_offset(self):
+        payload = build_rtcp_payload(
+            media=MediaEncap(media_type=33), reports=[_sr()], sfu=SfuEncap()
+        )
+        assert payload.index(_sr().serialize()) == RTP_OFFSET_SERVER[ZoomMediaType.RTCP_SR]
+
+    def test_parse_video(self):
+        payload = build_media_payload(
+            media=_video_media(), rtp=_rtp(marker=True), rtp_payload=b"z" * 99, sfu=SfuEncap()
+        )
+        packet = parse_zoom_payload(payload, from_server=True)
+        assert packet.is_media and not packet.is_p2p
+        assert packet.rtp.marker
+        assert packet.media.packets_in_frame == 2
+        assert len(packet.rtp_payload) == 99
+
+    def test_direction_preserved(self):
+        payload = build_media_payload(
+            media=_video_media(), rtp=_rtp(), rtp_payload=b"x",
+            sfu=SfuEncap(direction=Direction.FROM_SFU),
+        )
+        packet = parse_zoom_payload(payload, from_server=True)
+        assert packet.sfu.direction == Direction.FROM_SFU
+
+
+class TestP2PPackets:
+    def test_p2p_has_no_sfu_layer(self):
+        payload = build_media_payload(media=_video_media(), rtp=_rtp(), rtp_payload=b"x" * 10)
+        assert payload[0] == 16
+        packet = parse_zoom_payload(payload, from_server=False)
+        assert packet.is_p2p and packet.sfu is None and packet.is_media
+
+    def test_p2p_rtp_offset(self):
+        payload = build_media_payload(media=_video_media(), rtp=_rtp(), rtp_payload=b"x" * 10)
+        assert payload.index(_rtp().serialize()) == RTP_OFFSET_P2P[ZoomMediaType.VIDEO]
+
+
+class TestAutoDetection:
+    def test_auto_detects_server(self):
+        payload = build_media_payload(
+            media=_video_media(), rtp=_rtp(), rtp_payload=b"x" * 10, sfu=SfuEncap()
+        )
+        packet = parse_zoom_payload(payload)
+        assert not packet.is_p2p and packet.is_media
+
+    def test_auto_detects_p2p(self):
+        payload = build_media_payload(media=_video_media(), rtp=_rtp(), rtp_payload=b"x" * 10)
+        packet = parse_zoom_payload(payload)
+        assert packet.is_p2p and packet.is_media
+
+
+class TestRTCP:
+    def test_sr_with_empty_sdes(self):
+        payload = build_rtcp_payload(
+            media=MediaEncap(media_type=34),
+            reports=[_sr(), RTCPSdes(ssrc=0x210)],
+            sfu=SfuEncap(),
+        )
+        packet = parse_zoom_payload(payload, from_server=True)
+        assert packet.is_rtcp and len(packet.rtcp) == 2
+        assert packet.rtcp[1].is_empty
+
+    def test_rtcp_media_type_required(self):
+        with pytest.raises(ValueError):
+            build_rtcp_payload(media=_video_media(), reports=[_sr()])
+
+
+class TestControlPackets:
+    def test_control_payload_structure(self):
+        payload = build_control_payload(control_type=7, sequence=0x0102, body=b"body")
+        assert payload[0] == 7
+        assert payload[1:3] == b"\x01\x02"
+
+    def test_control_rejects_media_types(self):
+        with pytest.raises(ValueError):
+            build_control_payload(control_type=16)
+
+    def test_control_parse_yields_no_media(self):
+        payload = build_control_payload(control_type=20, body=b"\x00" * 30, sfu=SfuEncap())
+        packet = parse_zoom_payload(payload, from_server=True)
+        assert not packet.is_media and not packet.is_rtcp
+
+    def test_sfu_non_media_type(self):
+        payload = SfuEncap(sfu_type=2).serialize() + b"\x00" * 10
+        packet = parse_zoom_payload(payload, from_server=True)
+        assert packet.sfu is not None and packet.media is None
+
+
+class TestRobustness:
+    def test_empty_payload(self):
+        packet = parse_zoom_payload(b"", from_server=True)
+        assert packet.media is None and packet.rtp is None
+
+    def test_truncated_media_header(self):
+        packet = parse_zoom_payload(SfuEncap().serialize() + bytes([16]) + b"\x00" * 5, from_server=True)
+        assert packet.media is None
+
+    def test_corrupt_rtp_under_media(self):
+        media = _video_media()
+        payload = SfuEncap().serialize() + media.serialize() + b"\x00" * 20
+        packet = parse_zoom_payload(payload, from_server=True)
+        assert packet.media is not None
+        assert packet.rtp is None  # version bits wrong
+
+    def test_describe_strings(self):
+        media_payload = build_media_payload(
+            media=_video_media(), rtp=_rtp(), rtp_payload=b"x", sfu=SfuEncap()
+        )
+        description = parse_zoom_payload(media_payload).describe()
+        assert "VIDEO" in description and "SFU" in description
+        p2p_payload = build_media_payload(media=_video_media(), rtp=_rtp(), rtp_payload=b"x")
+        assert "P2P" in parse_zoom_payload(p2p_payload).describe()
