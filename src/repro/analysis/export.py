@@ -5,6 +5,14 @@ in a QoE ML inference model" and notes the system "can help automatically
 generate large, feature-rich data sets from real-world traffic".  This
 module is that generator: one feature row per (stream, second) with every §5
 metric, written as CSV or returned as dictionaries for direct consumption.
+
+Two entry points share the row builder:
+
+* :func:`feature_rows` — batch: walk every stream of a finished analysis.
+* :class:`FeatureRowSink` — streaming: subscribe to
+  :class:`~repro.core.events.StreamEvicted` and emit each stream's rows the
+  moment continuous operation finalizes it, so a 24/7 deployment exports
+  incrementally instead of holding the whole feature matrix until shutdown.
 """
 
 from __future__ import annotations
@@ -14,9 +22,15 @@ import io
 import math
 from collections import defaultdict
 from pathlib import Path
-from typing import TextIO
+from typing import TYPE_CHECKING, Callable, TextIO
 
+from repro.core.events import AnalysisSink, StreamEvicted
 from repro.core.pipeline import AnalysisResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.metrics.binning import TimeBinner
+    from repro.core.pipeline import StreamMetrics
+    from repro.core.streams import MediaStream
 
 FEATURE_COLUMNS = (
     "stream_id",
@@ -39,96 +53,153 @@ FEATURE_COLUMNS = (
     "suspected_retransmissions",
 )
 
+LatencyIndex = dict[tuple[int, int], list[float]]
+"""(ssrc, second) → RTT samples in ms, shared across a stream's copies."""
+
 
 def _mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else math.nan
 
 
-def feature_rows(result: AnalysisResult) -> list[dict[str, object]]:
-    """Build the per-(stream, second) feature matrix from one analysis.
+def latency_index(result: AnalysisResult) -> LatencyIndex:
+    """Index Method-1 RTT samples by (ssrc, second).
 
     Latency samples are attributed by SSRC (they come from matching egress
     and ingress copies, so they describe the media stream rather than a
-    single flow); every other feature is per network stream.
+    single flow).
     """
-    latency_by_ssrc_second: dict[tuple[int, int], list[float]] = defaultdict(list)
+    index: LatencyIndex = defaultdict(list)
     for sample in result.rtp_latency.samples:
-        latency_by_ssrc_second[(sample.ssrc, int(sample.time))].append(sample.rtt * 1000)
+        index[(sample.ssrc, int(sample.time))].append(sample.rtt * 1000)
+    return index
 
+
+def stream_feature_rows(
+    stream: "MediaStream",
+    metrics: "StreamMetrics",
+    stream_binner: "TimeBinner | None",
+    flow_binner: "TimeBinner | None",
+    rtt_index: LatencyIndex,
+) -> list[dict[str, object]]:
+    """The feature rows of one stream, given its metric sources."""
+    per_second: dict[int, dict[str, list[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    if stream_binner is not None:
+        for when, total in stream_binner.sums(fill_gaps=False):
+            per_second[int(when)]["media_bytes"].append(total)
+    if flow_binner is not None:
+        for when, total in flow_binner.sums(fill_gaps=False):
+            per_second[int(when)]["flow_bytes"].append(total)
+    for sample in metrics.framerate_delivered.samples:
+        per_second[int(sample.time)]["delivered_fps"].append(sample.fps)
+    for sample in metrics.framerate_encoder.samples:
+        per_second[int(sample.time)]["encoder_fps"].append(sample.fps)
+    for sample in metrics.framesize.samples:
+        per_second[int(sample.time)]["frame_bytes"].append(float(sample.size))
+    for sample in metrics.jitter.samples:
+        per_second[int(sample.time)]["jitter_ms"].append(sample.jitter * 1000)
+    for sample in metrics.frame_delay.samples:
+        bucket = per_second[int(sample.time)]
+        bucket["frame_delay_ms"].append(sample.delay * 1000)
+        if sample.retransmission_suspected:
+            bucket["suspected_retx"].append(1.0)
+    report = metrics.loss.report()
+    stream_id = (
+        f"{stream.five_tuple[0]}:{stream.five_tuple[1]}-"
+        f"{stream.five_tuple[2]}:{stream.five_tuple[3]}-{stream.ssrc:#x}"
+    )
+    rows: list[dict[str, object]] = []
+    for second in sorted(per_second):
+        bucket = per_second[second]
+        frame_bytes = bucket.get("frame_bytes", [])
+        rtts = rtt_index.get((stream.ssrc, second), [])
+        rows.append(
+            {
+                "stream_id": stream_id,
+                "ssrc": stream.ssrc,
+                "media_type": stream.media_type,
+                "second": second,
+                "media_kbits": 8.0 * sum(bucket.get("media_bytes", [])) / 1000,
+                "flow_kbits": 8.0 * sum(bucket.get("flow_bytes", [])) / 1000,
+                "packets": len(bucket.get("jitter_ms", []))
+                + len(bucket.get("media_bytes", [])),
+                "frames_completed": len(frame_bytes),
+                "delivered_fps": _mean(bucket.get("delivered_fps", [])),
+                "encoder_fps": _mean(bucket.get("encoder_fps", [])),
+                "mean_frame_bytes": _mean(frame_bytes),
+                "max_frame_bytes": max(frame_bytes) if frame_bytes else math.nan,
+                "jitter_ms": _mean(bucket.get("jitter_ms", [])),
+                "mean_frame_delay_ms": _mean(bucket.get("frame_delay_ms", [])),
+                "max_frame_delay_ms": max(bucket.get("frame_delay_ms", []), default=math.nan),
+                "rtt_ms": _mean(rtts),
+                "duplicates": report.duplicates,
+                "suspected_retransmissions": int(sum(bucket.get("suspected_retx", []))),
+            }
+        )
+    return rows
+
+
+def feature_rows(result: AnalysisResult) -> list[dict[str, object]]:
+    """Build the per-(stream, second) feature matrix from one analysis."""
+    rtt_index = latency_index(result)
     rows: list[dict[str, object]] = []
     for stream in result.media_streams():
         metrics = result.metrics_for(stream.key)
         if metrics is None:
             continue
-        per_second: dict[int, dict[str, list[float]]] = defaultdict(
-            lambda: defaultdict(list)
-        )
-        for when, total in result.bitrate.stream_bins.get(
-            (stream.five_tuple, stream.ssrc), _EMPTY_BINNER
-        ).sums(fill_gaps=False):
-            per_second[int(when)]["media_bytes"].append(total)
-        flow_binner = result.bitrate.flow_bins.get(stream.five_tuple)
-        if flow_binner is not None:
-            for when, total in flow_binner.sums(fill_gaps=False):
-                per_second[int(when)]["flow_bytes"].append(total)
-        for sample in metrics.framerate_delivered.samples:
-            per_second[int(sample.time)]["delivered_fps"].append(sample.fps)
-        for sample in metrics.framerate_encoder.samples:
-            per_second[int(sample.time)]["encoder_fps"].append(sample.fps)
-        for sample in metrics.framesize.samples:
-            per_second[int(sample.time)]["frame_bytes"].append(float(sample.size))
-        for sample in metrics.jitter.samples:
-            per_second[int(sample.time)]["jitter_ms"].append(sample.jitter * 1000)
-        for sample in metrics.frame_delay.samples:
-            bucket = per_second[int(sample.time)]
-            bucket["frame_delay_ms"].append(sample.delay * 1000)
-            if sample.retransmission_suspected:
-                bucket["suspected_retx"].append(1.0)
-        report = metrics.loss.report()
-        stream_id = (
-            f"{stream.five_tuple[0]}:{stream.five_tuple[1]}-"
-            f"{stream.five_tuple[2]}:{stream.five_tuple[3]}-{stream.ssrc:#x}"
-        )
-        for second in sorted(per_second):
-            bucket = per_second[second]
-            frame_bytes = bucket.get("frame_bytes", [])
-            rtts = latency_by_ssrc_second.get((stream.ssrc, second), [])
-            rows.append(
-                {
-                    "stream_id": stream_id,
-                    "ssrc": stream.ssrc,
-                    "media_type": stream.media_type,
-                    "second": second,
-                    "media_kbits": 8.0 * sum(bucket.get("media_bytes", [])) / 1000,
-                    "flow_kbits": 8.0 * sum(bucket.get("flow_bytes", [])) / 1000,
-                    "packets": len(bucket.get("jitter_ms", []))
-                    + len(bucket.get("media_bytes", [])),
-                    "frames_completed": len(frame_bytes),
-                    "delivered_fps": _mean(bucket.get("delivered_fps", [])),
-                    "encoder_fps": _mean(bucket.get("encoder_fps", [])),
-                    "mean_frame_bytes": _mean(frame_bytes),
-                    "max_frame_bytes": max(frame_bytes) if frame_bytes else math.nan,
-                    "jitter_ms": _mean(bucket.get("jitter_ms", [])),
-                    "mean_frame_delay_ms": _mean(bucket.get("frame_delay_ms", [])),
-                    "max_frame_delay_ms": max(bucket.get("frame_delay_ms", []), default=math.nan),
-                    "rtt_ms": _mean(rtts),
-                    "duplicates": report.duplicates,
-                    "suspected_retransmissions": int(sum(bucket.get("suspected_retx", []))),
-                }
+        rows.extend(
+            stream_feature_rows(
+                stream,
+                metrics,
+                result.bitrate.stream_bins.get((stream.five_tuple, stream.ssrc)),
+                result.bitrate.flow_bins.get(stream.five_tuple),
+                rtt_index,
             )
+        )
     rows.sort(key=lambda row: (row["stream_id"], row["second"]))
     return rows
 
 
-class _EmptyBinner:
-    """Sentinel empty binner so streams without media bytes stay cheap."""
+class FeatureRowSink(AnalysisSink):
+    """Emit a stream's feature rows the moment it is evicted.
 
-    @staticmethod
-    def sums(fill_gaps: bool = False):
-        return []
+    Register on a continuously-operating analyzer's bus::
 
+        analyzer = RollingZoomAnalyzer(...)
+        sink = FeatureRowSink(analyzer.result, on_rows=csv_writer.writerows)
+        analyzer.analyzer.bus.register(sink)
 
-_EMPTY_BINNER = _EmptyBinner()
+    Rows accumulate in :attr:`rows` (and go to ``on_rows``, if given) in
+    eviction order; rows within one stream are ordered by second.  The RTT
+    index is rebuilt per eviction from the matcher's samples so late
+    matches are included — matches arriving *after* a stream's eviction are
+    the streaming/batch divergence, inherent to incremental export.
+    """
+
+    def __init__(
+        self,
+        result: AnalysisResult,
+        on_rows: Callable[[list[dict[str, object]]], None] | None = None,
+    ) -> None:
+        self._result = result
+        self._on_rows = on_rows
+        self.rows: list[dict[str, object]] = []
+
+    def on_stream_evicted(self, event: StreamEvicted) -> None:
+        stream = event.stream
+        if event.metrics is None:
+            return
+        rows = stream_feature_rows(
+            stream,
+            event.metrics,
+            self._result.bitrate.stream_bins.get((stream.five_tuple, stream.ssrc)),
+            self._result.bitrate.flow_bins.get(stream.five_tuple),
+            latency_index(self._result),
+        )
+        self.rows.extend(rows)
+        if self._on_rows is not None and rows:
+            self._on_rows(rows)
 
 
 def write_feature_csv(result: AnalysisResult, destination: str | Path | TextIO) -> int:

@@ -23,6 +23,37 @@ from pathlib import Path
 from repro.analysis.tables import format_table
 
 
+def _subnet_list(value: str) -> list[str]:
+    """argparse type for comma-separated CIDR lists.
+
+    Tolerates whitespace and stray commas ("10.0.0.0/8, ,10.1.0.0/16,"),
+    rejects malformed prefixes with a proper argparse error instead of a
+    traceback deep inside the analyzer.
+    """
+    import ipaddress
+
+    subnets: list[str] = []
+    for token in value.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            ipaddress.ip_network(token)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(f"bad subnet {token!r}: {exc}") from None
+        subnets.append(token)
+    if not subnets:
+        raise argparse.ArgumentTypeError(f"no subnets in {value!r}")
+    return subnets
+
+
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.net.pcap import write_pcap
     from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
@@ -71,8 +102,8 @@ def _cmd_filter(args: argparse.Namespace) -> int:
 
     anonymizer = Anonymizer(key=args.anonymize.encode()) if args.anonymize else None
     model = P4CaptureModel(
-        zoom_subnets=args.zoom_subnets.split(","),
-        campus_subnets=args.campus_subnets.split(","),
+        zoom_subnets=args.zoom_subnets,
+        campus_subnets=args.campus_subnets,
         anonymizer=anonymizer,
     )
     with PcapWriter(args.output) as writer:
@@ -89,11 +120,20 @@ def _cmd_filter(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.core import ZoomAnalyzer
     from repro.net.pcapng import read_capture
 
-    analyzer = ZoomAnalyzer(zoom_subnets=args.zoom_subnets.split(","))
-    result = analyzer.analyze(read_capture(args.input))
+    if args.shards > 1:
+        from repro.core import ShardedAnalyzer
+
+        result = ShardedAnalyzer(
+            shards=args.shards, zoom_subnets=args.zoom_subnets
+        ).analyze(list(read_capture(args.input)))
+    else:
+        from repro.core import ZoomAnalyzer
+
+        result = ZoomAnalyzer(zoom_subnets=args.zoom_subnets).analyze(
+            read_capture(args.input)
+        )
 
     print(f"packets: {result.packets_total} total, {result.packets_zoom} zoom")
     print(f"meetings: {len(result.meetings)}")
@@ -244,14 +284,29 @@ def build_parser() -> argparse.ArgumentParser:
     filter_cmd = sub.add_parser("filter", help="run the P4 capture model over a pcap")
     filter_cmd.add_argument("input", type=Path)
     filter_cmd.add_argument("output", type=Path)
-    filter_cmd.add_argument("--zoom-subnets", default="170.114.0.0/16,203.0.113.0/24")
-    filter_cmd.add_argument("--campus-subnets", default="10.8.0.0/16,10.9.0.0/16")
+    filter_cmd.add_argument(
+        "--zoom-subnets",
+        type=_subnet_list,
+        default="170.114.0.0/16,203.0.113.0/24",
+    )
+    filter_cmd.add_argument(
+        "--campus-subnets",
+        type=_subnet_list,
+        default="10.8.0.0/16,10.9.0.0/16",
+    )
     filter_cmd.add_argument("--anonymize", metavar="KEY", default=None)
     filter_cmd.set_defaults(func=_cmd_filter)
 
     analyze = sub.add_parser("analyze", help="full passive analysis of a pcap")
     analyze.add_argument("input", type=Path)
-    analyze.add_argument("--zoom-subnets", default="170.114.0.0/16,203.0.113.0/24")
+    analyze.add_argument(
+        "--zoom-subnets",
+        type=_subnet_list,
+        default="170.114.0.0/16,203.0.113.0/24",
+    )
+    analyze.add_argument("--shards", type=_positive_int, default=1,
+                         help="flow-shard the analysis across N parallel workers "
+                              "(RTP-latency matching needs a single pass)")
     analyze.add_argument("--csv", type=Path, default=None,
                          help="write the per-(stream,second) ML feature matrix")
     analyze.add_argument("--report", action="store_true",

@@ -1,6 +1,6 @@
 """The paper's contribution: passive analysis of Zoom traffic.
 
-Pipeline stages (Figure 6):
+Pipeline stages (Figure 6), each a :class:`repro.core.stages.Stage`:
 
 1. :mod:`repro.core.detector` — find Zoom traffic, including P2P flows, via
    the published server subnets and STUN-exchange tracking (§4.1).
@@ -12,18 +12,47 @@ Pipeline stages (Figure 6):
    assemble them into RTP streams keyed by 5-tuple and SSRC.
 4. :mod:`repro.core.meetings` — group streams into meetings (§4.3).
 5. :mod:`repro.core.metrics` — per-stream performance estimation (§5).
-6. :mod:`repro.core.pipeline` — the end-to-end analyzer.
+6. :mod:`repro.core.pipeline` — the end-to-end analyzer, composed from
+   :mod:`repro.core.stages` over the :mod:`repro.core.events` bus.
+
+Scaling wrappers: :mod:`repro.core.rolling` (bounded-memory continuous
+operation) and :mod:`repro.core.sharded` (flow-affine parallel analysis).
 """
 
 from repro.core.detector import StunTracker, ZoomClass, ZoomSubnetMatcher, ZoomTrafficDetector
+from repro.core.events import (
+    AnalysisEvent,
+    AnalysisSink,
+    EventBus,
+    FlowBytesObserved,
+    MeetingFormed,
+    RTCPObserved,
+    StreamEvicted,
+    StreamOpened,
+    StreamUpdated,
+)
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
+from repro.core.rolling import FinalizedStream, RollingZoomAnalyzer
+from repro.core.sharded import ShardedAnalyzer
 from repro.core.streams import MediaStream, RTPPacketRecord, StreamTable
 
 __all__ = [
+    "AnalysisEvent",
     "AnalysisResult",
+    "AnalysisSink",
+    "EventBus",
+    "FinalizedStream",
+    "FlowBytesObserved",
     "MediaStream",
+    "MeetingFormed",
+    "RTCPObserved",
     "RTPPacketRecord",
+    "RollingZoomAnalyzer",
+    "ShardedAnalyzer",
+    "StreamEvicted",
+    "StreamOpened",
     "StreamTable",
+    "StreamUpdated",
     "StunTracker",
     "ZoomAnalyzer",
     "ZoomClass",

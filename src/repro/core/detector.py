@@ -120,6 +120,13 @@ class StunTracker:
     def __len__(self) -> int:
         return len(self._bindings)
 
+    def merge_from(self, other: "StunTracker") -> None:
+        """Union another tracker's bindings, keeping the freshest learn time."""
+        for endpoint, learned in other._bindings.items():
+            if learned > self._bindings.get(endpoint, float("-inf")):
+                self._bindings[endpoint] = learned
+        self.bindings_learned += other.bindings_learned
+
 
 @dataclass
 class DetectorCounters:
@@ -129,6 +136,10 @@ class DetectorCounters:
 
     def bump(self, klass: ZoomClass) -> None:
         self.by_class[klass] = self.by_class.get(klass, 0) + 1
+
+    def merge_from(self, other: "DetectorCounters") -> None:
+        for klass, count in other.by_class.items():
+            self.by_class[klass] = self.by_class.get(klass, 0) + count
 
     def total(self) -> int:
         return sum(self.by_class.values())
@@ -201,6 +212,31 @@ class ZoomTrafficDetector:
             ):
                 return ZoomClass.P2P_MEDIA
         return ZoomClass.NOT_ZOOM
+
+    def observe_stun(self, packet: ParsedPacket) -> bool:
+        """Learn a STUN binding *without* counting the packet.
+
+        The sharded driver replicates STUN exchanges to every shard so each
+        shard-local detector can recognize the P2P flow that follows, but
+        only the packet's home shard counts it; this is the side-effect-only
+        entry point the replicas use.  Returns whether a binding was learned.
+        """
+        src_is_zoom = self.matcher.matches(packet.src_ip)
+        dst_is_zoom = self.matcher.matches(packet.dst_ip)
+        if not (src_is_zoom or dst_is_zoom) or not packet.is_udp:
+            return False
+        if STUN_PORT not in (packet.src_port, packet.dst_port):
+            return False
+        if not is_stun(packet.payload):
+            return False
+        self._learn_stun(packet, src_is_zoom)
+        return True
+
+    def merge_from(self, other: "ZoomTrafficDetector") -> None:
+        """Fold another detector's telemetry and learned state into this one
+        (sharded-result merge)."""
+        self.counters.merge_from(other.counters)
+        self.stun.merge_from(other.stun)
 
     def _learn_stun(self, packet: ParsedPacket, src_is_zoom: bool) -> None:
         """Record the client endpoint of a STUN exchange.

@@ -94,3 +94,18 @@ class TimeBinner:
     def values(self) -> list[float]:
         """All per-bin sums, unordered by need (for CDFs)."""
         return [slot.total for slot in self._bins.values()]
+
+    def merge_from(self, other: "TimeBinner") -> None:
+        """Fold another binner's bins into this one (sharded-result merge).
+
+        Bin widths must match — shard analyzers are constructed identically,
+        so a mismatch means the caller mixed unrelated binners.
+        """
+        if other.width != self.width:
+            raise ValueError(
+                f"cannot merge binners of width {other.width} into {self.width}"
+            )
+        for index, slot in other._bins.items():
+            mine = self._bins.setdefault(index, _Bin())
+            mine.total += slot.total
+            mine.count += slot.count

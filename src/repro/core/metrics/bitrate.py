@@ -10,10 +10,15 @@ payload bytes, attributed per SSRC and media type.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.core.events import AnalysisSink
 from repro.core.metrics.binning import TimeBinner
 from repro.core.streams import RTPPacketRecord
 from repro.net.packet import FiveTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import FlowBytesObserved, StreamOpened, StreamUpdated
 
 
 @dataclass
@@ -79,3 +84,35 @@ class BitrateMeter:
         if binner is None:
             return []
         return [8.0 * total / self.bin_width for total in binner.values()]
+
+    def merge_from(self, other: "BitrateMeter") -> None:
+        """Fold another meter's bins into this one (sharded-result merge)."""
+        for table_name in ("flow_bins", "stream_bins", "media_type_bins"):
+            mine: dict = getattr(self, table_name)
+            theirs: dict = getattr(other, table_name)
+            for key, binner in theirs.items():
+                target = mine.get(key)
+                if target is None:
+                    target = mine[key] = TimeBinner(self.bin_width)
+                target.merge_from(binner)
+
+
+class BitrateSink(AnalysisSink):
+    """The 1-second binning layer as an event subscriber.
+
+    Feeds a :class:`BitrateMeter` from the analyzer's event stream: flow
+    bytes before decode, media bytes per decoded record — exactly what the
+    monolithic pipeline used to wire by direct calls.
+    """
+
+    def __init__(self, meter: BitrateMeter) -> None:
+        self.meter = meter
+
+    def on_flow_bytes(self, event: "FlowBytesObserved") -> None:
+        self.meter.observe_flow_bytes(event.five_tuple, event.timestamp, event.payload_len)
+
+    def on_stream_opened(self, event: "StreamOpened") -> None:
+        self.meter.observe_media(event.record)
+
+    def on_stream_updated(self, event: "StreamUpdated") -> None:
+        self.meter.observe_media(event.record)

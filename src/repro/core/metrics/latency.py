@@ -88,6 +88,20 @@ class RTPLatencyMatcher:
     def samples_for(self, ssrc: int) -> list[LatencySample]:
         return [sample for sample in self.samples if sample.ssrc == ssrc]
 
+    def merge_from(self, other: "RTPLatencyMatcher") -> None:
+        """Fold another matcher's completed samples into this one.
+
+        Used when merging shard-local results: pending (unmatched) egress
+        entries are *not* transferred, because a shard-partitioned capture
+        keeps each flow whole but may split the egress and ingress copies of
+        one stream across shards — those pairs are unmatchable by design and
+        carrying the pending table over would only invite false matches.
+        """
+        self.samples.extend(other.samples)
+        self.samples.sort(key=lambda sample: sample.time)
+        self.matched += other.matched
+        self.unmatched_ingress += other.unmatched_ingress
+
 
 class TCPRTTEstimator:
     """Method 2: RTT from one TCP control connection's seq/ack dynamics.
@@ -173,3 +187,11 @@ class TCPRTTEstimator:
         server = sum(s.rtt for s in self.server_samples) / len(self.server_samples)
         client = sum(s.rtt for s in self.client_samples) / len(self.client_samples)
         return server - client
+
+    def merge_from(self, other: "TCPRTTEstimator") -> None:
+        """Fold another estimator's samples for the same (client, server)
+        pair into this one (sharded-result merge; pending tables dropped)."""
+        self.server_samples.extend(other.server_samples)
+        self.server_samples.sort(key=lambda sample: sample.time)
+        self.client_samples.extend(other.client_samples)
+        self.client_samples.sort(key=lambda sample: sample.time)

@@ -13,8 +13,13 @@ analyses the paper leaves open.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.core.events import AnalysisSink
 from repro.rtp.rtcp import RTCPSenderReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import RTCPObserved
 
 RTP_TIMESTAMP_MODULUS = 1 << 32
 
@@ -133,3 +138,24 @@ class SenderReportCollector:
         if mapping_a is None or mapping_b is None:
             return None
         return mapping_a.wall_time_of(rtp_a) - mapping_b.wall_time_of(rtp_b)
+
+    def merge_from(self, other: "SenderReportCollector") -> None:
+        """Fold another collector's observations into this one, keeping each
+        stream's reports in wall-clock order (sharded-result merge)."""
+        for ssrc, entries in other._observations.items():
+            mine = self._observations.setdefault(ssrc, [])
+            mine.extend(entries)
+            mine.sort(key=lambda entry: entry[1])
+            if len(mine) > self.max_reports_per_stream:
+                del mine[: len(mine) - self.max_reports_per_stream]
+
+
+class SyncSink(AnalysisSink):
+    """Feeds a :class:`SenderReportCollector` from the analyzer event bus."""
+
+    def __init__(self, collector: SenderReportCollector) -> None:
+        self.collector = collector
+
+    def on_rtcp(self, event: "RTCPObserved") -> None:
+        if isinstance(event.report, RTCPSenderReport):
+            self.collector.observe(event.report)

@@ -1,21 +1,26 @@
 """The end-to-end analyzer: captured packets in, measurements out.
 
-:class:`ZoomAnalyzer` chains every stage of the paper's methodology
-(Figure 6): detection (§4.1) → Zoom/RTP decoding (§4.2) → stream assembly →
-meeting grouping (§4.3) → per-stream metrics (§5) → 1-second binning (§6.2).
+:class:`ZoomAnalyzer` composes the stages of the paper's methodology
+(Figure 6) from :mod:`repro.core.stages` — decode → classify (§4.1) →
+Zoom demux (§4.2) → stream/meeting assembly (§4.3) → per-stream metrics
+(§5) — and publishes lifecycle events on an
+:class:`~repro.core.events.EventBus` that the 1-second binning (§6.2),
+rolling eviction, ML export, and report-card layers subscribe to.
 It runs fully streaming: one pass over the capture, bounded state per
 stream, no retained raw bytes.
 """
 
 from __future__ import annotations
 
+import copy
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.core.detector import ZoomClass, ZoomTrafficDetector
-from repro.core.meetings import Meeting, MeetingGrouper
-from repro.core.metrics.bitrate import BitrateMeter
+from repro.core.detector import ZoomTrafficDetector
+from repro.core.events import EventBus, StreamEvicted
+from repro.core.meetings import Meeting, MeetingGrouper, group_streams
+from repro.core.metrics.bitrate import BitrateMeter, BitrateSink
 from repro.core.metrics.frame_delay import FrameDelayAnalyzer
 from repro.core.metrics.framerate import FrameRateMethod1, FrameRateMethod2
 from repro.core.metrics.frames import FrameAssembler
@@ -24,18 +29,25 @@ from repro.core.metrics.jitter import FrameJitterEstimator
 from repro.core.metrics.latency import RTPLatencyMatcher, TCPRTTEstimator
 from repro.core.metrics.loss import StreamLossTracker
 from repro.core.metrics.stalls import StallEvent, detect_stalls
-from repro.core.metrics.sync import SenderReportCollector
+from repro.core.metrics.sync import SenderReportCollector, SyncSink
+from repro.core.stages import (
+    AssembleStage,
+    ClassifyStage,
+    DecodeStage,
+    MetricsStage,
+    PacketContext,
+    Stage,
+    ZoomDemuxStage,
+)
 from repro.core.streams import MediaStream, RTPPacketRecord, StreamKey, StreamTable
-from repro.net.packet import CapturedPacket, ParsedPacket, parse_frame
+from repro.net.packet import CapturedPacket, ParsedPacket
 from repro.zoom.constants import (
     AUDIO_SAMPLING_RATE,
-    SERVER_MEDIA_PORT,
     VIDEO_SAMPLING_RATE,
     ZOOM_SERVER_SUBNETS,
+    EncapKey,
     ZoomMediaType,
 )
-from repro.zoom.packets import parse_zoom_payload
-from repro.zoom.sfu_encap import Direction
 
 
 @dataclass
@@ -98,6 +110,7 @@ class AnalysisResult:
         tcp_rtt: Method-2 estimators, keyed by (client IP, server IP).
         encap_packets / encap_bytes: Zoom media-encapsulation type counters
             over UDP media-classified packets — the data behind Table 2.
+            Keys are media-type values or :data:`~repro.zoom.constants.ENCAP_OTHER`.
         payload_type_packets / payload_type_bytes: (media type, RTP payload
             type) counters — the data behind Table 3.
         rtcp_sender_reports / rtcp_sdes_empty / rtcp_receiver_reports:
@@ -117,10 +130,10 @@ class AnalysisResult:
     rtp_latency: RTPLatencyMatcher = field(default_factory=RTPLatencyMatcher)
     tcp_rtt: dict[tuple[str, str], TCPRTTEstimator] = field(default_factory=dict)
     sync: SenderReportCollector = field(default_factory=SenderReportCollector)
-    encap_packets: Counter = field(default_factory=Counter)
-    encap_bytes: Counter = field(default_factory=Counter)
-    payload_type_packets: Counter = field(default_factory=Counter)
-    payload_type_bytes: Counter = field(default_factory=Counter)
+    encap_packets: Counter[EncapKey] = field(default_factory=Counter)
+    encap_bytes: Counter[EncapKey] = field(default_factory=Counter)
+    payload_type_packets: Counter[tuple[int, int]] = field(default_factory=Counter)
+    payload_type_bytes: Counter[tuple[int, int]] = field(default_factory=Counter)
     rtcp_sender_reports: int = 0
     rtcp_sdes_empty: int = 0
     rtcp_receiver_reports: int = 0
@@ -137,7 +150,7 @@ class AnalysisResult:
     def metrics_for(self, key: StreamKey) -> StreamMetrics | None:
         return self.stream_metrics.get(key)
 
-    def encap_share_table(self) -> list[tuple[int, float, float]]:
+    def encap_share_table(self) -> list[tuple[EncapKey, float, float]]:
         """Rows of (type value, % packets, % bytes) over media-class UDP
         packets — directly comparable to Table 2."""
         total_packets = sum(self.encap_packets.values())
@@ -172,9 +185,70 @@ class AnalysisResult:
             )
         return rows
 
+    # ------------------------------------------------------------------ merge
+
+    def merge(self, *others: "AnalysisResult") -> "AnalysisResult":
+        """Combine this result with shard-local results into a new one.
+
+        Counters and totals sum; streams, metrics, and binned series union
+        (shard keys are disjoint under flow-affine partitioning, and
+        colliding TCP-RTT estimators for the same (client, server) pair
+        have their samples interleaved); meetings are re-grouped over the
+        merged stream table with the batch §4.3 heuristic, since unique
+        stream ids and meeting ids are only meaningful within one analyzer.
+
+        The merged result *shares* stream and estimator objects with its
+        inputs rather than copying them — treat the inputs as consumed.
+        """
+        return AnalysisResult.merge_all([self, *others])
+
+    @staticmethod
+    def merge_all(results: Iterable["AnalysisResult"]) -> "AnalysisResult":
+        """Merge any number of shard results (see :meth:`merge`)."""
+        results = list(results)
+        if not results:
+            return AnalysisResult()
+        merged = AnalysisResult()
+        first = results[0]
+        if first.detector is not None:
+            merged.detector = copy.deepcopy(first.detector)
+            for other in results[1:]:
+                if other.detector is not None:
+                    merged.detector.merge_from(other.detector)
+        merged.streams = StreamTable(keep_records=first.streams.keep_records)
+        merged.bitrate = BitrateMeter(bin_width=first.bitrate.bin_width)
+        for result in results:
+            merged.packets_total += result.packets_total
+            merged.packets_zoom += result.packets_zoom
+            merged.bytes_total += result.bytes_total
+            merged.rtcp_sender_reports += result.rtcp_sender_reports
+            merged.rtcp_sdes_empty += result.rtcp_sdes_empty
+            merged.rtcp_receiver_reports += result.rtcp_receiver_reports
+            merged.undecoded_packets += result.undecoded_packets
+            merged.stun_packets += result.stun_packets
+            merged.encap_packets.update(result.encap_packets)
+            merged.encap_bytes.update(result.encap_bytes)
+            merged.payload_type_packets.update(result.payload_type_packets)
+            merged.payload_type_bytes.update(result.payload_type_bytes)
+            for stream in result.streams.streams():
+                merged.streams.adopt(stream)
+            merged.stream_metrics.update(result.stream_metrics)
+            merged.bitrate.merge_from(result.bitrate)
+            merged.rtp_latency.merge_from(result.rtp_latency)
+            merged.sync.merge_from(result.sync)
+            for key, estimator in result.tcp_rtt.items():
+                mine = merged.tcp_rtt.get(key)
+                if mine is None:
+                    mine = merged.tcp_rtt[key] = TCPRTTEstimator(
+                        estimator.client_ip, estimator.server_ip
+                    )
+                mine.merge_from(estimator)
+        merged.grouper, _ = group_streams(merged.streams.streams(), merged.streams)
+        return merged
+
 
 class ZoomAnalyzer:
-    """One-pass passive Zoom analyzer.
+    """One-pass passive Zoom analyzer — a thin composition of pipeline stages.
 
     Args:
         zoom_subnets: Zoom's published prefixes (defaults to the emulator's
@@ -183,11 +257,16 @@ class ZoomAnalyzer:
         stun_timeout: P2P endpoint memory (§4.1).
         keep_records: Retain per-packet records on streams (memory-heavy;
             only needed for offline re-analysis).
+        bus: Optional pre-wired :class:`~repro.core.events.EventBus`; one is
+            created (with the default bitrate-binning and RTCP-sync sinks)
+            when omitted.
 
     Usage::
 
         analyzer = ZoomAnalyzer()
         result = analyzer.analyze(captured_packets)
+
+    Subscribers (see :mod:`repro.core.events`) attach via ``analyzer.bus``.
     """
 
     def __init__(
@@ -197,13 +276,24 @@ class ZoomAnalyzer:
         campus_subnets: Iterable[str] | None = None,
         stun_timeout: float = 120.0,
         keep_records: bool = False,
+        bus: EventBus | None = None,
     ) -> None:
+        self.bus = bus if bus is not None else EventBus()
         self.result = AnalysisResult()
         self.result.detector = ZoomTrafficDetector(
             zoom_subnets, campus_subnets=campus_subnets, stun_timeout=stun_timeout
         )
         self.result.streams = StreamTable(keep_records=keep_records)
-        self._known_streams: set[StreamKey] = set()
+        self._assemble = AssembleStage(self.result, self.bus)
+        self.stages: tuple[Stage, ...] = (
+            DecodeStage(self.result, self.bus),
+            ClassifyStage(self.result, self.bus),
+            ZoomDemuxStage(self.result, self.bus),
+            self._assemble,
+            MetricsStage(self.result, self.bus),
+        )
+        self.bus.register(BitrateSink(self.result.bitrate))
+        self.bus.register(SyncSink(self.result.sync))
 
     def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
         """Feed a whole capture and return the result."""
@@ -213,123 +303,46 @@ class ZoomAnalyzer:
 
     def feed(self, captured: CapturedPacket) -> None:
         """Feed one captured frame."""
-        parsed = parse_frame(captured.data, captured.timestamp)
-        self.feed_parsed(parsed)
+        self._run(PacketContext(captured=captured))
 
     def feed_parsed(self, parsed: ParsedPacket) -> None:
         """Feed one already-parsed frame."""
-        result = self.result
-        result.packets_total += 1
-        result.bytes_total += len(parsed.raw)
-        assert result.detector is not None
-        klass = result.detector.classify(parsed)
-        if not klass.is_zoom:
-            return
-        result.packets_zoom += 1
-        if klass is ZoomClass.SERVER_TLS:
-            self._feed_tcp(parsed)
-            return
-        if klass is ZoomClass.SERVER_STUN:
-            result.stun_packets += 1
-            return
-        if not klass.is_media or not parsed.is_udp:
-            return
-        five_tuple = parsed.five_tuple
-        if five_tuple is None:
-            return
-        result.bitrate.observe_flow_bytes(
-            five_tuple, parsed.timestamp, len(parsed.payload)
+        self._run(PacketContext(parsed=parsed))
+
+    def evict_stream(self, key: StreamKey, *, reason: str = "idle") -> MediaStream | None:
+        """Finalize and release one stream from the live analyzer state.
+
+        Removes the stream from the table, detaches its metric estimators,
+        and publishes :class:`~repro.core.events.StreamEvicted` carrying
+        both, so subscribers (rolling eviction, report cards, ML export)
+        can emit closing summaries.  Returns the evicted stream, or ``None``
+        if the key is unknown.  A later packet with the same key reopens the
+        stream from scratch.
+        """
+        stream = self.result.streams.evict(key)
+        if stream is None:
+            return None
+        metrics = self.result.stream_metrics.pop(key, None)
+        self._assemble.forget(key)
+        self.bus.emit(
+            StreamEvicted(
+                timestamp=stream.last_time, stream=stream, metrics=metrics, reason=reason
+            )
         )
-        from_server = klass is ZoomClass.SERVER_MEDIA
-        zoom = parse_zoom_payload(parsed.payload, from_server=from_server)
-        if zoom.media is None:
-            result.undecoded_packets += 1
-            result.encap_packets["other"] += 1
-            result.encap_bytes["other"] += len(parsed.payload)
-            return
-        media_type = zoom.media.media_type
-        if zoom.is_media or zoom.is_rtcp:
-            result.encap_packets[media_type] += 1
-            result.encap_bytes[media_type] += len(parsed.payload)
-        else:
-            result.undecoded_packets += 1
-            result.encap_packets["other"] += 1
-            result.encap_bytes["other"] += len(parsed.payload)
-            return
-        if zoom.is_rtcp:
-            self._feed_rtcp(zoom)
-            return
-        assert zoom.rtp is not None
-        to_server: bool | None
-        if zoom.is_p2p:
-            to_server = None
-        elif zoom.sfu is not None and zoom.sfu.direction == Direction.FROM_SFU:
-            to_server = False
-        elif zoom.sfu is not None and zoom.sfu.direction == Direction.TO_SFU:
-            to_server = True
-        else:
-            # Fall back on the well-known server port.
-            to_server = parsed.dst_port == SERVER_MEDIA_PORT
-        record = RTPPacketRecord(
-            timestamp=parsed.timestamp,
-            five_tuple=five_tuple,
-            ssrc=zoom.rtp.ssrc,
-            payload_type=zoom.rtp.payload_type,
-            sequence=zoom.rtp.sequence,
-            rtp_timestamp=zoom.rtp.timestamp,
-            marker=zoom.rtp.marker,
-            media_type=media_type,
-            payload_len=len(zoom.rtp_payload),
-            udp_payload_len=len(parsed.payload),
-            frame_sequence=zoom.media.frame_sequence,
-            packets_in_frame=zoom.media.packets_in_frame,
-            is_p2p=zoom.is_p2p,
-            to_server=to_server,
-        )
-        result.payload_type_packets[(media_type, record.payload_type)] += 1
-        result.payload_type_bytes[(media_type, record.payload_type)] += record.payload_len
-        self._feed_media_record(record)
+        return stream
+
+    def hint_stun(self, parsed: ParsedPacket) -> bool:
+        """Teach the detector a STUN exchange without counting the packet.
+
+        Used by the sharded driver to replicate P2P-endpoint learning to
+        shards that will see the P2P flow but not its STUN preamble.
+        """
+        assert self.result.detector is not None
+        return self.result.detector.observe_stun(parsed)
 
     # ------------------------------------------------------------- internals
 
-    def _feed_media_record(self, record: RTPPacketRecord) -> None:
-        result = self.result
-        stream = result.streams.observe(record)
-        key = record.stream_key
-        if key not in self._known_streams:
-            self._known_streams.add(key)
-            result.grouper.observe_new_stream(stream, result.streams)
-            result.stream_metrics[key] = StreamMetrics.for_media_type(record.media_type)
-        else:
-            result.grouper.observe_stream_update(stream)
-        result.bitrate.observe_media(record)
-        result.stream_metrics[key].observe(record)
-        result.rtp_latency.observe(record)
-
-    def _feed_rtcp(self, zoom) -> None:
-        from repro.rtp.rtcp import RTCPReceiverReport, RTCPSdes, RTCPSenderReport
-
-        for report in zoom.rtcp:
-            if isinstance(report, RTCPSenderReport):
-                self.result.rtcp_sender_reports += 1
-                self.result.sync.observe(report)
-            elif isinstance(report, RTCPSdes):
-                if report.is_empty:
-                    self.result.rtcp_sdes_empty += 1
-            elif isinstance(report, RTCPReceiverReport):
-                self.result.rtcp_receiver_reports += 1
-
-    def _feed_tcp(self, parsed: ParsedPacket) -> None:
-        assert self.result.detector is not None
-        src_is_zoom = self.result.detector.matcher.matches(parsed.src_ip)
-        if src_is_zoom:
-            client_ip, server_ip = parsed.dst_ip, parsed.src_ip
-        else:
-            client_ip, server_ip = parsed.src_ip, parsed.dst_ip
-        if client_ip is None or server_ip is None:
-            return
-        key = (client_ip, server_ip)
-        estimator = self.result.tcp_rtt.get(key)
-        if estimator is None:
-            estimator = self.result.tcp_rtt[key] = TCPRTTEstimator(client_ip, server_ip)
-        estimator.observe(parsed)
+    def _run(self, ctx: PacketContext) -> None:
+        for stage in self.stages:
+            if not stage.process(ctx):
+                return

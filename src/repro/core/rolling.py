@@ -3,10 +3,12 @@
 The one-pass :class:`~repro.core.pipeline.ZoomAnalyzer` retains every stream
 and meeting it ever saw — fine for a trace file, unbounded for a permanent
 border tap.  :class:`RollingZoomAnalyzer` wraps it with time-based eviction:
-streams idle longer than ``idle_timeout`` are finalized (their loss trackers
-closed, their report card emitted to a callback) and dropped, meetings whose
-last stream is gone follow, and long-lived shared state (the latency
-matcher's pending table, the STUN tracker) is already bounded by design.
+streams idle longer than ``idle_timeout`` are finalized through the public
+:meth:`~repro.core.pipeline.ZoomAnalyzer.evict_stream` API, which publishes
+a :class:`~repro.core.events.StreamEvicted` event this wrapper (and any
+other sink — report cards, ML export) subscribes to.  Meetings whose last
+stream is gone follow, and long-lived shared state (the latency matcher's
+pending table, the STUN tracker) is already bounded by design.
 
 This addresses the operational gap between the paper's 12-hour offline study
 and a deployment that never stops.
@@ -17,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
+from repro.core.events import StreamEvicted
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
-from repro.core.streams import MediaStream, StreamKey
+from repro.core.streams import StreamKey
 from repro.net.packet import CapturedPacket
 from repro.zoom.constants import ZOOM_SERVER_SUBNETS
 
@@ -51,6 +54,8 @@ class RollingZoomAnalyzer:
             finalized and evicted.
         sweep_interval: How often (in capture time) to scan for idle
             streams; keeps the sweep cost amortized.
+        zoom_subnets / campus_subnets / stun_timeout / keep_records:
+            Forwarded verbatim to the wrapped :class:`ZoomAnalyzer`.
         on_stream_finalized: Optional callback receiving each
             :class:`FinalizedStream` (e.g. to write a database row).
     """
@@ -58,6 +63,9 @@ class RollingZoomAnalyzer:
     idle_timeout: float = 60.0
     sweep_interval: float = 10.0
     zoom_subnets: Iterable[str] = ZOOM_SERVER_SUBNETS
+    campus_subnets: Iterable[str] | None = None
+    stun_timeout: float = 120.0
+    keep_records: bool = False
     on_stream_finalized: Optional[Callable[[FinalizedStream], None]] = None
     finalized: list[FinalizedStream] = field(default_factory=list)
     streams_evicted: int = 0
@@ -65,12 +73,23 @@ class RollingZoomAnalyzer:
     _last_sweep: float = field(default=float("-inf"), init=False)
 
     def __post_init__(self) -> None:
-        self._analyzer = ZoomAnalyzer(self.zoom_subnets)
+        self._analyzer = ZoomAnalyzer(
+            self.zoom_subnets,
+            campus_subnets=self.campus_subnets,
+            stun_timeout=self.stun_timeout,
+            keep_records=self.keep_records,
+        )
+        self._analyzer.bus.subscribe(StreamEvicted, self._on_stream_evicted)
 
     @property
     def result(self) -> AnalysisResult:
         """The live (post-eviction) analysis state."""
         return self._analyzer.result
+
+    @property
+    def analyzer(self) -> ZoomAnalyzer:
+        """The wrapped analyzer (e.g. to register further event sinks)."""
+        return self._analyzer
 
     def feed(self, packet: CapturedPacket) -> None:
         """Feed one captured frame; may trigger an eviction sweep."""
@@ -89,15 +108,13 @@ class RollingZoomAnalyzer:
         Returns the number of streams evicted.
         """
         self._last_sweep = now
-        result = self._analyzer.result
         stale = [
             stream
-            for stream in result.streams.streams()
+            for stream in self._analyzer.result.streams.streams()
             if now - stream.last_time > self.idle_timeout
         ]
         for stream in stale:
-            self._finalize(stream)
-            self._evict(stream)
+            self._analyzer.evict_stream(stream.key, reason="idle")
         return len(stale)
 
     def live_stream_count(self) -> int:
@@ -105,9 +122,10 @@ class RollingZoomAnalyzer:
 
     # ------------------------------------------------------------- internals
 
-    def _finalize(self, stream: MediaStream) -> None:
-        result = self._analyzer.result
-        metrics = result.stream_metrics.get(stream.key)
+    def _on_stream_evicted(self, event: StreamEvicted) -> None:
+        """Summarize an evicted stream from the event payload alone."""
+        stream = event.stream
+        metrics = event.metrics
         frames = metrics.assembler.completed_count if metrics else 0
         fps_samples = metrics.framerate_delivered.samples if metrics else []
         loss = metrics.loss.report(finalize=True) if metrics else None
@@ -131,12 +149,6 @@ class RollingZoomAnalyzer:
             stall_count=len(metrics.stall_events()) if metrics else 0,
         )
         self.finalized.append(record)
+        self.streams_evicted += 1
         if self.on_stream_finalized is not None:
             self.on_stream_finalized(record)
-
-    def _evict(self, stream: MediaStream) -> None:
-        result = self._analyzer.result
-        result.stream_metrics.pop(stream.key, None)
-        result.streams.evict(stream.key)
-        self._analyzer._known_streams.discard(stream.key)
-        self.streams_evicted += 1

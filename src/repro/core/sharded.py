@@ -1,0 +1,214 @@
+"""Flow-sharded parallel analysis: N analyzers, one merged result.
+
+A border tap serving a large campus produces far more packets than one
+Python analyzer core can chew through.  :class:`ShardedAnalyzer` partitions
+the capture by a *bidirectional flow hash* — both directions of a 5-tuple,
+and therefore every packet of every stream, land on the same shard — runs
+one full :class:`~repro.core.pipeline.ZoomAnalyzer` per shard, and merges
+the shard results with :meth:`~repro.core.pipeline.AnalysisResult.merge`.
+
+Two cross-flow effects need care:
+
+* **P2P detection** (§4.1) learns endpoints from a STUN exchange on a
+  *different* flow than the P2P media that follows.  STUN packets are
+  therefore replicated to every shard: counted only on their home shard,
+  side-effect-only (:meth:`ZoomAnalyzer.hint_stun`) everywhere else.
+* **Method-1 latency** matches the egress copy of a stream (sender → SFU)
+  against its ingress copies (SFU → each receiver) — by construction two
+  *different* clients' flows, so flow-affine sharding splits essentially
+  every matchable pair.  Expect few or no §5.3 RTP-latency samples from a
+  sharded run; use a single pass (or the TCP-RTT proxy, which is per-flow
+  and survives sharding) when latency matters.  Stream, meeting, and
+  Table-2/3 accounting are unaffected.
+
+Backends: ``"serial"`` (debugging/baseline), ``"thread"`` (shared-memory;
+bounded by the GIL for pure-Python decode), ``"process"``
+(``multiprocessing``; true parallelism at the cost of shipping packets and
+results across process boundaries).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Sequence
+
+from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
+from repro.net.packet import CapturedPacket, parse_frame
+from repro.rtp.stun import STUN_PORT
+from repro.zoom.constants import ZOOM_SERVER_SUBNETS
+
+_ETHERTYPE_VLAN = 0x8100
+_ETHERTYPE_IPV4 = 0x0800
+_ETHERTYPE_IPV6 = 0x86DD
+_STUN_MAGIC = b"\x21\x12\xa4\x42"
+
+
+def flow_shard_info(data: bytes) -> tuple[int, bool] | None:
+    """(bidirectional flow hash, looks-like-Zoom-STUN) for one raw frame.
+
+    Reads the handful of header bytes it needs directly — this runs once per
+    packet in the partitioning loop, before any shard does a full decode.
+    Returns ``None`` for frames without an IPv4/IPv6 + TCP/UDP flow key
+    (ARP, truncated frames, other protocols); those carry no per-flow state
+    and may go to any shard.
+    """
+    if len(data) < 34:
+        return None
+    ethertype = (data[12] << 8) | data[13]
+    offset = 14
+    if ethertype == _ETHERTYPE_VLAN:
+        if len(data) < 38:
+            return None
+        ethertype = (data[16] << 8) | data[17]
+        offset = 18
+    if ethertype == _ETHERTYPE_IPV4:
+        ihl = (data[offset] & 0x0F) * 4
+        if ihl < 20 or len(data) < offset + ihl + 4:
+            return None
+        proto = data[offset + 9]
+        src = data[offset + 12 : offset + 16]
+        dst = data[offset + 16 : offset + 20]
+        l4 = offset + ihl
+    elif ethertype == _ETHERTYPE_IPV6:
+        if len(data) < offset + 44:
+            return None
+        proto = data[offset + 6]
+        src = data[offset + 8 : offset + 24]
+        dst = data[offset + 24 : offset + 40]
+        l4 = offset + 40
+    else:
+        return None
+    if proto not in (6, 17) or len(data) < l4 + 4:
+        return None
+    sport = (data[l4] << 8) | data[l4 + 1]
+    dport = (data[l4 + 2] << 8) | data[l4 + 3]
+    endpoint_a = src + bytes((sport >> 8, sport & 0xFF))
+    endpoint_b = dst + bytes((dport >> 8, dport & 0xFF))
+    if endpoint_b < endpoint_a:
+        endpoint_a, endpoint_b = endpoint_b, endpoint_a
+    flow_hash = zlib.crc32(endpoint_a + endpoint_b + bytes((proto,)))
+    is_stun = (
+        proto == 17
+        and STUN_PORT in (sport, dport)
+        and len(data) >= l4 + 8 + 8
+        and data[l4 + 12 : l4 + 16] == _STUN_MAGIC
+    )
+    return flow_hash, is_stun
+
+
+def _analyze_shard(args: tuple) -> AnalysisResult:
+    """Worker: run one shard's packet sequence through a fresh analyzer.
+
+    ``work`` is a capture-time-ordered list of (packet, is_hint) pairs;
+    hints are replicated STUN packets that teach the detector without being
+    counted.  Module-level so the process backend can pickle it.
+    """
+    zoom_subnets, campus_subnets, stun_timeout, keep_records, work = args
+    analyzer = ZoomAnalyzer(
+        zoom_subnets,
+        campus_subnets=campus_subnets,
+        stun_timeout=stun_timeout,
+        keep_records=keep_records,
+    )
+    for packet, is_hint in work:
+        if is_hint:
+            analyzer.hint_stun(parse_frame(packet.data, packet.timestamp))
+        else:
+            analyzer.feed(packet)
+    return analyzer.result
+
+
+class ShardedAnalyzer:
+    """Partition a capture across N flow-affine analyzers and merge.
+
+    Args:
+        shards: Number of worker analyzers.
+        backend: ``"serial"``, ``"thread"``, or ``"process"``.
+        zoom_subnets / campus_subnets / stun_timeout / keep_records:
+            Forwarded verbatim to every shard's :class:`ZoomAnalyzer`.
+
+    Usage::
+
+        result = ShardedAnalyzer(shards=4).analyze(captured_packets)
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        zoom_subnets: Iterable[str] = ZOOM_SERVER_SUBNETS,
+        *,
+        campus_subnets: Iterable[str] | None = None,
+        stun_timeout: float = 120.0,
+        keep_records: bool = False,
+        backend: str = "thread",
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.shards = shards
+        self.backend = backend
+        self._zoom_subnets = tuple(zoom_subnets)
+        self._campus_subnets = (
+            tuple(campus_subnets) if campus_subnets is not None else None
+        )
+        self._stun_timeout = stun_timeout
+        self._keep_records = keep_records
+
+    def partition(
+        self, packets: Iterable[CapturedPacket]
+    ) -> list[list[tuple[CapturedPacket, bool]]]:
+        """Split a capture into per-shard work lists, preserving order.
+
+        Each packet lands on exactly one home shard (flow-affine, both
+        directions together); STUN packets are additionally replicated to
+        every other shard as detector hints.
+        """
+        buckets: list[list[tuple[CapturedPacket, bool]]] = [
+            [] for _ in range(self.shards)
+        ]
+        for packet in packets:
+            info = flow_shard_info(packet.data)
+            if info is None:
+                home = zlib.crc32(packet.data) % self.shards
+                buckets[home].append((packet, False))
+                continue
+            flow_hash, is_stun = info
+            home = flow_hash % self.shards
+            buckets[home].append((packet, False))
+            if is_stun:
+                for index in range(self.shards):
+                    if index != home:
+                        buckets[index].append((packet, True))
+        return buckets
+
+    def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
+        """Partition, run every shard, and return the merged result."""
+        buckets = self.partition(packets)
+        shard_args = [
+            (
+                self._zoom_subnets,
+                self._campus_subnets,
+                self._stun_timeout,
+                self._keep_records,
+                work,
+            )
+            for work in buckets
+        ]
+        results = self._run(shard_args)
+        return AnalysisResult.merge_all(results)
+
+    # ------------------------------------------------------------- internals
+
+    def _run(self, shard_args: Sequence[tuple]) -> list[AnalysisResult]:
+        if self.backend == "serial" or self.shards == 1:
+            return [_analyze_shard(args) for args in shard_args]
+        if self.backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.shards) as pool:
+                return list(pool.map(_analyze_shard, shard_args))
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=self.shards) as pool:
+            return pool.map(_analyze_shard, shard_args)

@@ -1,0 +1,62 @@
+"""The stage protocol and the per-packet context that flows through it.
+
+One :class:`PacketContext` is created per captured frame and handed to each
+stage in order.  A stage reads the fields earlier stages filled in, adds its
+own, and returns ``True`` to pass the packet on or ``False`` to stop the
+pipeline for this packet (not-Zoom traffic, control packets, undecodable
+payloads — every early exit of the old monolithic ``feed_parsed``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.net.packet import CapturedPacket, FiveTuple, ParsedPacket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.detector import ZoomClass
+    from repro.core.streams import MediaStream, RTPPacketRecord
+    from repro.zoom.packets import ZoomPacket
+
+
+@dataclass
+class PacketContext:
+    """Mutable per-packet state shared by the stages.
+
+    Attributes (filled in as the packet advances):
+        captured: The raw frame, when the packet entered via ``feed``.
+        parsed: L2–L4 decode (decode stage).
+        klass: Detector classification (classify stage).
+        five_tuple: Flow key of a media-class UDP packet (classify stage).
+        zoom: Decoded Zoom payload (demux stage).
+        record: Normalized RTP packet record (demux stage).
+        stream: The media stream the record belongs to (assembly stage).
+        stream_is_new: Whether assembly created the stream for this packet.
+    """
+
+    captured: CapturedPacket | None = None
+    parsed: ParsedPacket | None = None
+    klass: "ZoomClass | None" = None
+    five_tuple: FiveTuple | None = None
+    zoom: "ZoomPacket | None" = None
+    record: "RTPPacketRecord | None" = None
+    stream: "MediaStream | None" = None
+    stream_is_new: bool = False
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of the analyzer pipeline.
+
+    Stages are constructed with references to the shared
+    :class:`~repro.core.pipeline.AnalysisResult` and
+    :class:`~repro.core.events.EventBus` and keep whatever per-run state
+    they need (the assembly stage's known-stream set, for example).
+    """
+
+    name: str
+
+    def process(self, ctx: PacketContext) -> bool:
+        """Advance one packet; ``False`` stops the pipeline for it."""
+        ...

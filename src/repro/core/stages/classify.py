@@ -1,0 +1,66 @@
+"""Classify stage: Zoom traffic detection and non-media side channels.
+
+Runs the §4.1 detector over every parsed packet and terminates the pipeline
+for everything that is not a decodable media-class UDP packet: non-Zoom
+traffic, the TCP 443 control connection (folded into the Method-2 RTT
+estimators here), and STUN exchanges (which the detector itself uses to
+learn P2P endpoints).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.detector import ZoomClass
+from repro.core.metrics.latency import TCPRTTEstimator
+from repro.core.stages.base import PacketContext
+from repro.net.packet import ParsedPacket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import EventBus
+    from repro.core.pipeline import AnalysisResult
+
+
+class ClassifyStage:
+    """Detector classification plus the TLS/STUN early exits."""
+
+    name = "classify"
+
+    def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
+        self._result = result
+
+    def process(self, ctx: PacketContext) -> bool:
+        result = self._result
+        parsed = ctx.parsed
+        assert parsed is not None and result.detector is not None
+        klass = result.detector.classify(parsed)
+        ctx.klass = klass
+        if not klass.is_zoom:
+            return False
+        result.packets_zoom += 1
+        if klass is ZoomClass.SERVER_TLS:
+            self._observe_tcp(parsed)
+            return False
+        if klass is ZoomClass.SERVER_STUN:
+            result.stun_packets += 1
+            return False
+        if not klass.is_media or not parsed.is_udp:
+            return False
+        ctx.five_tuple = parsed.five_tuple
+        return ctx.five_tuple is not None
+
+    def _observe_tcp(self, parsed: ParsedPacket) -> None:
+        result = self._result
+        assert result.detector is not None
+        src_is_zoom = result.detector.matcher.matches(parsed.src_ip)
+        if src_is_zoom:
+            client_ip, server_ip = parsed.dst_ip, parsed.src_ip
+        else:
+            client_ip, server_ip = parsed.src_ip, parsed.dst_ip
+        if client_ip is None or server_ip is None:
+            return
+        key = (client_ip, server_ip)
+        estimator = result.tcp_rtt.get(key)
+        if estimator is None:
+            estimator = result.tcp_rtt[key] = TCPRTTEstimator(client_ip, server_ip)
+        estimator.observe(parsed)

@@ -1,0 +1,34 @@
+"""Decode stage: raw frame bytes → :class:`ParsedPacket`, plus input totals."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.stages.base import PacketContext
+from repro.net.packet import parse_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import EventBus
+    from repro.core.pipeline import AnalysisResult
+
+
+class DecodeStage:
+    """Parse the Ethernet/IP/transport layers and count every input packet.
+
+    Packets that entered the pipeline already parsed (``feed_parsed``) skip
+    the frame decode but are still counted here, so ``packets_total`` and
+    ``bytes_total`` mean the same thing on either entry point.
+    """
+
+    name = "decode"
+
+    def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
+        self._result = result
+
+    def process(self, ctx: PacketContext) -> bool:
+        if ctx.parsed is None:
+            assert ctx.captured is not None, "decode needs a raw or parsed frame"
+            ctx.parsed = parse_frame(ctx.captured.data, ctx.captured.timestamp)
+        self._result.packets_total += 1
+        self._result.bytes_total += len(ctx.parsed.raw)
+        return True

@@ -1,0 +1,104 @@
+"""Zoom demux stage: proprietary payload decode → normalized RTP records.
+
+Decodes the Zoom SFU/media encapsulations (§4.2), maintains the Table-2 and
+Table-3 counters, routes RTCP reports to the bus, resolves the packet's
+direction relative to the SFU, and emits the :class:`RTPPacketRecord` that
+the assembly and metrics stages consume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.detector import ZoomClass
+from repro.core.events import FlowBytesObserved, RTCPObserved
+from repro.core.stages.base import PacketContext
+from repro.core.streams import RTPPacketRecord
+from repro.zoom.constants import ENCAP_OTHER, SERVER_MEDIA_PORT
+from repro.zoom.packets import parse_zoom_payload
+from repro.zoom.sfu_encap import Direction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import EventBus
+    from repro.core.pipeline import AnalysisResult
+
+
+class ZoomDemuxStage:
+    """From media-class UDP payloads to decoded RTP packet records."""
+
+    name = "zoom-demux"
+
+    def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
+        self._result = result
+        self._bus = bus
+
+    def process(self, ctx: PacketContext) -> bool:
+        result = self._result
+        parsed = ctx.parsed
+        assert parsed is not None and ctx.five_tuple is not None
+        self._bus.emit(
+            FlowBytesObserved(
+                timestamp=parsed.timestamp,
+                five_tuple=ctx.five_tuple,
+                payload_len=len(parsed.payload),
+            )
+        )
+        from_server = ctx.klass is ZoomClass.SERVER_MEDIA
+        zoom = parse_zoom_payload(parsed.payload, from_server=from_server)
+        ctx.zoom = zoom
+        if zoom.media is None or not (zoom.is_media or zoom.is_rtcp):
+            result.undecoded_packets += 1
+            result.encap_packets[ENCAP_OTHER] += 1
+            result.encap_bytes[ENCAP_OTHER] += len(parsed.payload)
+            return False
+        media_type = zoom.media.media_type
+        result.encap_packets[media_type] += 1
+        result.encap_bytes[media_type] += len(parsed.payload)
+        if zoom.is_rtcp:
+            self._observe_rtcp(zoom, parsed.timestamp)
+            return False
+        assert zoom.rtp is not None
+        to_server: bool | None
+        if zoom.is_p2p:
+            to_server = None
+        elif zoom.sfu is not None and zoom.sfu.direction == Direction.FROM_SFU:
+            to_server = False
+        elif zoom.sfu is not None and zoom.sfu.direction == Direction.TO_SFU:
+            to_server = True
+        else:
+            # Fall back on the well-known server port.
+            to_server = parsed.dst_port == SERVER_MEDIA_PORT
+        record = RTPPacketRecord(
+            timestamp=parsed.timestamp,
+            five_tuple=ctx.five_tuple,
+            ssrc=zoom.rtp.ssrc,
+            payload_type=zoom.rtp.payload_type,
+            sequence=zoom.rtp.sequence,
+            rtp_timestamp=zoom.rtp.timestamp,
+            marker=zoom.rtp.marker,
+            media_type=media_type,
+            payload_len=len(zoom.rtp_payload),
+            udp_payload_len=len(parsed.payload),
+            frame_sequence=zoom.media.frame_sequence,
+            packets_in_frame=zoom.media.packets_in_frame,
+            is_p2p=zoom.is_p2p,
+            to_server=to_server,
+        )
+        result.payload_type_packets[(media_type, record.payload_type)] += 1
+        result.payload_type_bytes[(media_type, record.payload_type)] += record.payload_len
+        ctx.record = record
+        return True
+
+    def _observe_rtcp(self, zoom, timestamp: float) -> None:
+        from repro.rtp.rtcp import RTCPReceiverReport, RTCPSdes, RTCPSenderReport
+
+        result = self._result
+        for report in zoom.rtcp:
+            if isinstance(report, RTCPSenderReport):
+                result.rtcp_sender_reports += 1
+            elif isinstance(report, RTCPSdes):
+                if report.is_empty:
+                    result.rtcp_sdes_empty += 1
+            elif isinstance(report, RTCPReceiverReport):
+                result.rtcp_receiver_reports += 1
+            self._bus.emit(RTCPObserved(timestamp=timestamp, report=report))

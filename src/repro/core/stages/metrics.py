@@ -1,0 +1,45 @@
+"""Metrics stage: per-stream §5 estimators and cross-stream latency matching.
+
+Creates the :class:`~repro.core.pipeline.StreamMetrics` bundle lazily per
+stream key (so an evicted stream that resumes gets a fresh bundle) and
+routes every record through it plus the Method-1 latency matcher.  The
+1-second bitrate binning is *not* here: it subscribes to the event bus as
+:class:`~repro.core.metrics.bitrate.BitrateSink`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.stages.base import PacketContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import EventBus
+    from repro.core.pipeline import AnalysisResult
+
+
+class MetricsStage:
+    """Per-stream metric estimation (§5)."""
+
+    name = "metrics"
+
+    def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
+        self._result = result
+        # Deferred import: repro.core.pipeline imports this module at its top.
+        from repro.core.pipeline import StreamMetrics
+
+        self._metrics_factory = StreamMetrics.for_media_type
+
+    def process(self, ctx: PacketContext) -> bool:
+        result = self._result
+        record = ctx.record
+        assert record is not None
+        key = record.stream_key
+        metrics = result.stream_metrics.get(key)
+        if metrics is None:
+            metrics = result.stream_metrics[key] = self._metrics_factory(
+                record.media_type
+            )
+        metrics.observe(record)
+        result.rtp_latency.observe(record)
+        return True

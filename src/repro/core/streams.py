@@ -170,6 +170,11 @@ class StreamTable:
         self._by_ssrc: dict[int, list[MediaStream]] = defaultdict(list)
         self._keep_records = keep_records
 
+    @property
+    def keep_records(self) -> bool:
+        """Whether streams created by this table retain per-packet records."""
+        return self._keep_records
+
     def observe(self, record: RTPPacketRecord) -> MediaStream:
         """Route one record to its stream, creating the stream if new."""
         stream = self._streams.get(record.stream_key)
@@ -198,6 +203,18 @@ class StreamTable:
     def with_ssrc(self, ssrc: int) -> list[MediaStream]:
         """All streams carrying ``ssrc`` (stream copies land here together)."""
         return list(self._by_ssrc.get(ssrc, ()))
+
+    def adopt(self, stream: MediaStream) -> None:
+        """Insert an already-assembled stream (sharded-result merge).
+
+        Flow-affine partitioning makes shard stream keys disjoint, so a key
+        collision means the caller merged overlapping captures — refuse
+        rather than silently conflate two streams' state.
+        """
+        if stream.key in self._streams:
+            raise ValueError(f"stream {stream.key!r} already present in table")
+        self._streams[stream.key] = stream
+        self._by_ssrc[stream.ssrc].append(stream)
 
     def evict(self, key: StreamKey) -> MediaStream | None:
         """Remove one stream from the table (continuous-operation cleanup);

@@ -48,6 +48,29 @@ class ZoomMediaType(enum.IntEnum):
 CONTROL_MEDIA_TYPES = (7, 20, 24)
 
 
+class _EncapOther(str):
+    """Sentinel key for undecodable media-class packets in Table-2 counters.
+
+    A ``str`` subclass so existing comparisons against the literal
+    ``"other"`` (tests, table renderers, saved benchmark rows) keep working,
+    while analyzer code refers to the one named constant instead of scattering
+    a magic string between the ``int`` media-type keys.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ENCAP_OTHER"
+
+
+ENCAP_OTHER = _EncapOther("other")
+"""Counter key for media-class packets that did not decode as Zoom media/RTCP."""
+
+EncapKey = int | str
+"""Key type of the Table-2 encapsulation counters: a media-type value or
+:data:`ENCAP_OTHER`."""
+
+
 class RTPPayloadType(enum.IntEnum):
     """RTP payload types Zoom uses per media stream (Table 3, §4.2.3)."""
 

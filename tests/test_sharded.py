@@ -1,0 +1,169 @@
+"""Flow-sharded parallel analysis: partitioning and merge equivalence."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core import ShardedAnalyzer, ZoomAnalyzer
+from repro.core.sharded import flow_shard_info
+
+
+def _ipv4_frame(
+    src: str,
+    sport: int,
+    dst: str,
+    dport: int,
+    proto: int = 17,
+    payload: bytes = b"\x00" * 32,
+) -> bytes:
+    src_b = bytes(int(p) for p in src.split("."))
+    dst_b = bytes(int(p) for p in dst.split("."))
+    if proto == 17:
+        l4 = struct.pack("!HHHH", sport, dport, 8 + len(payload), 0) + payload
+    else:
+        l4 = struct.pack("!HHIIBBHHH", sport, dport, 0, 0, 5 << 4, 0, 0, 0, 0) + payload
+    ip = (
+        struct.pack("!BBHHHBBH", 0x45, 0, 20 + len(l4), 0, 0, 64, proto, 0)
+        + src_b
+        + dst_b
+    )
+    return b"\x02" * 6 + b"\x04" * 6 + b"\x08\x00" + ip + l4
+
+
+class TestFlowShardInfo:
+    def test_bidirectional_hash_matches(self):
+        forward = _ipv4_frame("10.0.0.1", 5000, "170.114.1.2", 8801)
+        reverse = _ipv4_frame("170.114.1.2", 8801, "10.0.0.1", 5000)
+        info_f = flow_shard_info(forward)
+        info_r = flow_shard_info(reverse)
+        assert info_f is not None and info_r is not None
+        assert info_f[0] == info_r[0]
+
+    def test_different_flows_hash_differently(self):
+        a = flow_shard_info(_ipv4_frame("10.0.0.1", 5000, "170.114.1.2", 8801))
+        b = flow_shard_info(_ipv4_frame("10.0.0.2", 6000, "170.114.1.2", 8801))
+        assert a[0] != b[0]
+
+    def test_tcp_flows_are_hashable(self):
+        info = flow_shard_info(_ipv4_frame("10.0.0.1", 443, "1.2.3.4", 555, proto=6))
+        assert info is not None and info[1] is False
+
+    def test_non_ip_frame_is_unhashable(self):
+        arp = b"\xff" * 6 + b"\x02" * 6 + b"\x08\x06" + b"\x00" * 28
+        assert flow_shard_info(arp) is None
+
+    def test_truncated_frame_is_unhashable(self):
+        assert flow_shard_info(b"\x00" * 20) is None
+
+    def test_stun_detection(self):
+        stun_payload = b"\x00\x01\x00\x00" + b"\x21\x12\xa4\x42" + b"\x00" * 12
+        frame = _ipv4_frame("10.0.0.1", 5000, "1.2.3.4", 3478, payload=stun_payload)
+        info = flow_shard_info(frame)
+        assert info is not None and info[1] is True
+
+    def test_non_stun_udp_on_other_ports(self):
+        frame = _ipv4_frame("10.0.0.1", 5000, "1.2.3.4", 8801)
+        info = flow_shard_info(frame)
+        assert info is not None and info[1] is False
+
+
+class TestPartition:
+    def test_flow_affinity_and_order(self, sfu_meeting_result):
+        driver = ShardedAnalyzer(shards=4)
+        buckets = driver.partition(sfu_meeting_result.captures)
+        assert len(buckets) == 4
+        seen_flows: dict[int, int] = {}
+        for index, bucket in enumerate(buckets):
+            times = [p.timestamp for p, _ in bucket]
+            assert times == sorted(times)
+            for packet, is_hint in bucket:
+                if is_hint:
+                    continue
+                info = flow_shard_info(packet.data)
+                if info is None:
+                    continue
+                assert seen_flows.setdefault(info[0], index) == index
+        home_total = sum(1 for bucket in buckets for _, hint in bucket if not hint)
+        assert home_total == len(sfu_meeting_result.captures)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ShardedAnalyzer(shards=0)
+        with pytest.raises(ValueError):
+            ShardedAnalyzer(backend="gpu")
+
+
+def _assert_equivalent(single, sharded):
+    assert len(sharded.streams) == len(single.streams)
+    assert len(sharded.grouper.meetings()) == len(single.grouper.meetings())
+    assert sharded.packets_total == single.packets_total
+    assert sharded.packets_zoom == single.packets_zoom
+    assert sharded.bytes_total == single.bytes_total
+    assert sharded.stun_packets == single.stun_packets
+    assert dict(sharded.encap_packets) == dict(single.encap_packets)
+    assert dict(sharded.encap_bytes) == dict(single.encap_bytes)
+    assert sharded.encap_share_table() == single.encap_share_table()
+    assert sharded.payload_type_table() == single.payload_type_table()
+    single_per_stream = {s.key: (s.packets, s.bytes) for s in single.streams}
+    sharded_per_stream = {s.key: (s.packets, s.bytes) for s in sharded.streams}
+    assert sharded_per_stream == single_per_stream
+
+
+class TestEquivalence:
+    def test_sfu_meeting_four_shards(self, sfu_meeting_result, analyzed_sfu):
+        sharded = ShardedAnalyzer(shards=4, backend="serial").analyze(
+            sfu_meeting_result.captures
+        )
+        _assert_equivalent(analyzed_sfu, sharded)
+
+    def test_p2p_meeting_four_shards(self, p2p_meeting_result, analyzed_p2p):
+        # P2P media runs on a different 5-tuple than the STUN exchange that
+        # announces it — only STUN replication keeps detection sharding-safe
+        sharded = ShardedAnalyzer(shards=4, backend="serial").analyze(
+            p2p_meeting_result.captures
+        )
+        _assert_equivalent(analyzed_p2p, sharded)
+        assert sum(1 for s in sharded.streams if s.is_p2p) == sum(
+            1 for s in analyzed_p2p.streams if s.is_p2p
+        )
+
+    def test_single_shard_matches(self, sfu_meeting_result, analyzed_sfu):
+        sharded = ShardedAnalyzer(shards=1).analyze(sfu_meeting_result.captures)
+        _assert_equivalent(analyzed_sfu, sharded)
+
+    def test_thread_backend(self, sfu_meeting_result, analyzed_sfu):
+        sharded = ShardedAnalyzer(shards=3, backend="thread").analyze(
+            sfu_meeting_result.captures
+        )
+        _assert_equivalent(analyzed_sfu, sharded)
+
+    def test_merged_result_supports_reporting(self, sfu_meeting_result):
+        from repro.analysis.export import feature_rows
+        from repro.analysis.reportgen import full_report
+
+        sharded = ShardedAnalyzer(shards=4, backend="serial").analyze(
+            sfu_meeting_result.captures
+        )
+        assert "Meeting" in full_report(sharded)
+        assert feature_rows(sharded)
+
+    def test_options_forwarded_to_shards(self, sfu_meeting_result):
+        sharded = ShardedAnalyzer(
+            shards=2,
+            backend="serial",
+            campus_subnets=("10.8.0.0/16",),
+            keep_records=True,
+        ).analyze(sfu_meeting_result.captures)
+        assert sharded.streams.keep_records is True
+        assert all(s.records for s in sharded.streams)
+
+
+class TestMergeErrors:
+    def test_adopt_rejects_duplicate_keys(self, sfu_meeting_result):
+        from repro.core.pipeline import AnalysisResult
+
+        result = ZoomAnalyzer().analyze(sfu_meeting_result.captures)
+        with pytest.raises(ValueError):
+            AnalysisResult.merge_all([result, result])
