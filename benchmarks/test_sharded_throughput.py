@@ -13,6 +13,7 @@ import time
 
 from repro.analysis.tables import format_table
 from repro.core import ShardedAnalyzer, ZoomAnalyzer
+from repro.telemetry import Telemetry
 
 SHARDS = 4
 CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
@@ -69,3 +70,40 @@ def test_sharded_throughput(campus, report):
     )
     assert single_pps > 1_000
     assert sharded_pps > 1_000
+
+
+def test_telemetry_overhead(campus, report):
+    """The telemetry acceptance budget: <= ~5% slower with counters on,
+    indistinguishable from baseline with them off."""
+    trace, _model, _analysis = campus
+    packets = trace.result.captures
+
+    _, off_time = _timed(
+        "telemetry off", lambda: ZoomAnalyzer(telemetry=False).analyze(packets)
+    )
+    enabled_result, on_time = _timed(
+        "telemetry on", lambda: ZoomAnalyzer(telemetry=True).analyze(packets)
+    )
+
+    snapshot = enabled_result.telemetry_snapshot()
+    assert snapshot.counter("pipeline.completed") > 0
+    overhead = on_time / off_time - 1.0
+
+    report(
+        "telemetry_overhead",
+        format_table(
+            ["variant", "packets", "best s", "packets/s", "overhead"],
+            [
+                ("telemetry off", len(packets), round(off_time, 3),
+                 f"{len(packets) / off_time:,.0f}", "baseline"),
+                ("telemetry on", len(packets), round(on_time, 3),
+                 f"{len(packets) / on_time:,.0f}", f"{100.0 * overhead:+.1f}%"),
+            ],
+        )
+        + f"\ncounters recorded: {len(snapshot.counters)}; "
+        f"stage timers sampled 1-in-{Telemetry.TIMING_SAMPLE}"
+        + "\nbudget: enabled <= 5% over disabled; disabled adds one branch/packet",
+    )
+    # Generous CI margin over the 5% local budget: wall-clock noise on a
+    # shared runner easily exceeds the effect being measured.
+    assert overhead < 0.15, f"telemetry overhead {100 * overhead:.1f}% exceeds budget"

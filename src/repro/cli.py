@@ -121,19 +121,28 @@ def _cmd_filter(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.net.pcapng import read_capture
+    from repro.telemetry import Telemetry
 
+    want_stats = args.stats or args.stats_json is not None
+    reader_telemetry = Telemetry(enabled=want_stats)
+    packets = read_capture(
+        args.input, telemetry=reader_telemetry, tolerant=args.tolerant
+    )
     if args.shards > 1:
         from repro.core import ShardedAnalyzer
 
         result = ShardedAnalyzer(
-            shards=args.shards, zoom_subnets=args.zoom_subnets
-        ).analyze(list(read_capture(args.input)))
+            shards=args.shards, zoom_subnets=args.zoom_subnets, telemetry=want_stats
+        ).analyze(packets)
+        # The shards carry their own registries; fold the reader's capture
+        # counters into the merged result so --stats shows the whole path.
+        result.telemetry.merge_from(reader_telemetry)
     else:
         from repro.core import ZoomAnalyzer
 
-        result = ZoomAnalyzer(zoom_subnets=args.zoom_subnets).analyze(
-            read_capture(args.input)
-        )
+        result = ZoomAnalyzer(
+            zoom_subnets=args.zoom_subnets, telemetry=reader_telemetry
+        ).analyze(packets)
 
     print(f"packets: {result.packets_total} total, {result.packets_zoom} zoom")
     print(f"meetings: {len(result.meetings)}")
@@ -188,6 +197,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if want_stats:
+        snapshot = result.telemetry_snapshot()
+        if args.stats:
+            from repro.telemetry import log_anomalies, render_stats
+
+            print("\n=== runtime telemetry (--stats) ===\n")
+            print(render_stats(snapshot))
+            anomalies = log_anomalies(snapshot)
+            if anomalies:
+                print("\nhealth warnings:")
+                for anomaly in anomalies:
+                    print(f"  [{anomaly.name}] {anomaly.message}")
+        if args.stats_json is not None:
+            import json
+
+            payload = json.dumps(snapshot.to_dict(), indent=2, sort_keys=True)
+            if str(args.stats_json) == "-":
+                print(payload)
+            else:
+                Path(args.stats_json).write_text(payload + "\n")
+                print(f"\nwrote telemetry JSON to {args.stats_json}")
     if args.report:
         from repro.analysis.reportgen import full_report
 
@@ -311,6 +341,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the per-(stream,second) ML feature matrix")
     analyze.add_argument("--report", action="store_true",
                          help="print per-meeting report cards with diagnoses")
+    analyze.add_argument("--stats", action="store_true",
+                         help="print the runtime-telemetry health report "
+                              "(per-stage packet/time counters, drop reasons, "
+                              "shard balance) plus anomaly warnings")
+    analyze.add_argument("--stats-json", type=Path, default=None, metavar="PATH",
+                         help="write the telemetry snapshot as JSON "
+                              "('-' for stdout)")
+    analyze.add_argument("--tolerant", action="store_true",
+                         help="treat a truncated capture tail as end-of-file "
+                              "instead of an error (counted in --stats)")
     analyze.set_defaults(func=_cmd_analyze)
 
     dissect = sub.add_parser("dissect", help="Wireshark-style packet dissection")

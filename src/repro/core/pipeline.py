@@ -15,6 +15,7 @@ from __future__ import annotations
 import copy
 from collections import Counter
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable
 
 from repro.core.detector import ZoomTrafficDetector
@@ -41,6 +42,7 @@ from repro.core.stages import (
 )
 from repro.core.streams import MediaStream, RTPPacketRecord, StreamKey, StreamTable
 from repro.net.packet import CapturedPacket, ParsedPacket
+from repro.telemetry.registry import Telemetry, TelemetrySnapshot, coerce_telemetry
 from repro.zoom.constants import (
     AUDIO_SAMPLING_RATE,
     VIDEO_SAMPLING_RATE,
@@ -117,6 +119,9 @@ class AnalysisResult:
             RTCP observations (§4.2.1: no RRs ever appear).
         undecoded_packets: Media-class packets that did not parse as Zoom
             media or RTCP (the ~10% control remainder).
+        telemetry: The runtime telemetry registry the packet path records
+            into (see :mod:`repro.telemetry`); merged across shards by
+            :meth:`merge`, snapshotted via :meth:`telemetry_snapshot`.
     """
 
     packets_total: int = 0
@@ -139,10 +144,15 @@ class AnalysisResult:
     rtcp_receiver_reports: int = 0
     undecoded_packets: int = 0
     stun_packets: int = 0
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     @property
     def meetings(self) -> list[Meeting]:
         return self.grouper.meetings()
+
+    def telemetry_snapshot(self) -> TelemetrySnapshot:
+        """An immutable copy of the run's telemetry (see :mod:`repro.telemetry`)."""
+        return self.telemetry.snapshot()
 
     def media_streams(self) -> list[MediaStream]:
         return self.streams.streams()
@@ -209,6 +219,7 @@ class AnalysisResult:
         if not results:
             return AnalysisResult()
         merged = AnalysisResult()
+        merged.telemetry = Telemetry(enabled=False)  # enabled if any input is
         first = results[0]
         if first.detector is not None:
             merged.detector = copy.deepcopy(first.detector)
@@ -226,6 +237,7 @@ class AnalysisResult:
             merged.rtcp_receiver_reports += result.rtcp_receiver_reports
             merged.undecoded_packets += result.undecoded_packets
             merged.stun_packets += result.stun_packets
+            merged.telemetry.merge_from(result.telemetry)
             merged.encap_packets.update(result.encap_packets)
             merged.encap_bytes.update(result.encap_bytes)
             merged.payload_type_packets.update(result.payload_type_packets)
@@ -260,6 +272,11 @@ class ZoomAnalyzer:
         bus: Optional pre-wired :class:`~repro.core.events.EventBus`; one is
             created (with the default bitrate-binning and RTCP-sync sinks)
             when omitted.
+        telemetry: Runtime telemetry — ``True`` (default) records counters
+            and sampled stage timers, ``False`` disables instrumentation
+            entirely (near-zero overhead), or pass a pre-built
+            :class:`~repro.telemetry.Telemetry` to share a registry (e.g.
+            with a capture reader).
 
     Usage::
 
@@ -277,9 +294,12 @@ class ZoomAnalyzer:
         stun_timeout: float = 120.0,
         keep_records: bool = False,
         bus: EventBus | None = None,
+        telemetry: Telemetry | bool = True,
     ) -> None:
         self.bus = bus if bus is not None else EventBus()
         self.result = AnalysisResult()
+        self.result.telemetry = coerce_telemetry(telemetry)
+        self._telemetry = self.result.telemetry
         self.result.detector = ZoomTrafficDetector(
             zoom_subnets, campus_subnets=campus_subnets, stun_timeout=stun_timeout
         )
@@ -292,6 +312,13 @@ class ZoomAnalyzer:
             self._assemble,
             MetricsStage(self.result, self.bus),
         )
+        # Instrument names resolved once — the per-packet path must not
+        # build strings.
+        self._instrumented_stages: tuple[tuple[Stage, str, str], ...] = tuple(
+            (stage, f"pipeline.stop.{stage.name}", f"stage.time.{stage.name}")
+            for stage in self.stages
+        )
+        self._packet_seq = 0
         self.bus.register(BitrateSink(self.result.bitrate))
         self.bus.register(SyncSink(self.result.sync))
 
@@ -322,6 +349,10 @@ class ZoomAnalyzer:
         stream = self.result.streams.evict(key)
         if stream is None:
             return None
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count(f"pipeline.evicted.{reason}")
+            tel.observe("pipeline.evicted_stream_packets", stream.packets)
         metrics = self.result.stream_metrics.pop(key, None)
         self._assemble.forget(key)
         self.bus.emit(
@@ -343,6 +374,28 @@ class ZoomAnalyzer:
     # ------------------------------------------------------------- internals
 
     def _run(self, ctx: PacketContext) -> None:
-        for stage in self.stages:
-            if not stage.process(ctx):
-                return
+        tel = self._telemetry
+        if not tel.enabled:
+            for stage in self.stages:
+                if not stage.process(ctx):
+                    return
+            return
+        # One counter increment per packet records where it stopped; per-stage
+        # in/out throughput is derived from those at report time.  Wall time
+        # is sampled (1 in Telemetry.TIMING_SAMPLE packets) so instrumentation
+        # stays within the <=5% overhead budget.
+        self._packet_seq += 1
+        if self._packet_seq & Telemetry.TIMING_MASK:
+            for stage, stop_name, _ in self._instrumented_stages:
+                if not stage.process(ctx):
+                    tel.count(stop_name)
+                    return
+        else:
+            for stage, stop_name, time_name in self._instrumented_stages:
+                start = perf_counter()
+                advanced = stage.process(ctx)
+                tel.add_time(time_name, perf_counter() - start)
+                if not advanced:
+                    tel.count(stop_name)
+                    return
+        tel.count("pipeline.completed")

@@ -23,6 +23,7 @@ from repro.core.events import StreamEvicted
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
 from repro.core.streams import StreamKey
 from repro.net.packet import CapturedPacket
+from repro.telemetry.registry import Telemetry
 from repro.zoom.constants import ZOOM_SERVER_SUBNETS
 
 
@@ -54,8 +55,11 @@ class RollingZoomAnalyzer:
             finalized and evicted.
         sweep_interval: How often (in capture time) to scan for idle
             streams; keeps the sweep cost amortized.
-        zoom_subnets / campus_subnets / stun_timeout / keep_records:
-            Forwarded verbatim to the wrapped :class:`ZoomAnalyzer`.
+        zoom_subnets / campus_subnets / stun_timeout / keep_records /
+        telemetry: Forwarded verbatim to the wrapped :class:`ZoomAnalyzer`;
+            the wrapper adds its own ``rolling.*`` counters (sweeps,
+            retained-state size) and eviction reasons land under
+            ``pipeline.evicted.*`` via the shared eviction path.
         on_stream_finalized: Optional callback receiving each
             :class:`FinalizedStream` (e.g. to write a database row).
     """
@@ -66,6 +70,7 @@ class RollingZoomAnalyzer:
     campus_subnets: Iterable[str] | None = None
     stun_timeout: float = 120.0
     keep_records: bool = False
+    telemetry: Telemetry | bool = True
     on_stream_finalized: Optional[Callable[[FinalizedStream], None]] = None
     finalized: list[FinalizedStream] = field(default_factory=list)
     streams_evicted: int = 0
@@ -78,6 +83,7 @@ class RollingZoomAnalyzer:
             campus_subnets=self.campus_subnets,
             stun_timeout=self.stun_timeout,
             keep_records=self.keep_records,
+            telemetry=self.telemetry,
         )
         self._analyzer.bus.subscribe(StreamEvicted, self._on_stream_evicted)
 
@@ -108,11 +114,15 @@ class RollingZoomAnalyzer:
         Returns the number of streams evicted.
         """
         self._last_sweep = now
+        live = self._analyzer.result.streams.streams()
         stale = [
-            stream
-            for stream in self._analyzer.result.streams.streams()
-            if now - stream.last_time > self.idle_timeout
+            stream for stream in live if now - stream.last_time > self.idle_timeout
         ]
+        tel = self._analyzer.result.telemetry
+        if tel.enabled:
+            tel.count("rolling.sweeps")
+            tel.record_max("rolling.live_streams_peak", len(live))
+            tel.observe("rolling.live_streams", len(live))
         for stream in stale:
             self._analyzer.evict_stream(stream.key, reason="idle")
         return len(stale)

@@ -30,6 +30,7 @@ results across process boundaries).
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
@@ -96,6 +97,15 @@ def flow_shard_info(data: bytes) -> tuple[int, bool] | None:
     return flow_hash, is_stun
 
 
+@dataclass
+class PartitionStats:
+    """Accounting from one :meth:`ShardedAnalyzer.partition` call."""
+
+    shard_packets: list[int] = field(default_factory=list)
+    hints_replicated: int = 0
+    unhashable_frames: int = 0
+
+
 def _analyze_shard(args: tuple) -> AnalysisResult:
     """Worker: run one shard's packet sequence through a fresh analyzer.
 
@@ -103,12 +113,13 @@ def _analyze_shard(args: tuple) -> AnalysisResult:
     hints are replicated STUN packets that teach the detector without being
     counted.  Module-level so the process backend can pickle it.
     """
-    zoom_subnets, campus_subnets, stun_timeout, keep_records, work = args
+    zoom_subnets, campus_subnets, stun_timeout, keep_records, telemetry, work = args
     analyzer = ZoomAnalyzer(
         zoom_subnets,
         campus_subnets=campus_subnets,
         stun_timeout=stun_timeout,
         keep_records=keep_records,
+        telemetry=telemetry,
     )
     for packet, is_hint in work:
         if is_hint:
@@ -126,6 +137,11 @@ class ShardedAnalyzer:
         backend: ``"serial"``, ``"thread"``, or ``"process"``.
         zoom_subnets / campus_subnets / stun_timeout / keep_records:
             Forwarded verbatim to every shard's :class:`ZoomAnalyzer`.
+        telemetry: Whether each shard records runtime telemetry.  Per-shard
+            registries are merged into the combined result, whose additive
+            counters then equal a single-pass run; the driver adds its own
+            ``sharded.*`` partition accounting (per-shard packet balance,
+            STUN hint replication) on top.
 
     Usage::
 
@@ -141,6 +157,7 @@ class ShardedAnalyzer:
         stun_timeout: float = 120.0,
         keep_records: bool = False,
         backend: str = "thread",
+        telemetry: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -154,6 +171,8 @@ class ShardedAnalyzer:
         )
         self._stun_timeout = stun_timeout
         self._keep_records = keep_records
+        self._telemetry = telemetry
+        self.partition_stats = PartitionStats()
 
     def partition(
         self, packets: Iterable[CapturedPacket]
@@ -162,28 +181,40 @@ class ShardedAnalyzer:
 
         Each packet lands on exactly one home shard (flow-affine, both
         directions together); STUN packets are additionally replicated to
-        every other shard as detector hints.
+        every other shard as detector hints.  Partition accounting for the
+        most recent call is kept on :attr:`partition_stats`.
         """
         buckets: list[list[tuple[CapturedPacket, bool]]] = [
             [] for _ in range(self.shards)
         ]
+        stats = PartitionStats(shard_packets=[0] * self.shards)
         for packet in packets:
             info = flow_shard_info(packet.data)
             if info is None:
                 home = zlib.crc32(packet.data) % self.shards
                 buckets[home].append((packet, False))
+                stats.shard_packets[home] += 1
+                stats.unhashable_frames += 1
                 continue
             flow_hash, is_stun = info
             home = flow_hash % self.shards
             buckets[home].append((packet, False))
+            stats.shard_packets[home] += 1
             if is_stun:
                 for index in range(self.shards):
                     if index != home:
                         buckets[index].append((packet, True))
+                        stats.hints_replicated += 1
+        self.partition_stats = stats
         return buckets
 
     def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
-        """Partition, run every shard, and return the merged result."""
+        """Partition, run every shard, and return the merged result.
+
+        The merged result's telemetry holds the per-shard registries summed
+        (so additive counters match a single-pass run) plus the driver's own
+        ``sharded.*`` partition accounting.
+        """
         buckets = self.partition(packets)
         shard_args = [
             (
@@ -191,12 +222,22 @@ class ShardedAnalyzer:
                 self._campus_subnets,
                 self._stun_timeout,
                 self._keep_records,
+                self._telemetry,
                 work,
             )
             for work in buckets
         ]
         results = self._run(shard_args)
-        return AnalysisResult.merge_all(results)
+        merged = AnalysisResult.merge_all(results)
+        tel = merged.telemetry
+        if tel.enabled:
+            stats = self.partition_stats
+            for index, count in enumerate(stats.shard_packets):
+                tel.count(f"sharded.shard_packets.{index}", count)
+            tel.count("sharded.hints_replicated", stats.hints_replicated)
+            tel.count("sharded.unhashable_frames", stats.unhashable_frames)
+            tel.record_max("sharded.shards", self.shards)
+        return merged
 
     # ------------------------------------------------------------- internals
 

@@ -29,6 +29,7 @@ class AssembleStage:
     def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
         self._result = result
         self._bus = bus
+        self._telemetry = result.telemetry
         self._known_streams: set[StreamKey] = set()
         self._known_meetings: set[int] = set()
 
@@ -42,9 +43,11 @@ class AssembleStage:
         if key not in self._known_streams:
             self._known_streams.add(key)
             ctx.stream_is_new = True
+            self._telemetry.count("assemble.stream_opened")
             meeting_id = result.grouper.observe_new_stream(stream, result.streams)
             if meeting_id not in self._known_meetings:
                 self._known_meetings.add(meeting_id)
+                self._telemetry.count("assemble.meetings_formed")
                 meeting = result.grouper.meeting_of(key)
                 if meeting is not None:
                     self._bus.emit(

@@ -21,6 +21,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pipeline import AnalysisResult
 
 
+# Per-class (packet counter, byte counter) names, resolved once — the
+# per-packet path must not build strings.
+_CLASS_COUNTERS = {
+    klass: (f"classify.class.{klass.value}", f"classify.bytes.{klass.value}")
+    for klass in ZoomClass
+}
+
+
 class ClassifyStage:
     """Detector classification plus the TLS/STUN early exits."""
 
@@ -28,6 +36,7 @@ class ClassifyStage:
 
     def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
         self._result = result
+        self._telemetry = result.telemetry
 
     def process(self, ctx: PacketContext) -> bool:
         result = self._result
@@ -35,6 +44,11 @@ class ClassifyStage:
         assert parsed is not None and result.detector is not None
         klass = result.detector.classify(parsed)
         ctx.klass = klass
+        tel = self._telemetry
+        if tel.enabled:
+            packet_counter, byte_counter = _CLASS_COUNTERS[klass]
+            tel.count(packet_counter)
+            tel.count(byte_counter, len(parsed.raw))
         if not klass.is_zoom:
             return False
         result.packets_zoom += 1

@@ -24,6 +24,7 @@ class DecodeStage:
 
     def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
         self._result = result
+        self._telemetry = result.telemetry
 
     def process(self, ctx: PacketContext) -> bool:
         if ctx.parsed is None:
@@ -31,4 +32,7 @@ class DecodeStage:
             ctx.parsed = parse_frame(ctx.captured.data, ctx.captured.timestamp)
         self._result.packets_total += 1
         self._result.bytes_total += len(ctx.parsed.raw)
+        tel = self._telemetry
+        if tel.enabled and ctx.parsed.ethernet is None:
+            tel.count("decode.parse_failures")
         return True

@@ -31,11 +31,15 @@ class ZoomDemuxStage:
     def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
         self._result = result
         self._bus = bus
+        self._telemetry = result.telemetry
 
     def process(self, ctx: PacketContext) -> bool:
         result = self._result
         parsed = ctx.parsed
         assert parsed is not None and ctx.five_tuple is not None
+        tel = self._telemetry
+        if tel.enabled:
+            tel.count("demux.media_class_packets")
         self._bus.emit(
             FlowBytesObserved(
                 timestamp=parsed.timestamp,
@@ -50,11 +54,13 @@ class ZoomDemuxStage:
             result.undecoded_packets += 1
             result.encap_packets[ENCAP_OTHER] += 1
             result.encap_bytes[ENCAP_OTHER] += len(parsed.payload)
+            tel.count("demux.undecoded")
             return False
         media_type = zoom.media.media_type
         result.encap_packets[media_type] += 1
         result.encap_bytes[media_type] += len(parsed.payload)
         if zoom.is_rtcp:
+            tel.count("demux.rtcp")
             self._observe_rtcp(zoom, parsed.timestamp)
             return False
         assert zoom.rtp is not None
@@ -101,4 +107,5 @@ class ZoomDemuxStage:
                     result.rtcp_sdes_empty += 1
             elif isinstance(report, RTCPReceiverReport):
                 result.rtcp_receiver_reports += 1
+                self._telemetry.count("demux.rtcp_receiver_reports")
             self._bus.emit(RTCPObserved(timestamp=timestamp, report=report))

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
 from repro.net.packet import CapturedPacket
+from repro.telemetry.registry import Telemetry
 
 MAGIC_MICROS = 0xA1B2C3D4
 MAGIC_NANOS = 0xA1B23C4D
@@ -104,9 +105,27 @@ class PcapReader:
 
     Iterating yields :class:`CapturedPacket` records with float timestamps.
     Handles both endiannesses and both timestamp resolutions.
+
+    Args:
+        path: File path or open binary stream.
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` registry;
+            when given, ``capture.frames`` / ``capture.bytes`` /
+            ``capture.truncated`` are recorded while reading.
+        tolerant: Real-world captures are often cut off mid-record (a
+            monitor restarted, a disk filled).  When ``True``, a truncated
+            tail ends iteration cleanly (counted as ``capture.truncated``)
+            instead of raising :class:`ValueError`.
     """
 
-    def __init__(self, path: str | Path | BinaryIO) -> None:
+    def __init__(
+        self,
+        path: str | Path | BinaryIO,
+        *,
+        telemetry: Telemetry | None = None,
+        tolerant: bool = False,
+    ) -> None:
+        self._telemetry = telemetry if telemetry is not None else Telemetry(enabled=False)
+        self._tolerant = tolerant
         if hasattr(path, "read"):
             self._file: BinaryIO = path  # type: ignore[assignment]
             self._owns_file = False
@@ -140,16 +159,25 @@ class PcapReader:
 
     def __iter__(self) -> Iterator[CapturedPacket]:
         record = struct.Struct(self._endian + "IIII")
+        tel = self._telemetry
         while True:
             header = self._file.read(16)
             if not header:
                 return
             if len(header) < 16:
+                if self._tolerant:
+                    tel.count("capture.truncated")
+                    return
                 raise ValueError("truncated pcap record header")
             seconds, frac, caplen, _origlen = record.unpack(header)
             data = self._file.read(caplen)
             if len(data) < caplen:
+                if self._tolerant:
+                    tel.count("capture.truncated")
+                    return
                 raise ValueError("truncated pcap packet data")
+            tel.count("capture.frames")
+            tel.count("capture.bytes", caplen)
             yield CapturedPacket(seconds + frac * self._tick, data)
 
     def close(self) -> None:
@@ -171,7 +199,12 @@ def write_pcap(
         return writer.write_all(packets)
 
 
-def read_pcap(path: str | Path) -> list[CapturedPacket]:
+def read_pcap(
+    path: str | Path,
+    *,
+    telemetry: Telemetry | None = None,
+    tolerant: bool = False,
+) -> list[CapturedPacket]:
     """Read every packet in the file at ``path`` into a list."""
-    with PcapReader(path) as reader:
+    with PcapReader(path, telemetry=telemetry, tolerant=tolerant) as reader:
         return list(reader)

@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
 from repro.net.packet import CapturedPacket
+from repro.telemetry.registry import Telemetry
 
 BLOCK_SHB = 0x0A0D0D0A
 BLOCK_IDB = 0x00000001
@@ -102,9 +103,25 @@ class PcapngReader:
     Yields :class:`CapturedPacket` records.  Simple Packet Blocks carry no
     timestamp; they are reported at time 0.0.  Multiple sections and
     interfaces are supported; per-interface ``if_tsresol`` is honored.
+
+    Args:
+        path: File path or open binary stream.
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` registry;
+            records ``capture.frames`` / ``capture.bytes`` /
+            ``capture.unknown_blocks`` / ``capture.truncated`` while reading.
+        tolerant: When ``True``, a truncated or corrupt tail ends iteration
+            cleanly (counted as ``capture.truncated``) instead of raising.
     """
 
-    def __init__(self, path: str | Path | BinaryIO) -> None:
+    def __init__(
+        self,
+        path: str | Path | BinaryIO,
+        *,
+        telemetry: Telemetry | None = None,
+        tolerant: bool = False,
+    ) -> None:
+        self._telemetry = telemetry if telemetry is not None else Telemetry(enabled=False)
+        self._tolerant = tolerant
         if hasattr(path, "read"):
             self._file: BinaryIO = path  # type: ignore[assignment]
             self._owns = False
@@ -135,6 +152,17 @@ class PcapngReader:
         return data
 
     def __iter__(self) -> Iterator[CapturedPacket]:
+        if not self._tolerant:
+            yield from self._iter_blocks()
+            return
+        try:
+            yield from self._iter_blocks()
+        except ValueError:
+            # Mid-record cut-off (or a corrupt tail): stop cleanly.
+            self._telemetry.count("capture.truncated")
+
+    def _iter_blocks(self) -> Iterator[CapturedPacket]:
+        tel = self._telemetry
         while True:
             head = self._read_exact(8)
             if head is None:
@@ -168,12 +196,19 @@ class PcapngReader:
             elif block_type == BLOCK_EPB:
                 packet = self._handle_epb(body)
                 if packet is not None:
+                    tel.count("capture.frames")
+                    tel.count("capture.bytes", len(packet.data))
                     yield packet
             elif block_type == BLOCK_SPB:
                 packet = self._handle_spb(body)
                 if packet is not None:
+                    tel.count("capture.frames")
+                    tel.count("capture.bytes", len(packet.data))
                     yield packet
-            # Unknown block types are skipped silently, per spec.
+            else:
+                # Unknown block types are skipped by length, per spec —
+                # but counted, so --stats shows what the reader ignored.
+                tel.count("capture.unknown_blocks")
 
     def _handle_idb(self, body: bytes) -> None:
         linktype, _reserved, _snaplen = struct.unpack_from(self._endian + "HHI", body, 0)
@@ -234,13 +269,23 @@ def write_pcapng(path: str | Path, packets: Iterable[CapturedPacket]) -> int:
         return writer.write_all(packets)
 
 
-def read_pcapng(path: str | Path) -> list[CapturedPacket]:
+def read_pcapng(
+    path: str | Path,
+    *,
+    telemetry: Telemetry | None = None,
+    tolerant: bool = False,
+) -> list[CapturedPacket]:
     """Read every packet from a pcapng file."""
-    with PcapngReader(path) as reader:
+    with PcapngReader(path, telemetry=telemetry, tolerant=tolerant) as reader:
         return list(reader)
 
 
-def read_capture(path: str | Path) -> list[CapturedPacket]:
+def read_capture(
+    path: str | Path,
+    *,
+    telemetry: Telemetry | None = None,
+    tolerant: bool = False,
+) -> list[CapturedPacket]:
     """Read a capture file, auto-detecting pcap vs pcapng by magic."""
     with open(path, "rb") as handle:
         magic = handle.read(4)
@@ -248,7 +293,7 @@ def read_capture(path: str | Path) -> list[CapturedPacket]:
         raise ValueError("file too short to be a capture")
     (value,) = struct.unpack("<I", magic)
     if value == BLOCK_SHB:
-        return read_pcapng(path)
+        return read_pcapng(path, telemetry=telemetry, tolerant=tolerant)
     from repro.net.pcap import read_pcap
 
-    return read_pcap(path)
+    return read_pcap(path, telemetry=telemetry, tolerant=tolerant)

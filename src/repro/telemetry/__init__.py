@@ -1,0 +1,41 @@
+"""Runtime telemetry for the staged analyzer.
+
+The packet path records monotonic counters, sampled stage timers, high-water
+gauges, and coarse histograms into a :class:`Telemetry` registry that rides
+on every :class:`~repro.core.pipeline.AnalysisResult`, survives
+:meth:`~repro.core.pipeline.AnalysisResult.merge`, and renders as the
+``analyze --stats`` health report.  See DESIGN.md §"Observability" for the
+counter naming conventions and overhead characteristics.
+"""
+
+from repro.telemetry.anomalies import Anomaly, detect_anomalies, log_anomalies
+from repro.telemetry.registry import (
+    SHARD_VARIANT_PREFIXES,
+    Histogram,
+    Telemetry,
+    TelemetrySnapshot,
+    coerce_telemetry,
+    shard_invariant_counters,
+)
+from repro.telemetry.report import (
+    PIPELINE_STAGE_ORDER,
+    packets_entering,
+    render_stats,
+    stage_flow_rows,
+)
+
+__all__ = [
+    "Anomaly",
+    "Histogram",
+    "PIPELINE_STAGE_ORDER",
+    "SHARD_VARIANT_PREFIXES",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "coerce_telemetry",
+    "detect_anomalies",
+    "log_anomalies",
+    "packets_entering",
+    "render_stats",
+    "shard_invariant_counters",
+    "stage_flow_rows",
+]

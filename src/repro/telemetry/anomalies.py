@@ -1,0 +1,164 @@
+"""Anomaly rules over a telemetry snapshot, with stdlib-``logging`` output.
+
+Deployment-grade passive inference needs to know what the monitor silently
+discarded (cf. Sharma et al. on app-header-free WebRTC QoE, and the paper's
+own §6.2 operational notes).  These checks turn the raw counters into the
+handful of warnings an operator actually acts on:
+
+* media-class packets that failed Zoom decoding above a threshold share —
+  a protocol change or a misclassifying detector;
+* capture-level losses (truncated records, unparseable frames);
+* pathological shard imbalance — one worker eating most of the trace means
+  the flow hash is degenerate for this capture;
+* RTCP receiver reports — the paper observed Zoom never sends them (§4.2.1),
+  so any appearing is a protocol-drift signal.
+
+``log_anomalies`` emits each finding as a structured warning on the
+``repro.telemetry`` logger (``extra={"telemetry_counter": ...}``) so existing
+log pipelines pick them up without new plumbing.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.telemetry.registry import TelemetrySnapshot
+
+LOGGER_NAME = "repro.telemetry"
+
+#: Fraction of media-class packets that may fail Zoom decoding before the
+#: run is flagged.  The paper's own traces carry ~10% undecodable *control*
+#: remainder among media-class UDP packets, so that share is healthy; the
+#: default sits well above it, and a stricter bound (e.g. 0.01 on a capture
+#: known to be pre-filtered to pure media) can be passed per call.
+UNDECODED_WARN_FRACTION = 0.25
+
+#: A single shard carrying more than this share of all home packets is
+#: considered pathologically imbalanced.  A share threshold (rather than a
+#: peak-to-mean ratio) keeps the rule meaningful at small shard counts:
+#: peak/mean is bounded by the shard count, so a ratio threshold of 4 could
+#: never fire on the common 2- and 4-shard deployments.
+SHARD_IMBALANCE_SHARE = 0.7
+
+
+@dataclass(frozen=True, slots=True)
+class Anomaly:
+    """One detected operational anomaly."""
+
+    name: str
+    message: str
+    counter: str
+    value: float
+
+
+def detect_anomalies(
+    snapshot: TelemetrySnapshot,
+    *,
+    undecoded_fraction: float = UNDECODED_WARN_FRACTION,
+    shard_imbalance_share: float = SHARD_IMBALANCE_SHARE,
+) -> list[Anomaly]:
+    """Evaluate every rule against ``snapshot`` and return the findings."""
+    anomalies: list[Anomaly] = []
+
+    undecoded = snapshot.counter("demux.undecoded")
+    demux_in = snapshot.counter("demux.media_class_packets")
+    if demux_in and undecoded / demux_in > undecoded_fraction:
+        anomalies.append(
+            Anomaly(
+                name="undecoded-media",
+                message=(
+                    f"{undecoded} of {demux_in} media-class packets "
+                    f"({100.0 * undecoded / demux_in:.2f}%) failed Zoom decoding "
+                    f"(threshold {100.0 * undecoded_fraction:.2f}%)"
+                ),
+                counter="demux.undecoded",
+                value=undecoded,
+            )
+        )
+
+    truncated = snapshot.counter("capture.truncated")
+    if truncated:
+        anomalies.append(
+            Anomaly(
+                name="truncated-capture",
+                message=f"{truncated} truncated record(s) in the capture file",
+                counter="capture.truncated",
+                value=truncated,
+            )
+        )
+
+    parse_failures = snapshot.counter("decode.parse_failures")
+    if parse_failures:
+        anomalies.append(
+            Anomaly(
+                name="frame-parse-failures",
+                message=f"{parse_failures} frame(s) had no decodable Ethernet layer",
+                counter="decode.parse_failures",
+                value=parse_failures,
+            )
+        )
+
+    shard_packets = [
+        count
+        for _, count in sorted(
+            (int(k), v)
+            for k, v in snapshot.counters_under("sharded.shard_packets.").items()
+        )
+    ]
+    if len(shard_packets) >= 2:
+        total = sum(shard_packets)
+        peak = max(shard_packets)
+        if total > 0 and peak / total > shard_imbalance_share:
+            anomalies.append(
+                Anomaly(
+                    name="shard-imbalance",
+                    message=(
+                        f"busiest shard holds {peak} of {total} home packets "
+                        f"({100.0 * peak / total:.1f}%; threshold "
+                        f"{100.0 * shard_imbalance_share:.0f}%) — "
+                        "degenerate flow hash?"
+                    ),
+                    counter="sharded.shard_packets",
+                    value=peak,
+                )
+            )
+
+    receiver_reports = snapshot.counter("demux.rtcp_receiver_reports")
+    if receiver_reports:
+        anomalies.append(
+            Anomaly(
+                name="rtcp-receiver-reports",
+                message=(
+                    f"{receiver_reports} RTCP receiver report(s) observed — "
+                    "the paper found Zoom never sends RRs (§4.2.1); "
+                    "possible protocol drift"
+                ),
+                counter="demux.rtcp_receiver_reports",
+                value=receiver_reports,
+            )
+        )
+
+    return anomalies
+
+
+def log_anomalies(
+    snapshot: TelemetrySnapshot,
+    logger: logging.Logger | None = None,
+    **thresholds: float,
+) -> list[Anomaly]:
+    """Run :func:`detect_anomalies` and log each finding as a warning.
+
+    Returns the findings so callers can also render them inline.
+    """
+    anomalies = detect_anomalies(snapshot, **thresholds)
+    if anomalies:
+        log = logger if logger is not None else logging.getLogger(LOGGER_NAME)
+        for anomaly in anomalies:
+            log.warning(
+                "telemetry anomaly [%s]: %s",
+                anomaly.name,
+                anomaly.message,
+                extra={"telemetry_counter": anomaly.counter},
+            )
+    return anomalies

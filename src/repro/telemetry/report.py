@@ -1,0 +1,143 @@
+"""Human-readable rendering of a :class:`TelemetrySnapshot`.
+
+:func:`render_stats` is what ``zoom-analysis analyze --stats`` prints: a
+health report over the counters the packet path recorded — capture input,
+per-stage packet flow and sampled wall time, classification outcomes, drop
+reasons, stream/meeting lifecycle, and (when present) shard balance and
+rolling-eviction accounting.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import TelemetrySnapshot
+
+#: Pipeline stage names in execution order (must match the ``name``
+#: attributes of the stages composed by :class:`~repro.core.pipeline.ZoomAnalyzer`).
+PIPELINE_STAGE_ORDER: tuple[str, ...] = (
+    "decode",
+    "classify",
+    "zoom-demux",
+    "assemble",
+    "metrics",
+)
+
+
+def packets_entering(snapshot: TelemetrySnapshot) -> int:
+    """Total packets fed to the pipeline, reconstructed from the one
+    stop-accounting counter each packet increments."""
+    stops = sum(
+        snapshot.counter(f"pipeline.stop.{stage}") for stage in PIPELINE_STAGE_ORDER
+    )
+    return stops + snapshot.counter("pipeline.completed")
+
+
+def stage_flow_rows(snapshot: TelemetrySnapshot) -> list[tuple]:
+    """(stage, packets in, stopped here, packets out, sampled µs/pkt) rows.
+
+    ``in``/``out`` are derived: a packet that stopped at stage *i* entered
+    every stage up to and including *i*, so per-stage throughput costs one
+    counter increment per packet instead of ten.
+    """
+    rows = []
+    entering = packets_entering(snapshot)
+    for stage in PIPELINE_STAGE_ORDER:
+        stopped = snapshot.counter(f"pipeline.stop.{stage}")
+        out = entering - stopped
+        rows.append(
+            (stage, entering, stopped, out, snapshot.timer_mean_us(f"stage.time.{stage}"))
+        )
+        entering = out
+    return rows
+
+
+def render_stats(snapshot: TelemetrySnapshot) -> str:
+    """The full multi-section health report for one analysis run."""
+    # Imported here: repro.analysis pulls in the analyzer, which records
+    # into this package — a module-level import would be circular.
+    from repro.analysis.tables import format_table
+
+    sections: list[str] = []
+
+    capture = snapshot.counters_under("capture.")
+    if capture:
+        rows = [(name, count) for name, count in sorted(capture.items())]
+        sections.append(
+            "capture input:\n" + format_table(["counter", "count"], rows)
+        )
+
+    total = packets_entering(snapshot)
+    if total:
+        sections.append(
+            "pipeline flow ({} packets):\n".format(total)
+            + format_table(
+                ["stage", "in", "stopped", "out", "us/pkt (sampled)"],
+                stage_flow_rows(snapshot),
+            )
+        )
+
+    classes = snapshot.counters_under("classify.class.")
+    if classes:
+        byte_counts = snapshot.counters_under("classify.bytes.")
+        rows = [
+            (name, count, byte_counts.get(name, 0))
+            for name, count in sorted(classes.items(), key=lambda kv: -kv[1])
+        ]
+        sections.append(
+            "classification outcomes:\n"
+            + format_table(["class", "packets", "bytes"], rows)
+        )
+
+    drop_rows = [
+        (name, snapshot.counter(name))
+        for name in (
+            "decode.parse_failures",
+            "demux.undecoded",
+            "demux.rtcp",
+            "demux.rtcp_receiver_reports",
+        )
+        if snapshot.counter(name)
+    ]
+    if drop_rows:
+        sections.append(
+            "drops and side channels:\n" + format_table(["counter", "count"], drop_rows)
+        )
+
+    lifecycle_rows = [("streams opened", snapshot.counter("assemble.stream_opened"))]
+    lifecycle_rows.append(
+        ("meetings formed", snapshot.counter("assemble.meetings_formed"))
+    )
+    evictions = snapshot.counters_under("pipeline.evicted.")
+    for reason, count in sorted(evictions.items()):
+        lifecycle_rows.append((f"evicted ({reason})", count))
+    if any(count for _, count in lifecycle_rows):
+        sections.append(
+            "stream lifecycle:\n" + format_table(["event", "count"], lifecycle_rows)
+        )
+
+    shard_packets = snapshot.counters_under("sharded.shard_packets.")
+    if shard_packets:
+        rows = [
+            (f"shard {index}", count)
+            for index, count in sorted(
+                ((int(k), v) for k, v in shard_packets.items())
+            )
+        ]
+        rows.append(("stun hints replicated", snapshot.counter("sharded.hints_replicated")))
+        rows.append(("unhashable frames", snapshot.counter("sharded.unhashable_frames")))
+        sections.append(
+            "shard balance:\n" + format_table(["shard", "home packets"], rows)
+        )
+
+    rolling = snapshot.counters_under("rolling.")
+    if rolling:
+        rows = [(name, count) for name, count in sorted(rolling.items())]
+        peak = snapshot.maxima.get("rolling.live_streams_peak")
+        if peak is not None:
+            rows.append(("live_streams_peak", int(peak)))
+        sections.append(
+            "rolling eviction:\n" + format_table(["counter", "count"], rows)
+        )
+
+    if not sections:
+        return "telemetry: no data recorded (was telemetry disabled?)"
+    return "\n\n".join(sections)

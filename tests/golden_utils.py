@@ -1,0 +1,165 @@
+"""Shared machinery for the golden end-to-end regression test.
+
+One deterministic simulated meeting (fixed seed) is written to a pcap,
+read back, and run through the full :class:`~repro.core.pipeline.ZoomAnalyzer`
+exactly as ``zoom-analysis analyze`` would.  :func:`compute_golden_summary`
+reduces the analysis to a stable, JSON-serialisable summary — stream
+inventory, meeting grouping, encapsulation/payload-type share tables,
+frame/jitter/loss statistics, and the shard-invariant telemetry counters.
+
+The checked-in snapshot lives at ``tests/golden/meeting_small.json``.
+When an *intentional* behaviour change shifts the numbers, regenerate it
+with::
+
+    PYTHONPATH=src python tests/regen_golden.py
+
+and review the snapshot diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.pipeline import ZoomAnalyzer
+from repro.net.pcap import read_pcap, write_pcap
+from repro.simulation import (
+    CongestionEvent,
+    MeetingConfig,
+    MeetingSimulator,
+    ParticipantConfig,
+)
+from repro.telemetry import Telemetry, shard_invariant_counters
+from repro.zoom.constants import ZoomMediaType
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "meeting_small.json"
+
+#: Float fields are rounded before comparison so the snapshot is robust to
+#: formatting, yet still catches any real drift in the estimators.
+FLOAT_DIGITS = 6
+
+
+def golden_config() -> MeetingConfig:
+    """The fixed scenario behind the snapshot: a 3-party SFU meeting with
+    one screen share and one congestion episode, fully seeded."""
+    return MeetingConfig(
+        meeting_id="golden-e2e",
+        participants=(
+            ParticipantConfig(
+                name="alice",
+                on_campus=True,
+                congestion=(CongestionEvent(start=6.0, end=10.0, extra_loss=0.05),),
+            ),
+            ParticipantConfig(name="bob", on_campus=True, join_time=0.5),
+            ParticipantConfig(
+                name="carol",
+                on_campus=False,
+                join_time=1.5,
+                media=(
+                    ZoomMediaType.AUDIO,
+                    ZoomMediaType.VIDEO,
+                    ZoomMediaType.SCREEN_SHARE,
+                ),
+            ),
+        ),
+        duration=15.0,
+        allow_p2p=False,
+        seed=20221025,  # the paper's IMC '22 publication date
+    )
+
+
+def _round(value: float) -> float:
+    return round(float(value), FLOAT_DIGITS)
+
+
+def compute_golden_summary(tmp_dir: Path) -> dict[str, Any]:
+    """Simulate, write pcap, re-read, analyze; reduce to the summary dict."""
+    sim = MeetingSimulator(golden_config()).run()
+    pcap_path = Path(tmp_dir) / "golden_meeting.pcap"
+    write_pcap(pcap_path, sim.captures)
+
+    telemetry = Telemetry(enabled=True)
+    packets = read_pcap(pcap_path, telemetry=telemetry)
+    analyzer = ZoomAnalyzer(telemetry=telemetry)
+    result = analyzer.analyze(packets)
+
+    streams = []
+    for stream in sorted(result.media_streams(), key=lambda s: (s.first_time, s.ssrc)):
+        metrics = result.metrics_for(stream.key)
+        row: dict[str, Any] = {
+            "ssrc": stream.ssrc,
+            "media_type": stream.media_type_name,
+            "is_p2p": stream.is_p2p,
+            "to_server": stream.to_server,
+            "packets": stream.packets,
+            "bytes": stream.bytes,
+            "duration": _round(stream.duration),
+            "substreams": sorted(stream.substreams),
+        }
+        if metrics is not None:
+            loss = metrics.loss.report(finalize=True)
+            fps_samples = metrics.framerate_delivered.samples
+            row.update(
+                {
+                    "frames_completed": metrics.assembler.completed_count,
+                    "mean_fps": _round(
+                        sum(s.fps for s in fps_samples) / len(fps_samples)
+                    )
+                    if fps_samples
+                    else 0.0,
+                    "jitter_ms": _round(metrics.jitter.jitter * 1000.0),
+                    "received": loss.received,
+                    "lost": loss.lost,
+                    "duplicates": loss.duplicates,
+                    "reordered": loss.reordered,
+                    "loss_rate": _round(loss.loss_rate),
+                }
+            )
+        streams.append(row)
+
+    meetings = [
+        {
+            "streams": len(meeting.stream_uids),
+            "participant_estimate": meeting.participant_estimate(),
+            "duration": _round(meeting.duration),
+        }
+        for meeting in sorted(
+            result.meetings, key=lambda m: -len(m.stream_uids)
+        )
+    ]
+
+    encap_table = [
+        [str(value), _round(pkt_share), _round(byte_share)]
+        for value, pkt_share, byte_share in result.encap_share_table()
+    ]
+    payload_table = [
+        [media_type, payload_type, _round(pkt_share), _round(byte_share)]
+        for media_type, payload_type, pkt_share, byte_share in result.payload_type_table()
+    ]
+
+    return {
+        "scenario": "golden-e2e seed=20221025 (3-party SFU, 15s)",
+        "packets": {
+            "total": result.packets_total,
+            "zoom": result.packets_zoom,
+            "bytes": result.bytes_total,
+            "undecoded": result.undecoded_packets,
+            "rtcp_sender_reports": result.rtcp_sender_reports,
+            "rtcp_receiver_reports": result.rtcp_receiver_reports,
+        },
+        "streams": streams,
+        "meetings": meetings,
+        "encap_share_table": encap_table,
+        "payload_type_table": payload_table,
+        "telemetry": shard_invariant_counters(result.telemetry_snapshot()),
+    }
+
+
+def load_golden_snapshot() -> dict[str, Any]:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def write_golden_snapshot(summary: dict[str, Any]) -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

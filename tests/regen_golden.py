@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the golden end-to-end snapshot.
+
+Run from the repository root after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/regen_golden.py
+
+then review the diff of ``tests/golden/meeting_small.json`` and commit it
+alongside the change that caused it.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (REPO_ROOT, REPO_ROOT / "src"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from tests.golden_utils import (  # noqa: E402  (path setup must come first)
+    GOLDEN_PATH,
+    compute_golden_summary,
+    write_golden_snapshot,
+)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        summary = compute_golden_summary(Path(tmp_dir))
+    write_golden_snapshot(summary)
+    print(f"wrote {GOLDEN_PATH.relative_to(REPO_ROOT)}")
+    print(
+        "  packets={total} zoom={zoom} streams={streams} meetings={meetings}".format(
+            total=summary["packets"]["total"],
+            zoom=summary["packets"]["zoom"],
+            streams=len(summary["streams"]),
+            meetings=len(summary["meetings"]),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,6 +68,53 @@ class TestAnalyze:
         assert header.startswith("stream_id,")
 
 
+class TestAnalyzeStats:
+    def test_stats_report_printed(self, meeting_pcap, capsys):
+        assert main(["analyze", str(meeting_pcap), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "=== runtime telemetry (--stats) ===" in out
+        assert "capture input:" in out
+        assert "pipeline flow" in out
+        assert "classification outcomes:" in out
+        assert "stream lifecycle:" in out
+
+    def test_stats_json_written(self, meeting_pcap, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "stats.json"
+        assert main(
+            ["analyze", str(meeting_pcap), "--stats-json", str(json_path)]
+        ) == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["counters"]["capture.frames"] > 0
+        assert payload["counters"]["pipeline.completed"] > 0
+        assert any(name.startswith("stage.time.") for name in payload["timers"])
+
+    def test_stats_json_to_stdout(self, meeting_pcap, capsys):
+        assert main(["analyze", str(meeting_pcap), "--stats-json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert '"capture.frames"' in out
+
+    def test_sharded_stats_include_shard_balance(self, meeting_pcap, capsys):
+        assert main(
+            ["analyze", str(meeting_pcap), "--shards", "2", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shard balance:" in out
+        assert "stun hints replicated" in out
+
+    def test_no_stats_by_default(self, meeting_pcap, capsys):
+        assert main(["analyze", str(meeting_pcap)]) == 0
+        assert "runtime telemetry" not in capsys.readouterr().out
+
+    def test_tolerant_reads_truncated_capture(self, meeting_pcap, tmp_path, capsys):
+        cut = tmp_path / "cut.pcap"
+        cut.write_bytes(meeting_pcap.read_bytes()[:-7])
+        assert main(["analyze", str(cut), "--tolerant", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "truncated" in out
+
+
 class TestFilter:
     def test_filter_roundtrip(self, meeting_pcap, tmp_path, capsys):
         out_path = tmp_path / "filtered.pcap"

@@ -1,0 +1,79 @@
+"""Golden end-to-end regression test.
+
+Simulates the fixed scenario from :mod:`tests.golden_utils`, runs the full
+pipeline (simulate → pcap on disk → read back → analyze), and compares a
+stable summary against the checked-in snapshot.  Any drift in detection,
+stream assembly, meeting grouping, the Table 2/3 share tables, or the
+§5 metric estimators fails this test.
+
+If the change is intentional, regenerate the snapshot and commit the diff::
+
+    PYTHONPATH=src python tests/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden_utils import (
+    GOLDEN_PATH,
+    compute_golden_summary,
+    load_golden_snapshot,
+)
+
+REGEN_HINT = (
+    "golden snapshot drift — if intentional, regenerate with "
+    "`PYTHONPATH=src python tests/regen_golden.py` and commit the diff"
+)
+
+
+@pytest.fixture(scope="module")
+def actual_summary(tmp_path_factory) -> dict:
+    return compute_golden_summary(tmp_path_factory.mktemp("golden"))
+
+
+class TestGoldenEndToEnd:
+    def test_snapshot_exists(self):
+        assert GOLDEN_PATH.is_file(), (
+            "missing snapshot; run `PYTHONPATH=src python tests/regen_golden.py`"
+        )
+
+    def test_matches_snapshot(self, actual_summary):
+        expected = load_golden_snapshot()
+        if actual_summary == expected:
+            return
+        # Point at the drifted sections before failing on the full dict.
+        drifted = sorted(
+            key
+            for key in set(expected) | set(actual_summary)
+            if expected.get(key) != actual_summary.get(key)
+        )
+        assert actual_summary == expected, f"{REGEN_HINT}; drifted keys: {drifted}"
+
+    def test_key_outputs_sane(self, actual_summary):
+        """Guard the snapshot itself: a regen that produces a degenerate
+        run (empty capture, no meetings) must not be committable silently."""
+        assert actual_summary["packets"]["total"] > 5000
+        assert actual_summary["packets"]["zoom"] > 0
+        assert len(actual_summary["streams"]) >= 7
+        assert actual_summary["meetings"], "expected at least one meeting"
+        assert actual_summary["meetings"][0]["participant_estimate"] == 3
+        # Table 2 analogue: media encapsulation shares must sum to ~100%.
+        pkt_share = sum(row[1] for row in actual_summary["encap_share_table"])
+        assert pkt_share == pytest.approx(100.0, abs=0.01)
+        # The congested sender must surface retransmission evidence: Zoom
+        # retries fill the sequence gaps, so upstream loss shows up as
+        # duplicates (the §5.5 lower bound), not as unfilled gaps.
+        assert any(s.get("duplicates", 0) > 0 for s in actual_summary["streams"])
+        assert any(s.get("frames_completed", 0) > 0 for s in actual_summary["streams"])
+
+    def test_telemetry_consistent_with_results(self, actual_summary):
+        """The telemetry counters and the analysis outputs describe the
+        same run: capture frames == packets fed == pipeline accounting."""
+        tel = actual_summary["telemetry"]
+        total = actual_summary["packets"]["total"]
+        assert tel["capture.frames"] == total
+        stops = sum(v for k, v in tel.items() if k.startswith("pipeline.stop."))
+        assert stops + tel.get("pipeline.completed", 0) == total
+        assert tel.get("demux.undecoded", 0) == actual_summary["packets"]["undecoded"]
+        assert tel.get("assemble.stream_opened", 0) == len(actual_summary["streams"])

@@ -139,6 +139,26 @@ class TestEquivalence:
         )
         _assert_equivalent(analyzed_sfu, sharded)
 
+    @pytest.mark.slow
+    def test_process_backend(self, sfu_meeting_result, analyzed_sfu):
+        # Spawning workers and pickling packets across process boundaries
+        # dominates the runtime here, hence the slow marker.
+        sharded = ShardedAnalyzer(shards=2, backend="process").analyze(
+            sfu_meeting_result.captures
+        )
+        _assert_equivalent(analyzed_sfu, sharded)
+
+    @pytest.mark.slow
+    def test_process_backend_telemetry_merges(self, sfu_meeting_result):
+        from repro.telemetry import shard_invariant_counters
+
+        captures = sfu_meeting_result.captures
+        single = ZoomAnalyzer().analyze(captures)
+        sharded = ShardedAnalyzer(shards=2, backend="process").analyze(captures)
+        assert shard_invariant_counters(
+            sharded.telemetry_snapshot()
+        ) == shard_invariant_counters(single.telemetry_snapshot())
+
     def test_merged_result_supports_reporting(self, sfu_meeting_result):
         from repro.analysis.export import feature_rows
         from repro.analysis.reportgen import full_report

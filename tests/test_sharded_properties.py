@@ -1,0 +1,157 @@
+"""Property-based agreement between the sharding pre-parse and the full decoder.
+
+:func:`repro.core.sharded.flow_shard_info` reads raw header bytes once per
+packet to pick a shard before any full decode happens.  Its contract is that
+it agrees with :func:`repro.net.packet.parse_frame` on what matters for
+flow-affine sharding:
+
+* both directions of a flow hash to the same shard, for any shard count;
+* a frame is hashable exactly when the full decoder finds an IP + TCP/UDP
+  flow key in it;
+* it never misses a packet the full STUN parser would accept on the Zoom
+  STUN port (a miss would silently break cross-shard P2P detection).
+
+Frames are generated across IPv4/IPv6, with and without an 802.1Q VLAN tag,
+TCP and UDP, random and genuine-STUN payloads.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharded import flow_shard_info
+from repro.net.checksum import internet_checksum
+from repro.net.packet import parse_frame
+from repro.rtp.stun import STUN_PORT, is_stun
+
+STUN_MAGIC = b"\x21\x12\xa4\x42"
+
+
+def _stun_payload(txid: bytes, body_len: int) -> bytes:
+    """A well-formed STUN binding request with a zeroed attribute body."""
+    return struct.pack("!HH", 0x0001, body_len) + STUN_MAGIC + txid + b"\x00" * body_len
+
+
+def _build_frame(
+    v6: bool,
+    vlan: int | None,
+    proto: int,
+    src: bytes,
+    sport: int,
+    dst: bytes,
+    dport: int,
+    payload: bytes,
+) -> bytes:
+    if proto == 17:
+        l4 = struct.pack("!HHHH", sport, dport, 8 + len(payload), 0) + payload
+    else:
+        l4 = (
+            struct.pack("!HHIIBBHHH", sport, dport, 0, 0, 5 << 4, 0x10, 65535, 0, 0)
+            + payload
+        )
+    if v6:
+        ip = struct.pack("!IHBB", 6 << 28, len(l4), proto, 64) + src + dst
+        ethertype = 0x86DD
+    else:
+        head = struct.pack("!BBHHHBBH", 0x45, 0, 20 + len(l4), 0, 0, 64, proto, 0)
+        checksum = internet_checksum(head + src + dst)
+        head = head[:10] + checksum.to_bytes(2, "big")
+        ip = head + src + dst
+        ethertype = 0x0800
+    ether = b"\x02" * 6 + b"\x04" * 6
+    if vlan is not None:
+        ether += struct.pack("!HHH", 0x8100, vlan, ethertype)
+    else:
+        ether += struct.pack("!H", ethertype)
+    return ether + ip + l4
+
+
+ports = st.one_of(st.integers(min_value=1, max_value=65535), st.just(STUN_PORT))
+payloads = st.one_of(
+    st.binary(min_size=0, max_size=48),
+    st.builds(
+        _stun_payload,
+        st.binary(min_size=12, max_size=12),
+        st.integers(min_value=0, max_value=16),
+    ),
+)
+
+
+@st.composite
+def flow_frames(draw) -> tuple[bytes, bytes]:
+    """One generated flow as (forward frame, reverse frame)."""
+    v6 = draw(st.booleans())
+    addr_len = 16 if v6 else 4
+    vlan = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=0xFFF)))
+    proto = draw(st.sampled_from([6, 17]))
+    src = draw(st.binary(min_size=addr_len, max_size=addr_len))
+    dst = draw(st.binary(min_size=addr_len, max_size=addr_len))
+    sport = draw(ports)
+    dport = draw(ports)
+    payload = draw(payloads)
+    forward = _build_frame(v6, vlan, proto, src, sport, dst, dport, payload)
+    reverse = _build_frame(v6, vlan, proto, dst, dport, src, sport, payload)
+    return forward, reverse
+
+
+class TestFlowShardInfoProperties:
+    @given(flow_frames())
+    @settings(max_examples=200, deadline=None)
+    def test_both_directions_land_on_the_same_shard(self, pair):
+        forward, reverse = pair
+        info_f = flow_shard_info(forward)
+        info_r = flow_shard_info(reverse)
+        assert info_f is not None and info_r is not None
+        assert info_f[0] == info_r[0]
+        assert info_f[1] == info_r[1]
+        for shards in (2, 3, 4, 8, 16):
+            assert info_f[0] % shards == info_r[0] % shards
+
+    @given(flow_frames())
+    @settings(max_examples=200, deadline=None)
+    def test_hashable_agrees_with_full_decode(self, pair):
+        forward, _ = pair
+        parsed = parse_frame(forward)
+        has_flow_key = (parsed.ipv4 is not None or parsed.ipv6 is not None) and (
+            parsed.udp is not None or parsed.tcp is not None
+        )
+        assert has_flow_key, "generated frames must fully decode"
+        assert flow_shard_info(forward) is not None
+
+    @given(flow_frames(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_truncation_never_moves_a_flow(self, pair, data):
+        """Cutting a frame short may make it unhashable, but must never
+        silently hash it onto a different shard than the full frame."""
+        forward, _ = pair
+        full = flow_shard_info(forward)
+        assert full is not None
+        cut = data.draw(st.integers(min_value=0, max_value=len(forward)))
+        info = flow_shard_info(forward[:cut])
+        if info is not None:
+            assert info[0] == full[0]
+
+    @given(flow_frames())
+    @settings(max_examples=300, deadline=None)
+    def test_stun_flag_agrees_with_full_parser(self, pair):
+        forward, _ = pair
+        info = flow_shard_info(forward)
+        assert info is not None
+        parsed = parse_frame(forward)
+        genuine = (
+            parsed.udp is not None
+            and STUN_PORT in (parsed.udp.src_port, parsed.udp.dst_port)
+            and is_stun(parsed.payload)
+        )
+        if genuine:
+            assert info[1], "fast path must never miss a genuine STUN packet"
+        if info[1]:
+            # The fast check is deliberately more permissive than the full
+            # parser (magic cookie at the right offset on the STUN port);
+            # verify everything it claims about the frame actually holds.
+            assert parsed.udp is not None
+            assert STUN_PORT in (parsed.udp.src_port, parsed.udp.dst_port)
+            assert parsed.payload[4:8] == STUN_MAGIC
