@@ -17,7 +17,8 @@ A full reproduction of Michel, Sengupta, Kim, Netravali, Rexford,
 Quickstart::
 
     from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
-    from repro.core import ZoomAnalyzer
+    from repro.core import AnalysisSession, AnalyzerConfig
+    from repro.net import SimulationSource
 
     config = MeetingConfig(
         meeting_id="demo",
@@ -27,14 +28,22 @@ Quickstart::
         ),
         duration=30.0,
     )
-    captures = MeetingSimulator(config).run().captures
-    result = ZoomAnalyzer().analyze(captures)
+    session = AnalysisSession(AnalyzerConfig())
+    result = session.run(SimulationSource(config))   # or session.run("trace.pcap")
     print(len(result.meetings), "meeting(s) found")
 """
 
 __version__ = "1.0.0"
 
-from repro.core import ZoomAnalyzer
-from repro.net import read_pcap, write_pcap
+from repro.core import AnalysisSession, AnalyzerConfig, ZoomAnalyzer
+from repro.net import open_capture_source, read_pcap, write_pcap
 
-__all__ = ["ZoomAnalyzer", "read_pcap", "write_pcap", "__version__"]
+__all__ = [
+    "AnalysisSession",
+    "AnalyzerConfig",
+    "ZoomAnalyzer",
+    "open_capture_source",
+    "read_pcap",
+    "write_pcap",
+    "__version__",
+]

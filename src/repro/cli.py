@@ -96,9 +96,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_filter(args: argparse.Namespace) -> int:
     from repro.capture.anonymize import Anonymizer
     from repro.capture.p4_model import P4CaptureModel
+    from repro.net.packet import CapturedPacket
     from repro.net.pcap import PcapWriter
-
-    from repro.net.pcapng import read_capture
+    from repro.net.source import open_capture_source
 
     anonymizer = Anonymizer(key=args.anonymize.encode()) if args.anonymize else None
     model = P4CaptureModel(
@@ -106,8 +106,9 @@ def _cmd_filter(args: argparse.Namespace) -> int:
         campus_subnets=args.campus_subnets,
         anonymizer=anonymizer,
     )
-    with PcapWriter(args.output) as writer:
-        for packet in model.process(read_capture(args.input)):
+    with open_capture_source(args.input) as source, PcapWriter(args.output) as writer:
+        captured = (CapturedPacket(p.timestamp, p.raw) for p in source)
+        for packet in model.process(captured):
             writer.write(packet)
         written = writer.packets_written
     counters = model.counters
@@ -119,30 +120,35 @@ def _cmd_filter(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_analyze_source(args: argparse.Namespace):
+    """One file streams directly; anything else goes through the directory
+    source (timestamp-ordered multi-file replay)."""
+    from repro.net.source import CaptureDirectorySource, open_capture_source
+
+    inputs = [str(path) for path in args.inputs] + list(args.glob or [])
+    if (
+        len(inputs) == 1
+        and not any(char in inputs[0] for char in "*?[")
+        and not Path(inputs[0]).is_dir()
+    ):
+        return open_capture_source(inputs[0], tolerant=args.tolerant)
+    return CaptureDirectorySource(inputs, tolerant=args.tolerant)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.net.pcapng import read_capture
-    from repro.telemetry import Telemetry
+    from repro.core import AnalysisSession, AnalyzerConfig
 
     want_stats = args.stats or args.stats_json is not None
-    reader_telemetry = Telemetry(enabled=want_stats)
-    packets = read_capture(
-        args.input, telemetry=reader_telemetry, tolerant=args.tolerant
+    config = AnalyzerConfig(
+        zoom_subnets=tuple(args.zoom_subnets),
+        shards=args.shards,
+        tolerant=args.tolerant,
+        telemetry=want_stats,
     )
-    if args.shards > 1:
-        from repro.core import ShardedAnalyzer
-
-        result = ShardedAnalyzer(
-            shards=args.shards, zoom_subnets=args.zoom_subnets, telemetry=want_stats
-        ).analyze(packets)
-        # The shards carry their own registries; fold the reader's capture
-        # counters into the merged result so --stats shows the whole path.
-        result.telemetry.merge_from(reader_telemetry)
-    else:
-        from repro.core import ZoomAnalyzer
-
-        result = ZoomAnalyzer(
-            zoom_subnets=args.zoom_subnets, telemetry=reader_telemetry
-        ).analyze(packets)
+    source = _build_analyze_source(args)
+    if getattr(source, "files", None) is not None and len(source.files) > 1:
+        print(f"inputs: {len(source.files)} capture files (timestamp order)")
+    result = AnalysisSession(config).run(source)
 
     print(f"packets: {result.packets_total} total, {result.packets_zoom} zoom")
     print(f"meetings: {len(result.meetings)}")
@@ -232,18 +238,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_dissect(args: argparse.Namespace) -> int:
     from repro.core.dissector import dissect_text
-    from repro.net.packet import parse_frame
-    from repro.net.pcapng import read_capture
+    from repro.net.source import open_capture_source
     from repro.rtp.stun import is_stun
 
     printed = 0
-    for captured in read_capture(args.input):
-        packet = parse_frame(captured.data, captured.timestamp)
+    for packet in open_capture_source(args.input):
         if not packet.is_udp or is_stun(packet.payload):
             continue
         from_server = 8801 in (packet.src_port, packet.dst_port)
         print(
-            f"--- t={captured.timestamp:.4f}s "
+            f"--- t={packet.timestamp:.4f}s "
             f"{packet.src_ip}:{packet.src_port} -> {packet.dst_ip}:{packet.dst_port} ---"
         )
         print(dissect_text(packet.payload, from_server=from_server))
@@ -262,12 +266,10 @@ def _cmd_entropy(args: argparse.Namespace) -> int:
 
     from repro.core.entropy import analyze_flow, find_rtp_signature
     from repro.core.offset_finder import discover_offsets
-    from repro.net.packet import parse_frame
-    from repro.net.pcapng import read_capture
+    from repro.net.source import open_capture_source
 
     flows: dict = defaultdict(list)
-    for captured in read_capture(args.input):
-        packet = parse_frame(captured.data, captured.timestamp)
+    for packet in open_capture_source(args.input):
         if packet.is_udp and packet.five_tuple is not None:
             flows[packet.five_tuple].append(packet.payload)
     if not flows:
@@ -327,8 +329,13 @@ def build_parser() -> argparse.ArgumentParser:
     filter_cmd.add_argument("--anonymize", metavar="KEY", default=None)
     filter_cmd.set_defaults(func=_cmd_filter)
 
-    analyze = sub.add_parser("analyze", help="full passive analysis of a pcap")
-    analyze.add_argument("input", type=Path)
+    analyze = sub.add_parser("analyze", help="full passive analysis of captures")
+    analyze.add_argument("inputs", type=Path, nargs="+", metavar="input",
+                         help="capture files, directories, or glob patterns; "
+                              "multiple inputs are merged in timestamp order")
+    analyze.add_argument("--glob", action="append", default=None, metavar="PATTERN",
+                         help="add capture files matching an (unexpanded) glob "
+                              "pattern; may be repeated")
     analyze.add_argument(
         "--zoom-subnets",
         type=_subnet_list,

@@ -17,8 +17,13 @@ Pipeline stages (Figure 6), each a :class:`repro.core.stages.Stage`:
 
 Scaling wrappers: :mod:`repro.core.rolling` (bounded-memory continuous
 operation) and :mod:`repro.core.sharded` (flow-affine parallel analysis).
+Options flow through one frozen :class:`~repro.core.config.AnalyzerConfig`,
+and :class:`~repro.core.session.AnalysisSession` is the one-call front door:
+``AnalysisSession(config).run(source)`` over any
+:class:`~repro.net.source.PacketSource`.
 """
 
+from repro.core.config import AnalyzerConfig
 from repro.core.detector import StunTracker, ZoomClass, ZoomSubnetMatcher, ZoomTrafficDetector
 from repro.core.events import (
     AnalysisEvent,
@@ -33,13 +38,16 @@ from repro.core.events import (
 )
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
 from repro.core.rolling import FinalizedStream, RollingZoomAnalyzer
+from repro.core.session import AnalysisSession
 from repro.core.sharded import ShardedAnalyzer
 from repro.core.streams import MediaStream, RTPPacketRecord, StreamTable
 
 __all__ = [
     "AnalysisEvent",
     "AnalysisResult",
+    "AnalysisSession",
     "AnalysisSink",
+    "AnalyzerConfig",
     "EventBus",
     "FinalizedStream",
     "FlowBytesObserved",

@@ -1,0 +1,178 @@
+"""The one way analyzer options flow: a frozen :class:`AnalyzerConfig`.
+
+Before this module existed, :class:`~repro.core.pipeline.ZoomAnalyzer`,
+:class:`~repro.core.rolling.RollingZoomAnalyzer`,
+:class:`~repro.core.sharded.ShardedAnalyzer`, and the CLI each re-declared
+the same option kwargs by hand, and the sets had drifted (the sharded driver
+could not share a telemetry registry; the rolling wrapper had no shard
+options at all).  Every driver now consumes one immutable config object —
+``ZoomAnalyzer(AnalyzerConfig(...))`` — and the old per-driver kwargs remain
+as deprecated shims routed through :func:`resolve_config`.
+
+The config is *frozen* so a driver can hold it without defensive copies,
+ship it across process boundaries (the sharded process backend pickles it),
+and derive variants with :meth:`AnalyzerConfig.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.telemetry.registry import Telemetry
+from repro.zoom.constants import ZOOM_SERVER_SUBNETS
+
+#: Sentinel distinguishing "kwarg not supplied" from every real value
+#: (``None`` is a meaningful value for several options).
+_UNSET = object()
+
+SHARD_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyzerConfig:
+    """Every tunable of the analysis pipeline, in one immutable record.
+
+    Attributes:
+        zoom_subnets: Zoom's published server prefixes (§4.1 detection).
+        campus_subnets: Optional campus prefixes scoping P2P detection.
+        stun_timeout: P2P endpoint memory in seconds (§4.1).
+        keep_records: Retain per-packet records on streams (memory-heavy;
+            only needed for offline re-analysis).
+        tolerant: Treat a truncated capture tail as end-of-file instead of
+            an error (consumed by the capture readers / sources).
+        telemetry: Runtime telemetry wiring — ``True``/``False`` toggles a
+            fresh registry, a :class:`~repro.telemetry.Telemetry` instance
+            is shared as-is, and a zero-argument *factory* callable builds
+            one registry per analyzer (the form that survives pickling into
+            sharded worker processes; use a module-level function there).
+        shards: Flow-affine parallelism (1 = single pass).  Consumed by
+            :class:`~repro.core.sharded.ShardedAnalyzer` and the
+            :class:`~repro.core.session.AnalysisSession` driver selection.
+        shard_backend: ``"serial"``, ``"thread"``, or ``"process"``.
+        rolling: Run with bounded-memory idle-stream eviction
+            (:class:`~repro.core.rolling.RollingZoomAnalyzer`).
+        rolling_idle_timeout: Seconds of inactivity before a stream is
+            finalized and evicted.
+        rolling_sweep_interval: How often (in capture time) to scan for
+            idle streams.
+    """
+
+    zoom_subnets: tuple[str, ...] = tuple(ZOOM_SERVER_SUBNETS)
+    campus_subnets: tuple[str, ...] | None = None
+    stun_timeout: float = 120.0
+    keep_records: bool = False
+    tolerant: bool = False
+    telemetry: "Telemetry | bool | Callable[[], Telemetry]" = True
+    shards: int = 1
+    shard_backend: str = "thread"
+    rolling: bool = False
+    rolling_idle_timeout: float = 60.0
+    rolling_sweep_interval: float = 10.0
+
+    def __post_init__(self) -> None:
+        # Normalize subnet iterables to tuples so the config hashes/pickles
+        # and a caller's list can't mutate under a running analyzer.
+        object.__setattr__(self, "zoom_subnets", tuple(self.zoom_subnets))
+        if self.campus_subnets is not None:
+            object.__setattr__(self, "campus_subnets", tuple(self.campus_subnets))
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ValueError(f"unknown backend {self.shard_backend!r}")
+
+    def replace(self, **changes: object) -> "AnalyzerConfig":
+        """A copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------- telemetry
+
+    @property
+    def telemetry_enabled(self) -> bool:
+        """Whether analyzers built from this config record telemetry."""
+        if isinstance(self.telemetry, Telemetry):
+            return self.telemetry.enabled
+        if callable(self.telemetry):
+            return True
+        return bool(self.telemetry)
+
+    def make_telemetry(self) -> Telemetry:
+        """The registry an analyzer built from this config records into.
+
+        A shared :class:`Telemetry` instance passes through; a factory is
+        invoked (fresh registry per call); a bool builds an enabled or
+        disabled registry.
+        """
+        if isinstance(self.telemetry, Telemetry):
+            return self.telemetry
+        if callable(self.telemetry):
+            return self.telemetry()
+        return Telemetry(enabled=bool(self.telemetry))
+
+    def shard_config(self) -> "AnalyzerConfig":
+        """The per-shard variant of this config.
+
+        A shared registry instance cannot be recorded into concurrently from
+        thread or process shards, so it degrades to its enabled flag — each
+        shard then builds a private registry and the driver merges them.
+        Factories and bools pass through (a factory is called once per
+        shard, in the worker).
+        """
+        telemetry = self.telemetry
+        if isinstance(telemetry, Telemetry):
+            telemetry = telemetry.enabled
+        return self.replace(telemetry=telemetry, shards=1)
+
+
+#: Legacy per-driver kwarg name → config field name.
+_LEGACY_FIELDS = {
+    "zoom_subnets": "zoom_subnets",
+    "campus_subnets": "campus_subnets",
+    "stun_timeout": "stun_timeout",
+    "keep_records": "keep_records",
+    "tolerant": "tolerant",
+    "telemetry": "telemetry",
+    "shards": "shards",
+    "backend": "shard_backend",
+    "idle_timeout": "rolling_idle_timeout",
+    "sweep_interval": "rolling_sweep_interval",
+}
+
+
+def resolve_config(
+    config: "AnalyzerConfig | Iterable[str] | None",
+    caller: str,
+    **legacy: object,
+) -> AnalyzerConfig:
+    """Normalize a driver's ``(config, **deprecated kwargs)`` inputs.
+
+    ``config`` may be an :class:`AnalyzerConfig` (the modern form), ``None``
+    (defaults, or legacy kwargs), or — for drivers whose first positional
+    argument used to be ``zoom_subnets`` — a bare iterable of prefixes.
+    Legacy kwargs are mapped onto config fields with a
+    :class:`DeprecationWarning`; mixing them with an explicit config is an
+    error rather than a silent precedence rule.
+    """
+    supplied = {name: value for name, value in legacy.items() if value is not _UNSET}
+    if isinstance(config, AnalyzerConfig):
+        if supplied:
+            raise TypeError(
+                f"{caller}: pass either config= or the deprecated option "
+                f"kwargs ({', '.join(sorted(supplied))}), not both"
+            )
+        return config
+    if config is not None:  # legacy positional zoom_subnets
+        supplied.setdefault("zoom_subnets", config)
+    if not supplied:
+        return AnalyzerConfig()
+    warnings.warn(
+        f"{caller}({', '.join(sorted(supplied))}) option arguments are "
+        f"deprecated; pass {caller}(config=AnalyzerConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return AnalyzerConfig(
+        **{_LEGACY_FIELDS[name]: value for name, value in supplied.items()}
+    )

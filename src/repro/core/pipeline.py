@@ -16,8 +16,9 @@ import copy
 from collections import Counter
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
+from repro.core.config import _UNSET, AnalyzerConfig, resolve_config
 from repro.core.detector import ZoomTrafficDetector
 from repro.core.events import EventBus, StreamEvicted
 from repro.core.meetings import Meeting, MeetingGrouper, group_streams
@@ -42,14 +43,16 @@ from repro.core.stages import (
 )
 from repro.core.streams import MediaStream, RTPPacketRecord, StreamKey, StreamTable
 from repro.net.packet import CapturedPacket, ParsedPacket
-from repro.telemetry.registry import Telemetry, TelemetrySnapshot, coerce_telemetry
+from repro.telemetry.registry import Telemetry, TelemetrySnapshot
 from repro.zoom.constants import (
     AUDIO_SAMPLING_RATE,
     VIDEO_SAMPLING_RATE,
-    ZOOM_SERVER_SUBNETS,
     EncapKey,
     ZoomMediaType,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.source import PacketSource
 
 
 @dataclass
@@ -263,47 +266,57 @@ class ZoomAnalyzer:
     """One-pass passive Zoom analyzer — a thin composition of pipeline stages.
 
     Args:
-        zoom_subnets: Zoom's published prefixes (defaults to the emulator's
-            synthetic directory prefixes).
-        campus_subnets: Optional campus prefixes to scope P2P detection.
-        stun_timeout: P2P endpoint memory (§4.1).
-        keep_records: Retain per-packet records on streams (memory-heavy;
-            only needed for offline re-analysis).
+        config: An :class:`~repro.core.config.AnalyzerConfig` carrying every
+            option (subnets, STUN timeout, record retention, telemetry
+            wiring).  Defaults apply when omitted.
         bus: Optional pre-wired :class:`~repro.core.events.EventBus`; one is
             created (with the default bitrate-binning and RTCP-sync sinks)
             when omitted.
-        telemetry: Runtime telemetry — ``True`` (default) records counters
-            and sampled stage timers, ``False`` disables instrumentation
-            entirely (near-zero overhead), or pass a pre-built
-            :class:`~repro.telemetry.Telemetry` to share a registry (e.g.
-            with a capture reader).
+        **deprecated: The historical per-option kwargs (``zoom_subnets``,
+            ``campus_subnets``, ``stun_timeout``, ``keep_records``,
+            ``telemetry``) still work — including ``zoom_subnets`` passed
+            positionally — but warn; they are shims over the config.
 
     Usage::
 
-        analyzer = ZoomAnalyzer()
-        result = analyzer.analyze(captured_packets)
+        analyzer = ZoomAnalyzer(AnalyzerConfig(campus_subnets=("10.8.0.0/16",)))
+        result = analyzer.analyze(captured_packets)     # in-memory frames
+        result = analyzer.run(PcapFileSource("a.pcap")) # streaming source
 
     Subscribers (see :mod:`repro.core.events`) attach via ``analyzer.bus``.
     """
 
     def __init__(
         self,
-        zoom_subnets: Iterable[str] = ZOOM_SERVER_SUBNETS,
+        config: AnalyzerConfig | Iterable[str] | None = None,
         *,
-        campus_subnets: Iterable[str] | None = None,
-        stun_timeout: float = 120.0,
-        keep_records: bool = False,
         bus: EventBus | None = None,
-        telemetry: Telemetry | bool = True,
+        zoom_subnets: Iterable[str] | object = _UNSET,
+        campus_subnets: Iterable[str] | None | object = _UNSET,
+        stun_timeout: float | object = _UNSET,
+        keep_records: bool | object = _UNSET,
+        telemetry: Telemetry | bool | object = _UNSET,
     ) -> None:
+        self.config = resolve_config(
+            config,
+            "ZoomAnalyzer",
+            zoom_subnets=zoom_subnets,
+            campus_subnets=campus_subnets,
+            stun_timeout=stun_timeout,
+            keep_records=keep_records,
+            telemetry=telemetry,
+        )
+        config = self.config
         self.bus = bus if bus is not None else EventBus()
         self.result = AnalysisResult()
-        self.result.telemetry = coerce_telemetry(telemetry)
+        self.result.telemetry = config.make_telemetry()
         self._telemetry = self.result.telemetry
         self.result.detector = ZoomTrafficDetector(
-            zoom_subnets, campus_subnets=campus_subnets, stun_timeout=stun_timeout
+            config.zoom_subnets,
+            campus_subnets=config.campus_subnets,
+            stun_timeout=config.stun_timeout,
         )
-        self.result.streams = StreamTable(keep_records=keep_records)
+        self.result.streams = StreamTable(keep_records=config.keep_records)
         self._assemble = AssembleStage(self.result, self.bus)
         self.stages: tuple[Stage, ...] = (
             DecodeStage(self.result, self.bus),
@@ -323,9 +336,24 @@ class ZoomAnalyzer:
         self.bus.register(SyncSink(self.result.sync))
 
     def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
-        """Feed a whole capture and return the result."""
+        """Feed a whole in-memory capture and return the result."""
         for packet in packets:
             self.feed(packet)
+        return self.result
+
+    def run(self, source: "PacketSource") -> AnalysisResult:
+        """Drain a :class:`~repro.net.source.PacketSource` and return the result.
+
+        The streaming twin of :meth:`analyze`: batches of already-parsed
+        packets flow straight into the stage pipeline, so memory stays
+        bounded by one batch regardless of capture size.  Also accepts a
+        file path or a plain packet iterable (coerced to a source).
+        """
+        from repro.net.source import coerce_source
+
+        for batch in coerce_source(source, telemetry=self._telemetry).batches():
+            for parsed in batch:
+                self.feed_parsed(parsed)
         return self.result
 
     def feed(self, captured: CapturedPacket) -> None:

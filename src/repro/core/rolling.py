@@ -3,7 +3,7 @@
 The one-pass :class:`~repro.core.pipeline.ZoomAnalyzer` retains every stream
 and meeting it ever saw — fine for a trace file, unbounded for a permanent
 border tap.  :class:`RollingZoomAnalyzer` wraps it with time-based eviction:
-streams idle longer than ``idle_timeout`` are finalized through the public
+streams idle longer than the rolling window are finalized through the public
 :meth:`~repro.core.pipeline.ZoomAnalyzer.evict_stream` API, which publishes
 a :class:`~repro.core.events.StreamEvicted` event this wrapper (and any
 other sink — report cards, ML export) subscribes to.  Meetings whose last
@@ -16,15 +16,18 @@ and a deployment that never stops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
+from repro.core.config import _UNSET, AnalyzerConfig, resolve_config
 from repro.core.events import StreamEvicted
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
 from repro.core.streams import StreamKey
-from repro.net.packet import CapturedPacket
+from repro.net.packet import CapturedPacket, ParsedPacket
 from repro.telemetry.registry import Telemetry
-from repro.zoom.constants import ZOOM_SERVER_SUBNETS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.source import PacketSource
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,45 +49,56 @@ class FinalizedStream:
     stall_count: int
 
 
-@dataclass
 class RollingZoomAnalyzer:
     """A :class:`ZoomAnalyzer` with idle-stream eviction.
 
     Args:
-        idle_timeout: Seconds of inactivity after which a stream is
-            finalized and evicted.
-        sweep_interval: How often (in capture time) to scan for idle
-            streams; keeps the sweep cost amortized.
-        zoom_subnets / campus_subnets / stun_timeout / keep_records /
-        telemetry: Forwarded verbatim to the wrapped :class:`ZoomAnalyzer`;
-            the wrapper adds its own ``rolling.*`` counters (sweeps,
-            retained-state size) and eviction reasons land under
-            ``pipeline.evicted.*`` via the shared eviction path.
+        config: An :class:`~repro.core.config.AnalyzerConfig`; the rolling
+            window comes from ``rolling_idle_timeout`` (seconds of
+            inactivity before a stream is finalized) and
+            ``rolling_sweep_interval`` (how often, in capture time, to scan
+            for idle streams).  The wrapper adds its own ``rolling.*``
+            counters (sweeps, retained-state size) and eviction reasons land
+            under ``pipeline.evicted.*`` via the shared eviction path.
         on_stream_finalized: Optional callback receiving each
             :class:`FinalizedStream` (e.g. to write a database row).
+        **deprecated: The historical kwargs (``idle_timeout``,
+            ``sweep_interval``, ``zoom_subnets``, ``campus_subnets``,
+            ``stun_timeout``, ``keep_records``, ``telemetry``) still work
+            but warn; they are shims over the config.
     """
 
-    idle_timeout: float = 60.0
-    sweep_interval: float = 10.0
-    zoom_subnets: Iterable[str] = ZOOM_SERVER_SUBNETS
-    campus_subnets: Iterable[str] | None = None
-    stun_timeout: float = 120.0
-    keep_records: bool = False
-    telemetry: Telemetry | bool = True
-    on_stream_finalized: Optional[Callable[[FinalizedStream], None]] = None
-    finalized: list[FinalizedStream] = field(default_factory=list)
-    streams_evicted: int = 0
-    _analyzer: ZoomAnalyzer = field(init=False)
-    _last_sweep: float = field(default=float("-inf"), init=False)
-
-    def __post_init__(self) -> None:
-        self._analyzer = ZoomAnalyzer(
-            self.zoom_subnets,
-            campus_subnets=self.campus_subnets,
-            stun_timeout=self.stun_timeout,
-            keep_records=self.keep_records,
-            telemetry=self.telemetry,
+    def __init__(
+        self,
+        config: AnalyzerConfig | None = None,
+        *,
+        on_stream_finalized: Optional[Callable[[FinalizedStream], None]] = None,
+        idle_timeout: float | object = _UNSET,
+        sweep_interval: float | object = _UNSET,
+        zoom_subnets: Iterable[str] | object = _UNSET,
+        campus_subnets: Iterable[str] | None | object = _UNSET,
+        stun_timeout: float | object = _UNSET,
+        keep_records: bool | object = _UNSET,
+        telemetry: Telemetry | bool | object = _UNSET,
+    ) -> None:
+        self.config = resolve_config(
+            config,
+            "RollingZoomAnalyzer",
+            idle_timeout=idle_timeout,
+            sweep_interval=sweep_interval,
+            zoom_subnets=zoom_subnets,
+            campus_subnets=campus_subnets,
+            stun_timeout=stun_timeout,
+            keep_records=keep_records,
+            telemetry=telemetry,
         )
+        self.idle_timeout = self.config.rolling_idle_timeout
+        self.sweep_interval = self.config.rolling_sweep_interval
+        self.on_stream_finalized = on_stream_finalized
+        self.finalized: list[FinalizedStream] = []
+        self.streams_evicted = 0
+        self._last_sweep = float("-inf")
+        self._analyzer = ZoomAnalyzer(self.config)
         self._analyzer.bus.subscribe(StreamEvicted, self._on_stream_evicted)
 
     @property
@@ -103,9 +117,34 @@ class RollingZoomAnalyzer:
         if packet.timestamp - self._last_sweep >= self.sweep_interval:
             self.sweep(packet.timestamp)
 
+    def feed_parsed(self, parsed: ParsedPacket) -> None:
+        """Feed one already-parsed frame; may trigger an eviction sweep."""
+        self._analyzer.feed_parsed(parsed)
+        if parsed.timestamp - self._last_sweep >= self.sweep_interval:
+            self.sweep(parsed.timestamp)
+
     def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
         for packet in packets:
             self.feed(packet)
+        return self.result
+
+    def run(self, source: "PacketSource") -> AnalysisResult:
+        """Drain a :class:`~repro.net.source.PacketSource` with eviction.
+
+        The streaming twin of :meth:`analyze`; combined with a streaming
+        source this is the shape of a live deployment — bounded reader
+        memory in, bounded analyzer state throughout.
+        """
+        from repro.net.source import coerce_source
+
+        source = coerce_source(
+            source,
+            telemetry=self._analyzer.result.telemetry,
+            tolerant=self.config.tolerant,
+        )
+        for batch in source.batches():
+            for parsed in batch:
+                self.feed_parsed(parsed)
         return self.result
 
     def sweep(self, now: float) -> int:

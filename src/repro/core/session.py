@@ -1,0 +1,80 @@
+"""The one-call front door: ``AnalysisSession(config).run(source)``.
+
+Every ingestion kind (pcap file, pcapng file, capture directory, simulated
+meeting, in-memory packets) and every execution strategy (single pass,
+flow-sharded, rolling eviction) used to require knowing which driver class
+to construct and how to thread telemetry between the reader and the
+analyzer.  The session owns both decisions: the
+:class:`~repro.core.config.AnalyzerConfig` selects the driver, and one
+telemetry registry is wired through the source and the analysis so
+``--stats`` style reports cover the whole path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Union
+
+from repro.core.config import AnalyzerConfig
+from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
+from repro.core.rolling import RollingZoomAnalyzer
+from repro.core.sharded import ShardedAnalyzer
+from repro.net.packet import CapturedPacket, ParsedPacket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.source import PacketSource
+
+SourceLike = Union[
+    "PacketSource", str, Path, Iterable["CapturedPacket | ParsedPacket"]
+]
+
+
+class AnalysisSession:
+    """Run one analysis pass described entirely by an :class:`AnalyzerConfig`.
+
+    Driver selection: ``config.shards > 1`` partitions across a
+    :class:`~repro.core.sharded.ShardedAnalyzer`; ``config.rolling`` wraps
+    the pass in idle-stream eviction
+    (:class:`~repro.core.rolling.RollingZoomAnalyzer`); otherwise a plain
+    one-pass :class:`~repro.core.pipeline.ZoomAnalyzer` runs.  The two are
+    mutually exclusive — a sharded run keeps whole-capture state by design.
+
+    Usage::
+
+        session = AnalysisSession(AnalyzerConfig(campus_subnets=("10.8.0.0/16",)))
+        result = session.run("trace.pcap")                   # any capture file
+        result = session.run(CaptureDirectorySource("caps/"))
+        result = session.run(SimulationSource(meeting_config))
+    """
+
+    def __init__(self, config: AnalyzerConfig | None = None) -> None:
+        self.config = config if config is not None else AnalyzerConfig()
+        if self.config.rolling and self.config.shards > 1:
+            raise ValueError("rolling eviction and sharding are mutually exclusive")
+
+    def run(self, source: SourceLike) -> AnalysisResult:
+        """Ingest ``source`` through the configured driver; returns the result.
+
+        ``source`` may be a :class:`~repro.net.source.PacketSource`, a
+        capture-file path (format sniffed from magic bytes), or an iterable
+        of captured/parsed packets.  When the session opens the source
+        itself, the run's telemetry registry is threaded into it so capture
+        counters and pipeline counters land in one report.
+        """
+        from repro.net.source import coerce_source
+
+        config = self.config
+        registry = config.make_telemetry()
+        source = coerce_source(
+            source, telemetry=registry, tolerant=config.tolerant
+        )
+        if config.shards > 1:
+            result = ShardedAnalyzer(config).run(source)
+            # Shards record into private registries; fold the ingest-side
+            # counters in so the merged report covers the whole path.
+            result.telemetry.merge_from(registry)
+            return result
+        run_config = config.replace(telemetry=registry)
+        if config.rolling:
+            return RollingZoomAnalyzer(run_config).run(source)
+        return ZoomAnalyzer(run_config).run(source)

@@ -31,12 +31,16 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.core.config import _UNSET, AnalyzerConfig, resolve_config
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
 from repro.net.packet import CapturedPacket, parse_frame
 from repro.rtp.stun import STUN_PORT
-from repro.zoom.constants import ZOOM_SERVER_SUBNETS
+from repro.telemetry.registry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.source import PacketSource
 
 _ETHERTYPE_VLAN = 0x8100
 _ETHERTYPE_IPV4 = 0x0800
@@ -111,16 +115,11 @@ def _analyze_shard(args: tuple) -> AnalysisResult:
 
     ``work`` is a capture-time-ordered list of (packet, is_hint) pairs;
     hints are replicated STUN packets that teach the detector without being
-    counted.  Module-level so the process backend can pickle it.
+    counted.  Module-level so the process backend can pickle it; the config
+    is the picklable per-shard variant (:meth:`AnalyzerConfig.shard_config`).
     """
-    zoom_subnets, campus_subnets, stun_timeout, keep_records, telemetry, work = args
-    analyzer = ZoomAnalyzer(
-        zoom_subnets,
-        campus_subnets=campus_subnets,
-        stun_timeout=stun_timeout,
-        keep_records=keep_records,
-        telemetry=telemetry,
-    )
+    config, work = args
+    analyzer = ZoomAnalyzer(config)
     for packet, is_hint in work:
         if is_hint:
             analyzer.hint_stun(parse_frame(packet.data, packet.timestamp))
@@ -133,45 +132,56 @@ class ShardedAnalyzer:
     """Partition a capture across N flow-affine analyzers and merge.
 
     Args:
-        shards: Number of worker analyzers.
-        backend: ``"serial"``, ``"thread"``, or ``"process"``.
-        zoom_subnets / campus_subnets / stun_timeout / keep_records:
-            Forwarded verbatim to every shard's :class:`ZoomAnalyzer`.
-        telemetry: Whether each shard records runtime telemetry.  Per-shard
-            registries are merged into the combined result, whose additive
-            counters then equal a single-pass run; the driver adds its own
-            ``sharded.*`` partition accounting (per-shard packet balance,
-            STUN hint replication) on top.
+        config: An :class:`~repro.core.config.AnalyzerConfig`; ``shards``
+            and ``shard_backend`` select the partitioning, and every
+            per-analyzer option (subnets, STUN timeout, record retention)
+            is forwarded to each shard's :class:`ZoomAnalyzer`.  Per-shard
+            telemetry registries are merged into the combined result, whose
+            additive counters then equal a single-pass run; the driver adds
+            its own ``sharded.*`` partition accounting (per-shard packet
+            balance, STUN hint replication) on top.  A shared
+            :class:`~repro.telemetry.Telemetry` *instance* in the config
+            cannot be written from concurrent shards, so it degrades to its
+            enabled flag; pass a factory for custom per-shard registries.
+        **deprecated: The historical kwargs (``shards``, ``zoom_subnets``,
+            ``campus_subnets``, ``stun_timeout``, ``keep_records``,
+            ``backend``, ``telemetry``) still work but warn; they are shims
+            over the config.
 
     Usage::
 
-        result = ShardedAnalyzer(shards=4).analyze(captured_packets)
+        result = ShardedAnalyzer(AnalyzerConfig(shards=4)).analyze(packets)
     """
 
     def __init__(
         self,
-        shards: int = 4,
-        zoom_subnets: Iterable[str] = ZOOM_SERVER_SUBNETS,
+        config: AnalyzerConfig | None = None,
         *,
-        campus_subnets: Iterable[str] | None = None,
-        stun_timeout: float = 120.0,
-        keep_records: bool = False,
-        backend: str = "thread",
-        telemetry: bool = True,
+        shards: int | object = _UNSET,
+        zoom_subnets: Iterable[str] | object = _UNSET,
+        campus_subnets: Iterable[str] | None | object = _UNSET,
+        stun_timeout: float | object = _UNSET,
+        keep_records: bool | object = _UNSET,
+        backend: str | object = _UNSET,
+        telemetry: Telemetry | bool | object = _UNSET,
     ) -> None:
-        if shards < 1:
-            raise ValueError("shards must be >= 1")
-        if backend not in ("serial", "thread", "process"):
-            raise ValueError(f"unknown backend {backend!r}")
-        self.shards = shards
-        self.backend = backend
-        self._zoom_subnets = tuple(zoom_subnets)
-        self._campus_subnets = (
-            tuple(campus_subnets) if campus_subnets is not None else None
+        self.config = resolve_config(
+            config,
+            "ShardedAnalyzer",
+            shards=shards,
+            zoom_subnets=zoom_subnets,
+            campus_subnets=campus_subnets,
+            stun_timeout=stun_timeout,
+            keep_records=keep_records,
+            backend=backend,
+            telemetry=telemetry,
         )
-        self._stun_timeout = stun_timeout
-        self._keep_records = keep_records
-        self._telemetry = telemetry
+        # Legacy default: ShardedAnalyzer() historically meant 4 shards,
+        # while AnalyzerConfig defaults to a single pass.
+        if self.config.shards == 1 and config is None and shards is _UNSET:
+            self.config = self.config.replace(shards=4)
+        self.shards = self.config.shards
+        self.backend = self.config.shard_backend
         self.partition_stats = PartitionStats()
 
     def partition(
@@ -216,18 +226,9 @@ class ShardedAnalyzer:
         ``sharded.*`` partition accounting.
         """
         buckets = self.partition(packets)
-        shard_args = [
-            (
-                self._zoom_subnets,
-                self._campus_subnets,
-                self._stun_timeout,
-                self._keep_records,
-                self._telemetry,
-                work,
-            )
-            for work in buckets
-        ]
-        results = self._run(shard_args)
+        shard_config = self.config.shard_config()
+        shard_args = [(shard_config, work) for work in buckets]
+        results = self._run_shards(shard_args)
         merged = AnalysisResult.merge_all(results)
         tel = merged.telemetry
         if tel.enabled:
@@ -239,9 +240,31 @@ class ShardedAnalyzer:
             tel.record_max("sharded.shards", self.shards)
         return merged
 
+    def run(self, source: "PacketSource") -> AnalysisResult:
+        """Drain a :class:`~repro.net.source.PacketSource` across the shards.
+
+        The partitioner works on raw frame bytes, so parsed packets are
+        rewrapped as captured frames for the shard work lists (the shards
+        re-decode; cross-process work must be picklable anyway).  Also
+        accepts a file path or plain packet iterable.
+        """
+        from repro.net.source import coerce_source
+
+        # Shard registries can't be shared with the reader, so ingest-side
+        # counters accumulate separately and fold into the merged result.
+        ingest = Telemetry(enabled=self.config.telemetry_enabled)
+        source = coerce_source(source, telemetry=ingest, tolerant=self.config.tolerant)
+        result = self.analyze(
+            CapturedPacket(parsed.timestamp, parsed.raw)
+            for batch in source.batches()
+            for parsed in batch
+        )
+        result.telemetry.merge_from(ingest)
+        return result
+
     # ------------------------------------------------------------- internals
 
-    def _run(self, shard_args: Sequence[tuple]) -> list[AnalysisResult]:
+    def _run_shards(self, shard_args: Sequence[tuple]) -> list[AnalysisResult]:
         if self.backend == "serial" or self.shards == 1:
             return [_analyze_shard(args) for args in shard_args]
         if self.backend == "thread":

@@ -15,24 +15,44 @@ from repro.net.ethernet import EtherType, EthernetHeader
 from repro.net.ip import IPProtocol, IPv4Header, IPv6Header
 from repro.net.packet import CapturedPacket, ParsedPacket, parse_frame
 from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.source import (
+    CaptureDirectorySource,
+    InterleavedSource,
+    IterableSource,
+    PacketSource,
+    PcapFileSource,
+    PcapNgFileSource,
+    SimulationSource,
+    open_capture_source,
+    sniff_capture_format,
+)
 from repro.net.tcp import TCPFlags, TCPHeader
 from repro.net.udp import UDPHeader
 
 __all__ = [
+    "CaptureDirectorySource",
     "CapturedPacket",
     "EtherType",
     "EthernetHeader",
     "IPProtocol",
     "IPv4Header",
     "IPv6Header",
+    "InterleavedSource",
+    "IterableSource",
+    "PacketSource",
     "ParsedPacket",
+    "PcapFileSource",
+    "PcapNgFileSource",
     "PcapReader",
     "PcapWriter",
+    "SimulationSource",
     "TCPFlags",
     "TCPHeader",
     "UDPHeader",
     "internet_checksum",
+    "open_capture_source",
     "parse_frame",
     "read_pcap",
+    "sniff_capture_format",
     "write_pcap",
 ]

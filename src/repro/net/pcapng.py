@@ -275,7 +275,20 @@ def read_pcapng(
     telemetry: Telemetry | None = None,
     tolerant: bool = False,
 ) -> list[CapturedPacket]:
-    """Read every packet from a pcapng file."""
+    """Deprecated: read every packet from a pcapng file into a list.
+
+    Kept as a thin compatibility wrapper; it materializes the whole capture.
+    Stream with :class:`PcapngReader` or, for the analyzers,
+    :class:`repro.net.source.PcapNgFileSource`.
+    """
+    import warnings
+
+    warnings.warn(
+        "read_pcapng() materializes the whole capture; iterate PcapngReader "
+        "or use repro.net.source.PcapNgFileSource for streaming ingestion",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     with PcapngReader(path, telemetry=telemetry, tolerant=tolerant) as reader:
         return list(reader)
 
@@ -286,14 +299,9 @@ def read_capture(
     telemetry: Telemetry | None = None,
     tolerant: bool = False,
 ) -> list[CapturedPacket]:
-    """Read a capture file, auto-detecting pcap vs pcapng by magic."""
-    with open(path, "rb") as handle:
-        magic = handle.read(4)
-    if len(magic) < 4:
-        raise ValueError("file too short to be a capture")
-    (value,) = struct.unpack("<I", magic)
-    if value == BLOCK_SHB:
-        return read_pcapng(path, telemetry=telemetry, tolerant=tolerant)
-    from repro.net.pcap import read_pcap
+    """Deprecated compatibility re-export of
+    :func:`repro.net.source.read_capture` (its historical home was this
+    module).  Format dispatch sniffs magic bytes, never the file name."""
+    from repro.net.source import read_capture as _read_capture
 
-    return read_pcap(path, telemetry=telemetry, tolerant=tolerant)
+    return _read_capture(path, telemetry=telemetry, tolerant=tolerant)

@@ -1,0 +1,469 @@
+"""The unified packet-ingestion layer: :class:`PacketSource` and friends.
+
+The analyzers used to be file-shaped — every driver took a fully
+materialized ``list[CapturedPacket]``, the simulator had to serialize to
+pcap bytes before its output could be analyzed, and adding a new input kind
+meant touching every driver.  A :class:`PacketSource` is the one contract
+they all consume now: an iterator of :class:`~repro.net.packet.ParsedPacket`
+*batches* plus ingest metadata (link type, packet/byte counters, telemetry
+hookup).  Concrete sources:
+
+* :class:`PcapFileSource` / :class:`PcapNgFileSource` — true streaming
+  readers over one capture file (never hold the capture in memory).
+* :class:`CaptureDirectorySource` — many files / globs / directories,
+  ordered by each file's first capture timestamp.
+* :class:`SimulationSource` — :mod:`repro.simulation` scenarios fed straight
+  into the analyzer with no pcap round trip.
+* :class:`InterleavedSource` — k-way timestamp merge composing any sources.
+* :class:`IterableSource` — adapts an in-memory packet sequence.
+
+:func:`open_capture_source` dispatches a file to the right reader by
+sniffing magic bytes (never by filename), and the legacy list-returning
+:func:`read_capture` lives on here as a deprecated compatibility wrapper.
+A future live-socket source is one subclass away — nothing downstream of
+this module knows about files.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+import warnings
+from glob import glob as _glob
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.net.packet import CapturedPacket, ParsedPacket, parse_frame
+from repro.net.pcap import LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS, PcapReader
+from repro.net.pcapng import BLOCK_SHB, PcapngReader
+from repro.telemetry.registry import Telemetry
+
+#: Default number of parsed packets per yielded batch.  Large enough to
+#: amortize generator overhead on the hot path, small enough that a source
+#: never holds more than a few hundred frames of a multi-gigabyte capture.
+DEFAULT_BATCH_SIZE = 256
+
+
+@runtime_checkable
+class PacketSource(Protocol):
+    """What every ingestion backend provides to the analyzers.
+
+    A source is a *single-use* iterator of :class:`ParsedPacket` batches —
+    time-ordered within the source — plus the metadata the drivers and
+    telemetry need: the link type, running packet/byte counters, and an
+    optional :class:`~repro.telemetry.Telemetry` registry the source
+    records ``capture.*`` / ``ingest.*`` counters into.
+    """
+
+    linktype: int
+    packets_emitted: int
+    bytes_emitted: int
+
+    def batches(self) -> Iterator[Sequence[ParsedPacket]]:
+        """Yield time-ordered batches of parsed packets."""
+        ...
+
+    def __iter__(self) -> Iterator[ParsedPacket]:
+        """Yield individual parsed packets (a flattened :meth:`batches`)."""
+        ...
+
+    def close(self) -> None:
+        """Release underlying files or generators."""
+        ...
+
+
+class PacketSourceBase:
+    """Shared machinery: batching, counters, context management.
+
+    Subclasses implement :meth:`_packets`, an iterator of parsed packets;
+    the base class handles batching and the emitted-packet accounting the
+    :class:`PacketSource` protocol promises.
+    """
+
+    linktype: int = LINKTYPE_ETHERNET
+
+    def __init__(
+        self,
+        *,
+        telemetry: Telemetry | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._telemetry = telemetry if telemetry is not None else Telemetry(enabled=False)
+        self._batch_size = batch_size
+        self.packets_emitted = 0
+        self.bytes_emitted = 0
+
+    def _packets(self) -> Iterator[ParsedPacket]:
+        raise NotImplementedError
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Adopt ``telemetry`` unless a live registry was already supplied.
+
+        Lets :class:`~repro.core.session.AnalysisSession` thread its run
+        registry into a source the caller constructed bare; a source built
+        with an explicit enabled registry keeps it.
+        """
+        if self._telemetry.enabled:
+            return
+        self._telemetry = telemetry
+        self._propagate_telemetry(telemetry)
+
+    def _propagate_telemetry(self, telemetry: Telemetry) -> None:
+        """Hand the adopted registry to wrapped readers/children."""
+
+    def batches(self) -> Iterator[list[ParsedPacket]]:
+        batch: list[ParsedPacket] = []
+        for parsed in self._packets():
+            self.packets_emitted += 1
+            self.bytes_emitted += len(parsed.raw)
+            batch.append(parsed)
+            if len(batch) >= self._batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def __iter__(self) -> Iterator[ParsedPacket]:
+        for batch in self.batches():
+            yield from batch
+
+    def close(self) -> None:  # overridden where a file is held
+        pass
+
+    def __enter__(self) -> "PacketSourceBase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class PcapFileSource(PacketSourceBase):
+    """Streaming source over one classic-pcap file.
+
+    Packets are decoded record by record off the open file — the capture is
+    never materialized as a list, so memory stays bounded by one batch
+    regardless of file size.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        telemetry: Telemetry | None = None,
+        tolerant: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(telemetry=telemetry, batch_size=batch_size)
+        self._reader = PcapReader(path, telemetry=self._telemetry, tolerant=tolerant)
+        self.header = self._reader.header
+        self.linktype = self.header.linktype
+
+    def _packets(self) -> Iterator[ParsedPacket]:
+        for captured in self._reader:
+            yield parse_frame(captured.data, captured.timestamp)
+
+    def _propagate_telemetry(self, telemetry: Telemetry) -> None:
+        self._reader._telemetry = telemetry
+
+    def close(self) -> None:
+        self._reader.close()
+
+
+class PcapNgFileSource(PacketSourceBase):
+    """Streaming source over one pcapng file (either endianness)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        telemetry: Telemetry | None = None,
+        tolerant: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(telemetry=telemetry, batch_size=batch_size)
+        self._reader = PcapngReader(path, telemetry=self._telemetry, tolerant=tolerant)
+
+    def _packets(self) -> Iterator[ParsedPacket]:
+        for captured in self._reader:
+            yield parse_frame(captured.data, captured.timestamp)
+
+    def _propagate_telemetry(self, telemetry: Telemetry) -> None:
+        self._reader._telemetry = telemetry
+
+    def close(self) -> None:
+        self._reader.close()
+
+
+class IterableSource(PacketSourceBase):
+    """Adapt an in-memory sequence of packets to the source protocol.
+
+    Accepts :class:`CapturedPacket` or already-parsed :class:`ParsedPacket`
+    items (mixed is fine); raw frames are decoded on the way through.
+    """
+
+    def __init__(
+        self,
+        packets: Iterable[CapturedPacket | ParsedPacket],
+        *,
+        telemetry: Telemetry | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(telemetry=telemetry, batch_size=batch_size)
+        self._items = packets
+
+    def _packets(self) -> Iterator[ParsedPacket]:
+        for item in self._items:
+            if isinstance(item, ParsedPacket):
+                yield item
+            else:
+                yield parse_frame(item.data, item.timestamp)
+
+
+class SimulationSource(PacketSourceBase):
+    """Emit a :mod:`repro.simulation` scenario straight into the analyzer.
+
+    Args:
+        scenario: A ``MeetingConfig`` (simulated on demand), a
+            ``CampusTraceConfig``, a ``SimulationResult`` / campus trace, or
+            any iterable of :class:`CapturedPacket`.
+        timestamp_resolution: Quantize capture times exactly as the
+            nanosecond pcap writer would (default), so direct analysis is
+            bit-identical to a write-pcap-then-read run; ``None`` keeps the
+            simulator's exact timestamps.
+        telemetry: Optional registry; ``capture.frames``/``capture.bytes``
+            are recorded just as the file readers record them.
+    """
+
+    def __init__(
+        self,
+        scenario: object,
+        *,
+        timestamp_resolution: float | None = 1e-9,
+        telemetry: Telemetry | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(telemetry=telemetry, batch_size=batch_size)
+        self._scenario = scenario
+        self._resolution = timestamp_resolution
+
+    def _packets(self) -> Iterator[ParsedPacket]:
+        # Imported lazily: repro.simulation sits above repro.net in the
+        # layering and importing it here at module scope would be circular.
+        from repro.simulation.adapter import parsed_packets
+
+        yield from parsed_packets(
+            self._scenario,
+            timestamp_resolution=self._resolution,
+            telemetry=self._telemetry,
+        )
+
+
+class CaptureDirectorySource(PacketSourceBase):
+    """Sequence many capture files as one source.
+
+    Accepts any mix of concrete paths, glob patterns, and directories (a
+    directory contributes every file matching ``pattern``).  Files are
+    ordered by their *first capture timestamp* — not by name — so captures
+    rotated by a monitor (``zoom-00.pcap``, ``zoom-01.pcap``, …) or handed
+    over out of order replay in wall-clock order.  Each opened file counts
+    one ``ingest.files``; per-file frame/byte counters land under
+    ``capture.*`` via the underlying reader.
+    """
+
+    def __init__(
+        self,
+        paths: str | Path | Iterable[str | Path],
+        *,
+        pattern: str = "*.pcap*",
+        telemetry: Telemetry | None = None,
+        tolerant: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(telemetry=telemetry, batch_size=batch_size)
+        self._tolerant = tolerant
+        if isinstance(paths, (str, Path)):
+            paths = [paths]
+        expanded: list[Path] = []
+        for entry in paths:
+            entry_path = Path(entry)
+            if entry_path.is_dir():
+                expanded.extend(sorted(entry_path.glob(pattern)))
+            elif _has_magic(str(entry)):
+                matches = sorted(Path(match) for match in _glob(str(entry)))
+                if not matches:
+                    raise FileNotFoundError(f"glob {entry!r} matched no files")
+                expanded.extend(matches)
+            else:
+                expanded.append(entry_path)
+        if not expanded:
+            raise FileNotFoundError(f"no capture files under {paths!r}")
+        self.files: tuple[Path, ...] = tuple(
+            sorted(expanded, key=_first_capture_timestamp)
+        )
+        self._open: PacketSourceBase | None = None
+
+    def _packets(self) -> Iterator[ParsedPacket]:
+        for path in self.files:
+            self._open = open_capture_source(
+                path,
+                telemetry=self._telemetry,
+                tolerant=self._tolerant,
+                batch_size=self._batch_size,
+            )
+            self._telemetry.count("ingest.files")
+            try:
+                yield from self._open
+            finally:
+                self._open.close()
+                self._open = None
+
+    def close(self) -> None:
+        if self._open is not None:
+            self._open.close()
+            self._open = None
+
+
+class InterleavedSource(PacketSourceBase):
+    """Compose sources by k-way merging on capture timestamp.
+
+    Each input must itself be time-ordered (every source here is); the
+    merge is a heap over one head packet per input, so composing k live
+    taps costs O(log k) per packet and holds k packets of state.
+    """
+
+    def __init__(
+        self,
+        *sources: PacketSource,
+        telemetry: Telemetry | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(telemetry=telemetry, batch_size=batch_size)
+        if not sources:
+            raise ValueError("InterleavedSource needs at least one source")
+        self.sources: tuple[PacketSource, ...] = sources
+        self._telemetry.count("ingest.sources", len(sources))
+
+    def _packets(self) -> Iterator[ParsedPacket]:
+        yield from heapq.merge(*self.sources, key=lambda p: p.timestamp)
+
+    def _propagate_telemetry(self, telemetry: Telemetry) -> None:
+        for source in self.sources:
+            if hasattr(source, "attach_telemetry"):
+                source.attach_telemetry(telemetry)
+
+    def close(self) -> None:
+        for source in self.sources:
+            source.close()
+
+
+# --------------------------------------------------------------- dispatch
+
+
+def sniff_capture_format(path: str | Path) -> str:
+    """``"pcap"`` or ``"pcapng"``, decided by magic bytes alone.
+
+    File extensions lie — a rotated capture named ``trace.pcap`` is often
+    pcapng underneath — so dispatch never consults the name.  The pcapng
+    Section Header Block type (``0x0A0D0D0A``) is a palindrome, making the
+    check endianness-proof; pcap is recognized by either byte order of both
+    its microsecond and nanosecond magics.
+    """
+    with open(path, "rb") as handle:
+        magic_bytes = handle.read(4)
+    if len(magic_bytes) < 4:
+        raise ValueError(f"{path}: too short to be a capture file")
+    (little,) = struct.unpack("<I", magic_bytes)
+    (big,) = struct.unpack(">I", magic_bytes)
+    if little == BLOCK_SHB:
+        return "pcapng"
+    if little in (MAGIC_MICROS, MAGIC_NANOS) or big in (MAGIC_MICROS, MAGIC_NANOS):
+        return "pcap"
+    raise ValueError(f"{path}: not a pcap or pcapng capture (magic {magic_bytes!r})")
+
+
+def open_capture_source(
+    path: str | Path,
+    *,
+    telemetry: Telemetry | None = None,
+    tolerant: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> PcapFileSource | PcapNgFileSource:
+    """Open one capture file with the reader its magic bytes call for."""
+    source_cls = (
+        PcapNgFileSource if sniff_capture_format(path) == "pcapng" else PcapFileSource
+    )
+    return source_cls(
+        path, telemetry=telemetry, tolerant=tolerant, batch_size=batch_size
+    )
+
+
+def read_capture(
+    path: str | Path,
+    *,
+    telemetry: Telemetry | None = None,
+    tolerant: bool = False,
+) -> list[CapturedPacket]:
+    """Deprecated: read a whole capture (either format) into a list.
+
+    Kept for compatibility (historically exported from
+    :mod:`repro.net.pcapng`); it materializes the entire file.  Stream with
+    :func:`open_capture_source` instead.
+    """
+    warnings.warn(
+        "read_capture() materializes the whole capture; "
+        "use repro.net.source.open_capture_source() for streaming ingestion",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with open_capture_source(path, telemetry=telemetry, tolerant=tolerant) as source:
+        return [
+            CapturedPacket(parsed.timestamp, parsed.raw)
+            for batch in source.batches()
+            for parsed in batch
+        ]
+
+
+# --------------------------------------------------------------- internals
+
+
+def _has_magic(text: str) -> bool:
+    return any(char in text for char in "*?[")
+
+
+def _first_capture_timestamp(path: Path) -> float:
+    """Peek one packet for file ordering; empty files sort last."""
+    peek = open_capture_source(path)
+    try:
+        for parsed in peek:
+            return parsed.timestamp
+        return float("inf")
+    finally:
+        peek.close()
+
+
+def coerce_source(
+    source: "PacketSource | str | Path | Iterable[CapturedPacket | ParsedPacket]",
+    *,
+    telemetry: Telemetry | None = None,
+    tolerant: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> PacketSource:
+    """Normalize the ``source`` argument the drivers accept.
+
+    A :class:`PacketSource` passes through untouched (its telemetry wiring
+    is the caller's); a path opens the right file reader; any other
+    iterable is wrapped as an :class:`IterableSource`.
+    """
+    if isinstance(source, (str, Path)):
+        return open_capture_source(
+            source, telemetry=telemetry, tolerant=tolerant, batch_size=batch_size
+        )
+    if hasattr(source, "batches"):  # already a PacketSource
+        if telemetry is not None and hasattr(source, "attach_telemetry"):
+            source.attach_telemetry(telemetry)
+        return source
+    if isinstance(source, Iterable):
+        return IterableSource(source, telemetry=telemetry, batch_size=batch_size)
+    raise TypeError(f"cannot build a PacketSource from {type(source).__name__}")

@@ -24,6 +24,7 @@ Behaviours reproduced (with the paper section that documents each):
 * A campus-diurnal meeting arrival pattern for trace-scale studies (§6.2).
 """
 
+from repro.simulation.adapter import captured_packets, parsed_packets, quantize_timestamp
 from repro.simulation.clock import EventScheduler
 from repro.simulation.netpath import CongestionEvent, NetworkPath
 from repro.simulation.media import AudioSource, ScreenShareSource, VideoSource
@@ -53,5 +54,8 @@ __all__ = [
     "SimulationResult",
     "VideoSource",
     "ZoomServer",
+    "captured_packets",
     "generate_campus_trace",
+    "parsed_packets",
+    "quantize_timestamp",
 ]

@@ -59,6 +59,7 @@ def render_stats(snapshot: TelemetrySnapshot) -> str:
     sections: list[str] = []
 
     capture = snapshot.counters_under("capture.")
+    capture.update(snapshot.counters_under("ingest."))
     if capture:
         rows = [(name, count) for name, count in sorted(capture.items())]
         sections.append(

@@ -22,15 +22,18 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.pipeline import ZoomAnalyzer
-from repro.net.pcap import read_pcap, write_pcap
+from repro.core.config import AnalyzerConfig
+from repro.core.pipeline import AnalysisResult
+from repro.core.session import AnalysisSession
+from repro.net.pcap import write_pcap
+from repro.net.source import PcapFileSource
 from repro.simulation import (
     CongestionEvent,
     MeetingConfig,
     MeetingSimulator,
     ParticipantConfig,
 )
-from repro.telemetry import Telemetry, shard_invariant_counters
+from repro.telemetry import shard_invariant_counters
 from repro.zoom.constants import ZoomMediaType
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "meeting_small.json"
@@ -74,16 +77,27 @@ def _round(value: float) -> float:
 
 
 def compute_golden_summary(tmp_dir: Path) -> dict[str, Any]:
-    """Simulate, write pcap, re-read, analyze; reduce to the summary dict."""
+    """Simulate, write pcap, stream back through the session; summarize.
+
+    Exercises the production ingestion path end to end:
+    ``AnalysisSession(config).run(PcapFileSource(path))``.
+    """
     sim = MeetingSimulator(golden_config()).run()
     pcap_path = Path(tmp_dir) / "golden_meeting.pcap"
     write_pcap(pcap_path, sim.captures)
 
-    telemetry = Telemetry(enabled=True)
-    packets = read_pcap(pcap_path, telemetry=telemetry)
-    analyzer = ZoomAnalyzer(telemetry=telemetry)
-    result = analyzer.analyze(packets)
+    session = AnalysisSession(AnalyzerConfig(telemetry=True))
+    result = session.run(PcapFileSource(pcap_path))
+    return summarize_result(result)
 
+
+def summarize_result(result: AnalysisResult) -> dict[str, Any]:
+    """Reduce an analysis result to the stable, JSON-serialisable summary.
+
+    Shared by the golden snapshot test and the ingestion-equivalence tests:
+    two runs are considered metric-identical iff their summaries compare
+    equal.
+    """
     streams = []
     for stream in sorted(result.media_streams(), key=lambda s: (s.first_time, s.ssrc)):
         metrics = result.metrics_for(stream.key)

@@ -115,6 +115,62 @@ class TestAnalyzeStats:
         assert "truncated" in out
 
 
+class TestAnalyzeMultiInput:
+    @pytest.fixture(scope="class")
+    def two_pcaps(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("multi")
+        for name, seed in (("first.pcap", 3), ("second.pcap", 9)):
+            assert main([
+                "simulate", str(directory / name),
+                "--participants", "2", "--duration", "6", "--seed", str(seed),
+            ]) == 0
+        return directory
+
+    @staticmethod
+    def _counters(argv, tmp_path, tag):
+        import json
+
+        json_path = tmp_path / f"{tag}.json"
+        assert main(argv + ["--stats-json", str(json_path)]) == 0
+        return json.loads(json_path.read_text())["counters"]
+
+    def test_parser_accepts_multiple_inputs(self):
+        args = build_parser().parse_args(["analyze", "a.pcap", "b.pcap"])
+        assert [str(p) for p in args.inputs] == ["a.pcap", "b.pcap"]
+
+    def test_merged_stats_equal_per_file_sums(self, two_pcaps, tmp_path, capsys):
+        first = str(two_pcaps / "first.pcap")
+        second = str(two_pcaps / "second.pcap")
+        merged = self._counters(["analyze", first, second], tmp_path, "merged")
+        alone_a = self._counters(["analyze", first], tmp_path, "a")
+        alone_b = self._counters(["analyze", second], tmp_path, "b")
+        for key in ("capture.frames", "capture.bytes", "pipeline.completed"):
+            assert merged[key] == alone_a[key] + alone_b[key], key
+        assert merged["ingest.files"] == 2
+
+    def test_directory_input(self, two_pcaps, capsys):
+        assert main(["analyze", str(two_pcaps)]) == 0
+        out = capsys.readouterr().out
+        assert "inputs: 2 capture files" in out
+        assert "packets:" in out
+
+    def test_glob_option(self, two_pcaps, tmp_path, capsys):
+        counters = self._counters(
+            ["analyze", "--glob", str(two_pcaps / "*.pcap"),
+             str(two_pcaps / "first.pcap")],
+            tmp_path, "globbed",
+        )
+        assert counters["ingest.files"] == 3  # first.pcap + two glob matches
+
+    def test_stats_report_shows_ingest_counters(self, two_pcaps, capsys):
+        first = str(two_pcaps / "first.pcap")
+        second = str(two_pcaps / "second.pcap")
+        assert main(["analyze", first, second, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "capture input:" in out
+        assert "files" in out
+
+
 class TestFilter:
     def test_filter_roundtrip(self, meeting_pcap, tmp_path, capsys):
         out_path = tmp_path / "filtered.pcap"

@@ -1,0 +1,118 @@
+"""The old construction surfaces must keep working — loudly.
+
+Every pre-AnalyzerConfig keyword on the three drivers, and every
+list-returning reader, is a supported shim for one release: it still
+works, carries the same semantics, and emits a DeprecationWarning naming
+the replacement.  These tests pin both halves of that contract.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import AnalyzerConfig, RollingZoomAnalyzer, ShardedAnalyzer, ZoomAnalyzer
+from repro.net.packet import CapturedPacket
+from repro.net.pcap import read_pcap, write_pcap
+from repro.net.pcapng import read_capture as pcapng_read_capture
+from repro.net.pcapng import read_pcapng, write_pcapng
+from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
+
+
+@pytest.fixture(scope="module")
+def captures():
+    config = MeetingConfig(
+        meeting_id="shim-test",
+        participants=(
+            ParticipantConfig(name="a"),
+            ParticipantConfig(name="b", join_time=0.5),
+        ),
+        duration=4.0,
+        seed=13,
+    )
+    return MeetingSimulator(config).run().captures
+
+
+@pytest.fixture(scope="module")
+def pcap_path(tmp_path_factory, captures):
+    path = tmp_path_factory.mktemp("shims") / "meeting.pcap"
+    write_pcap(path, captures)
+    return path
+
+
+@pytest.fixture(scope="module")
+def pcapng_path(tmp_path_factory, captures):
+    path = tmp_path_factory.mktemp("shims") / "meeting.pcapng"
+    write_pcapng(path, captures)
+    return path
+
+
+class TestAnalyzerKwargShims:
+    def test_zoom_analyzer_legacy_kwargs_warn_and_apply(self):
+        with pytest.deprecated_call(match="zoom_subnets"):
+            analyzer = ZoomAnalyzer(
+                zoom_subnets=("203.0.113.0/24",), keep_records=True
+            )
+        assert analyzer.config.zoom_subnets == ("203.0.113.0/24",)
+        assert analyzer.config.keep_records is True
+
+    def test_rolling_legacy_kwargs_warn_and_apply(self):
+        with pytest.deprecated_call(match="idle_timeout"):
+            rolling = RollingZoomAnalyzer(idle_timeout=5.0, sweep_interval=2.0)
+        assert rolling.idle_timeout == 5.0
+        assert rolling.sweep_interval == 2.0
+        assert rolling.config.rolling_idle_timeout == 5.0
+
+    def test_sharded_legacy_kwargs_warn_and_apply(self):
+        with pytest.deprecated_call(match="shards"):
+            sharded = ShardedAnalyzer(shards=2, backend="serial")
+        assert sharded.config.shards == 2
+        assert sharded.config.shard_backend == "serial"
+
+    def test_config_construction_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ZoomAnalyzer(AnalyzerConfig(keep_records=True))
+            RollingZoomAnalyzer(AnalyzerConfig(rolling=True))
+            ShardedAnalyzer(AnalyzerConfig(shards=2))
+
+    def test_mixing_config_and_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            ZoomAnalyzer(AnalyzerConfig(), keep_records=True)
+        with pytest.raises(TypeError):
+            ShardedAnalyzer(AnalyzerConfig(shards=2), backend="serial")
+        with pytest.raises(TypeError):
+            RollingZoomAnalyzer(AnalyzerConfig(), idle_timeout=3.0)
+
+    def test_legacy_analysis_still_runs(self, captures):
+        with pytest.deprecated_call():
+            analyzer = ZoomAnalyzer(keep_records=True)
+        result = analyzer.analyze(captures)
+        assert result.packets_total == len(captures)
+
+    def test_sharded_default_still_four_shards(self):
+        """The historical no-args default (4 shards) must survive the
+        config migration."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert ShardedAnalyzer().config.shards == 4
+        assert ShardedAnalyzer(AnalyzerConfig()).config.shards == 1
+
+
+class TestReaderShims:
+    def test_read_pcap_warns_and_returns_list(self, pcap_path, captures):
+        with pytest.deprecated_call(match="PcapFileSource"):
+            packets = read_pcap(pcap_path)
+        assert len(packets) == len(captures)
+        assert isinstance(packets[0], CapturedPacket)
+
+    def test_read_pcapng_warns_and_returns_list(self, pcapng_path, captures):
+        with pytest.deprecated_call(match="PcapNgFileSource"):
+            packets = read_pcapng(pcapng_path)
+        assert len(packets) == len(captures)
+
+    def test_pcapng_read_capture_reexport(self, pcap_path, captures):
+        """Historically exported from repro.net.pcapng; must still dispatch
+        on magic bytes from its new home."""
+        with pytest.deprecated_call(match="open_capture_source"):
+            packets = pcapng_read_capture(pcap_path)
+        assert len(packets) == len(captures)
