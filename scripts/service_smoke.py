@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""CI smoke test for the live monitoring daemon.
+
+Exercises the whole ``analyze-live`` stack the way an operator deployment
+does, end to end:
+
+1. simulate a meeting and feed its capture into a directory *while the
+   daemon is running* (file rotation plus a growing in-progress file),
+2. scrape ``/metrics`` and ``/healthz`` and check the window counters
+   against what went in,
+3. send SIGTERM and require a clean (exit 0) drain with every window
+   emitted to the JSONL log exactly once.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+
+Exits non-zero on the first failed check; CI wraps it in a job timeout so a
+hung daemon fails fast instead of eating the runner.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.net.pcap import write_pcap  # noqa: E402
+from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig  # noqa: E402
+
+WINDOW = 5.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def scrape(url: str) -> str:
+    return urllib.request.urlopen(url, timeout=5).read().decode()
+
+
+def main() -> int:
+    config = MeetingConfig(
+        meeting_id="smoke",
+        participants=(
+            ParticipantConfig(name="alice", on_campus=True),
+            ParticipantConfig(name="bob", on_campus=True, join_time=1.0),
+        ),
+        duration=20.0,
+        allow_p2p=False,
+        seed=7,
+    )
+    captures = list(MeetingSimulator(config).run().captures)
+    print(f"simulated {len(captures)} packets")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "caps"
+        directory.mkdir()
+        jsonl_path = Path(tmp) / "windows.jsonl"
+        third = len(captures) // 3
+        write_pcap(directory / "zoom-00.pcap", captures[:third])
+
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "analyze-live", str(directory),
+                "--window", str(WINDOW), "--lateness", "1",
+                "--poll-interval", "0.2",
+                "--listen", "127.0.0.1:0",
+                "--jsonl-out", str(jsonl_path),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            url = None
+            for _ in range(2):
+                line = daemon.stdout.readline()
+                print(f"daemon: {line.rstrip()}")
+                if line.startswith("metrics: "):
+                    url = line.split(" ", 1)[1].strip()
+            check(url is not None, "daemon announced its metrics endpoint")
+            base = url.rsplit("/", 1)[0]
+
+            # Grow the capture directory under the running daemon: one
+            # rotated file, then the rest.
+            time.sleep(0.5)
+            write_pcap(directory / "zoom-01.pcap", captures[third : 2 * third])
+            time.sleep(0.5)
+            write_pcap(directory / "zoom-02.pcap", captures[2 * third :])
+
+            deadline = time.monotonic() + 60.0
+            frames = 0
+            while time.monotonic() < deadline:
+                try:
+                    metrics = scrape(url)
+                except OSError:
+                    time.sleep(0.2)
+                    continue
+                frames = next(
+                    (
+                        int(line.split()[-1])
+                        for line in metrics.splitlines()
+                        if line.startswith("repro_capture_frames_total ")
+                    ),
+                    0,
+                )
+                if frames >= len(captures):
+                    break
+                time.sleep(0.2)
+            check(
+                frames == len(captures),
+                f"daemon ingested all packets ({frames}/{len(captures)})",
+            )
+            check(
+                "repro_service_windows_total" in metrics
+                and "repro_window_start_seconds" in metrics,
+                "window counters exposed on /metrics",
+            )
+            check(scrape(f"{base}/healthz").strip() == "ok", "/healthz answers ok")
+
+            daemon.send_signal(signal.SIGTERM)
+            stdout, stderr = daemon.communicate(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()
+        print(f"daemon stdout after shutdown:\n{stdout}", end="")
+        if stderr:
+            print(f"daemon stderr:\n{stderr}", end="", file=sys.stderr)
+        check(daemon.returncode == 0, "SIGTERM produced a clean exit 0")
+
+        windows = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
+        check(bool(windows), "JSONL window log written")
+        indices = [w["window"] for w in windows]
+        check(len(indices) == len(set(indices)), "each window emitted exactly once")
+        total = sum(w["packets_total"] for w in windows)
+        check(
+            total == len(captures),
+            f"window packet totals cover the capture ({total}/{len(captures)})",
+        )
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

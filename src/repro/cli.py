@@ -237,20 +237,37 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_dissect(args: argparse.Namespace) -> int:
+    from repro.core.detector import ZoomClass, ZoomTrafficDetector
     from repro.core.dissector import dissect_text
     from repro.net.source import open_capture_source
-    from repro.rtp.stun import is_stun
 
+    # Classify with the real detector rather than guessing "server" from a
+    # port number: a P2P flow carries no SFU encapsulation (its bytes start
+    # at the media layer), and an unrelated flow that happens to use port
+    # 8801 is not Zoom at all.  STUN exchanges seen along the way teach the
+    # detector the P2P endpoints, exactly as in the analyze path.
+    detector = ZoomTrafficDetector(
+        args.zoom_subnets,
+        campus_subnets=args.campus_subnets,
+    )
     printed = 0
     for packet in open_capture_source(args.input):
-        if not packet.is_udp or is_stun(packet.payload):
+        if not packet.is_udp:
             continue
-        from_server = 8801 in (packet.src_port, packet.dst_port)
+        klass = detector.classify(packet)
+        if klass not in (ZoomClass.SERVER_MEDIA, ZoomClass.P2P_MEDIA):
+            continue
+        direction = "p2p" if klass is ZoomClass.P2P_MEDIA else "server"
         print(
             f"--- t={packet.timestamp:.4f}s "
-            f"{packet.src_ip}:{packet.src_port} -> {packet.dst_ip}:{packet.dst_port} ---"
+            f"{packet.src_ip}:{packet.src_port} -> {packet.dst_ip}:{packet.dst_port} "
+            f"[{direction}] ---"
         )
-        print(dissect_text(packet.payload, from_server=from_server))
+        print(
+            dissect_text(
+                packet.payload, from_server=(klass is ZoomClass.SERVER_MEDIA)
+            )
+        )
         print()
         printed += 1
         if printed >= args.limit:
@@ -258,6 +275,51 @@ def _cmd_dissect(args: argparse.Namespace) -> int:
     if printed == 0:
         print("no dissectable Zoom UDP packets found", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_analyze_live(args: argparse.Namespace) -> int:
+    from repro.core import AnalyzerConfig, ServiceConfig
+    from repro.service.runner import ZoomMonitorService
+
+    config = ServiceConfig(
+        analyzer=AnalyzerConfig(
+            zoom_subnets=tuple(args.zoom_subnets),
+            campus_subnets=(
+                tuple(args.campus_subnets) if args.campus_subnets else None
+            ),
+            rolling=True,
+            rolling_idle_timeout=args.idle_timeout,
+            telemetry=True,
+        ),
+        window_seconds=args.window,
+        watermark_lateness=args.lateness,
+        poll_interval=args.poll_interval,
+        tail_pattern=args.pattern,
+        listen=args.listen,
+        jsonl_path=str(args.jsonl_out) if args.jsonl_out else None,
+    )
+    service = ZoomMonitorService(args.directory, config)
+    print(f"tailing {args.directory} (pattern {args.pattern!r}, "
+          f"{args.window:.0f}s windows)")
+    if service.http is not None:
+        host, port = service.http.address
+        print(f"metrics: http://{host}:{port}/metrics", flush=True)
+    report = service.run(
+        install_signal_handlers=True, stop_after_polls=args.max_polls
+    )
+    print(
+        f"processed {report.packets_processed} packets over {report.polls} polls: "
+        f"{report.windows_emitted} windows, {report.streams_finalized} streams, "
+        f"{report.meetings_formed} meetings"
+    )
+    if report.packets_dropped or report.ingest_restarts:
+        print(
+            f"degraded: dropped {report.packets_dropped} packets "
+            f"({report.batches_dropped} batches), "
+            f"{report.ingest_restarts} ingest restarts",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -360,9 +422,50 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of an error (counted in --stats)")
     analyze.set_defaults(func=_cmd_analyze)
 
+    live = sub.add_parser(
+        "analyze-live",
+        help="monitor a growing capture directory (daemon mode)",
+        description="Follow a rotating capture directory as a capture daemon "
+                    "writes it, analyze continuously with bounded memory, and "
+                    "export tumbling-window metrics (Prometheus /metrics + "
+                    "JSONL). SIGTERM flushes all open windows and exits 0.",
+    )
+    live.add_argument("directory", type=Path, help="capture directory to tail")
+    live.add_argument("--window", type=float, default=10.0, metavar="SECONDS",
+                      help="tumbling aggregation window width (default 10)")
+    live.add_argument("--lateness", type=float, default=5.0, metavar="SECONDS",
+                      help="watermark lag before a window closes (default 5)")
+    live.add_argument("--listen", default=None, metavar="HOST:PORT",
+                      help="serve /metrics, /healthz, /readyz here "
+                           "(port 0 picks a free port; default: no server)")
+    live.add_argument("--jsonl-out", type=Path, default=None, metavar="PATH",
+                      help="append one JSON object per closed window")
+    live.add_argument("--poll-interval", type=float, default=1.0, metavar="SECONDS",
+                      help="directory scan interval (default 1)")
+    live.add_argument("--pattern", default="*.pcap*",
+                      help="capture-file glob inside the directory")
+    live.add_argument("--idle-timeout", type=float, default=60.0, metavar="SECONDS",
+                      help="finalize streams idle this long (default 60)")
+    live.add_argument(
+        "--zoom-subnets",
+        type=_subnet_list,
+        default="170.114.0.0/16,203.0.113.0/24",
+    )
+    live.add_argument("--campus-subnets", type=_subnet_list, default=None)
+    live.add_argument("--max-polls", type=_positive_int, default=None,
+                      help="exit after this many directory polls "
+                           "(smoke tests; default: run until SIGTERM)")
+    live.set_defaults(func=_cmd_analyze_live)
+
     dissect = sub.add_parser("dissect", help="Wireshark-style packet dissection")
     dissect.add_argument("input", type=Path)
     dissect.add_argument("--limit", type=int, default=5)
+    dissect.add_argument(
+        "--zoom-subnets",
+        type=_subnet_list,
+        default="170.114.0.0/16,203.0.113.0/24",
+    )
+    dissect.add_argument("--campus-subnets", type=_subnet_list, default=None)
     dissect.set_defaults(func=_cmd_dissect)
 
     entropy = sub.add_parser("entropy", help="reverse-engineering sweep over a pcap")

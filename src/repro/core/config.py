@@ -126,6 +126,69 @@ class AnalyzerConfig:
         return self.replace(telemetry=telemetry, shards=1)
 
 
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Everything the live monitoring daemon needs beyond the analyzer.
+
+    Consumed by :class:`repro.service.runner.ZoomMonitorService`; the
+    nested :class:`AnalyzerConfig` drives the rolling analyzer exactly as it
+    would a batch run (``rolling_idle_timeout`` etc. apply unchanged).
+
+    Attributes:
+        analyzer: The analysis tunables (rolling mode is implied; the
+            service forces ``rolling=True``).
+        window_seconds: Width of the tumbling aggregation windows.
+        watermark_lateness: How far (in capture time) the watermark trails
+            the newest event before a window is closed; events older than
+            the watermark are counted as ``service.late_events`` and
+            dropped, which is what bounds open-window memory.
+        max_open_windows: Hard cap on simultaneously open windows; beyond
+            it the oldest is force-closed (counted as
+            ``service.windows_forced``).
+        poll_interval: Seconds between capture-directory scans.
+        tail_pattern: Glob for capture files inside the tailed directory.
+        listen: ``host:port`` for the metrics/health HTTP endpoint, or
+            ``None`` to run without one.  Port 0 binds an ephemeral port
+            (the server reports the bound address).
+        jsonl_path: Append-only per-window JSONL log, or ``None``.
+        jsonl_max_bytes: Size at which the JSONL log is rotated to ``.1``.
+        queue_max_batches: Bound on the ingest→analysis queue; when full,
+            new batches are dropped and counted (``service.dropped``)
+            rather than buffered without limit.
+        restart_backoff_base: First delay (seconds) after an ingest-thread
+            crash; doubles per consecutive crash.
+        restart_backoff_max: Ceiling on the crash-restart delay.
+    """
+
+    analyzer: AnalyzerConfig = dataclasses.field(default_factory=AnalyzerConfig)
+    window_seconds: float = 10.0
+    watermark_lateness: float = 5.0
+    max_open_windows: int = 64
+    poll_interval: float = 1.0
+    tail_pattern: str = "*.pcap*"
+    listen: str | None = None
+    jsonl_path: str | None = None
+    jsonl_max_bytes: int = 64 * 1024 * 1024
+    queue_max_batches: int = 256
+    restart_backoff_base: float = 0.5
+    restart_backoff_max: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        if self.watermark_lateness < 0:
+            raise ValueError("watermark_lateness must be >= 0")
+        if self.max_open_windows < 1:
+            raise ValueError("max_open_windows must be >= 1")
+        if self.queue_max_batches < 1:
+            raise ValueError("queue_max_batches must be >= 1")
+        object.__setattr__(self, "analyzer", self.analyzer.replace(rolling=True))
+
+    def replace(self, **changes: object) -> "ServiceConfig":
+        """A copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
 #: Legacy per-driver kwarg name → config field name.
 _LEGACY_FIELDS = {
     "zoom_subnets": "zoom_subnets",

@@ -99,15 +99,43 @@ class StunTracker:
         self._bindings[(client_ip, client_port)] = now
         self.bindings_learned += 1
 
-    def lookup(self, ip: str, port: int, now: float) -> bool:
-        """Whether (ip, port) was STUN-registered within the timeout."""
+    def lookup(self, ip: str, port: int, now: float, *, refresh: bool = False) -> bool:
+        """Whether (ip, port) was STUN-registered within the timeout.
+
+        With ``refresh=True`` a successful lookup re-arms the binding at
+        ``now``: the caller has just confirmed the endpoint is carrying live
+        Zoom P2P media, which is at least as strong an aliveness signal as
+        the STUN exchange that created the binding.  Without it, a P2P flow
+        outliving the timeout is silently cut mid-stream — the media keeps
+        flowing but stops being classified — while server streams (matched
+        statelessly by subnet) can never go stale this way.
+        """
         learned = self._bindings.get((ip, port))
         if learned is None:
             return False
         if now - learned > self.timeout:
             del self._bindings[(ip, port)]
             return False
+        if refresh and now > learned:
+            self._bindings[(ip, port)] = now
         return True
+
+    def purge(self, now: float) -> int:
+        """Drop every binding older than the timeout; returns the count.
+
+        Expiry is otherwise lazy — a binding is only deleted when *its own*
+        endpoint is looked up again — so endpoints that STUN'd but never sent
+        media would accumulate forever in continuous operation.  The rolling
+        analyzer calls this from its eviction sweep.
+        """
+        stale = [
+            endpoint
+            for endpoint, learned in self._bindings.items()
+            if now - learned > self.timeout
+        ]
+        for endpoint in stale:
+            del self._bindings[endpoint]
+        return len(stale)
 
     def active_bindings(self, now: float) -> list[StunBinding]:
         """Unexpired endpoints (for inspection/diagnostics)."""
@@ -202,13 +230,17 @@ class ZoomTrafficDetector:
                 return ZoomClass.SERVER_TLS
             return ZoomClass.SERVER_OTHER
         if packet.is_udp:
+            # A hit refreshes the binding: an active P2P flow must stay
+            # classified for as long as it is actually sending, so the only
+            # timeout that ends it is the *idle* timeout — consistent with
+            # how server streams are handled.
             now = packet.timestamp
             if self._endpoint_is_campus(src_ip) is not False and self.stun.lookup(
-                src_ip, packet.src_port or 0, now
+                src_ip, packet.src_port or 0, now, refresh=True
             ):
                 return ZoomClass.P2P_MEDIA
             if self._endpoint_is_campus(dst_ip) is not False and self.stun.lookup(
-                dst_ip, packet.dst_port or 0, now
+                dst_ip, packet.dst_port or 0, now, refresh=True
             ):
                 return ZoomClass.P2P_MEDIA
         return ZoomClass.NOT_ZOOM

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional
 from repro.core.config import _UNSET, AnalyzerConfig, resolve_config
 from repro.core.events import StreamEvicted
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
-from repro.core.streams import StreamKey
+from repro.core.streams import MediaStream, StreamKey
 from repro.net.packet import CapturedPacket, ParsedPacket
 from repro.telemetry.registry import Telemetry
 
@@ -150,18 +150,28 @@ class RollingZoomAnalyzer:
     def sweep(self, now: float) -> int:
         """Finalize and evict streams idle since ``now - idle_timeout``.
 
-        Returns the number of streams evicted.
+        Applies uniformly to server-relayed and P2P streams — a P2P stream
+        stays live for exactly as long as its packets keep being classified
+        (active flows refresh their STUN binding in the detector), so idle
+        eviction is the one timeout that ends it.  The sweep also purges
+        expired STUN bindings: expiry is otherwise lazy per endpoint, and
+        endpoints that never sent media would accumulate forever in a 24/7
+        deployment.  Returns the number of streams evicted.
         """
         self._last_sweep = now
         live = self._analyzer.result.streams.streams()
         stale = [
             stream for stream in live if now - stream.last_time > self.idle_timeout
         ]
+        detector = self._analyzer.result.detector
+        purged = detector.stun.purge(now) if detector is not None else 0
         tel = self._analyzer.result.telemetry
         if tel.enabled:
             tel.count("rolling.sweeps")
             tel.record_max("rolling.live_streams_peak", len(live))
             tel.observe("rolling.live_streams", len(live))
+            if purged:
+                tel.count("rolling.stun_purged", purged)
         for stream in stale:
             self._analyzer.evict_stream(stream.key, reason="idle")
         return len(stale)
@@ -169,16 +179,37 @@ class RollingZoomAnalyzer:
     def live_stream_count(self) -> int:
         return len(self._analyzer.result.streams)
 
+    def live_stream_snapshots(self) -> list[FinalizedStream]:
+        """Point-in-time summaries of every still-open stream.
+
+        The same shape eviction produces, but without finalizing anything —
+        the windowed aggregator uses these to report on streams that span an
+        open window, and a dashboard can poll them for a live table.
+        """
+        result = self._analyzer.result
+        return [
+            self._summarize(stream, result.stream_metrics.get(stream.key))
+            for stream in result.streams.streams()
+        ]
+
     # ------------------------------------------------------------- internals
 
-    def _on_stream_evicted(self, event: StreamEvicted) -> None:
-        """Summarize an evicted stream from the event payload alone."""
-        stream = event.stream
-        metrics = event.metrics
+    def _summarize(
+        self,
+        stream: "MediaStream",
+        metrics: object,
+        *,
+        finalize: bool = False,
+    ) -> FinalizedStream:
+        """One :class:`FinalizedStream` record from a stream + its estimators.
+
+        ``finalize=True`` closes out the loss trackers (eviction path);
+        ``finalize=False`` reads them non-destructively (live snapshots).
+        """
         frames = metrics.assembler.completed_count if metrics else 0
         fps_samples = metrics.framerate_delivered.samples if metrics else []
-        loss = metrics.loss.report(finalize=True) if metrics else None
-        record = FinalizedStream(
+        loss = metrics.loss.report(finalize=finalize) if metrics else None
+        return FinalizedStream(
             key=stream.key,
             ssrc=stream.ssrc,
             media_type=stream.media_type,
@@ -197,6 +228,10 @@ class RollingZoomAnalyzer:
             lost=loss.lost if loss else 0,
             stall_count=len(metrics.stall_events()) if metrics else 0,
         )
+
+    def _on_stream_evicted(self, event: StreamEvicted) -> None:
+        """Summarize an evicted stream from the event payload alone."""
+        record = self._summarize(event.stream, event.metrics, finalize=True)
         self.finalized.append(record)
         self.streams_evicted += 1
         if self.on_stream_finalized is not None:

@@ -115,6 +115,18 @@ class PcapReader:
             monitor restarted, a disk filled).  When ``True``, a truncated
             tail ends iteration cleanly (counted as ``capture.truncated``)
             instead of raising :class:`ValueError`.
+        start_offset: Byte offset to resume reading from — must be a record
+            boundary previously reported via :attr:`next_offset` (the global
+            header is always re-read from the start of the file, so the
+            offset has to be at least 24).  This is what lets a tailing
+            source re-open a growing file across polls without re-counting
+            packets it already delivered.
+
+    Attributes:
+        next_offset: The byte offset of the first record *not yet* yielded.
+            Advanced only after a record is read in full, so after a
+            tolerant truncated-tail stop it still points at the last good
+            record boundary and a later resume retries the partial record.
     """
 
     def __init__(
@@ -123,6 +135,7 @@ class PcapReader:
         *,
         telemetry: Telemetry | None = None,
         tolerant: bool = False,
+        start_offset: int = 0,
     ) -> None:
         self._telemetry = telemetry if telemetry is not None else Telemetry(enabled=False)
         self._tolerant = tolerant
@@ -156,6 +169,13 @@ class PcapReader:
         )
         self._endian = endian
         self._tick = 1e-9 if self.header.nanosecond else 1e-6
+        if start_offset:
+            if start_offset < 24:
+                raise ValueError("pcap start_offset lies inside the global header")
+            self._file.seek(start_offset)
+            self.next_offset = start_offset
+        else:
+            self.next_offset = 24
 
     def __iter__(self) -> Iterator[CapturedPacket]:
         record = struct.Struct(self._endian + "IIII")
@@ -176,6 +196,7 @@ class PcapReader:
                     tel.count("capture.truncated")
                     return
                 raise ValueError("truncated pcap packet data")
+            self.next_offset += 16 + caplen
             tel.count("capture.frames")
             tel.count("capture.bytes", caplen)
             yield CapturedPacket(seconds + frac * self._tick, data)

@@ -38,6 +38,20 @@ class _Interface:
     ticks_per_second: float
 
 
+@dataclass(frozen=True, slots=True)
+class PcapngResumeState:
+    """Where (and how) to pick up reading a growing pcapng file.
+
+    Unlike classic pcap, a byte offset alone is not enough to resume: the
+    enclosing section fixes the byte order and the interface table that
+    packet blocks reference, and both were consumed before the offset.
+    """
+
+    offset: int
+    endian: str
+    interfaces: tuple[tuple[int, float], ...]  # (linktype, ticks_per_second)
+
+
 class PcapngWriter:
     """Write packets as a single-section, single-interface pcapng file.
 
@@ -111,6 +125,14 @@ class PcapngReader:
             ``capture.unknown_blocks`` / ``capture.truncated`` while reading.
         tolerant: When ``True``, a truncated or corrupt tail ends iteration
             cleanly (counted as ``capture.truncated``) instead of raising.
+        resume: A :class:`PcapngResumeState` from a previous reader's
+            :meth:`resume_state`; reading continues at that block boundary
+            with the recorded section byte order and interface table.
+
+    Attributes:
+        next_offset: The byte offset of the first block *not yet* consumed.
+            Advanced only after a block is read in full, so a tolerant
+            truncated-tail stop leaves it at the last good block boundary.
     """
 
     def __init__(
@@ -119,6 +141,7 @@ class PcapngReader:
         *,
         telemetry: Telemetry | None = None,
         tolerant: bool = False,
+        resume: PcapngResumeState | None = None,
     ) -> None:
         self._telemetry = telemetry if telemetry is not None else Telemetry(enabled=False)
         self._tolerant = tolerant
@@ -137,6 +160,25 @@ class PcapngReader:
         if block_type != BLOCK_SHB:
             raise ValueError("not a pcapng file (no section header block)")
         self._pending = header
+        self.next_offset = 0
+        if resume is not None:
+            self._endian = resume.endian
+            self._interfaces = [
+                _Interface(linktype, ticks) for linktype, ticks in resume.interfaces
+            ]
+            self._pending = b""
+            self._file.seek(resume.offset)
+            self.next_offset = resume.offset
+
+    def resume_state(self) -> PcapngResumeState:
+        """Snapshot of the current read position for a later ``resume=``."""
+        return PcapngResumeState(
+            offset=self.next_offset,
+            endian=self._endian,
+            interfaces=tuple(
+                (iface.linktype, iface.ticks_per_second) for iface in self._interfaces
+            ),
+        )
 
     def _read_exact(self, count: int) -> bytes | None:
         if self._pending:
@@ -183,6 +225,7 @@ class PcapngReader:
                 if body is None:
                     raise ValueError("truncated section header block")
                 self._interfaces = []  # interfaces are per section
+                self.next_offset += total_len
                 continue
             body_len = total_len - 12
             if body_len < 0:
@@ -191,6 +234,7 @@ class PcapngReader:
             if body is None:
                 raise ValueError("truncated block body")
             body = body[:-4]
+            self.next_offset += total_len
             if block_type == BLOCK_IDB:
                 self._handle_idb(body)
             elif block_type == BLOCK_EPB:

@@ -29,19 +29,39 @@ from __future__ import annotations
 import heapq
 import struct
 import warnings
+from dataclasses import dataclass
 from glob import glob as _glob
 from pathlib import Path
 from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.net.packet import CapturedPacket, ParsedPacket, parse_frame
 from repro.net.pcap import LINKTYPE_ETHERNET, MAGIC_MICROS, MAGIC_NANOS, PcapReader
-from repro.net.pcapng import BLOCK_SHB, PcapngReader
+from repro.net.pcapng import BLOCK_SHB, PcapngReader, PcapngResumeState
 from repro.telemetry.registry import Telemetry
 
 #: Default number of parsed packets per yielded batch.  Large enough to
 #: amortize generator overhead on the hot path, small enough that a source
 #: never holds more than a few hundred frames of a multi-gigabyte capture.
 DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureResume:
+    """Position token for re-opening a growing capture file.
+
+    Produced by a file source's ``resume_state()`` and accepted back via
+    ``resume=``: the next open seeks past everything already delivered, so a
+    tailing reader polling a file a capture daemon is still writing never
+    re-counts a packet.  The formats need different state — classic pcap
+    resumes on a byte offset alone, pcapng also has to restore the enclosing
+    section's byte order and interface table.
+    """
+
+    format: str  # "pcap" | "pcapng"
+    offset: int  # byte offset of the first unread record/block
+    packets: int  # packets delivered from this file so far (cumulative)
+    endian: str = "<"
+    interfaces: tuple[tuple[int, float], ...] = ()
 
 
 @runtime_checkable
@@ -154,11 +174,28 @@ class PcapFileSource(PacketSourceBase):
         telemetry: Telemetry | None = None,
         tolerant: bool = False,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        resume: CaptureResume | None = None,
     ) -> None:
         super().__init__(telemetry=telemetry, batch_size=batch_size)
-        self._reader = PcapReader(path, telemetry=self._telemetry, tolerant=tolerant)
+        if resume is not None and resume.format != "pcap":
+            raise ValueError(f"cannot resume a {resume.format} position in a pcap file")
+        self._reader = PcapReader(
+            path,
+            telemetry=self._telemetry,
+            tolerant=tolerant,
+            start_offset=resume.offset if resume is not None else 0,
+        )
+        self._resumed_packets = resume.packets if resume is not None else 0
         self.header = self._reader.header
         self.linktype = self.header.linktype
+
+    def resume_state(self) -> CaptureResume:
+        """Token to continue this file from where reading stopped."""
+        return CaptureResume(
+            format="pcap",
+            offset=self._reader.next_offset,
+            packets=self._resumed_packets + self.packets_emitted,
+        )
 
     def _packets(self) -> Iterator[ParsedPacket]:
         for captured in self._reader:
@@ -181,9 +218,35 @@ class PcapNgFileSource(PacketSourceBase):
         telemetry: Telemetry | None = None,
         tolerant: bool = False,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        resume: CaptureResume | None = None,
     ) -> None:
         super().__init__(telemetry=telemetry, batch_size=batch_size)
-        self._reader = PcapngReader(path, telemetry=self._telemetry, tolerant=tolerant)
+        if resume is not None and resume.format != "pcapng":
+            raise ValueError(
+                f"cannot resume a {resume.format} position in a pcapng file"
+            )
+        self._reader = PcapngReader(
+            path,
+            telemetry=self._telemetry,
+            tolerant=tolerant,
+            resume=(
+                PcapngResumeState(resume.offset, resume.endian, resume.interfaces)
+                if resume is not None
+                else None
+            ),
+        )
+        self._resumed_packets = resume.packets if resume is not None else 0
+
+    def resume_state(self) -> CaptureResume:
+        """Token to continue this file from where reading stopped."""
+        state = self._reader.resume_state()
+        return CaptureResume(
+            format="pcapng",
+            offset=state.offset,
+            packets=self._resumed_packets + self.packets_emitted,
+            endian=state.endian,
+            interfaces=state.interfaces,
+        )
 
     def _packets(self) -> Iterator[ParsedPacket]:
         for captured in self._reader:
@@ -389,13 +452,26 @@ def open_capture_source(
     telemetry: Telemetry | None = None,
     tolerant: bool = False,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    resume: CaptureResume | None = None,
 ) -> PcapFileSource | PcapNgFileSource:
-    """Open one capture file with the reader its magic bytes call for."""
-    source_cls = (
-        PcapNgFileSource if sniff_capture_format(path) == "pcapng" else PcapFileSource
-    )
+    """Open one capture file with the reader its magic bytes call for.
+
+    With ``resume=`` the sniffed format must match the token's — a mismatch
+    means the file was replaced under the same name, and silently seeking
+    into the new file would yield garbage.
+    """
+    detected = sniff_capture_format(path)
+    if resume is not None and resume.format != detected:
+        raise ValueError(
+            f"{path}: resume token is for {resume.format} but file is {detected}"
+        )
+    source_cls = PcapNgFileSource if detected == "pcapng" else PcapFileSource
     return source_cls(
-        path, telemetry=telemetry, tolerant=tolerant, batch_size=batch_size
+        path,
+        telemetry=telemetry,
+        tolerant=tolerant,
+        batch_size=batch_size,
+        resume=resume,
     )
 
 

@@ -1,0 +1,282 @@
+"""The monitoring daemon's supervisor: threads, backpressure, shutdown.
+
+Topology (one arrow = one bounded hand-off)::
+
+    capture dir ──poll── CaptureDirectoryTailer      (ingest thread)
+                               │  bounded queue (drop + count when full)
+                               ▼
+    RollingZoomAnalyzer ── WindowAggregator          (analysis thread)
+                               │  closed WindowRecords
+                               ▼
+    JsonlWindowLog · MetricsHTTPServer               (exporter sinks)
+
+Design decisions an operator should know:
+
+* **Backpressure drops, never buffers without bound.**  If analysis falls
+  behind ingest, the queue fills and whole batches are dropped and counted
+  (``service.dropped`` packets, ``service.dropped_batches``) — the paper's
+  measurement appliance must shed load rather than grow RSS until the OOM
+  killer picks a victim.  Dropped packets remain on disk; a later batch
+  re-run over the same capture directory recovers them.
+* **The ingest thread restarts itself.**  An unexpected exception inside a
+  poll (a corrupt file, a transient NFS error) is counted
+  (``service.ingest_restarts``) and retried with exponential backoff
+  rather than killing the daemon.
+* **SIGTERM/SIGINT drain before exiting.**  The queue is flushed, every
+  live stream is finalized through one last sweep, and all open windows
+  are closed and exported exactly once — ``kill`` then diff is a lossless
+  way to end a measurement campaign.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import ServiceConfig
+from repro.core.rolling import RollingZoomAnalyzer
+from repro.service.exporters import JsonlWindowLog, MetricsHTTPServer
+from repro.service.prometheus import render_metrics
+from repro.service.tail import CaptureDirectoryTailer
+from repro.service.windows import WindowAggregator, WindowRecord
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceReport:
+    """What one service run did, returned by :meth:`ZoomMonitorService.run`."""
+
+    polls: int
+    packets_processed: int
+    packets_dropped: int
+    batches_dropped: int
+    ingest_restarts: int
+    windows_emitted: int
+    streams_finalized: int
+    meetings_formed: int
+
+
+class ZoomMonitorService:
+    """Wire tailer → rolling analyzer → aggregator → exporters and run.
+
+    Args:
+        directory: The capture directory to follow.
+        config: A :class:`~repro.core.config.ServiceConfig`; its nested
+            analyzer config drives the rolling analyzer unchanged.
+
+    The constructor builds everything but starts nothing; :meth:`run`
+    blocks until :meth:`stop` (or a signal, when requested) and returns a
+    :class:`ServiceReport`.  Tests drive it with ``stop_after_polls=``.
+    """
+
+    def __init__(self, directory: str | Path, config: ServiceConfig) -> None:
+        self.config = config
+        self.rolling = RollingZoomAnalyzer(config.analyzer)
+        self.telemetry = self.rolling.result.telemetry
+        self.tailer = CaptureDirectoryTailer(
+            directory, pattern=config.tail_pattern, telemetry=self.telemetry
+        )
+        self.aggregator = WindowAggregator(
+            self.rolling,
+            window_seconds=config.window_seconds,
+            lateness=config.watermark_lateness,
+            max_open_windows=config.max_open_windows,
+            telemetry=self.telemetry,
+        )
+        self.aggregator.add_callback(self._remember_window)
+        self.jsonl: JsonlWindowLog | None = None
+        if config.jsonl_path is not None:
+            self.jsonl = JsonlWindowLog(
+                config.jsonl_path,
+                max_bytes=config.jsonl_max_bytes,
+                telemetry=self.telemetry,
+            )
+            self.aggregator.add_callback(self.jsonl.write)
+        self.http: MetricsHTTPServer | None = None
+        if config.listen is not None:
+            self.http = MetricsHTTPServer(
+                config.listen,
+                render_metrics=self.render_metrics,
+                healthy=self._healthy,
+                ready=self._ready_probe,
+            )
+        self._queue: queue.Queue[list] = queue.Queue(maxsize=config.queue_max_batches)
+        self._stop = threading.Event()
+        self._ready = False
+        self._flushed = False
+        self._last_window: WindowRecord | None = None
+        self._ingest_thread: threading.Thread | None = None
+        self.packets_processed = 0
+        self.packets_dropped = 0
+        self.batches_dropped = 0
+        self.ingest_restarts = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def run(
+        self,
+        *,
+        install_signal_handlers: bool = False,
+        stop_after_polls: int | None = None,
+    ) -> ServiceReport:
+        """Run until :meth:`stop`; returns after the final flush.
+
+        Args:
+            install_signal_handlers: Route SIGTERM/SIGINT to :meth:`stop`
+                (main thread only — the CLI path).
+            stop_after_polls: Stop once the tailer has completed this many
+                directory polls and the queue has drained (test hook; the
+                daemon default is to run forever).
+        """
+        previous_handlers = {}
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                previous_handlers[signum] = signal.signal(signum, self._on_signal)
+        if self.http is not None:
+            self.http.start()
+        self._ingest_thread = threading.Thread(
+            target=self._ingest_loop,
+            name="repro-ingest",
+            args=(stop_after_polls,),
+            daemon=True,
+        )
+        self._ingest_thread.start()
+        try:
+            self._analysis_loop()
+        finally:
+            self._shutdown()
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
+        return self.report()
+
+    def stop(self) -> None:
+        """Ask the service to drain and exit (safe from any thread)."""
+        self._stop.set()
+
+    def report(self) -> ServiceReport:
+        return ServiceReport(
+            polls=self.tailer.polls,
+            packets_processed=self.packets_processed,
+            packets_dropped=self.packets_dropped,
+            batches_dropped=self.batches_dropped,
+            ingest_restarts=self.ingest_restarts,
+            windows_emitted=self.aggregator.windows_emitted,
+            streams_finalized=self.rolling.streams_evicted,
+            meetings_formed=len(self.rolling.result.meetings),
+        )
+
+    # -------------------------------------------------------------- ingest
+
+    def _ingest_loop(self, stop_after_polls: int | None) -> None:
+        backoff = self.config.restart_backoff_base
+        while not self._stop.is_set():
+            try:
+                for batch in self.tailer.poll():
+                    self._enqueue(batch)
+                    if self._stop.is_set():
+                        return
+                self._ready = True
+                backoff = self.config.restart_backoff_base
+            except Exception:
+                # Crash-restart: a corrupt file or transient I/O error must
+                # not take the daemon down.  Counted, backed off, retried.
+                self.ingest_restarts += 1
+                self.telemetry.count("service.ingest_restarts")
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2, self.config.restart_backoff_max)
+                continue
+            if stop_after_polls is not None and self.tailer.polls >= stop_after_polls:
+                self._stop.set()
+                return
+            self._stop.wait(self.config.poll_interval)
+
+    def _enqueue(self, batch: list) -> None:
+        try:
+            self._queue.put_nowait(batch)
+        except queue.Full:
+            self.batches_dropped += 1
+            self.packets_dropped += len(batch)
+            self.telemetry.count("service.dropped", len(batch))
+            self.telemetry.count("service.dropped_batches")
+
+    # ------------------------------------------------------------ analysis
+
+    def _analysis_loop(self) -> None:
+        while True:
+            try:
+                batch = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stop.is_set():
+                    ingest = self._ingest_thread
+                    if ingest is None or not ingest.is_alive():
+                        return  # stop requested, producer gone, queue dry
+                continue
+            self._process(batch)
+
+    def _process(self, batch: list) -> None:
+        rolling = self.rolling
+        aggregator = self.aggregator
+        for parsed in batch:
+            rolling.feed_parsed(parsed)
+            aggregator.observe_packet(parsed.timestamp, len(parsed.raw))
+            self.packets_processed += 1
+
+    def _shutdown(self) -> None:
+        """Drain, final sweep, close windows exactly once, stop exporters."""
+        self._stop.set()
+        ingest = self._ingest_thread
+        if ingest is not None and ingest.is_alive():
+            ingest.join(timeout=10.0)
+        while True:  # whatever the ingest thread enqueued before stopping
+            try:
+                self._process(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        if not self._flushed:
+            self._flushed = True
+            self.rolling.sweep(float("inf"))  # finalize every live stream
+            self.aggregator.flush(final=True)
+        if self.jsonl is not None:
+            self.jsonl.close()
+        if self.http is not None:
+            self.http.stop()
+
+    # ------------------------------------------------------------ exporters
+
+    def render_metrics(self) -> str:
+        """Current Prometheus page (also called by the HTTP thread)."""
+        for attempt in (1, 2, 3):
+            try:
+                snapshot = self.telemetry.snapshot()
+                break
+            except RuntimeError:
+                # The analysis thread resized a dict mid-copy; rare, retry.
+                if attempt == 3:
+                    raise
+                time.sleep(0.001)
+        return render_metrics(
+            snapshot,
+            last_window=self._last_window,
+            gauges={
+                "service.live_streams": float(self.rolling.live_stream_count()),
+                "service.open_windows": float(self.aggregator.open_window_count()),
+                "service.queue_depth": float(self._queue.qsize()),
+                "service.streams_finalized": float(self.rolling.streams_evicted),
+            },
+        )
+
+    def _remember_window(self, window: WindowRecord) -> None:
+        self._last_window = window
+
+    def _healthy(self) -> bool:
+        ingest = self._ingest_thread
+        return ingest is not None and ingest.is_alive()
+
+    def _ready_probe(self) -> bool:
+        return self._ready
+
+    def _on_signal(self, signum: int, frame: object) -> None:
+        self.stop()

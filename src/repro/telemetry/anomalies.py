@@ -11,7 +11,10 @@ handful of warnings an operator actually acts on:
 * pathological shard imbalance — one worker eating most of the trace means
   the flow hash is degenerate for this capture;
 * RTCP receiver reports — the paper observed Zoom never sends them (§4.2.1),
-  so any appearing is a protocol-drift signal.
+  so any appearing is a protocol-drift signal;
+* live-monitor degradation — packets shed by the daemon's bounded queue
+  (recoverable from the capture directory) or a crash-restarting ingest
+  thread.
 
 ``log_anomalies`` emits each finding as a structured warning on the
 ``repro.telemetry`` logger (``extra={"telemetry_counter": ...}``) so existing
@@ -123,6 +126,38 @@ def detect_anomalies(
                     value=peak,
                 )
             )
+
+    dropped = snapshot.counter("service.dropped")
+    if dropped:
+        anomalies.append(
+            Anomaly(
+                name="service-backpressure-drops",
+                message=(
+                    f"{dropped} packet(s) shed by the live monitor's bounded "
+                    f"queue ({snapshot.counter('service.dropped_batches')} "
+                    "batches) — analysis is not keeping up with ingest; "
+                    "re-run the batch analyzer over the capture directory "
+                    "to recover them"
+                ),
+                counter="service.dropped",
+                value=dropped,
+            )
+        )
+
+    restarts = snapshot.counter("service.ingest_restarts")
+    if restarts:
+        anomalies.append(
+            Anomaly(
+                name="service-ingest-restarts",
+                message=(
+                    f"the live monitor's ingest thread crash-restarted "
+                    f"{restarts} time(s) — check the capture directory for "
+                    "corrupt or vanishing files"
+                ),
+                counter="service.ingest_restarts",
+                value=restarts,
+            )
+        )
 
     receiver_reports = snapshot.counter("demux.rtcp_receiver_reports")
     if receiver_reports:

@@ -24,6 +24,7 @@ class TestParser:
             ["analyze", "x"],
             ["dissect", "x"],
             ["entropy", "x"],
+            ["analyze-live", "x"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -200,6 +201,74 @@ class TestDissect:
         assert "Zoom" in out
         assert "Real-Time Transport Protocol" in out
 
+    def test_server_media_tagged_with_direction(self, meeting_pcap, capsys):
+        assert main(["dissect", str(meeting_pcap), "--limit", "2"]) == 0
+        assert "[server]" in capsys.readouterr().out
+
+    def test_port_8801_noise_between_non_zoom_hosts_skipped(self, tmp_path, capsys):
+        """A flow that merely *uses* port 8801 is not Zoom.  The old
+        ``8801 in (src_port, dst_port)`` heuristic dissected it as
+        server media; the detector-driven path classifies and skips it."""
+        from repro.net.packet import CapturedPacket, build_udp_frame
+        from repro.net.pcap import write_pcap
+
+        noise = [
+            CapturedPacket(
+                float(i),
+                build_udp_frame(
+                    "192.0.2.10", 8801, "198.51.100.5", 5555, b"\x05\x10" + bytes(40)
+                ),
+            )
+            for i in range(3)
+        ]
+        path = tmp_path / "noise.pcap"
+        write_pcap(path, noise)
+        assert main(["dissect", str(path)]) == 1
+        assert "no dissectable Zoom UDP packets" in capsys.readouterr().err
+
+    def test_p2p_media_dissected_without_sfu_layer(self, tmp_path, capsys):
+        """P2P media (learned via STUN) is dissected from the media layer
+        and tagged [p2p] — not misparsed as server-encapsulated."""
+        from repro.net.packet import CapturedPacket, build_udp_frame
+        from repro.net.pcap import write_pcap
+        from repro.rtp.rtp import RTPHeader
+        from repro.rtp.stun import StunMessage
+        from repro.zoom.constants import ZoomMediaType
+        from repro.zoom.media_encap import MediaEncap
+        from repro.zoom.packets import build_media_payload
+
+        client, peer = "10.8.1.20", "198.18.2.30"
+        stun = StunMessage.binding_request(b"abcdefghijkl").serialize()
+        packets = [
+            CapturedPacket(
+                0.0, build_udp_frame(client, 52001, "170.114.200.9", 3478, stun)
+            )
+        ]
+        for seq in range(3):
+            payload = build_media_payload(
+                media=MediaEncap(
+                    media_type=ZoomMediaType.AUDIO,
+                    sequence=seq,
+                    timestamp=seq * 640,
+                ),
+                rtp=RTPHeader(
+                    payload_type=112, sequence=seq, timestamp=seq * 640, ssrc=0x42
+                ),
+                rtp_payload=b"a" * 60,
+            )
+            packets.append(
+                CapturedPacket(
+                    1.0 + seq, build_udp_frame(client, 52001, peer, 53000, payload)
+                )
+            )
+        path = tmp_path / "p2p.pcap"
+        write_pcap(path, packets)
+        assert main(["dissect", str(path), "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[p2p]" in out
+        assert "[server]" not in out
+        assert "Real-Time Transport Protocol" in out
+
     def test_empty_pcap_errors(self, tmp_path, capsys):
         from repro.net.pcap import write_pcap
 
@@ -222,3 +291,43 @@ class TestEntropy:
         empty = tmp_path / "empty.pcap"
         write_pcap(empty, [])
         assert main(["entropy", str(empty)]) == 1
+
+
+class TestAnalyzeLive:
+    def test_runs_over_capture_dir_and_writes_windows(
+        self, meeting_pcap, tmp_path, capsys
+    ):
+        import json
+        import shutil
+
+        directory = tmp_path / "caps"
+        directory.mkdir()
+        shutil.copy(meeting_pcap, directory / "zoom-00.pcap")
+        jsonl = tmp_path / "windows.jsonl"
+        code = main([
+            "analyze-live", str(directory),
+            "--window", "4", "--lateness", "1",
+            "--poll-interval", "0.05", "--max-polls", "2",
+            "--jsonl-out", str(jsonl),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tailing" in out
+        assert "processed" in out and "windows" in out
+        windows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert windows
+        assert sum(w["packets_total"] for w in windows) > 0
+
+    def test_listen_prints_metrics_url(self, meeting_pcap, tmp_path, capsys):
+        import shutil
+
+        directory = tmp_path / "caps"
+        directory.mkdir()
+        shutil.copy(meeting_pcap, directory / "zoom-00.pcap")
+        code = main([
+            "analyze-live", str(directory),
+            "--window", "4", "--poll-interval", "0.05", "--max-polls", "1",
+            "--listen", "127.0.0.1:0",
+        ])
+        assert code == 0
+        assert "metrics: http://127.0.0.1:" in capsys.readouterr().out
