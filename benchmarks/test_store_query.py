@@ -1,0 +1,119 @@
+"""What the metrics store costs to write and what its index buys on read.
+
+Two numbers an operator sizes a longitudinal campaign with:
+
+* **Ingest rate** — window records appended per second through the full
+  durability path (CRC framing, threshold sealing, manifest rewrites).
+  Window cadence is one record per ~10 s of capture time, so anything
+  above a few thousand records/s means store overhead is noise.
+* **Indexed-query speedup** — a narrow time-range query planned off the
+  manifest's per-segment footers versus the same query forced to
+  decompress every segment (``use_index=False``).  This is the paper's
+  §6.2 workflow — slice a long campus capture by time/meeting/media —
+  made cheap enough to run interactively.
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.core import StoreConfig
+from repro.store import MetricsStore, StoreQuery
+
+#: A day-scale campaign at 10 s windows, hourly partitions scaled down so
+#: the benchmark stays seconds-fast: 7200 windows over 72 partitions.
+WINDOWS = 7200
+PARTITION_SECONDS = 1000.0
+WINDOW_SECONDS = 10.0
+REPEATS = 3
+
+
+def _window(index: int) -> dict:
+    return {
+        "kind": "window",
+        "window": index,
+        "start": index * WINDOW_SECONDS,
+        "end": (index + 1) * WINDOW_SECONDS,
+        "packets_total": 1000 + index % 97,
+        "bytes_total": 900_000 + index % 1013,
+        "zoom_packets": 950,
+        "meetings_formed": index % 7 == 0,
+        "meetings_active": 1 + index % 3,
+        "streams_evicted": 0,
+        "forced": False,
+        "media": [
+            {
+                "media": name,
+                "packets": 450,
+                "bytes": 450_000,
+                "bitrate_bps": 360_000.0,
+                "streams": 2,
+                "streams_opened": 0,
+                "p2p_packets": 0,
+                "mean_fps": 24.0 + (index % 11),
+                "mean_jitter_ms": 2.0,
+                "lost": index % 5,
+                "duplicates": 0,
+            }
+            for name in ("audio", "video")
+        ],
+    }
+
+
+def test_store_ingest_and_indexed_query(tmp_path, report):
+    config = StoreConfig(
+        partition_seconds=PARTITION_SECONDS, seal_records=128, gzip_level=6
+    )
+    store = MetricsStore(tmp_path / "store", config)
+    started = time.perf_counter()
+    for index in range(WINDOWS):
+        store.append(_window(index))
+    store.close()
+    ingest_elapsed = time.perf_counter() - started
+    ingest_rate = WINDOWS / ingest_elapsed
+    segments = store.segments()
+
+    # One partition out of 72: the index should skip nearly everything.
+    lo = 35 * PARTITION_SECONDS
+    narrow = StoreQuery(start=lo, end=lo + PARTITION_SECONDS)
+    reader = MetricsStore(tmp_path / "store", config)
+
+    indexed_best = scanned_best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        indexed = reader.query(narrow)
+        indexed_best = min(indexed_best, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        scanned = reader.query(
+            StoreQuery(start=lo, end=lo + PARTITION_SECONDS, use_index=False)
+        )
+        scanned_best = min(scanned_best, time.perf_counter() - t0)
+
+    # The speedup is only worth reporting if both plans agree exactly.
+    assert indexed.records == scanned.records
+    assert indexed.records  # the range is populated
+    assert indexed.segments_skipped > 0
+    assert scanned.segments_skipped == 0
+    assert indexed.records_examined < scanned.records_examined
+    speedup = scanned_best / indexed_best
+
+    report(
+        "store_query",
+        format_table(
+            ["metric", "value"],
+            [
+                ("windows ingested", WINDOWS),
+                ("ingest rate (records/s)", f"{ingest_rate:,.0f}"),
+                ("sealed segments", len(segments)),
+                ("store size (bytes)", store.total_bytes()),
+                ("narrow-query records", indexed.count),
+                ("segments scanned (indexed)", indexed.segments_scanned),
+                ("segments skipped (indexed)", indexed.segments_skipped),
+                ("records examined (indexed)", indexed.records_examined),
+                ("records examined (full scan)", scanned.records_examined),
+                ("query time indexed (ms)", f"{1000 * indexed_best:.2f}"),
+                ("query time full scan (ms)", f"{1000 * scanned_best:.2f}"),
+                ("indexed speedup", f"{speedup:.1f}x"),
+            ],
+        ),
+    )
+    assert speedup > 1.0  # skipping segments must not be slower

@@ -9,7 +9,13 @@ Subcommands mirror the paper's workflow:
 * ``analyze``   — the full passive analysis: meetings, streams, Table 2/3
   style shares, latency, per-stream metrics; optional ML feature CSV;
 * ``dissect``   — Wireshark-plugin style packet dissection;
-* ``entropy``   — the §4.2 reverse-engineering sweep over a flow.
+* ``entropy``   — the §4.2 reverse-engineering sweep over a flow;
+* ``query``     — slice a persistent metrics store (``analyze-live
+  --store``) by time, meeting, and media type;
+* ``backfill``  — load pre-store JSONL window logs or batch captures into
+  a metrics store;
+* ``compact``   — store maintenance: merge small segments, enforce
+  retention.
 
 Run ``zoom-analysis <subcommand> --help`` for options.
 """
@@ -298,6 +304,7 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
         tail_pattern=args.pattern,
         listen=args.listen,
         jsonl_path=str(args.jsonl_out) if args.jsonl_out else None,
+        store_dir=str(args.store) if args.store else None,
     )
     service = ZoomMonitorService(args.directory, config)
     print(f"tailing {args.directory} (pattern {args.pattern!r}, "
@@ -354,6 +361,112 @@ def _cmd_entropy(args: argparse.Namespace) -> int:
     print("flow-wide RTP offsets:", dict(discovery.rtp_offsets))
     print("type field position(s):", discovery.type_field_positions)
     print("type -> offset map:", discovery.offset_by_type_value)
+    return 0
+
+
+def _metric_list(value: str) -> tuple[str, ...]:
+    metrics = tuple(token.strip() for token in value.split(",") if token.strip())
+    if not metrics:
+        raise argparse.ArgumentTypeError(f"no metric names in {value!r}")
+    return metrics
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import MetricsStore, StoreQuery, flatten_records
+
+    store = MetricsStore(args.store)
+    query = StoreQuery(
+        start=args.start,
+        end=args.end,
+        kinds=tuple(args.kind) if args.kind else ("window",),
+        meeting_id=args.meeting,
+        media=args.media,
+        metrics=args.metrics,
+        reaggregate_seconds=args.reaggregate,
+        use_index=not args.no_index,
+    )
+    result = store.query(query)
+    if args.format == "json":
+        for record in result.records:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        columns, rows = flatten_records(result.records)
+        cells = [
+            tuple("" if row.get(c) is None else row.get(c) for c in columns)
+            for row in rows
+        ]
+        if args.format == "csv":
+            import csv
+
+            writer = csv.writer(sys.stdout)
+            writer.writerow(columns)
+            writer.writerows(cells)
+        else:
+            print(format_table(columns, cells))
+    print(
+        f"{result.count} records from {result.segments_scanned} segments "
+        f"({result.segments_skipped} skipped by index, "
+        f"{result.records_examined} records examined)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_backfill(args: argparse.Namespace) -> int:
+    from repro.core import AnalysisSession, AnalyzerConfig
+    from repro.net.source import open_capture_source
+    from repro.store import MetricsStore, backfill_jsonl, backfill_result
+
+    jsonl_paths = [p for p in args.inputs if not _looks_like_capture(p)]
+    capture_paths = [p for p in args.inputs if _looks_like_capture(p)]
+    with MetricsStore(args.store) as store:
+        if jsonl_paths:
+            report = backfill_jsonl(store, jsonl_paths)
+            print(
+                f"jsonl: {report.windows} windows from {report.files} files "
+                f"({report.skipped_lines} lines skipped)"
+            )
+        for path in capture_paths:
+            config = AnalyzerConfig(zoom_subnets=tuple(args.zoom_subnets))
+            result = AnalysisSession(config).run(open_capture_source(str(path)))
+            report = backfill_result(store, result)
+            print(
+                f"{path}: {report.streams} streams, {report.meetings} meetings"
+            )
+        total = store.record_count()
+    print(f"store now holds {total} records in {args.store}")
+    return 0
+
+
+def _looks_like_capture(path: Path) -> bool:
+    name = path.name.lower()
+    return any(token in name for token in (".pcap", ".cap"))
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.store import MetricsStore
+
+    store = MetricsStore(args.store)
+    if args.retention_max_age is not None or args.retention_max_bytes is not None:
+        store.config = store.config.replace(
+            retention_max_age=args.retention_max_age,
+            retention_max_bytes=args.retention_max_bytes,
+        )
+    before_segments = len(store.segments())
+    before_bytes = store.total_bytes()
+    report = store.maintain()
+    store.close()
+    print(
+        f"compacted {report.segments_merged} segments into "
+        f"{report.compactions}, expired {report.segments_expired} "
+        f"({report.bytes_reclaimed} bytes reclaimed)"
+    )
+    print(
+        f"segments: {before_segments} -> {len(store.segments())}, "
+        f"bytes: {before_bytes} -> {store.total_bytes()}"
+    )
     return 0
 
 
@@ -455,7 +568,89 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--max-polls", type=_positive_int, default=None,
                       help="exit after this many directory polls "
                            "(smoke tests; default: run until SIGTERM)")
+    live.add_argument("--store", type=Path, default=None, metavar="DIR",
+                      help="append closed windows and finalized streams to "
+                           "a persistent metrics store (query later with "
+                           "'query'); crash-safe — a kill loses at most one "
+                           "torn record")
     live.set_defaults(func=_cmd_analyze_live)
+
+    query = sub.add_parser(
+        "query",
+        help="slice a persistent metrics store",
+        description="Query a store written by 'analyze-live --store' or "
+                    "'backfill': filter by time range, meeting id, and media "
+                    "type, optionally re-aggregate windows into coarser "
+                    "buckets, and print as a table, JSON lines, or CSV. "
+                    "Segment skipping statistics go to stderr.",
+    )
+    query.add_argument("store", type=Path, help="store directory")
+    query.add_argument("--start", type=float, default=None, metavar="SECONDS",
+                       help="capture-time lower bound (inclusive)")
+    query.add_argument("--end", type=float, default=None, metavar="SECONDS",
+                       help="capture-time upper bound (exclusive)")
+    query.add_argument("--kind", action="append",
+                       choices=("window", "stream", "meeting"), default=None,
+                       help="record kind(s) to return; may be repeated "
+                            "(default: window)")
+    query.add_argument("--meeting", type=int, default=None, metavar="ID",
+                       help="restrict to one meeting (other kinds are "
+                            "filtered to the meeting's activity span)")
+    query.add_argument("--media", choices=("audio", "video", "screen"),
+                       default=None,
+                       help="restrict to one media type")
+    query.add_argument("--metrics", type=_metric_list, default=None,
+                       metavar="NAME[,NAME...]",
+                       help="project records down to these metric keys")
+    query.add_argument("--reaggregate", type=float, default=None,
+                       metavar="SECONDS",
+                       help="merge windows into coarser tumbling buckets of "
+                            "this width")
+    query.add_argument("--format", choices=("table", "json", "csv"),
+                       default="table")
+    query.add_argument("--no-index", action="store_true",
+                       help="disable footer-index segment skipping "
+                            "(full-scan baseline)")
+    query.set_defaults(func=_cmd_query)
+
+    backfill = sub.add_parser(
+        "backfill",
+        help="load pre-store history into a metrics store",
+        description="Ingest existing artifacts into a store: service JSONL "
+                    "window logs (plain or gzip-rotated) become window "
+                    "records; capture files are batch-analyzed and their "
+                    "stream/meeting summaries stored.",
+    )
+    backfill.add_argument("store", type=Path, help="store directory "
+                          "(created if missing)")
+    backfill.add_argument("inputs", type=Path, nargs="+", metavar="input",
+                          help="JSONL window logs (*.jsonl, *.jsonl*.gz) "
+                               "and/or capture files (*.pcap*)")
+    backfill.add_argument(
+        "--zoom-subnets",
+        type=_subnet_list,
+        default="170.114.0.0/16,203.0.113.0/24",
+    )
+    backfill.set_defaults(func=_cmd_backfill)
+
+    compact = sub.add_parser(
+        "compact",
+        help="metrics-store maintenance (compaction + retention)",
+        description="Merge a partition's many small sealed segments into "
+                    "one and delete the oldest segments beyond the "
+                    "retention budget.  Safe to run while no writer holds "
+                    "the store.",
+    )
+    compact.add_argument("store", type=Path, help="store directory")
+    compact.add_argument("--retention-max-age", type=float, default=None,
+                         metavar="SECONDS",
+                         help="drop sealed segments older than this behind "
+                              "the newest record")
+    compact.add_argument("--retention-max-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="drop oldest sealed segments until under this "
+                              "total size")
+    compact.set_defaults(func=_cmd_compact)
 
     dissect = sub.add_parser("dissect", help="Wireshark-style packet dissection")
     dissect.add_argument("input", type=Path)

@@ -23,7 +23,7 @@ and :class:`~repro.core.session.AnalysisSession` is the one-call front door:
 :class:`~repro.net.source.PacketSource`.
 """
 
-from repro.core.config import AnalyzerConfig, ServiceConfig
+from repro.core.config import AnalyzerConfig, ServiceConfig, StoreConfig
 from repro.core.detector import StunTracker, ZoomClass, ZoomSubnetMatcher, ZoomTrafficDetector
 from repro.core.events import (
     AnalysisEvent,
@@ -58,6 +58,7 @@ __all__ = [
     "RollingZoomAnalyzer",
     "ServiceConfig",
     "ShardedAnalyzer",
+    "StoreConfig",
     "StreamEvicted",
     "StreamOpened",
     "StreamTable",

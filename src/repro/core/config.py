@@ -127,6 +127,73 @@ class AnalyzerConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class StoreConfig:
+    """Tunables of the persistent metrics store (:mod:`repro.store`).
+
+    Frozen for the same reasons as :class:`AnalyzerConfig`: the store holds
+    it for its whole lifetime, and a directory's on-disk partition width
+    must never drift under a running writer (opening an existing store
+    adopts the width recorded in its manifest).
+
+    Attributes:
+        partition_seconds: Width of one time partition — records are routed
+            to ``floor(start / partition_seconds)``.  The default (1 h)
+            matches the paper's campus-study slicing granularity.
+        seal_records / seal_bytes: An active segment crossing either
+            threshold is sealed (gzip-compressed, footer-indexed, atomically
+            renamed).  Small thresholds mean more, smaller segments — finer
+            query skipping but more compaction work.
+        gzip_level: Compression level used at seal and compaction time.
+        fsync: Fsync the active segment after every append.  Off by
+            default: the framing already bounds loss to the torn tail
+            frame, and window cadence (one record per ~10 s) makes the
+            durability window tiny.
+        compact_min_segments: A partition is compacted once it holds at
+            least this many sealed segments under ``compact_small_bytes``.
+        compact_small_bytes: Only segments at or below this size join a
+            compaction (a full-sized sealed segment is already its final
+            form).
+        retention_max_age: Delete sealed segments whose newest record lies
+            further than this behind the store's newest record
+            (``None`` = keep forever).
+        retention_max_bytes: Delete oldest sealed segments until the store
+            is under this budget (``None`` = unbounded).
+        maintenance_interval: In live operation, run compaction + retention
+            after every N seals (``repro compact`` runs the same pass on
+            demand).
+    """
+
+    partition_seconds: float = 3600.0
+    seal_records: int = 1024
+    seal_bytes: int = 4 * 1024 * 1024
+    gzip_level: int = 6
+    fsync: bool = False
+    compact_min_segments: int = 4
+    compact_small_bytes: int = 1024 * 1024
+    retention_max_age: float | None = None
+    retention_max_bytes: int | None = None
+    maintenance_interval: int = 16
+
+    def __post_init__(self) -> None:
+        if self.partition_seconds <= 0:
+            raise ValueError("partition_seconds must be > 0")
+        if self.seal_records < 1:
+            raise ValueError("seal_records must be >= 1")
+        if self.seal_bytes < 1:
+            raise ValueError("seal_bytes must be >= 1")
+        if not 0 <= self.gzip_level <= 9:
+            raise ValueError("gzip_level must be in 0..9")
+        if self.compact_min_segments < 2:
+            raise ValueError("compact_min_segments must be >= 2")
+        if self.maintenance_interval < 1:
+            raise ValueError("maintenance_interval must be >= 1")
+
+    def replace(self, **changes: object) -> "StoreConfig":
+        """A copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True, slots=True)
 class ServiceConfig:
     """Everything the live monitoring daemon needs beyond the analyzer.
 
@@ -158,6 +225,9 @@ class ServiceConfig:
         restart_backoff_base: First delay (seconds) after an ingest-thread
             crash; doubles per consecutive crash.
         restart_backoff_max: Ceiling on the crash-restart delay.
+        store_dir: Root directory of the persistent metrics store
+            (``analyze-live --store``), or ``None`` to run without one.
+        store: The store's tunables (ignored unless ``store_dir`` is set).
     """
 
     analyzer: AnalyzerConfig = dataclasses.field(default_factory=AnalyzerConfig)
@@ -172,6 +242,8 @@ class ServiceConfig:
     queue_max_batches: int = 256
     restart_backoff_base: float = 0.5
     restart_backoff_max: float = 30.0
+    store_dir: str | None = None
+    store: StoreConfig = dataclasses.field(default_factory=StoreConfig)
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:

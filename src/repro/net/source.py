@@ -362,8 +362,14 @@ class CaptureDirectorySource(PacketSourceBase):
                 expanded.append(entry_path)
         if not expanded:
             raise FileNotFoundError(f"no capture files under {paths!r}")
+        # Tie-break equal first timestamps by file name so replay order is
+        # deterministic regardless of directory-listing or glob order —
+        # rotated capture files routinely share a boundary timestamp.
         self.files: tuple[Path, ...] = tuple(
-            sorted(expanded, key=_first_capture_timestamp)
+            sorted(
+                expanded,
+                key=lambda p: (_first_capture_timestamp(p), p.name, str(p)),
+            )
         )
         self._open: PacketSourceBase | None = None
 

@@ -9,8 +9,10 @@ Two consumers, two exporters:
   (readiness: at least one directory poll completed).
 * Batch/offline tooling reads :class:`JsonlWindowLog` — one JSON object
   per closed window, appended as the window closes, with size-based
-  rotation (``.jsonl`` → ``.jsonl.1``) so an unattended deployment cannot
-  fill the disk.
+  rotation so an unattended deployment cannot fill the disk.  The active
+  file stays plain text (tail-able, crash-tolerant); the rotated-out
+  predecessor is gzip-compressed (``.jsonl`` → ``.jsonl.1.gz`` — window
+  JSON compresses ~10×).  ``repro backfill`` reads both forms.
 
 Both are deliberately dependency-free; the paper's measurement system runs
 on a campus network appliance where installing a metrics client library is
@@ -19,7 +21,9 @@ exactly the kind of friction passive measurement avoids.
 
 from __future__ import annotations
 
+import gzip
 import json
+import shutil
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -33,7 +37,10 @@ class JsonlWindowLog:
     """Append-only JSONL sink for closed windows, with size rotation.
 
     Args:
-        path: Log file path; the rotated predecessor lives at ``path.1``.
+        path: Log file path; the rotated predecessor lives gzip-compressed
+            at ``path.1.gz`` (the active file is never compressed, so it
+            stays tail-able and survives a mid-write kill as plain torn
+            JSONL).
         max_bytes: Rotation threshold — checked *before* each write, so one
             oversized window record never splits across files.
         telemetry: Optional registry (``service.jsonl_windows`` /
@@ -68,7 +75,15 @@ class JsonlWindowLog:
 
     def _rotate(self) -> None:
         self._file.close()
-        self.path.replace(self.path.with_name(self.path.name + ".1"))
+        # Compress into a temp name and publish with an atomic rename so a
+        # kill mid-rotation leaves either the old plain file or the complete
+        # .gz, never a half-written archive under the final name.
+        rotated = self.path.with_name(self.path.name + ".1.gz")
+        tmp = rotated.with_name(rotated.name + ".tmp")
+        with open(self.path, "rb") as src, gzip.open(tmp, "wb") as dst:
+            shutil.copyfileobj(src, dst)
+        tmp.replace(rotated)
+        self.path.unlink()
         self._file = open(self.path, "a", encoding="utf-8")
         self.rotations += 1
         self._telemetry.count("service.jsonl_rotations")

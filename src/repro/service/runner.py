@@ -8,7 +8,7 @@ Topology (one arrow = one bounded hand-off)::
     RollingZoomAnalyzer ── WindowAggregator          (analysis thread)
                                │  closed WindowRecords
                                ▼
-    JsonlWindowLog · MetricsHTTPServer               (exporter sinks)
+    JsonlWindowLog · MetricsHTTPServer · StoreSink   (exporter sinks)
 
 Design decisions an operator should know:
 
@@ -26,6 +26,10 @@ Design decisions an operator should know:
   live stream is finalized through one last sweep, and all open windows
   are closed and exported exactly once — ``kill`` then diff is a lossless
   way to end a measurement campaign.
+* **History is durable when ``--store`` is given.**  Closed windows and
+  finalized streams append to a :class:`~repro.store.MetricsStore` as they
+  happen (meeting summaries at drain time); even a SIGKILL loses at most
+  the store's torn tail frame, recovered away on the next open.
 """
 
 from __future__ import annotations
@@ -103,6 +107,29 @@ class ZoomMonitorService:
                 healthy=self._healthy,
                 ready=self._ready_probe,
             )
+        self.store_sink = None
+        if config.store_dir is not None:
+            # Imported lazily: repro.store sits above repro.service in the
+            # layering (it consumes WindowRecord), so a module-scope import
+            # would be circular.
+            from repro.store.sink import StoreSink
+            from repro.store.store import MetricsStore
+
+            store = MetricsStore(
+                config.store_dir, config.store, telemetry=self.telemetry
+            )
+            self.store_sink = StoreSink(store)
+            self.aggregator.add_callback(self.store_sink.write_window)
+            self.rolling.on_stream_finalized = self.store_sink.write_stream
+        # Degradation counters are pre-seeded so the Prometheus endpoint
+        # always exposes them — a dashboard alerting on increase() needs
+        # the zero sample, not an absent series until the first drop.
+        for name in (
+            "service.dropped",
+            "service.dropped_batches",
+            "service.ingest_restarts",
+        ):
+            self.telemetry.count(name, 0)
         self._queue: queue.Queue[list] = queue.Queue(maxsize=config.queue_max_batches)
         self._stop = threading.Event()
         self._ready = False
@@ -239,6 +266,9 @@ class ZoomMonitorService:
             self._flushed = True
             self.rolling.sweep(float("inf"))  # finalize every live stream
             self.aggregator.flush(final=True)
+            if self.store_sink is not None:
+                self.store_sink.write_meetings(self.rolling.result.meetings)
+                self.store_sink.store.close()
         if self.jsonl is not None:
             self.jsonl.close()
         if self.http is not None:

@@ -1,0 +1,45 @@
+"""Persistent metrics store + query engine for longitudinal studies.
+
+The paper's headline evaluation is a 12-hour campus capture sliced after
+the fact by time, meeting, and media type (§6.2, Figures 14–17).  The live
+service (:mod:`repro.service`) produces exactly those per-window metrics —
+but, before this package, only as a scrape target and a flat JSONL log.
+:mod:`repro.store` is the durable layer between them and the analysis:
+
+* :mod:`repro.store.segment` — the on-disk unit: CRC-framed records in an
+  append-only active file, gzip-compressed and footer-indexed when sealed.
+* :mod:`repro.store.store` — :class:`MetricsStore`: time-partitioned
+  segments under one manifest, crash-safe open, compaction and retention.
+* :mod:`repro.store.query` — :class:`StoreQuery`/:func:`run_query`:
+  time/meeting/media slicing with footer-index segment skipping and
+  optional re-aggregation to coarser windows.
+* :mod:`repro.store.sink` — :class:`StoreSink`: the live daemon's writer
+  (``analyze-live --store DIR``).
+* :mod:`repro.store.backfill` — ingest pre-store JSONL window logs and
+  batch :class:`~repro.core.pipeline.AnalysisResult`\\ s.
+
+CLI faces: ``repro query``, ``repro compact``, ``repro backfill``.
+"""
+
+from repro.store.backfill import BackfillReport, backfill_jsonl, backfill_result
+from repro.store.query import QueryResult, StoreQuery, flatten_records, reaggregate_windows
+from repro.store.records import meeting_record, stream_record, window_record
+from repro.store.sink import StoreSink
+from repro.store.store import MaintenanceReport, MetricsStore, SegmentInfo
+
+__all__ = [
+    "BackfillReport",
+    "MaintenanceReport",
+    "MetricsStore",
+    "QueryResult",
+    "SegmentInfo",
+    "StoreQuery",
+    "StoreSink",
+    "backfill_jsonl",
+    "backfill_result",
+    "flatten_records",
+    "meeting_record",
+    "reaggregate_windows",
+    "stream_record",
+    "window_record",
+]

@@ -1,0 +1,422 @@
+"""The store's query engine: time/meeting/media slicing with segment skipping.
+
+A :class:`StoreQuery` describes the slice — capture-time range, record
+kinds, a meeting id, a media type, optional metric projection, optional
+re-aggregation of windows into coarser buckets — and :func:`run_query`
+executes it against a :class:`~repro.store.store.MetricsStore`:
+
+1. **Plan**: the manifest's per-segment footers (time range, meeting ids,
+   media types) prune every sealed segment that cannot hold a matching
+   record; only the survivors are decompressed (``segments_scanned`` vs
+   ``segments_skipped`` on the result — the benchmark's speedup numbers).
+   ``use_index=False`` forces a full scan, kept for exactly that
+   comparison.
+2. **Scan**: surviving segments (plus any still-active tails) are read in
+   time order and records filtered exactly.
+3. **Shape**: windows are optionally re-aggregated into coarser windows
+   and/or projected down to the selected metrics.
+
+Querying by meeting resolves the meeting's activity span first (from
+``meeting`` records, which the footer indexes by id) and then selects the
+windows/streams overlapping that span — the longitudinal "slice by time,
+meeting, and media type" workflow of the paper's §6.2 campus study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.store import MetricsStore, SegmentInfo
+
+#: Window-record keys that survive any metric projection — without them a
+#: projected record loses its identity on the timeline.
+_IDENTITY_KEYS = ("kind", "window", "start", "end")
+
+
+@dataclass(frozen=True, slots=True)
+class StoreQuery:
+    """One declarative slice of the store.
+
+    Attributes:
+        start / end: Capture-time range; a record matches if its
+            ``[start, end]`` span overlaps the half-open ``[start, end)``
+            query range.  ``None`` leaves that side unbounded.
+        kinds: Record kinds to return (default: windows only).
+        meeting_id: Restrict to one meeting — ``meeting`` records with the
+            id, and other kinds overlapping that meeting's activity span.
+        media: Media-type name (``audio``/``video``/``screen``): ``stream``
+            records of that type, and ``window`` records thinned to that
+            media entry (windows with no such traffic are dropped).
+        metrics: Optional projection: window records keep only these keys
+            (identity keys always survive; per-media metric names select
+            within each media entry).
+        reaggregate_seconds: Merge window records into tumbling buckets of
+            this width (must be a multiple of the stored window width to
+            be lossless; checked by the caller's eyes, not enforced).
+        use_index: ``False`` disables manifest-based segment skipping (the
+            full-scan baseline the benchmark compares against).
+    """
+
+    start: float | None = None
+    end: float | None = None
+    kinds: tuple[str, ...] = ("window",)
+    meeting_id: int | None = None
+    media: str | None = None
+    metrics: tuple[str, ...] | None = None
+    reaggregate_seconds: float | None = None
+    use_index: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        if self.metrics is not None:
+            object.__setattr__(self, "metrics", tuple(self.metrics))
+        if self.reaggregate_seconds is not None and self.reaggregate_seconds <= 0:
+            raise ValueError("reaggregate_seconds must be > 0")
+
+
+@dataclass
+class QueryResult:
+    """Matching records plus the plan accounting the benchmark reads."""
+
+    records: list[dict] = field(default_factory=list)
+    segments_scanned: int = 0
+    segments_skipped: int = 0
+    records_examined: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+
+def run_query(store: "MetricsStore", query: StoreQuery) -> QueryResult:
+    """Execute ``query`` against ``store`` (see module docstring)."""
+    spans: list[tuple[float, float]] | None = None
+    if query.meeting_id is not None and query.kinds != ("meeting",):
+        # Resolve the meeting's activity span(s) first; the span query is
+        # itself index-pruned by the footers' meeting-id sets.
+        span_result = _scan(
+            store,
+            StoreQuery(
+                kinds=("meeting",),
+                meeting_id=query.meeting_id,
+                start=query.start,
+                end=query.end,
+                use_index=query.use_index,
+            ),
+            spans=None,
+        )
+        spans = [
+            (float(r["start"]), float(r["end"])) for r in span_result.records
+        ]
+        if not spans:
+            return QueryResult(
+                segments_scanned=span_result.segments_scanned,
+                segments_skipped=span_result.segments_skipped,
+                records_examined=span_result.records_examined,
+            )
+    result = _scan(store, query, spans=spans)
+    if query.meeting_id is not None and query.kinds != ("meeting",) and spans:
+        result.segments_scanned += span_result.segments_scanned
+        result.segments_skipped += span_result.segments_skipped
+        result.records_examined += span_result.records_examined
+    if query.reaggregate_seconds is not None:
+        windows = [r for r in result.records if r.get("kind") == "window"]
+        others = [r for r in result.records if r.get("kind") != "window"]
+        merged = reaggregate_windows(windows, query.reaggregate_seconds)
+        result.records = sorted(
+            merged + others, key=lambda r: (float(r["start"]), str(r["kind"]))
+        )
+    if query.metrics is not None:
+        result.records = [
+            _project(record, query.metrics) for record in result.records
+        ]
+    return result
+
+
+# ----------------------------------------------------------------- planning
+
+
+def _segment_may_match(info: "SegmentInfo", query: StoreQuery) -> bool:
+    if query.start is not None and info.end < query.start:
+        return False
+    if query.end is not None and info.start >= query.end:
+        return False
+    kinds = dict(info.kinds)
+    if not any(kinds.get(kind) for kind in query.kinds):
+        return False
+    if (
+        query.meeting_id is not None
+        and query.kinds == ("meeting",)
+        and query.meeting_id not in info.meetings
+    ):
+        return False
+    if query.media is not None and info.media and query.media not in info.media:
+        return False
+    return True
+
+
+def _scan(
+    store: "MetricsStore",
+    query: StoreQuery,
+    *,
+    spans: list[tuple[float, float]] | None,
+) -> QueryResult:
+    result = QueryResult()
+    batches: list[list[dict]] = []
+    for info in store.segments():
+        if query.use_index and not _segment_may_match(info, query):
+            result.segments_skipped += 1
+            continue
+        result.segments_scanned += 1
+        batches.append(store.iter_segment_records(info))
+    for _, records in store.iter_active_records():
+        batches.append(records)
+    for records in batches:
+        for record in records:
+            result.records_examined += 1
+            matched = _match(record, query, spans)
+            if matched is not None:
+                result.records.append(matched)
+    result.records.sort(
+        key=lambda r: (float(r.get("start", 0.0)), str(r.get("kind", "")))
+    )
+    return result
+
+
+# ---------------------------------------------------------------- matching
+
+
+def _overlaps(start: float, end: float, lo: float | None, hi: float | None) -> bool:
+    if lo is not None and end < lo:
+        return False
+    if hi is not None and start >= hi:
+        return False
+    return True
+
+
+def _match(
+    record: dict,
+    query: StoreQuery,
+    spans: list[tuple[float, float]] | None,
+) -> dict | None:
+    kind = record.get("kind")
+    if kind not in query.kinds:
+        return None
+    start = float(record.get("start", 0.0))
+    end = float(record.get("end", start))
+    if not _overlaps(start, end, query.start, query.end):
+        return None
+    if query.meeting_id is not None:
+        if kind == "meeting":
+            if int(record.get("meeting_id", -1)) != query.meeting_id:
+                return None
+        elif spans is not None and not any(
+            _overlaps(start, end, lo, hi) for lo, hi in spans
+        ):
+            return None
+    if query.media is not None:
+        if kind == "stream":
+            if record.get("media") != query.media:
+                return None
+        elif kind == "window":
+            entries = [
+                entry
+                for entry in record.get("media", ())
+                if entry.get("media") == query.media
+            ]
+            if not entries:
+                return None
+            record = dict(record)
+            record["media"] = entries
+    return record
+
+
+# ------------------------------------------------------------- projection
+
+
+def _project(record: dict, metrics: tuple[str, ...]) -> dict:
+    keep = set(metrics) | set(_IDENTITY_KEYS)
+    projected = {key: value for key, value in record.items() if key in keep}
+    media = record.get("media")
+    if isinstance(media, list) and "media" not in keep:
+        thinned = [
+            {
+                key: value
+                for key, value in entry.items()
+                if key == "media" or key in keep
+            }
+            for entry in media
+        ]
+        # Media entries stay only if a per-media metric was requested.
+        if any(len(entry) > 1 for entry in thinned):
+            projected["media"] = thinned
+    return projected
+
+
+# ---------------------------------------------------------- re-aggregation
+
+
+def reaggregate_windows(windows: list[dict], coarse_seconds: float) -> list[dict]:
+    """Merge fine window records into tumbling ``coarse_seconds`` buckets.
+
+    Counting fields sum exactly (that is the window invariant the service
+    tests pin down); ``meetings_active`` takes the bucket maximum (it is a
+    point-in-time census, not a count of events); per-media quality values
+    (fps, jitter) combine as packet-weighted means over the windows that
+    reported them, matching how a coarser aggregator would have sampled
+    more streams per close.
+    """
+    buckets: dict[int, list[dict]] = {}
+    for window in windows:
+        index = int(math.floor(float(window["start"]) / coarse_seconds))
+        buckets.setdefault(index, []).append(window)
+    merged: list[dict] = []
+    for index in sorted(buckets):
+        group = sorted(buckets[index], key=lambda w: float(w["start"]))
+        record: dict = {
+            "kind": "window",
+            "window": index,
+            "start": index * coarse_seconds,
+            "end": (index + 1) * coarse_seconds,
+            "windows_merged": len(group),
+            "forced": any(w.get("forced") for w in group),
+        }
+        for key in (
+            "packets_total",
+            "bytes_total",
+            "zoom_packets",
+            "meetings_formed",
+            "streams_evicted",
+        ):
+            record[key] = sum(int(w.get(key, 0)) for w in group)
+        record["meetings_active"] = max(
+            (int(w.get("meetings_active", 0)) for w in group), default=0
+        )
+        record["media"] = _merge_media(group, coarse_seconds)
+        merged.append(record)
+    return merged
+
+
+def _merge_media(group: list[dict], coarse_seconds: float) -> list[dict]:
+    by_name: dict[str, list[dict]] = {}
+    for window in group:
+        for entry in window.get("media", ()):
+            by_name.setdefault(str(entry.get("media")), []).append(entry)
+    out: list[dict] = []
+    for name in sorted(by_name):
+        entries = by_name[name]
+        packets = sum(int(e.get("packets", 0)) for e in entries)
+        total_bytes = sum(int(e.get("bytes", 0)) for e in entries)
+        merged: dict = {
+            "media": name,
+            "packets": packets,
+            "bytes": total_bytes,
+            "bitrate_bps": round(total_bytes * 8.0 / coarse_seconds, 3),
+            "streams": max((int(e.get("streams", 0)) for e in entries), default=0),
+            "streams_opened": sum(int(e.get("streams_opened", 0)) for e in entries),
+            "p2p_packets": sum(int(e.get("p2p_packets", 0)) for e in entries),
+            "lost": sum(int(e.get("lost", 0)) for e in entries),
+            "duplicates": sum(int(e.get("duplicates", 0)) for e in entries),
+        }
+        for key in ("mean_fps", "mean_jitter_ms"):
+            weighted = [
+                (float(e[key]), max(int(e.get("packets", 0)), 1))
+                for e in entries
+                if e.get(key) is not None
+            ]
+            if weighted:
+                weight = sum(w for _, w in weighted)
+                merged[key] = round(
+                    sum(v * w for v, w in weighted) / weight, 3
+                )
+            else:
+                merged[key] = None
+        out.append(merged)
+    return out
+
+
+# ------------------------------------------------------------ flat output
+
+
+WINDOW_COLUMNS = (
+    "window",
+    "start",
+    "end",
+    "packets_total",
+    "zoom_packets",
+    "meetings_active",
+    "media",
+    "media_packets",
+    "media_bytes",
+    "bitrate_bps",
+    "streams",
+    "mean_fps",
+    "mean_jitter_ms",
+    "lost",
+)
+
+STREAM_COLUMNS = (
+    "start",
+    "end",
+    "ssrc",
+    "media",
+    "packets",
+    "bytes",
+    "frames_completed",
+    "mean_fps",
+    "jitter_ms",
+    "lost",
+    "duplicates",
+    "stall_count",
+)
+
+MEETING_COLUMNS = ("start", "end", "meeting_id", "streams", "participants")
+
+
+def flatten_records(records: list[dict]) -> tuple[list[str], list[dict]]:
+    """Rows for tabular output (``repro query --format table|csv``).
+
+    Window records flatten to one row per media entry (a totals-only row
+    when a window carried no media), keyed by the ``media`` column; stream
+    and meeting records map straight onto their columns.  The column set is
+    the union, in kind order, of the kinds present.
+    """
+    columns: list[str] = []
+    rows: list[dict] = []
+    kinds_present = {str(r.get("kind")) for r in records}
+    for kind, kind_columns in (
+        ("window", WINDOW_COLUMNS),
+        ("stream", STREAM_COLUMNS),
+        ("meeting", MEETING_COLUMNS),
+    ):
+        if kind in kinds_present:
+            columns.extend(c for c in kind_columns if c not in columns)
+    if len(kinds_present) > 1:
+        columns.insert(0, "kind")
+    for record in records:
+        kind = record.get("kind")
+        if kind == "window":
+            media_entries = record.get("media") or [None]
+            for entry in media_entries:
+                row = {key: record.get(key) for key in WINDOW_COLUMNS[:6]}
+                if entry is not None:
+                    row["media"] = entry.get("media")
+                    row["media_packets"] = entry.get("packets")
+                    row["media_bytes"] = entry.get("bytes")
+                    row["bitrate_bps"] = entry.get("bitrate_bps")
+                    row["streams"] = entry.get("streams")
+                    row["mean_fps"] = entry.get("mean_fps")
+                    row["mean_jitter_ms"] = entry.get("mean_jitter_ms")
+                    row["lost"] = entry.get("lost")
+                row["kind"] = "window"
+                rows.append(row)
+        else:
+            row = dict(record)
+            rows.append(row)
+    if "kind" not in columns:
+        for row in rows:
+            row.pop("kind", None)
+    return columns, rows

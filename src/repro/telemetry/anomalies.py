@@ -14,7 +14,12 @@ handful of warnings an operator actually acts on:
   so any appearing is a protocol-drift signal;
 * live-monitor degradation — packets shed by the daemon's bounded queue
   (recoverable from the capture directory) or a crash-restarting ingest
-  thread.
+  thread;
+* metrics-store recoveries — a torn frame truncated from an active segment
+  (the writer was killed mid-append) or sealed segments adopted outside the
+  manifest (a crash between seal and manifest write); both are handled
+  automatically but tell the operator the previous run did not exit
+  cleanly.
 
 ``log_anomalies`` emits each finding as a structured warning on the
 ``repro.telemetry`` logger (``extra={"telemetry_counter": ...}``) so existing
@@ -156,6 +161,38 @@ def detect_anomalies(
                 ),
                 counter="service.ingest_restarts",
                 value=restarts,
+            )
+        )
+
+    torn = snapshot.counter("store.torn_frames")
+    if torn:
+        anomalies.append(
+            Anomaly(
+                name="store-torn-frames",
+                message=(
+                    f"{torn} torn frame(s) truncated from the metrics "
+                    "store's active segment(s) on open — the previous "
+                    "writer was killed mid-append; at most one record per "
+                    "segment was lost"
+                ),
+                counter="store.torn_frames",
+                value=torn,
+            )
+        )
+
+    orphans = snapshot.counter("store.manifest_orphans")
+    if orphans:
+        anomalies.append(
+            Anomaly(
+                name="store-manifest-orphans",
+                message=(
+                    f"{orphans} sealed segment(s) were missing from the "
+                    "store manifest and re-indexed from their footers — "
+                    "the previous run stopped between sealing and the "
+                    "manifest write"
+                ),
+                counter="store.manifest_orphans",
+                value=orphans,
             )
         )
 

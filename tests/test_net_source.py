@@ -176,6 +176,26 @@ class TestCaptureDirectorySource:
         assert timestamps == sorted(timestamps)
         assert source.packets_emitted == 2 * per_file
 
+    def test_equal_first_timestamps_tie_break_by_name(self, tmp_path):
+        """Rotated capture files sharing a boundary timestamp must replay
+        in a deterministic (name) order, whatever order the inputs or the
+        directory listing presented them in."""
+        packets = _meeting_packets(seed=13, duration=1.0)
+        for name in ("cap-02.pcap", "cap-00.pcap", "cap-01.pcap"):
+            write_pcap(tmp_path / name, packets)
+        expected = ["cap-00.pcap", "cap-01.pcap", "cap-02.pcap"]
+        source = CaptureDirectorySource(tmp_path)
+        assert [p.name for p in source.files] == expected
+        # Explicit path lists in any order resolve to the same plan.
+        shuffled = [
+            tmp_path / "cap-01.pcap",
+            tmp_path / "cap-02.pcap",
+            tmp_path / "cap-00.pcap",
+        ]
+        assert [
+            p.name for p in CaptureDirectorySource(shuffled).files
+        ] == expected
+
     def test_glob_pattern(self, rotated_dir):
         directory, per_file = rotated_dir
         source = CaptureDirectorySource(str(directory / "*.pcap"))

@@ -1,5 +1,6 @@
 """Exporter tests: Prometheus rendering, JSONL rotation, the HTTP endpoints."""
 
+import gzip
 import json
 import urllib.error
 import urllib.request
@@ -84,16 +85,35 @@ class TestJsonlWindowLog:
             for index in range(5):
                 log.write(_window(index))
             assert log.rotations >= 1
-        rotated = path.with_name(path.name + ".1")
+        # The rotated predecessor is gzip-compressed; the active file stays
+        # plain text.  No half-written temp file may survive.
+        rotated = path.with_name(path.name + ".1.gz")
         assert rotated.exists()
-        total = len(path.read_text().splitlines()) + len(
-            rotated.read_text().splitlines()
-        )
+        assert not rotated.with_name(rotated.name + ".tmp").exists()
+        rotated_lines = gzip.decompress(rotated.read_bytes()).decode().splitlines()
+        assert all(json.loads(line)["packets_total"] == 500 for line in rotated_lines)
+        total = len(path.read_text().splitlines()) + len(rotated_lines)
         # Rotation keeps only one predecessor; earlier lines may be gone,
         # but the current and previous files hold the newest windows.
         assert total >= 2
         assert telemetry.counter("service.jsonl_windows") == 5
         assert telemetry.counter("service.jsonl_rotations") == log.rotations
+
+    def test_rotated_gzip_is_backfillable(self, tmp_path):
+        """The backfill reader must accept both the live plain file and the
+        gzip-rotated predecessor — the satellite contract of PR 5."""
+        from repro.store.backfill import iter_jsonl_windows
+
+        path = tmp_path / "w.jsonl"
+        line_len = len(json.dumps(_window(0).to_dict(), separators=(",", ":"))) + 1
+        with JsonlWindowLog(path, max_bytes=line_len + 10) as log:
+            for index in range(3):
+                log.write(_window(index))
+        rotated = path.with_name(path.name + ".1.gz")
+        from_gzip = list(iter_jsonl_windows(rotated))
+        from_plain = list(iter_jsonl_windows(path))
+        assert from_gzip and from_plain
+        assert all(w["packets_total"] == 500 for w in from_gzip + from_plain)
 
     def test_reopens_append_across_instances(self, tmp_path):
         path = tmp_path / "w.jsonl"
@@ -102,6 +122,23 @@ class TestJsonlWindowLog:
         with JsonlWindowLog(path) as log:
             log.write(_window(1))
         assert len(path.read_text().splitlines()) == 2
+
+
+class TestDegradationCountersExported:
+    def test_dropped_and_restart_counters_always_present(self, tmp_path):
+        """`service.dropped` and `service.ingest_restarts` must appear on
+        the Prometheus page from the first scrape — a dashboard alerting on
+        increase() needs the zero sample, not a series that materializes at
+        the first incident."""
+        from repro.core import AnalyzerConfig, ServiceConfig
+        from repro.service.runner import ZoomMonitorService
+
+        config = ServiceConfig(analyzer=AnalyzerConfig(telemetry=True))
+        service = ZoomMonitorService(tmp_path, config)
+        body = service.render_metrics()
+        assert "repro_service_dropped_total 0" in body
+        assert "repro_service_dropped_batches_total 0" in body
+        assert "repro_service_ingest_restarts_total 0" in body
 
 
 class TestMetricsHTTPServer:

@@ -1,0 +1,169 @@
+"""Segment-layer tests: frame codec, active recovery, sealing, footers."""
+
+import gzip
+import io
+import json
+import struct
+
+import pytest
+
+from repro.store.segment import (
+    SEGMENT_MAGIC,
+    ActiveSegment,
+    SegmentMeta,
+    encode_frame,
+    iter_frames,
+    read_sealed_segment,
+    read_segment_footer,
+    recover_active,
+    seal_segment,
+    write_sealed_segment,
+)
+
+
+def _window(index: int, *, media: str = "video") -> dict:
+    return {
+        "kind": "window",
+        "window": index,
+        "start": index * 10.0,
+        "end": (index + 1) * 10.0,
+        "packets_total": 100 + index,
+        "media": [{"media": media, "packets": 90, "bytes": 9000}],
+    }
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        records = [_window(i) for i in range(5)]
+        blob = b"".join(encode_frame(r) for r in records)
+        assert list(iter_frames(io.BytesIO(blob))) == records
+
+    def test_stops_at_torn_header(self):
+        blob = encode_frame(_window(0)) + b"\x00\x00"
+        assert len(list(iter_frames(io.BytesIO(blob)))) == 1
+
+    def test_stops_at_corrupt_crc(self):
+        good = encode_frame(_window(0))
+        bad = bytearray(encode_frame(_window(1)))
+        bad[-1] ^= 0xFF  # flip one payload byte; CRC no longer matches
+        frames = list(iter_frames(io.BytesIO(good + bytes(bad))))
+        assert frames == [_window(0)]
+
+    def test_stops_at_absurd_length(self):
+        huge = struct.pack(">II", 1 << 30, 0)
+        assert list(iter_frames(io.BytesIO(huge))) == []
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            encode_frame({"kind": "stream", "mean_fps": float("nan")})
+
+
+class TestSegmentMeta:
+    def test_observe_accumulates_index_fields(self):
+        meta = SegmentMeta(partition=3)
+        meta.observe(_window(1))
+        meta.observe(_window(2, media="audio"))
+        meta.observe(
+            {"kind": "meeting", "start": 5.0, "end": 25.0, "meeting_id": 42}
+        )
+        meta.observe(
+            {"kind": "stream", "start": 6.0, "end": 20.0, "media": "video"}
+        )
+        assert meta.records == 4
+        assert meta.kinds == {"window": 2, "meeting": 1, "stream": 1}
+        assert meta.meetings == {42}
+        assert meta.media == {"video", "audio"}
+        assert meta.start == 5.0 and meta.end == 30.0
+
+    def test_footer_round_trip(self):
+        meta = SegmentMeta(partition=1)
+        for i in range(3):
+            meta.observe(_window(i))
+        rebuilt = SegmentMeta.from_footer(meta.footer_record())
+        assert rebuilt.records == meta.records
+        assert rebuilt.kinds == meta.kinds
+        assert (rebuilt.start, rebuilt.end) == (meta.start, meta.end)
+
+
+class TestActiveSegment:
+    def test_append_and_read_back(self, tmp_path):
+        active = ActiveSegment(tmp_path / "active-p0.seg", 0)
+        for i in range(4):
+            active.append(_window(i))
+        assert active.records_on_disk() == [_window(i) for i in range(4)]
+        assert active.meta.records == 4
+        active.close()
+
+    def test_reopen_resumes_appending(self, tmp_path):
+        path = tmp_path / "active-p0.seg"
+        first = ActiveSegment(path, 0)
+        first.append(_window(0))
+        first.close()
+        second = ActiveSegment(path, 0)
+        assert second.meta.records == 1
+        assert not second.recovered_truncated
+        second.append(_window(1))
+        assert second.records_on_disk() == [_window(0), _window(1)]
+        second.close()
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        path = tmp_path / "active-p0.seg"
+        active = ActiveSegment(path, 0)
+        for i in range(3):
+            active.append(_window(i))
+        active.close()
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:  # simulate a kill mid-append
+            handle.write(encode_frame(_window(3))[:11])
+        recovered = ActiveSegment(path, 0)
+        assert recovered.recovered_truncated
+        assert recovered.meta.records == 3
+        assert path.stat().st_size == intact
+        recovered.close()
+
+    def test_garbage_file_reset(self, tmp_path):
+        path = tmp_path / "active-p0.seg"
+        path.write_bytes(b"not a segment at all")
+        recovered = recover_active(path, 0)
+        assert recovered.truncated
+        assert recovered.meta.records == 0
+        assert path.read_bytes() == SEGMENT_MAGIC
+
+
+class TestSealing:
+    def test_seal_is_atomic_and_removes_active(self, tmp_path):
+        active = ActiveSegment(tmp_path / "active-p0.seg", 0)
+        records = [_window(i) for i in range(3)]
+        for record in records:
+            active.append(record)
+        sealed_path = tmp_path / "seg-p0-0000.segz"
+        meta = seal_segment(active, sealed_path)
+        assert meta.records == 3
+        assert not active.path.exists()
+        assert not sealed_path.with_name(sealed_path.name + ".tmp").exists()
+        read, footer = read_sealed_segment(sealed_path)
+        assert read == records
+        assert footer is not None and footer.records == 3
+
+    def test_sealing_is_deterministic(self, tmp_path):
+        """Same records → byte-identical segments (gzip mtime pinned)."""
+        records = [_window(i) for i in range(4)]
+        write_sealed_segment(tmp_path / "a.segz", records, 0)
+        write_sealed_segment(tmp_path / "b.segz", records, 0)
+        assert (tmp_path / "a.segz").read_bytes() == (
+            tmp_path / "b.segz"
+        ).read_bytes()
+
+    def test_footer_readable_without_trusting_manifest(self, tmp_path):
+        records = [_window(i) for i in range(2)]
+        write_sealed_segment(tmp_path / "seg.segz", records, 7)
+        footer = read_segment_footer(tmp_path / "seg.segz")
+        assert footer is not None
+        assert footer.partition == 7
+        assert footer.records == 2
+
+    def test_non_segment_gzip_rejected(self, tmp_path):
+        path = tmp_path / "bogus.segz"
+        path.write_bytes(gzip.compress(json.dumps({"x": 1}).encode()))
+        with pytest.raises(ValueError, match="not a store segment"):
+            read_sealed_segment(path)

@@ -1,0 +1,202 @@
+"""MetricsStore tests: sealing policy, manifest recovery, maintenance."""
+
+import json
+
+import pytest
+
+from repro.core import StoreConfig
+from repro.store import MetricsStore
+from repro.store.store import MANIFEST_NAME
+from repro.telemetry import Telemetry
+
+
+def _window(index: int, *, width: float = 10.0) -> dict:
+    return {
+        "kind": "window",
+        "window": index,
+        "start": index * width,
+        "end": (index + 1) * width,
+        "packets_total": 10 + index,
+        "media": [{"media": "video", "packets": 9, "bytes": 900}],
+    }
+
+
+def _config(**overrides) -> StoreConfig:
+    defaults = dict(partition_seconds=100.0, seal_records=4)
+    defaults.update(overrides)
+    return StoreConfig(**defaults)
+
+
+class TestAppendAndSeal:
+    def test_seals_at_record_threshold(self, tmp_path):
+        store = MetricsStore(tmp_path, _config())
+        for i in range(4):
+            store.append(_window(i))
+        assert len(store.segments()) == 1
+        assert store.segments()[0].records == 4
+        assert store.active_partitions() == []
+
+    def test_seals_at_byte_threshold(self, tmp_path):
+        store = MetricsStore(tmp_path, _config(seal_records=10_000, seal_bytes=200))
+        store.append(_window(0))
+        store.append(_window(1))
+        assert len(store.segments()) >= 1
+
+    def test_stale_partitions_sealed_eagerly(self, tmp_path):
+        """Once capture time moves two partitions on, the old partition's
+        active file seals without waiting for thresholds."""
+        store = MetricsStore(tmp_path, _config(seal_records=10_000))
+        store.append(_window(0))  # partition 0
+        store.append(_window(25))  # partition 2 → partition 0 must seal
+        sealed_partitions = {info.partition for info in store.segments()}
+        assert 0 in sealed_partitions
+        assert store.active_partitions() == [2]
+
+    def test_close_seals_everything_and_refuses_appends(self, tmp_path):
+        store = MetricsStore(tmp_path, _config())
+        store.append(_window(0))
+        store.close()
+        assert store.active_partitions() == []
+        assert store.record_count() == 1
+        with pytest.raises(ValueError, match="closed"):
+            store.append(_window(1))
+
+    def test_counts_through_telemetry(self, tmp_path):
+        telemetry = Telemetry()
+        store = MetricsStore(tmp_path, _config(), telemetry=telemetry)
+        for i in range(4):
+            store.append(_window(i))
+        assert telemetry.counter("store.appended") == 4
+        assert telemetry.counter("store.appended.window") == 4
+        assert telemetry.counter("store.segments_sealed") == 1
+        assert telemetry.counter("store.records_sealed") == 4
+
+
+class TestReopen:
+    def test_reopen_sees_sealed_and_active(self, tmp_path):
+        store = MetricsStore(tmp_path, _config())
+        for i in range(6):  # 4 sealed + 2 active
+            store.append(_window(i))
+        del store  # no close: simulate an abrupt exit after the seal
+        reopened = MetricsStore(tmp_path, _config())
+        assert reopened.record_count() == 6
+        assert len(reopened.segments()) == 1
+        assert reopened.active_partitions() == [0]
+
+    def test_manifest_rebuilt_from_orphan_footers(self, tmp_path):
+        telemetry = Telemetry()
+        store = MetricsStore(tmp_path, _config())
+        for i in range(8):
+            store.append(_window(i))
+        store.close()
+        (tmp_path / MANIFEST_NAME).unlink()  # lose the manifest entirely
+        reopened = MetricsStore(tmp_path, _config(), telemetry=telemetry)
+        assert reopened.record_count() == 8
+        assert telemetry.counter("store.manifest_orphans") == len(
+            reopened.segments()
+        )
+        assert (tmp_path / MANIFEST_NAME).exists()  # rewritten on open
+
+    def test_manifest_entry_with_missing_file_dropped(self, tmp_path):
+        telemetry = Telemetry()
+        store = MetricsStore(tmp_path, _config())
+        for i in range(4):
+            store.append(_window(i))
+        store.close()
+        info = store.segments()[0]
+        (tmp_path / info.name).unlink()
+        reopened = MetricsStore(tmp_path, _config(), telemetry=telemetry)
+        assert reopened.segments() == []
+        assert telemetry.counter("store.manifest_dropped") == 1
+
+    def test_on_disk_partition_width_wins(self, tmp_path):
+        store = MetricsStore(tmp_path, _config(partition_seconds=50.0))
+        store.append(_window(0))
+        store.close()
+        reopened = MetricsStore(tmp_path, _config(partition_seconds=9999.0))
+        assert reopened.config.partition_seconds == 50.0
+
+    def test_unknown_manifest_version_rejected(self, tmp_path):
+        MetricsStore(tmp_path, _config()).close()
+        manifest = tmp_path / MANIFEST_NAME
+        payload = json.loads(manifest.read_text())
+        payload["version"] = 99
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported store version"):
+            MetricsStore(tmp_path, _config())
+
+    def test_sequence_numbers_never_reused(self, tmp_path):
+        store = MetricsStore(tmp_path, _config())
+        for i in range(8):  # two sealed segments in partition 0
+            store.append(_window(i))
+        names = {info.name for info in store.segments()}
+        reopened = MetricsStore(tmp_path, _config())
+        reopened.append(_window(8))
+        reopened.close()
+        new_names = {info.name for info in reopened.segments()} - names
+        assert len(new_names) == 1  # a fresh name, not an overwrite
+
+
+class TestMaintenance:
+    def test_compaction_merges_small_segments(self, tmp_path):
+        config = _config(
+            seal_records=2, compact_min_segments=3, compact_small_bytes=1 << 20
+        )
+        store = MetricsStore(tmp_path, config)
+        for i in range(8):  # 4 small sealed segments in partition 0
+            store.append(_window(i))
+        assert len(store.segments()) == 4
+        compactions, merged = store.compact()
+        assert (compactions, merged) == (1, 4)
+        assert len(store.segments()) == 1
+        merged_info = store.segments()[0]
+        assert merged_info.records == 8
+        # Record order inside the merged segment is original append order.
+        records = store.iter_segment_records(merged_info)
+        assert [r["window"] for r in records] == list(range(8))
+
+    def test_compaction_survives_reopen(self, tmp_path):
+        config = _config(
+            seal_records=2, compact_min_segments=2, compact_small_bytes=1 << 20
+        )
+        store = MetricsStore(tmp_path, config)
+        for i in range(4):
+            store.append(_window(i))
+        store.compact()
+        reopened = MetricsStore(tmp_path, config)
+        assert reopened.record_count() == 4
+        assert len(reopened.segments()) == 1
+
+    def test_retention_by_age(self, tmp_path):
+        config = _config(seal_records=4, retention_max_age=150.0)
+        store = MetricsStore(tmp_path, config)
+        for i in range(4):  # partition 0: windows 0..40s
+            store.append(_window(i))
+        for i in range(30, 34):  # partition 3: windows 300..340s
+            store.append(_window(i))
+        removed, reclaimed = store.enforce_retention()
+        assert removed == 1 and reclaimed > 0
+        remaining = {info.partition for info in store.segments()}
+        assert remaining == {3}
+
+    def test_retention_by_total_bytes(self, tmp_path):
+        config = _config(seal_records=2)
+        store = MetricsStore(tmp_path, config)
+        for i in range(8):
+            store.append(_window(i))
+        keep = store.segments()[-1].bytes
+        store.config = store.config.replace(retention_max_bytes=keep)
+        removed, _ = store.enforce_retention()
+        assert removed == 3
+        assert store.total_bytes() <= keep
+
+    def test_maintain_if_due_runs_on_cadence(self, tmp_path):
+        config = _config(seal_records=1, maintenance_interval=3)
+        store = MetricsStore(tmp_path, config)
+        store.append(_window(0))
+        assert store.maintain_if_due() is None  # 1 seal < interval
+        store.append(_window(1))
+        store.append(_window(2))
+        report = store.maintain_if_due()
+        assert report is not None
+        assert store.maintain_if_due() is None  # counter reset
