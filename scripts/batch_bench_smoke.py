@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""CI smoke benchmark for the batch decode fast path and multicore sharding.
+
+Guards the performance *ordering*, not absolute numbers (shared runners are
+too noisy for those):
+
+1. a border-style trace (mostly provably non-Zoom background) must analyze
+   strictly faster through ``read_batches``/``feed_batch`` than through the
+   scalar ``feed`` loop — if the batch path ever regresses below scalar,
+   the fast path has stopped being one;
+2. both paths must produce bit-identical analysis (packet totals, Zoom
+   share, semantic telemetry counters);
+3. when the runner has at least 2 usable cores, the process-backend
+   :class:`ShardedAnalyzer` (which ships ``FrameBatch`` buffers across the
+   pool) must complete and merge to the same totals — the speedup itself is
+   only asserted when cores >= shards.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/batch_bench_smoke.py
+
+Exits non-zero on the first failed check.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import AnalyzerConfig, ShardedAnalyzer, ZoomAnalyzer  # noqa: E402
+from repro.net.packet import CapturedPacket, build_udp_frame  # noqa: E402
+from repro.net.pcap import PcapReader, PcapWriter  # noqa: E402
+from repro.telemetry.registry import shard_invariant_counters  # noqa: E402
+
+FRAMES = 60_000
+CORES = min(
+    os.cpu_count() or 1,
+    len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else 1 << 30,
+)
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def border_pcap() -> bytes:
+    rng = random.Random(11)
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    zoom = build_udp_frame(
+        "10.8.0.5", 20000, "170.114.1.1", 8801, b"\x05\x10" + bytes(700)
+    )
+    t = 0.0
+    for i in range(FRAMES):
+        t += 0.0001
+        if i % 20 == 0:
+            writer.write(CapturedPacket(t, zoom))
+        else:
+            src = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+            dst = f"93.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+            writer.write(
+                CapturedPacket(
+                    t,
+                    build_udp_frame(
+                        src, rng.randrange(1024, 65000), dst, 443, bytes(400)
+                    ),
+                )
+            )
+    return buffer.getvalue()
+
+
+def timed(fn, rounds: int = 2):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def main() -> None:
+    data = border_pcap()
+
+    def scalar_pass():
+        analyzer = ZoomAnalyzer(AnalyzerConfig(telemetry=True))
+        for packet in PcapReader(io.BytesIO(data)):
+            analyzer.feed(packet)
+        return analyzer.result
+
+    def batch_pass():
+        analyzer = ZoomAnalyzer(AnalyzerConfig(telemetry=True))
+        for batch in PcapReader(io.BytesIO(data)).read_batches():
+            analyzer.feed_batch(batch)
+        return analyzer.result
+
+    scalar_result, scalar_time = timed(scalar_pass)
+    batch_result, batch_time = timed(batch_pass)
+    speedup = scalar_time / batch_time
+    print(
+        f"scalar: {FRAMES / scalar_time:,.0f} pps; "
+        f"batch: {FRAMES / batch_time:,.0f} pps ({speedup:.2f}x)"
+    )
+
+    if batch_result.packets_total != scalar_result.packets_total:
+        fail("batch path packet totals diverge from scalar")
+    if batch_result.packets_zoom != scalar_result.packets_zoom:
+        fail("batch path Zoom classification diverges from scalar")
+    scalar_counters = shard_invariant_counters(scalar_result.telemetry_snapshot())
+    batch_counters = shard_invariant_counters(batch_result.telemetry_snapshot())
+    if batch_counters != scalar_counters:
+        fail("batch path semantic telemetry diverges from scalar")
+    if batch_result.telemetry_snapshot().counter("prefilter.dropped") == 0:
+        fail("prefilter dropped nothing on a 95%-background trace")
+    if speedup <= 1.0:
+        fail(
+            f"batch decode is SLOWER than scalar ({speedup:.2f}x) — "
+            "the fast path has regressed"
+        )
+
+    shards = 2
+    backend = "process" if CORES >= 2 else "serial"
+    captures = [
+        CapturedPacket(p.timestamp, p.data) for p in PcapReader(io.BytesIO(data))
+    ]
+    sharded, sharded_time = timed(
+        lambda: ShardedAnalyzer(
+            AnalyzerConfig(shards=shards, shard_backend=backend, telemetry=True)
+        ).analyze(captures),
+        rounds=1,
+    )
+    print(
+        f"sharded ({shards} shards, {backend}, {CORES} cores): "
+        f"{FRAMES / sharded_time:,.0f} pps"
+    )
+    if sharded.packets_total != scalar_result.packets_total:
+        fail("sharded merge packet totals diverge from scalar")
+    if sharded.packets_zoom != scalar_result.packets_zoom:
+        fail("sharded merge Zoom classification diverges from scalar")
+    if CORES >= shards and backend == "process":
+        if sharded_time >= scalar_time:
+            fail(
+                f"process-backend sharding ({sharded_time:.2f}s) not faster "
+                f"than the single pass ({scalar_time:.2f}s) with "
+                f"{CORES} cores available"
+            )
+        print(f"sharded speedup: {scalar_time / sharded_time:.2f}x over scalar")
+    else:
+        print("sharded speedup check skipped: fewer cores than shards")
+
+    print("OK: batch decode faster than scalar, results bit-identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -327,6 +327,13 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
             f"{report.ingest_restarts} ingest restarts",
             file=sys.stderr,
         )
+    from repro.telemetry import log_anomalies
+
+    anomalies = log_anomalies(service.telemetry.snapshot())
+    if anomalies:
+        print("health warnings:", file=sys.stderr)
+        for anomaly in anomalies:
+            print(f"  [{anomaly.name}] {anomaly.message}", file=sys.stderr)
     return 0
 
 

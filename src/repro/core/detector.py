@@ -69,6 +69,11 @@ class ZoomSubnetMatcher:
     def matches(self, ip: str | None) -> bool:
         return ip is not None and ip in self
 
+    @property
+    def networks(self) -> list[ipaddress.IPv4Network | ipaddress.IPv6Network]:
+        """The compiled prefix list (the batch prefilter recompiles from it)."""
+        return [network for bucket in self._networks.values() for network in bucket]
+
 
 @dataclass(frozen=True, slots=True)
 class StunBinding:
@@ -148,6 +153,16 @@ class StunTracker:
     def __len__(self) -> int:
         return len(self._bindings)
 
+    def endpoints(self) -> list[tuple[str, int]]:
+        """Every currently-tracked (ip, port) key, expiry ignored.
+
+        The batch prefilter folds these into its never-expiring pass-set;
+        lazily-expired keys are deliberately included, since a frame whose
+        endpoint is *about* to expire must still reach the detector so the
+        expiry happens on the scalar path, not silently in the prefilter.
+        """
+        return list(self._bindings)
+
     def merge_from(self, other: "StunTracker") -> None:
         """Union another tracker's bindings, keeping the freshest learn time."""
         for endpoint, learned in other._bindings.items():
@@ -164,6 +179,11 @@ class DetectorCounters:
 
     def bump(self, klass: ZoomClass) -> None:
         self.by_class[klass] = self.by_class.get(klass, 0) + 1
+
+    def add(self, klass: ZoomClass, count: int) -> None:
+        """Bulk bump — the batch prefilter accounts dropped frames at once."""
+        if count:
+            self.by_class[klass] = self.by_class.get(klass, 0) + count
 
     def merge_from(self, other: "DetectorCounters") -> None:
         for klass, count in other.by_class.items():

@@ -7,7 +7,13 @@ Zoom demux (§4.2) → stream/meeting assembly (§4.3) → per-stream metrics
 :class:`~repro.core.events.EventBus` that the 1-second binning (§6.2),
 rolling eviction, ML export, and report-card layers subscribe to.
 It runs fully streaming: one pass over the capture, bounded state per
-stream, no retained raw bytes.
+stream.  Raw frame bytes are held only for the packet in flight — a
+:class:`~repro.net.packet.ParsedPacket` keeps its frame while it moves
+through the stages and is then released; nothing downstream retains it
+(stream tables keep normalized records, and only when ``keep_records`` is
+set).  On the batch fast path (:meth:`ZoomAnalyzer.feed_batch`) non-Zoom
+frames are dropped by the prefilter before any per-packet object exists
+at all.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.core.metrics.stalls import StallEvent, detect_stalls
 from repro.core.metrics.sync import SenderReportCollector, SyncSink
 from repro.core.stages import (
     AssembleStage,
+    BatchContext,
     ClassifyStage,
     DecodeStage,
     MetricsStage,
@@ -42,6 +49,7 @@ from repro.core.stages import (
     ZoomDemuxStage,
 )
 from repro.core.streams import MediaStream, RTPPacketRecord, StreamKey, StreamTable
+from repro.net.batch import FrameBatch
 from repro.net.packet import CapturedPacket, ParsedPacket
 from repro.telemetry.registry import Telemetry, TelemetrySnapshot
 from repro.zoom.constants import (
@@ -53,6 +61,14 @@ from repro.zoom.constants import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.source import PacketSource
+
+#: Batch-path counters pre-seeded to zero on every telemetry-enabled run.
+_BATCH_COUNTER_SEEDS = (
+    "pipeline.batch.batches",
+    "pipeline.batch.frames",
+    "prefilter.passed",
+    "prefilter.dropped",
+)
 
 
 @dataclass
@@ -318,9 +334,11 @@ class ZoomAnalyzer:
         )
         self.result.streams = StreamTable(keep_records=config.keep_records)
         self._assemble = AssembleStage(self.result, self.bus)
+        self._decode_stage = DecodeStage(self.result, self.bus)
+        self._classify_stage = ClassifyStage(self.result, self.bus)
         self.stages: tuple[Stage, ...] = (
-            DecodeStage(self.result, self.bus),
-            ClassifyStage(self.result, self.bus),
+            self._decode_stage,
+            self._classify_stage,
             ZoomDemuxStage(self.result, self.bus),
             self._assemble,
             MetricsStage(self.result, self.bus),
@@ -334,6 +352,13 @@ class ZoomAnalyzer:
         self._packet_seq = 0
         self.bus.register(BitrateSink(self.result.bitrate))
         self.bus.register(SyncSink(self.result.sync))
+        # Pre-seed the batch-path counters so `--stats` and the Prometheus
+        # exporter always expose them, even on runs that never see a batch
+        # (and so their absence can never be mistaken for "prefilter ran
+        # and dropped nothing" — see repro.telemetry.anomalies).
+        if self._telemetry.enabled:
+            for name in _BATCH_COUNTER_SEEDS:
+                self._telemetry.count(name, 0)
 
     def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
         """Feed a whole in-memory capture and return the result."""
@@ -344,14 +369,23 @@ class ZoomAnalyzer:
     def run(self, source: "PacketSource") -> AnalysisResult:
         """Drain a :class:`~repro.net.source.PacketSource` and return the result.
 
-        The streaming twin of :meth:`analyze`: batches of already-parsed
-        packets flow straight into the stage pipeline, so memory stays
-        bounded by one batch regardless of capture size.  Also accepts a
-        file path or a plain packet iterable (coerced to a source).
+        The streaming twin of :meth:`analyze`: memory stays bounded by one
+        batch regardless of capture size.  Also accepts a file path or a
+        plain packet iterable (coerced to a source).  Sources exposing
+        ``frame_batches()`` — every built-in one does — go through the
+        batch fast path (:meth:`feed_batch`); file-backed sources deliver
+        raw contiguous buffers there, so non-Zoom frames are prefiltered
+        before any per-packet object is allocated.
         """
         from repro.net.source import coerce_source
 
-        for batch in coerce_source(source, telemetry=self._telemetry).batches():
+        coerced = coerce_source(source, telemetry=self._telemetry)
+        frame_batches = getattr(coerced, "frame_batches", None)
+        if frame_batches is not None:
+            for batch in frame_batches():
+                self.feed_batch(batch)
+            return self.result
+        for batch in coerced.batches():
             for parsed in batch:
                 self.feed_parsed(parsed)
         return self.result
@@ -363,6 +397,64 @@ class ZoomAnalyzer:
     def feed_parsed(self, parsed: ParsedPacket) -> None:
         """Feed one already-parsed frame."""
         self._run(PacketContext(parsed=parsed))
+
+    def feed_batch(self, batch: FrameBatch) -> None:
+        """Feed one :class:`~repro.net.batch.FrameBatch`.
+
+        Raw batches take the vectorized path: columnar header decode, the
+        compiled prefilter, then lazy materialization of survivors through
+        the unchanged scalar stages — every counter, stream, and metric is
+        bit-identical to feeding the same frames one by one.  Prepared
+        batches (the scalar-source shim) feed their packets through
+        unchanged.  Hint frames (sharding) reach :meth:`hint_stun` in
+        capture order, interleaved with the survivors around them.
+        """
+        tel = self._telemetry
+        prepared = batch.prepared
+        if prepared is not None:
+            if tel.enabled:
+                tel.count("pipeline.batch.batches")
+                tel.count("pipeline.batch.frames", len(prepared))
+            hints = batch.hints
+            if hints is not None:
+                for i, parsed in enumerate(prepared):
+                    if hints[i]:
+                        self.hint_stun(parsed)
+                    else:
+                        self._run(PacketContext(parsed=parsed))
+            else:
+                for parsed in prepared:
+                    self._run(PacketContext(parsed=parsed))
+            return
+        bctx = BatchContext(batch)
+        self._decode_stage.process_batch(bctx)
+        verdict = self._classify_stage.process_batch(bctx)
+        self._decode_stage.account_dropped(verdict)
+        if tel.enabled:
+            tel.count("pipeline.batch.batches")
+            tel.count("pipeline.batch.frames", len(batch))
+            tel.count("prefilter.passed", verdict.passed)
+            tel.count("prefilter.dropped", verdict.dropped)
+            if verdict.dropped:
+                # Scalar equivalence: every dropped frame would have
+                # stopped at the classify stage.
+                tel.count("pipeline.stop.classify", verdict.dropped)
+        materialize = batch.materialize
+        hints = verdict.hint_indexes
+        if hints:
+            position = 0
+            limit = len(hints)
+            for index in verdict.survivors:
+                while position < limit and hints[position] < index:
+                    self.hint_stun(materialize(hints[position]))
+                    position += 1
+                self._run(PacketContext(parsed=materialize(index)))
+            while position < limit:
+                self.hint_stun(materialize(hints[position]))
+                position += 1
+        else:
+            for index in verdict.survivors:
+                self._run(PacketContext(parsed=materialize(index)))
 
     def evict_stream(self, key: StreamKey, *, reason: str = "idle") -> MediaStream | None:
         """Finalize and release one stream from the live analyzer state.

@@ -23,8 +23,12 @@ Two cross-flow effects need care:
 
 Backends: ``"serial"`` (debugging/baseline), ``"thread"`` (shared-memory;
 bounded by the GIL for pure-Python decode), ``"process"``
-(``multiprocessing``; true parallelism at the cost of shipping packets and
-results across process boundaries).
+(``multiprocessing``; true parallelism).  Work crosses the process
+boundary as :class:`~repro.net.batch.FrameBatch` buffers — one contiguous
+``bytes`` plus three flat arrays per ~2048 frames — so pickling cost is a
+handful of buffer copies per batch instead of one ``CapturedPacket``
+object per packet, and each shard runs the batch fast path
+(:meth:`ZoomAnalyzer.feed_batch`) end to end.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.config import _UNSET, AnalyzerConfig, resolve_config
 from repro.core.pipeline import AnalysisResult, ZoomAnalyzer
+from repro.net.batch import FrameBatch, FrameBatchBuilder
 from repro.net.packet import CapturedPacket, parse_frame
 from repro.rtp.stun import STUN_PORT
 from repro.telemetry.registry import Telemetry
@@ -47,15 +52,20 @@ _ETHERTYPE_IPV4 = 0x0800
 _ETHERTYPE_IPV6 = 0x86DD
 _STUN_MAGIC = b"\x21\x12\xa4\x42"
 
+#: Frames per shard-bound :class:`FrameBatch` built by the partitioner.
+_SHARD_BATCH_FRAMES = 2048
 
-def flow_shard_info(data: bytes) -> tuple[int, bool] | None:
+
+def flow_shard_info(data) -> tuple[int, bool] | None:
     """(bidirectional flow hash, looks-like-Zoom-STUN) for one raw frame.
 
     Reads the handful of header bytes it needs directly — this runs once per
     packet in the partitioning loop, before any shard does a full decode.
-    Returns ``None`` for frames without an IPv4/IPv6 + TCP/UDP flow key
-    (ARP, truncated frames, other protocols); those carry no per-flow state
-    and may go to any shard.
+    ``data`` may be ``bytes`` or a ``memoryview`` into a batch buffer (the
+    hash is over header *values*, so both spell the same shard).  Returns
+    ``None`` for frames without an IPv4/IPv6 + TCP/UDP flow key (ARP,
+    truncated frames, other protocols); those carry no per-flow state and
+    may go to any shard.
     """
     if len(data) < 34:
         return None
@@ -71,15 +81,15 @@ def flow_shard_info(data: bytes) -> tuple[int, bool] | None:
         if ihl < 20 or len(data) < offset + ihl + 4:
             return None
         proto = data[offset + 9]
-        src = data[offset + 12 : offset + 16]
-        dst = data[offset + 16 : offset + 20]
+        src = bytes(data[offset + 12 : offset + 16])
+        dst = bytes(data[offset + 16 : offset + 20])
         l4 = offset + ihl
     elif ethertype == _ETHERTYPE_IPV6:
         if len(data) < offset + 44:
             return None
         proto = data[offset + 6]
-        src = data[offset + 8 : offset + 24]
-        dst = data[offset + 24 : offset + 40]
+        src = bytes(data[offset + 8 : offset + 24])
+        dst = bytes(data[offset + 24 : offset + 40])
         l4 = offset + 40
     else:
         return None
@@ -125,6 +135,22 @@ def _analyze_shard(args: tuple) -> AnalysisResult:
             analyzer.hint_stun(parse_frame(packet.data, packet.timestamp))
         else:
             analyzer.feed(packet)
+    return analyzer.result
+
+
+def _analyze_shard_batches(args: tuple) -> AnalysisResult:
+    """Worker: run one shard's :class:`FrameBatch` list through a fresh
+    analyzer's batch fast path.
+
+    Hint frames (replicated STUN) travel inside the batches via the
+    ``hints`` column; :meth:`ZoomAnalyzer.feed_batch` routes them to
+    :meth:`~ZoomAnalyzer.hint_stun` in capture order without counting them.
+    Module-level so the process backend can pickle it.
+    """
+    config, batches = args
+    analyzer = ZoomAnalyzer(config)
+    for batch in batches:
+        analyzer.feed_batch(batch)
     return analyzer.result
 
 
@@ -218,6 +244,53 @@ class ShardedAnalyzer:
         self.partition_stats = stats
         return buckets
 
+    def partition_frames(
+        self, frames: Iterable[tuple]
+    ) -> list[list[FrameBatch]]:
+        """Split a raw-frame stream into per-shard :class:`FrameBatch` lists.
+
+        ``frames`` yields ``(data, timestamp)`` pairs (``data`` may be a
+        ``memoryview`` into a reader batch; the builder copies it into the
+        shard's own contiguous buffer).  Same flow-affine placement and
+        STUN-hint replication as :meth:`partition`, but the output is what
+        the process backend actually wants to pickle: one buffer + three
+        flat arrays per ~:data:`_SHARD_BATCH_FRAMES` frames, not one object
+        per packet.  Partition accounting lands on :attr:`partition_stats`.
+        """
+        shards = self.shards
+        builders = [FrameBatchBuilder() for _ in range(shards)]
+        work: list[list[FrameBatch]] = [[] for _ in range(shards)]
+        stats = PartitionStats(shard_packets=[0] * shards)
+        crc32 = zlib.crc32
+        for data, timestamp in frames:
+            info = flow_shard_info(data)
+            if info is None:
+                home = crc32(data) % shards
+                stats.unhashable_frames += 1
+                is_stun = False
+            else:
+                flow_hash, is_stun = info
+                home = flow_hash % shards
+            builder = builders[home]
+            builder.append(data, timestamp)
+            stats.shard_packets[home] += 1
+            if len(builder) >= _SHARD_BATCH_FRAMES:
+                work[home].append(builder.build())
+            if is_stun:
+                for index in range(shards):
+                    if index == home:
+                        continue
+                    other = builders[index]
+                    other.append(data, timestamp, hint=True)
+                    stats.hints_replicated += 1
+                    if len(other) >= _SHARD_BATCH_FRAMES:
+                        work[index].append(other.build())
+        for index, builder in enumerate(builders):
+            if len(builder):
+                work[index].append(builder.build())
+        self.partition_stats = stats
+        return work
+
     def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
         """Partition, run every shard, and return the merged result.
 
@@ -225,10 +298,48 @@ class ShardedAnalyzer:
         (so additive counters match a single-pass run) plus the driver's own
         ``sharded.*`` partition accounting.
         """
-        buckets = self.partition(packets)
+        return self._analyze_frames(
+            (packet.data, packet.timestamp) for packet in packets
+        )
+
+    def run(self, source: "PacketSource") -> AnalysisResult:
+        """Drain a :class:`~repro.net.source.PacketSource` across the shards.
+
+        Batch-capable sources stream :class:`FrameBatch` buffers straight
+        into the partitioner (no per-packet objects on the ingest side
+        either); scalar-only sources fall back to rewrapping parsed packets
+        as raw frames.  Also accepts a file path or plain packet iterable.
+        """
+        from repro.net.source import coerce_source
+
+        # Shard registries can't be shared with the reader, so ingest-side
+        # counters accumulate separately and fold into the merged result.
+        ingest = Telemetry(enabled=self.config.telemetry_enabled)
+        source = coerce_source(source, telemetry=ingest, tolerant=self.config.tolerant)
+        frame_batches = getattr(source, "frame_batches", None)
+        if frame_batches is not None:
+            frames = (
+                frame
+                for batch in frame_batches()
+                for frame in batch.iter_frames()
+            )
+        else:
+            frames = (
+                (parsed.raw, parsed.timestamp)
+                for batch in source.batches()
+                for parsed in batch
+            )
+        result = self._analyze_frames(frames)
+        result.telemetry.merge_from(ingest)
+        return result
+
+    # ------------------------------------------------------------- internals
+
+    def _analyze_frames(self, frames: Iterable[tuple]) -> AnalysisResult:
+        work = self.partition_frames(frames)
         shard_config = self.config.shard_config()
-        shard_args = [(shard_config, work) for work in buckets]
-        results = self._run_shards(shard_args)
+        shard_args = [(shard_config, batches) for batches in work]
+        results = self._run_shards(shard_args, worker=_analyze_shard_batches)
         merged = AnalysisResult.merge_all(results)
         tel = merged.telemetry
         if tel.enabled:
@@ -240,39 +351,17 @@ class ShardedAnalyzer:
             tel.record_max("sharded.shards", self.shards)
         return merged
 
-    def run(self, source: "PacketSource") -> AnalysisResult:
-        """Drain a :class:`~repro.net.source.PacketSource` across the shards.
-
-        The partitioner works on raw frame bytes, so parsed packets are
-        rewrapped as captured frames for the shard work lists (the shards
-        re-decode; cross-process work must be picklable anyway).  Also
-        accepts a file path or plain packet iterable.
-        """
-        from repro.net.source import coerce_source
-
-        # Shard registries can't be shared with the reader, so ingest-side
-        # counters accumulate separately and fold into the merged result.
-        ingest = Telemetry(enabled=self.config.telemetry_enabled)
-        source = coerce_source(source, telemetry=ingest, tolerant=self.config.tolerant)
-        result = self.analyze(
-            CapturedPacket(parsed.timestamp, parsed.raw)
-            for batch in source.batches()
-            for parsed in batch
-        )
-        result.telemetry.merge_from(ingest)
-        return result
-
-    # ------------------------------------------------------------- internals
-
-    def _run_shards(self, shard_args: Sequence[tuple]) -> list[AnalysisResult]:
+    def _run_shards(
+        self, shard_args: Sequence[tuple], worker=_analyze_shard
+    ) -> list[AnalysisResult]:
         if self.backend == "serial" or self.shards == 1:
-            return [_analyze_shard(args) for args in shard_args]
+            return [worker(args) for args in shard_args]
         if self.backend == "thread":
             from concurrent.futures import ThreadPoolExecutor
 
             with ThreadPoolExecutor(max_workers=self.shards) as pool:
-                return list(pool.map(_analyze_shard, shard_args))
+                return list(pool.map(worker, shard_args))
         import multiprocessing
 
         with multiprocessing.Pool(processes=self.shards) as pool:
-            return pool.map(_analyze_shard, shard_args)
+            return pool.map(worker, shard_args)

@@ -16,7 +16,7 @@ stages without touching the others.
 """
 
 from repro.core.stages.assemble import AssembleStage
-from repro.core.stages.base import PacketContext, Stage
+from repro.core.stages.base import BatchContext, PacketContext, Stage
 from repro.core.stages.classify import ClassifyStage
 from repro.core.stages.decode import DecodeStage
 from repro.core.stages.demux import ZoomDemuxStage
@@ -24,6 +24,7 @@ from repro.core.stages.metrics import MetricsStage
 
 __all__ = [
     "AssembleStage",
+    "BatchContext",
     "ClassifyStage",
     "DecodeStage",
     "MetricsStage",

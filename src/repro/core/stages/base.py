@@ -17,6 +17,7 @@ from repro.net.packet import CapturedPacket, FiveTuple, ParsedPacket
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.detector import ZoomClass
     from repro.core.streams import MediaStream, RTPPacketRecord
+    from repro.net.batch import FrameBatch, HeaderColumns
     from repro.zoom.packets import ZoomPacket
 
 
@@ -43,6 +44,21 @@ class PacketContext:
     record: "RTPPacketRecord | None" = None
     stream: "MediaStream | None" = None
     stream_is_new: bool = False
+
+
+@dataclass
+class BatchContext:
+    """Per-batch state for the vectorized fast path.
+
+    One is created per :class:`~repro.net.batch.FrameBatch`; the decode
+    stage fills in the columnar header slices, the classify stage runs the
+    compiled prefilter over them.  Only the indices surviving the prefilter
+    are materialized into :class:`PacketContext`s and fed through the
+    ordinary scalar stages.
+    """
+
+    batch: "FrameBatch"
+    columns: "HeaderColumns | None" = None
 
 
 @runtime_checkable

@@ -13,7 +13,8 @@ from typing import TYPE_CHECKING
 
 from repro.core.detector import ZoomClass
 from repro.core.metrics.latency import TCPRTTEstimator
-from repro.core.stages.base import PacketContext
+from repro.core.stages.base import BatchContext, PacketContext
+from repro.net.batch import BatchPrefilter, PrefilterVerdict
 from repro.net.packet import ParsedPacket
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,6 +38,7 @@ class ClassifyStage:
     def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
         self._result = result
         self._telemetry = result.telemetry
+        self._prefilter: BatchPrefilter | None = None
 
     def process(self, ctx: PacketContext) -> bool:
         result = self._result
@@ -62,6 +64,36 @@ class ClassifyStage:
             return False
         ctx.five_tuple = parsed.five_tuple
         return ctx.five_tuple is not None
+
+    # ------------------------------------------------------------ batch path
+
+    def process_batch(self, bctx: BatchContext) -> PrefilterVerdict:
+        """Run the compiled prefilter over one batch's header columns.
+
+        Dropped frames are provably NOT_ZOOM on the scalar decision tree
+        and provably touch no detector state (see ``repro.net.batch``), so
+        their detector/classify accounting is applied in bulk here with
+        exactly the values the scalar path would have produced; survivors
+        and hint frames come back as index lists for lazy materialization.
+        """
+        result = self._result
+        detector = result.detector
+        assert detector is not None and bctx.columns is not None
+        prefilter = self._prefilter
+        if prefilter is None:
+            prefilter = self._prefilter = BatchPrefilter.from_matcher(detector.matcher)
+        # Fold in endpoints learned outside the prefilter's own sniffing
+        # (scalar-path feeds interleaved between batches, shard merges).
+        prefilter.sync_stun(detector.stun)
+        verdict = prefilter.apply(bctx.batch, bctx.columns)
+        if verdict.dropped:
+            detector.counters.add(ZoomClass.NOT_ZOOM, verdict.dropped)
+            tel = self._telemetry
+            if tel.enabled:
+                packet_counter, byte_counter = _CLASS_COUNTERS[ZoomClass.NOT_ZOOM]
+                tel.count(packet_counter, verdict.dropped)
+                tel.count(byte_counter, verdict.dropped_bytes)
+        return verdict
 
     def _observe_tcp(self, parsed: ParsedPacket) -> None:
         result = self._result

@@ -10,6 +10,15 @@ Everything round-trips: ``parse(serialize(x)) == x`` for every header type,
 which the property-based test suite checks exhaustively.
 """
 
+from repro.net.batch import (
+    BatchPrefilter,
+    FrameBatch,
+    FrameBatchBuilder,
+    HeaderColumns,
+    PrefilterVerdict,
+    decode_columns,
+    prepared_frame_batch,
+)
 from repro.net.checksum import internet_checksum
 from repro.net.ethernet import EtherType, EthernetHeader
 from repro.net.ip import IPProtocol, IPv4Header, IPv6Header
@@ -30,10 +39,14 @@ from repro.net.tcp import TCPFlags, TCPHeader
 from repro.net.udp import UDPHeader
 
 __all__ = [
+    "BatchPrefilter",
     "CaptureDirectorySource",
     "CapturedPacket",
     "EtherType",
     "EthernetHeader",
+    "FrameBatch",
+    "FrameBatchBuilder",
+    "HeaderColumns",
     "IPProtocol",
     "IPv4Header",
     "IPv6Header",
@@ -45,13 +58,16 @@ __all__ = [
     "PcapNgFileSource",
     "PcapReader",
     "PcapWriter",
+    "PrefilterVerdict",
     "SimulationSource",
     "TCPFlags",
     "TCPHeader",
     "UDPHeader",
+    "decode_columns",
     "internet_checksum",
     "open_capture_source",
     "parse_frame",
+    "prepared_frame_batch",
     "read_pcap",
     "sniff_capture_format",
     "write_pcap",

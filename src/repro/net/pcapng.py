@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
+from repro.net.batch import DEFAULT_FRAMES_PER_BATCH, FrameBatch, FrameBatchBuilder
 from repro.net.packet import CapturedPacket
 from repro.telemetry.registry import Telemetry
 
@@ -205,6 +206,24 @@ class PcapngReader:
 
     def _iter_blocks(self) -> Iterator[CapturedPacket]:
         tel = self._telemetry
+        for block_type, body in self._packet_blocks():
+            packet = (
+                self._handle_epb(body)
+                if block_type == BLOCK_EPB
+                else self._handle_spb(body)
+            )
+            if packet is not None:
+                tel.count("capture.frames")
+                tel.count("capture.bytes", len(packet.data))
+                yield packet
+
+    def _packet_blocks(self) -> Iterator[tuple[int, bytes]]:
+        """Walk the block structure, yielding ``(type, body)`` for packet
+        blocks only.  Section headers (byte-order switches, interface-table
+        resets), interface descriptions, and unknown blocks are handled
+        internally — shared by the scalar iterator and :meth:`read_batches`
+        so the two paths cannot drift."""
+        tel = self._telemetry
         while True:
             head = self._read_exact(8)
             if head is None:
@@ -237,22 +256,75 @@ class PcapngReader:
             self.next_offset += total_len
             if block_type == BLOCK_IDB:
                 self._handle_idb(body)
-            elif block_type == BLOCK_EPB:
-                packet = self._handle_epb(body)
-                if packet is not None:
-                    tel.count("capture.frames")
-                    tel.count("capture.bytes", len(packet.data))
-                    yield packet
-            elif block_type == BLOCK_SPB:
-                packet = self._handle_spb(body)
-                if packet is not None:
-                    tel.count("capture.frames")
-                    tel.count("capture.bytes", len(packet.data))
-                    yield packet
+            elif block_type in (BLOCK_EPB, BLOCK_SPB):
+                yield block_type, body
             else:
                 # Unknown block types are skipped by length, per spec —
                 # but counted, so --stats shows what the reader ignored.
                 tel.count("capture.unknown_blocks")
+
+    def read_batches(
+        self, max_frames: int = DEFAULT_FRAMES_PER_BATCH
+    ) -> Iterator[FrameBatch]:
+        """Yield :class:`~repro.net.batch.FrameBatch`es of EPB/SPB frames.
+
+        Frame bytes are appended straight from each block body into the
+        batch buffer — no per-frame :class:`CapturedPacket`.  Telemetry,
+        tolerant-mode truncation (including flushing the partial batch
+        built before the corrupt tail, so the frame sequence matches the
+        scalar iterator exactly), and :attr:`next_offset`/:meth:`resume_state`
+        block-boundary semantics are identical to iteration.
+        """
+        if not self._tolerant:
+            yield from self._batch_blocks(max_frames)
+            return
+        try:
+            yield from self._batch_blocks(max_frames)
+        except ValueError:
+            self._telemetry.count("capture.truncated")
+
+    def _batch_blocks(self, max_frames: int) -> Iterator[FrameBatch]:
+        tel = self._telemetry
+        builder = FrameBatchBuilder()
+        try:
+            for block_type, body in self._packet_blocks():
+                view = memoryview(body)
+                if block_type == BLOCK_EPB:
+                    if len(body) < 20:
+                        raise ValueError("enhanced packet block too short")
+                    interface_id, high, low, caplen, _origlen = struct.unpack_from(
+                        self._endian + "IIIII", body, 0
+                    )
+                    if 20 + caplen > len(body):
+                        raise ValueError("truncated packet data in EPB")
+                    if interface_id < len(self._interfaces):
+                        ticks_per_second = self._interfaces[
+                            interface_id
+                        ].ticks_per_second
+                    else:
+                        ticks_per_second = 1_000_000.0
+                    ticks = (high << 32) | low
+                    data = view[20 : 20 + caplen]
+                    timestamp = ticks / ticks_per_second
+                else:  # BLOCK_SPB — no timestamp, data may be silently short
+                    if len(body) < 4:
+                        raise ValueError("simple packet block too short")
+                    (origlen,) = struct.unpack_from(self._endian + "I", body, 0)
+                    data = view[4 : 4 + origlen]
+                    timestamp = 0.0
+                builder.append(data, timestamp)
+                tel.count("capture.frames")
+                tel.count("capture.bytes", len(data))
+                if len(builder) >= max_frames:
+                    yield builder.build()
+        except ValueError:
+            # Flush the frames read before the corrupt tail, then let the
+            # tolerant wrapper (or the caller) see the error.
+            if len(builder):
+                yield builder.build()
+            raise
+        if len(builder):
+            yield builder.build()
 
     def _handle_idb(self, body: bytes) -> None:
         linktype, _reserved, _snaplen = struct.unpack_from(self._endian + "HHI", body, 0)

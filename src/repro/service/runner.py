@@ -43,6 +43,7 @@ from pathlib import Path
 
 from repro.core.config import ServiceConfig
 from repro.core.rolling import RollingZoomAnalyzer
+from repro.net.batch import FrameBatch
 from repro.service.exporters import JsonlWindowLog, MetricsHTTPServer
 from repro.service.prometheus import render_metrics
 from repro.service.tail import CaptureDirectoryTailer
@@ -243,9 +244,32 @@ class ZoomMonitorService:
                 continue
             self._process(batch)
 
-    def _process(self, batch: list) -> None:
+    def _process(self, batch) -> None:
         rolling = self.rolling
         aggregator = self.aggregator
+        if isinstance(batch, FrameBatch) and len(batch):
+            # Vectorized path: volume accounting reads the batch's
+            # timestamp/caplen columns, then the analyzer takes the whole
+            # batch (columnar decode + prefilter) — no ParsedPacket is
+            # built for frames the prefilter drops.  Ordering matters:
+            # volume first *without* moving the watermark, then the feed
+            # (whose stream events must land in still-open windows), then
+            # one explicit watermark advance to the batch's end.  Both
+            # window totals and per-window stream stats stay exact; windows
+            # just close at batch rather than packet granularity.
+            prepared = batch.prepared
+            if prepared is not None:
+                for parsed in prepared:
+                    aggregator.observe_volume(parsed.timestamp, len(parsed.raw))
+            else:
+                timestamps = batch.timestamps
+                caplens = batch.caplens
+                for i in range(len(caplens)):
+                    aggregator.observe_volume(timestamps[i], caplens[i])
+            rolling.feed_batch(batch)
+            aggregator.advance_watermark(batch.last_timestamp)
+            self.packets_processed += len(batch)
+            return
         for parsed in batch:
             rolling.feed_parsed(parsed)
             aggregator.observe_packet(parsed.timestamp, len(parsed.raw))

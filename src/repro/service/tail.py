@@ -28,6 +28,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterator
 
+from repro.net.batch import FrameBatch
 from repro.net.packet import ParsedPacket
 from repro.net.source import DEFAULT_BATCH_SIZE, CaptureResume, open_capture_source
 from repro.telemetry.registry import Telemetry
@@ -64,12 +65,17 @@ class CaptureDirectoryTailer:
         self.bytes_emitted = 0
         self.polls = 0
 
-    def poll(self) -> Iterator[list[ParsedPacket]]:
+    def poll(self) -> Iterator["FrameBatch | list[ParsedPacket]"]:
         """One pass over the directory; yields batches of *new* packets.
 
-        Files are visited in name order — rotation schemes number their
-        files monotonically, and per-file resume makes the order a
-        presentation detail rather than a correctness one.
+        Batches are raw :class:`~repro.net.batch.FrameBatch` buffers when
+        the underlying source supports them (file-backed captures do);
+        iterating a batch still yields :class:`ParsedPacket` objects, so
+        scalar consumers keep working, while the service runner hands whole
+        batches to the analyzer's vectorized path.  Files are visited in
+        name order — rotation schemes number their files monotonically, and
+        per-file resume makes the order a presentation detail rather than a
+        correctness one.
         """
         tel = self._telemetry
         self.polls += 1
@@ -85,7 +91,7 @@ class CaptureDirectoryTailer:
 
     # ------------------------------------------------------------- internals
 
-    def _drain_file(self, path: Path) -> Iterator[list[ParsedPacket]]:
+    def _drain_file(self, path: Path) -> Iterator["FrameBatch | list[ParsedPacket]"]:
         tel = self._telemetry
         token = self._positions.get(path)
         if token is not None:
@@ -126,9 +132,19 @@ class CaptureDirectoryTailer:
         else:
             tel.count("ingest.tail.resumed")
         try:
-            for batch in source.batches():
+            # Raw FrameBatch buffers when the source can produce them
+            # (file-backed captures always can): the consumer gets the
+            # columnar fast path, and batch boundaries are still record
+            # boundaries, so the resume contract below is unchanged.
+            frame_batches = getattr(source, "frame_batches", None)
+            batches = frame_batches() if frame_batches is not None else source.batches()
+            for batch in batches:
                 self.packets_emitted += len(batch)
-                self.bytes_emitted += sum(len(p.raw) for p in batch)
+                self.bytes_emitted += (
+                    batch.total_caplen
+                    if isinstance(batch, FrameBatch)
+                    else sum(len(p.raw) for p in batch)
+                )
                 tel.count("ingest.tail.packets", len(batch))
                 # Position saved before the hand-off: when a batch yields,
                 # the reader sits exactly at its end, so even a consumer

@@ -195,6 +195,32 @@ class WindowAggregator(AnalysisSink):
         window.bytes_total += raw_len
         self._advance_watermark(timestamp)
 
+    def observe_volume(self, timestamp: float, raw_len: int) -> None:
+        """Like :meth:`observe_packet`, but without advancing the watermark.
+
+        The batch-feeding supervisor accounts a whole batch's volume before
+        the analyzer has produced the batch's stream events; advancing the
+        watermark here would close windows those events still need.  The
+        caller pairs this with :meth:`advance_watermark` after the feed.
+        """
+        window = self._window_for(timestamp)
+        if window is None:
+            return
+        window.packets_total += 1
+        window.bytes_total += raw_len
+
+    def advance_watermark(self, timestamp: float) -> None:
+        """Move capture time forward, closing every window now past lateness.
+
+        Event handlers advance the watermark themselves; this explicit hook
+        exists for the batch path, where it runs once per batch *after* the
+        analyzer feed so window closure trails the batch instead of racing
+        its events.  Windows therefore close at batch granularity — totals
+        and per-window stream stats both stay exact, closure just happens
+        up to one batch later than the scalar path.
+        """
+        self._advance_watermark(timestamp)
+
     def on_stream_opened(self, event: StreamOpened) -> None:
         window = self._window_for(event.timestamp)
         if window is not None:

@@ -10,6 +10,9 @@ handful of warnings an operator actually acts on:
 * capture-level losses (truncated records, unparseable frames);
 * pathological shard imbalance — one worker eating most of the trace means
   the flow hash is degenerate for this capture;
+* a batch prefilter passing essentially every frame of a high-volume run —
+  the compiled match-action rules are empty or wrong for this tap, so the
+  fast path is silently filtering nothing;
 * RTCP receiver reports — the paper observed Zoom never sends them (§4.2.1),
   so any appearing is a protocol-drift signal;
 * live-monitor degradation — packets shed by the daemon's bounded queue
@@ -48,6 +51,18 @@ UNDECODED_WARN_FRACTION = 0.25
 #: peak/mean is bounded by the shard count, so a ratio threshold of 4 could
 #: never fire on the common 2- and 4-shard deployments.
 SHARD_IMBALANCE_SHARE = 0.7
+
+#: Minimum prefiltered frame volume before the pass-rate rule is considered
+#: at all — on small captures a 100% pass rate is unremarkable (a pure-Zoom
+#: test clip passes everything, correctly).
+PREFILTER_MIN_FRAMES = 10_000
+
+#: Batch-prefilter pass rate above which a border-tap deployment is flagged.
+#: A tap that sees general traffic should always carry *some* provably
+#: non-Zoom background; passing essentially everything usually means the
+#: match-action rules were compiled from an empty or wrong subnet list, so
+#: the fast path is silently doing no work.
+PREFILTER_PASS_WARN_FRACTION = 0.999
 
 
 @dataclass(frozen=True, slots=True)
@@ -193,6 +208,26 @@ def detect_anomalies(
                 ),
                 counter="store.manifest_orphans",
                 value=orphans,
+            )
+        )
+
+    passed = snapshot.counter("prefilter.passed")
+    prefiltered = passed + snapshot.counter("prefilter.dropped")
+    if (
+        prefiltered >= PREFILTER_MIN_FRAMES
+        and passed / prefiltered > PREFILTER_PASS_WARN_FRACTION
+    ):
+        anomalies.append(
+            Anomaly(
+                name="prefilter-pass-through",
+                message=(
+                    f"the batch prefilter passed {passed} of {prefiltered} "
+                    f"raw frames ({100.0 * passed / prefiltered:.2f}%) — on "
+                    "a border tap this usually means the Zoom subnet rules "
+                    "were not loaded and the fast path is filtering nothing"
+                ),
+                counter="prefilter.passed",
+                value=passed,
             )
         )
 

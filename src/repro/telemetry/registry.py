@@ -37,6 +37,14 @@ SHARD_VARIANT_PREFIXES: tuple[str, ...] = (
     "sharded.",
     "rolling.",
     "assemble.meetings_formed",
+    # Batch-execution bookkeeping: how many batches the input was chopped
+    # into, and how many frames the prefilter short-circuited, depend on
+    # the execution strategy (scalar vs batch, batch size, shard
+    # partitioning) — never on what the traffic *was*.  The semantic
+    # counters (classify.class.*, decode.*, pipeline.stop.*) stay
+    # invariant and stay compared.
+    "pipeline.batch.",
+    "prefilter.",
 )
 
 
