@@ -285,6 +285,8 @@ def _cmd_dissect(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze_live(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.core import AnalyzerConfig, ServiceConfig
     from repro.service.runner import ZoomMonitorService
 
@@ -306,6 +308,8 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
         jsonl_path=str(args.jsonl_out) if args.jsonl_out else None,
         store_dir=str(args.store) if args.store else None,
     )
+    if args.no_qoe:
+        config = replace(config, qoe=replace(config.qoe, enabled=False))
     service = ZoomMonitorService(args.directory, config)
     print(f"tailing {args.directory} (pattern {args.pattern!r}, "
           f"{args.window:.0f}s windows)")
@@ -320,6 +324,16 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
         f"{report.windows_emitted} windows, {report.streams_finalized} streams, "
         f"{report.meetings_formed} meetings"
     )
+    if service.qoe is not None:
+        summary = service.qoe.fleet_summary()
+        breakdown = (
+            " ".join(f"{name}={count}" for name, count in sorted(summary.items()))
+            or "no scored meetings"
+        )
+        print(
+            f"qoe: worst={report.qoe_worst_state} [{breakdown}] "
+            f"{report.qoe_transitions} transitions, {report.qoe_alerts} alerts"
+        )
     if report.packets_dropped or report.ingest_restarts:
         print(
             f"degraded: dropped {report.packets_dropped} packets "
@@ -580,6 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "a persistent metrics store (query later with "
                            "'query'); crash-safe — a kill loses at most one "
                            "torn record")
+    live.add_argument("--no-qoe", action="store_true",
+                      help="disable the per-meeting QoE state machines "
+                           "(and their qoe.* counters and gauges)")
     live.set_defaults(func=_cmd_analyze_live)
 
     query = sub.add_parser(

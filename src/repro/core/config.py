@@ -58,6 +58,11 @@ class AnalyzerConfig:
             finalized and evicted.
         rolling_sweep_interval: How often (in capture time) to scan for
             idle streams.
+        qoe: Optional per-meeting QoE state-machine tunables; when set (and
+            enabled), :class:`~repro.core.session.AnalysisSession` attaches
+            a :class:`~repro.qoe.tracker.MeetingQoeTracker` to the run.
+            Requires an unsharded run — the machine needs the whole-meeting
+            event stream, which flow-affine shards split.
     """
 
     zoom_subnets: tuple[str, ...] = tuple(ZOOM_SERVER_SUBNETS)
@@ -71,6 +76,7 @@ class AnalyzerConfig:
     rolling: bool = False
     rolling_idle_timeout: float = 60.0
     rolling_sweep_interval: float = 10.0
+    qoe: "QoeConfig | None" = None
 
     def __post_init__(self) -> None:
         # Normalize subnet iterables to tuples so the config hashes/pickles
@@ -123,7 +129,108 @@ class AnalyzerConfig:
         telemetry = self.telemetry
         if isinstance(telemetry, Telemetry):
             telemetry = telemetry.enabled
-        return self.replace(telemetry=telemetry, shards=1)
+        # Per-shard QoE machines would each see a flow-affine slice of a
+        # meeting, never the whole meeting — drop the tracker in shards.
+        return self.replace(telemetry=telemetry, shards=1, qoe=None)
+
+
+@dataclass(frozen=True, slots=True)
+class QoeConfig:
+    """Tunables of the per-meeting QoE state machine (:mod:`repro.qoe`).
+
+    The machine classifies each meeting into GOOD / DEGRADED / IMPAIRED /
+    CRITICAL from window-level monitor-visible signals, with hysteresis so a
+    flapping link does not flap alerts.  Threshold provenance is the paper's
+    §5 validation ranges (see DESIGN.md §13): recovery-visible loss share,
+    RFC-3550 jitter, and the frame-rate collapse that "Can You See Me Now?"
+    identifies as the dominant user-visible failure.
+
+    Attributes:
+        enabled: Master switch; a disabled config makes drivers skip the
+            tracker entirely.
+        window_seconds: Width of the tracker's own tumbling scoring windows
+            (finer than the service's export windows — QoE needs ~1 s
+            reaction granularity).
+        lateness: Watermark lag before a scoring window closes.
+        min_meeting_packets: Meeting-windows with fewer media packets than
+            this are not scored at all (join/leave edges, idle meetings).
+        min_stream_packets: A stream contributes to a window's worst-stream
+            signals only with at least this many packets in the window.
+        min_substream_packets: A substream (RTP payload type) contributes to
+            the window's jitter peak only with at least this many in-order
+            packets — sparse substreams (FEC at a few packets per second)
+            hold transient estimator spikes for many windows and would smear
+            an impairment past its true end.
+        loss_degraded / loss_impaired / loss_critical: Enter thresholds on
+            the worst stream's recovery-visible loss fraction (sequence gaps
+            per gap-plus-received packet).
+        jitter_degraded_ms / jitter_impaired_ms / jitter_critical_ms: Enter
+            thresholds on the worst stream's RFC-3550 jitter estimate.
+        fps_degraded / fps_impaired / fps_critical: Enter thresholds on the
+            worst video stream's delivered-fps ratio against its learned
+            baseline (a ratio *below* the threshold triggers).
+        fps_baseline_alpha: EWMA weight of the per-stream fps baseline,
+            learned only while the meeting is GOOD so a degraded rate is
+            never adopted as normal.
+        fps_min_baseline: Streams whose learned rate sits below this never
+            produce an fps signal (screen shares burst at a few fps and
+            would otherwise flap the ratio).
+        exit_fraction: Exit thresholds are enter thresholds scaled by this
+            factor — the hysteresis gap.
+        enter_windows: Consecutive qualifying windows required to escalate.
+        exit_windows: Consecutive clear windows required to de-escalate.
+        min_dwell_windows: Minimum scored windows between *any* two
+            transitions; this is what makes the zero-flap guarantee
+            structural rather than statistical.
+    """
+
+    enabled: bool = True
+    window_seconds: float = 1.0
+    lateness: float = 0.5
+    min_meeting_packets: int = 30
+    min_stream_packets: int = 20
+    min_substream_packets: int = 10
+    loss_degraded: float = 0.02
+    loss_impaired: float = 0.08
+    loss_critical: float = 0.20
+    jitter_degraded_ms: float = 15.0
+    jitter_impaired_ms: float = 35.0
+    jitter_critical_ms: float = 80.0
+    fps_degraded: float = 0.75
+    fps_impaired: float = 0.45
+    fps_critical: float = 0.20
+    fps_baseline_alpha: float = 0.3
+    fps_min_baseline: float = 8.0
+    exit_fraction: float = 0.6
+    enter_windows: int = 2
+    exit_windows: int = 3
+    min_dwell_windows: int = 3
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        if self.lateness < 0:
+            raise ValueError("lateness must be >= 0")
+        if not 0 < self.exit_fraction <= 1:
+            raise ValueError("exit_fraction must be in (0, 1]")
+        if self.enter_windows < 1 or self.exit_windows < 1:
+            raise ValueError("enter_windows and exit_windows must be >= 1")
+        if self.min_dwell_windows < 1:
+            raise ValueError("min_dwell_windows must be >= 1")
+        if self.min_substream_packets < 1:
+            raise ValueError("min_substream_packets must be >= 1")
+        if not self.loss_degraded < self.loss_impaired < self.loss_critical:
+            raise ValueError("loss thresholds must strictly increase")
+        if not (
+            self.jitter_degraded_ms < self.jitter_impaired_ms < self.jitter_critical_ms
+        ):
+            raise ValueError("jitter thresholds must strictly increase")
+        if not self.fps_degraded > self.fps_impaired > self.fps_critical:
+            raise ValueError("fps ratio thresholds must strictly decrease")
+
+    def replace(self, **changes: object) -> "QoeConfig":
+        """A copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
 
 
 @dataclass(frozen=True, slots=True)
@@ -228,6 +335,8 @@ class ServiceConfig:
         store_dir: Root directory of the persistent metrics store
             (``analyze-live --store``), or ``None`` to run without one.
         store: The store's tunables (ignored unless ``store_dir`` is set).
+        qoe: Per-meeting QoE state-machine tunables; ``QoeConfig(
+            enabled=False)`` runs the daemon without QoE tracking.
     """
 
     analyzer: AnalyzerConfig = dataclasses.field(default_factory=AnalyzerConfig)
@@ -244,6 +353,7 @@ class ServiceConfig:
     restart_backoff_max: float = 30.0
     store_dir: str | None = None
     store: StoreConfig = dataclasses.field(default_factory=StoreConfig)
+    qoe: QoeConfig = dataclasses.field(default_factory=QoeConfig)
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:

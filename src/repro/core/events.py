@@ -13,7 +13,9 @@ internals.  A subscriber sees the analyzer's lifecycle as it happens:
 * :class:`MeetingFormed` — the grouping heuristic opened a new meeting;
 * :class:`RTCPObserved` — one RTCP report was decoded;
 * :class:`StreamEvicted` — a stream was finalized and released via
-  :meth:`repro.core.pipeline.ZoomAnalyzer.evict_stream`.
+  :meth:`repro.core.pipeline.ZoomAnalyzer.evict_stream`;
+* :class:`MeetingQoeChanged` — a meeting's QoE state machine transitioned
+  (published by :class:`~repro.qoe.tracker.MeetingQoeTracker`).
 
 Subscribe either with a bare callable (``bus.subscribe(StreamEvicted, fn)``)
 or by subclassing :class:`AnalysisSink` and overriding the ``on_*`` hooks,
@@ -31,6 +33,7 @@ from repro.net.packet import FiveTuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.pipeline import StreamMetrics
+    from repro.qoe.machine import QoeSample, QoeState
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,6 +95,25 @@ class RTCPObserved(AnalysisEvent):
     report: object
 
 
+@dataclass(frozen=True, slots=True)
+class MeetingQoeChanged(AnalysisEvent):
+    """A meeting's QoE state machine transitioned (see :mod:`repro.qoe`).
+
+    Emitted by :class:`~repro.qoe.tracker.MeetingQoeTracker` when a meeting
+    crosses a hysteresis boundary; ``timestamp`` is the end of the scoring
+    window that triggered the transition.  ``sample`` carries the window's
+    monitor-visible signals so alert consumers can render the evidence
+    without re-deriving it.
+    """
+
+    meeting: Meeting
+    previous: "QoeState"
+    state: "QoeState"
+    sample: "QoeSample"
+    windows_in_previous: int
+    reason: str = ""
+
+
 EventHandler = Callable[[AnalysisEvent], None]
 
 
@@ -151,6 +173,7 @@ class AnalysisSink:
         "on_stream_evicted": StreamEvicted,
         "on_meeting_formed": MeetingFormed,
         "on_rtcp": RTCPObserved,
+        "on_qoe_changed": MeetingQoeChanged,
     }
 
     def on_flow_bytes(self, event: FlowBytesObserved) -> None: ...
@@ -164,6 +187,8 @@ class AnalysisSink:
     def on_meeting_formed(self, event: MeetingFormed) -> None: ...
 
     def on_rtcp(self, event: RTCPObserved) -> None: ...
+
+    def on_qoe_changed(self, event: MeetingQoeChanged) -> None: ...
 
     def subscriptions(self) -> Iterator[tuple[type, EventHandler]]:
         """(event type, bound handler) pairs for every overridden hook."""

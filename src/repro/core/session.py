@@ -23,6 +23,7 @@ from repro.net.packet import CapturedPacket, ParsedPacket
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.source import PacketSource
+    from repro.qoe.tracker import MeetingQoeTracker
 
 SourceLike = Union[
     "PacketSource", str, Path, Iterable["CapturedPacket | ParsedPacket"]
@@ -51,6 +52,16 @@ class AnalysisSession:
         self.config = config if config is not None else AnalyzerConfig()
         if self.config.rolling and self.config.shards > 1:
             raise ValueError("rolling eviction and sharding are mutually exclusive")
+        if (
+            self.config.qoe is not None
+            and self.config.qoe.enabled
+            and self.config.shards > 1
+        ):
+            # Shards see disjoint flow partitions of a meeting, so no shard
+            # holds the whole meeting's window — QoE needs the unsharded view.
+            raise ValueError("QoE tracking and sharding are mutually exclusive")
+        #: The meeting QoE tracker of the last :meth:`run`, when configured.
+        self.qoe: "MeetingQoeTracker | None" = None
 
     def run(self, source: SourceLike) -> AnalysisResult:
         """Ingest ``source`` through the configured driver; returns the result.
@@ -75,6 +86,17 @@ class AnalysisSession:
             result.telemetry.merge_from(registry)
             return result
         run_config = config.replace(telemetry=registry)
+        driver: RollingZoomAnalyzer | ZoomAnalyzer
         if config.rolling:
-            return RollingZoomAnalyzer(run_config).run(source)
-        return ZoomAnalyzer(run_config).run(source)
+            driver = RollingZoomAnalyzer(run_config)
+        else:
+            driver = ZoomAnalyzer(run_config)
+        if config.qoe is not None and config.qoe.enabled:
+            from repro.qoe.tracker import MeetingQoeTracker
+
+            self.qoe = MeetingQoeTracker(driver, config.qoe)
+        result = driver.run(source)
+        if self.qoe is not None:
+            # Score the tail windows no later packet will ever watermark out.
+            self.qoe.flush(final=True)
+        return result

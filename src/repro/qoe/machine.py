@@ -1,0 +1,361 @@
+"""The per-meeting QoE state machine: pure, window-in / transition-out.
+
+The machine consumes one :class:`QoeSample` per scoring window and holds one
+of four states — GOOD, DEGRADED, IMPAIRED, CRITICAL — the operator-facing
+ladder the ROADMAP's "Closed-loop QoE" item asks for (wanctl's
+GREEN/YELLOW/SOFT_RED/RED machine is the exemplar).  Classification keys on
+exactly the window metrics the paper's pipeline already emits (§5): a
+recovery-visible loss fraction, an RFC-3550 jitter estimate, and the
+delivered-frame-rate ratio whose collapse "Can You See Me Now?" identifies
+as the dominant user-visible failure.
+
+Hysteresis has three independent guards, and their composition makes the
+zero-flap property *structural*:
+
+* **Enter/exit threshold gap** — a metric must clear the enter threshold to
+  escalate but fall below ``enter * exit_fraction`` to de-escalate, so a
+  value hovering at a threshold cannot alternately satisfy both.
+* **Streaks with consensus targets** — escalation needs ``enter_windows``
+  consecutive above-state windows that *agree* on the same higher severity,
+  and de-escalation needs ``exit_windows`` consecutive below-state windows
+  agreeing on the same lower one.  Consensus matters at both edges for the
+  same reason: the window straddling an impairment's onset carries only
+  part of the damage, and the first window after its end still carries
+  residue, so min/max-over-streak rules would staircase entry and recovery
+  through intermediate states.  A boundary window merely restarts the
+  consensus count; it cannot drag the target.  If a streak runs to twice
+  its required length without consensus (genuinely oscillating severity),
+  the machine falls back to the streak minimum on entry and the streak
+  maximum on exit — the two conservative choices — so it cannot get stuck.
+* **Dwell** — any transition requires at least ``min_dwell_windows`` scored
+  windows since the previous one.  Because every transition resets the
+  counter, two transitions can never be closer than the dwell, whatever the
+  input series does — the invariant the Hypothesis suite checks.
+
+The machine is deliberately free of I/O, clocks, and analyzer types so the
+batch, rolling, and live-service paths drive the identical object; feeding
+the same window sequence one sample at a time or via :meth:`observe_batch`
+yields the identical transition sequence by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable
+
+from repro.core.config import QoeConfig
+
+
+class QoeState(IntEnum):
+    """The operator-facing QoE ladder; comparisons follow severity."""
+
+    GOOD = 0
+    DEGRADED = 1
+    IMPAIRED = 2
+    CRITICAL = 3
+
+
+@dataclass(frozen=True, slots=True)
+class QoeSample:
+    """One meeting-window's monitor-visible QoE signals.
+
+    Attributes:
+        window_index: Tumbling-window index (``floor(time / width)``).
+        window_end: Capture-time end of the window.
+        packets: Media packets the meeting's streams received in the window.
+        loss_fraction: Worst qualifying stream's recovery-visible loss share
+            (sequence gaps / (gaps + received)); NaN when no stream
+            qualifies.
+        jitter_ms: Worst qualifying stream's RFC-3550 jitter estimate at
+            window close; NaN when no stream qualifies.
+        fps_ratio: Worst video stream's delivered fps over its learned
+            baseline; NaN while no baseline exists.
+    """
+
+    window_index: int
+    window_end: float
+    packets: int
+    loss_fraction: float
+    jitter_ms: float
+    fps_ratio: float
+
+
+@dataclass(frozen=True, slots=True)
+class QoeTransition:
+    """One state-machine transition, with the window that triggered it."""
+
+    window_index: int
+    time: float
+    previous: QoeState
+    state: QoeState
+    windows_in_previous: int
+    observation: int
+    reason: str
+    sample: QoeSample
+
+
+def _severity(
+    value: float, degraded: float, impaired: float, critical: float
+) -> QoeState:
+    """Severity of one ascending metric against three thresholds (NaN=GOOD)."""
+    if math.isnan(value):
+        return QoeState.GOOD
+    if value > critical:
+        return QoeState.CRITICAL
+    if value > impaired:
+        return QoeState.IMPAIRED
+    if value > degraded:
+        return QoeState.DEGRADED
+    return QoeState.GOOD
+
+
+def _fps_severity(
+    ratio: float, degraded: float, impaired: float, critical: float
+) -> QoeState:
+    """Severity of the fps *ratio* (descending: lower is worse; NaN=GOOD)."""
+    if math.isnan(ratio):
+        return QoeState.GOOD
+    if ratio < critical:
+        return QoeState.CRITICAL
+    if ratio < impaired:
+        return QoeState.IMPAIRED
+    if ratio < degraded:
+        return QoeState.DEGRADED
+    return QoeState.GOOD
+
+
+class QoeStateMachine:
+    """Hysteresis state machine over a sequence of :class:`QoeSample`.
+
+    One instance per meeting.  :meth:`observe` returns the transition the
+    sample caused, or ``None``; :meth:`observe_batch` is the literal scalar
+    loop, so batch and scalar feeds cannot diverge.
+    """
+
+    __slots__ = (
+        "config",
+        "state",
+        "observations",
+        "windows_in_state",
+        "_since_transition",
+        "_up_streak",
+        "_up_min",
+        "_up_consensus",
+        "_up_consensus_streak",
+        "_down_streak",
+        "_down_max",
+        "_down_consensus",
+        "_down_consensus_streak",
+    )
+
+    def __init__(self, config: QoeConfig | None = None) -> None:
+        self.config = config if config is not None else QoeConfig()
+        self.state = QoeState.GOOD
+        self.observations = 0
+        self.windows_in_state = 0
+        # Large sentinel: the dwell guard never blocks the first transition.
+        self._since_transition = 1 << 30
+        self._up_streak = 0
+        self._up_min = QoeState.CRITICAL
+        self._up_consensus = QoeState.GOOD
+        self._up_consensus_streak = 0
+        self._down_streak = 0
+        self._down_max = QoeState.GOOD
+        self._down_consensus = QoeState.GOOD
+        self._down_consensus_streak = 0
+
+    # ------------------------------------------------------------- severity
+
+    def enter_severity(self, sample: QoeSample) -> QoeState:
+        """Worst severity any metric reaches against the *enter* thresholds."""
+        cfg = self.config
+        return max(
+            _severity(
+                sample.loss_fraction,
+                cfg.loss_degraded,
+                cfg.loss_impaired,
+                cfg.loss_critical,
+            ),
+            _severity(
+                sample.jitter_ms,
+                cfg.jitter_degraded_ms,
+                cfg.jitter_impaired_ms,
+                cfg.jitter_critical_ms,
+            ),
+            _fps_severity(
+                sample.fps_ratio, cfg.fps_degraded, cfg.fps_impaired, cfg.fps_critical
+            ),
+        )
+
+    def exit_severity(self, sample: QoeSample) -> QoeState:
+        """Worst severity against the scaled-down *exit* thresholds.
+
+        The fps ratio moves the other way (it is a floor, not a ceiling),
+        and its healthy value sits near 1.0 with a few percent of counting
+        noise, so a multiplicative gap would push the degraded exit bound
+        past 1.0 and trap the machine.  Its exit thresholds instead move up
+        by a small additive margin proportional to the hysteresis gap.
+        """
+        cfg = self.config
+        f = cfg.exit_fraction
+        fps_margin = (1.0 - f) * 0.1
+        return max(
+            _severity(
+                sample.loss_fraction,
+                cfg.loss_degraded * f,
+                cfg.loss_impaired * f,
+                cfg.loss_critical * f,
+            ),
+            _severity(
+                sample.jitter_ms,
+                cfg.jitter_degraded_ms * f,
+                cfg.jitter_impaired_ms * f,
+                cfg.jitter_critical_ms * f,
+            ),
+            _fps_severity(
+                sample.fps_ratio,
+                cfg.fps_degraded + fps_margin,
+                cfg.fps_impaired + fps_margin,
+                cfg.fps_critical + fps_margin,
+            ),
+        )
+
+    # ------------------------------------------------------------ observing
+
+    def observe(self, sample: QoeSample) -> QoeTransition | None:
+        """Fold one window in; returns the transition it caused, if any."""
+        cfg = self.config
+        self.observations += 1
+        self.windows_in_state += 1
+        self._since_transition += 1
+
+        up = self.enter_severity(sample)
+        if up > self.state:
+            self._up_min = up if self._up_streak == 0 else min(self._up_min, up)
+            self._up_streak += 1
+            if self._up_consensus_streak > 0 and up == self._up_consensus:
+                self._up_consensus_streak += 1
+            else:
+                self._up_consensus = up
+                self._up_consensus_streak = 1
+        else:
+            self._up_streak = 0
+            self._up_consensus_streak = 0
+        down = self.exit_severity(sample)
+        if down < self.state:
+            self._down_max = (
+                down if self._down_streak == 0 else max(self._down_max, down)
+            )
+            self._down_streak += 1
+            if self._down_consensus_streak > 0 and down == self._down_consensus:
+                self._down_consensus_streak += 1
+            else:
+                self._down_consensus = down
+                self._down_consensus_streak = 1
+        else:
+            self._down_streak = 0
+            self._down_consensus_streak = 0
+
+        if self._since_transition < cfg.min_dwell_windows:
+            return None
+        if self._up_consensus_streak >= cfg.enter_windows:
+            # Consensus entry: the last enter_windows windows all read the
+            # same higher severity.  The window straddling the impairment's
+            # onset (partial damage, lower severity) restarts the count
+            # instead of dragging the target down to a staircase start.
+            return self._transition(self._up_consensus, sample, escalation=True)
+        if self._up_streak >= 2 * cfg.enter_windows:
+            # Anti-stall fallback: severities keep oscillating above the
+            # current state without agreeing; escalate to the streak
+            # minimum — the severity every window of the streak sustained
+            # (each individually exceeded the old state, so the minimum
+            # still does).
+            return self._transition(self._up_min, sample, escalation=True)
+        if self._down_consensus_streak >= cfg.exit_windows:
+            # Consensus exit: the last exit_windows windows all supported
+            # the same lower severity, so de-escalate straight to it.  The
+            # first post-impairment window's residual damage breaks the
+            # consensus rather than dragging the target upward.
+            return self._transition(self._down_consensus, sample, escalation=False)
+        if self._down_streak >= 2 * cfg.exit_windows:
+            # Anti-stuck fallback: the metrics have sat below the current
+            # state for twice the exit streak without agreeing on a target;
+            # take the streak maximum (every window was below the old
+            # state, so the maximum still is).
+            return self._transition(self._down_max, sample, escalation=False)
+        return None
+
+    def observe_batch(self, samples: Iterable[QoeSample]) -> list[QoeTransition]:
+        """Feed many windows; returns every transition, in order.
+
+        Exactly equivalent to calling :meth:`observe` per sample — this *is*
+        that loop, which is what the batch-vs-scalar property test pins.
+        """
+        transitions = []
+        for sample in samples:
+            transition = self.observe(sample)
+            if transition is not None:
+                transitions.append(transition)
+        return transitions
+
+    # ------------------------------------------------------------ internals
+
+    def _transition(
+        self, target: QoeState, sample: QoeSample, *, escalation: bool
+    ) -> QoeTransition:
+        previous = self.state
+        transition = QoeTransition(
+            window_index=sample.window_index,
+            time=sample.window_end,
+            previous=previous,
+            state=target,
+            windows_in_previous=self.windows_in_state,
+            observation=self.observations,
+            reason=self._reason(sample, target, escalation=escalation),
+            sample=sample,
+        )
+        self.state = target
+        self.windows_in_state = 0
+        self._since_transition = 0
+        self._up_streak = 0
+        self._up_consensus_streak = 0
+        self._down_streak = 0
+        self._down_consensus_streak = 0
+        return transition
+
+    def _reason(self, sample: QoeSample, target: QoeState, *, escalation: bool) -> str:
+        """Human-readable trigger, e.g. ``"loss=0.11 jitter=2.1ms"``."""
+        if not escalation:
+            return "recovered" if target is QoeState.GOOD else "partial recovery"
+        cfg = self.config
+        parts = []
+        if not math.isnan(sample.loss_fraction) and (
+            _severity(
+                sample.loss_fraction,
+                cfg.loss_degraded,
+                cfg.loss_impaired,
+                cfg.loss_critical,
+            )
+            >= target
+        ):
+            parts.append(f"loss={sample.loss_fraction:.3f}")
+        if not math.isnan(sample.jitter_ms) and (
+            _severity(
+                sample.jitter_ms,
+                cfg.jitter_degraded_ms,
+                cfg.jitter_impaired_ms,
+                cfg.jitter_critical_ms,
+            )
+            >= target
+        ):
+            parts.append(f"jitter={sample.jitter_ms:.1f}ms")
+        if not math.isnan(sample.fps_ratio) and (
+            _fps_severity(
+                sample.fps_ratio, cfg.fps_degraded, cfg.fps_impaired, cfg.fps_critical
+            )
+            >= target
+        ):
+            parts.append(f"fps_ratio={sample.fps_ratio:.2f}")
+        return " ".join(parts) if parts else "sustained degradation"

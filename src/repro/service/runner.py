@@ -26,6 +26,14 @@ Design decisions an operator should know:
   live stream is finalized through one last sweep, and all open windows
   are closed and exported exactly once — ``kill`` then diff is a lossless
   way to end a measurement campaign.
+* **Per-meeting QoE state machines ride the same stream events.**  When
+  ``config.qoe.enabled`` (the default), a
+  :class:`~repro.qoe.MeetingQoeTracker` subscribes to the rolling
+  analyzer's event bus, scores tumbling QoE windows per meeting, and
+  pre-seeds the ``qoe.*`` alert counters so dashboards can alert on
+  ``increase()`` from the zero sample; per-state fleet gauges
+  (``qoe.meetings_good`` … ``qoe.meetings_critical``) ride the same
+  Prometheus page.
 * **History is durable when ``--store`` is given.**  Closed windows and
   finalized streams append to a :class:`~repro.store.MetricsStore` as they
   happen (meeting summaries at drain time); even a SIGKILL loses at most
@@ -44,6 +52,7 @@ from pathlib import Path
 from repro.core.config import ServiceConfig
 from repro.core.rolling import RollingZoomAnalyzer
 from repro.net.batch import FrameBatch
+from repro.qoe import QOE_COUNTER_SEEDS, MeetingQoeTracker, QoeState
 from repro.service.exporters import JsonlWindowLog, MetricsHTTPServer
 from repro.service.prometheus import render_metrics
 from repro.service.tail import CaptureDirectoryTailer
@@ -62,6 +71,9 @@ class ServiceReport:
     windows_emitted: int
     streams_finalized: int
     meetings_formed: int
+    qoe_transitions: int = 0
+    qoe_alerts: int = 0
+    qoe_worst_state: str = "GOOD"
 
 
 class ZoomMonitorService:
@@ -122,14 +134,20 @@ class ZoomMonitorService:
             self.store_sink = StoreSink(store)
             self.aggregator.add_callback(self.store_sink.write_window)
             self.rolling.on_stream_finalized = self.store_sink.write_stream
+        self.qoe: MeetingQoeTracker | None = None
+        if config.qoe is not None and config.qoe.enabled:
+            self.qoe = MeetingQoeTracker(
+                self.rolling, config.qoe, telemetry=self.telemetry
+            )
         # Degradation counters are pre-seeded so the Prometheus endpoint
         # always exposes them — a dashboard alerting on increase() needs
         # the zero sample, not an absent series until the first drop.
-        for name in (
+        seeds = (
             "service.dropped",
             "service.dropped_batches",
             "service.ingest_restarts",
-        ):
+        ) + (QOE_COUNTER_SEEDS if self.qoe is not None else ())
+        for name in seeds:
             self.telemetry.count(name, 0)
         self._queue: queue.Queue[list] = queue.Queue(maxsize=config.queue_max_batches)
         self._stop = threading.Event()
@@ -185,6 +203,7 @@ class ZoomMonitorService:
         self._stop.set()
 
     def report(self) -> ServiceReport:
+        qoe = self.qoe
         return ServiceReport(
             polls=self.tailer.polls,
             packets_processed=self.packets_processed,
@@ -194,6 +213,13 @@ class ZoomMonitorService:
             windows_emitted=self.aggregator.windows_emitted,
             streams_finalized=self.rolling.streams_evicted,
             meetings_formed=len(self.rolling.result.meetings),
+            qoe_transitions=len(qoe.transitions) if qoe is not None else 0,
+            qoe_alerts=(
+                sum(1 for _, t in qoe.transitions if t.state >= QoeState.IMPAIRED)
+                if qoe is not None
+                else 0
+            ),
+            qoe_worst_state=qoe.worst_state().name if qoe is not None else "GOOD",
         )
 
     # -------------------------------------------------------------- ingest
@@ -289,6 +315,8 @@ class ZoomMonitorService:
         if not self._flushed:
             self._flushed = True
             self.rolling.sweep(float("inf"))  # finalize every live stream
+            if self.qoe is not None:
+                self.qoe.flush(final=True)  # score tail QoE windows
             self.aggregator.flush(final=True)
             if self.store_sink is not None:
                 self.store_sink.write_meetings(self.rolling.result.meetings)
@@ -311,15 +339,22 @@ class ZoomMonitorService:
                 if attempt == 3:
                     raise
                 time.sleep(0.001)
+        gauges = {
+            "service.live_streams": float(self.rolling.live_stream_count()),
+            "service.open_windows": float(self.aggregator.open_window_count()),
+            "service.queue_depth": float(self._queue.qsize()),
+            "service.streams_finalized": float(self.rolling.streams_evicted),
+        }
+        if self.qoe is not None:
+            summary = self.qoe.fleet_summary()
+            for state in QoeState:
+                gauges[f"qoe.meetings_{state.name.lower()}"] = float(
+                    summary.get(state.name, 0)
+                )
         return render_metrics(
             snapshot,
             last_window=self._last_window,
-            gauges={
-                "service.live_streams": float(self.rolling.live_stream_count()),
-                "service.open_windows": float(self.aggregator.open_window_count()),
-                "service.queue_depth": float(self._queue.qsize()),
-                "service.streams_finalized": float(self.rolling.streams_evicted),
-            },
+            gauges=gauges,
         )
 
     def _remember_window(self, window: WindowRecord) -> None:

@@ -34,15 +34,27 @@ from repro.simulation.meeting import (
     ParticipantConfig,
     SimulationResult,
 )
-from repro.simulation.campus import CampusTraceConfig, generate_campus_trace
+from repro.simulation.campus import (
+    CampusTraceConfig,
+    ImpairmentScenario,
+    bandwidth_cliff_scenario,
+    congestion_adaptation_scenario,
+    generate_campus_trace,
+    impairment_suite,
+    jitter_spike_scenario,
+    loss_burst_scenario,
+    loss_collapse_scenario,
+)
 from repro.simulation.infrastructure import ServerDirectory, ZoomServer
-from repro.simulation.qos import QoSReport, QoSSample
+from repro.simulation.qos import ImpairmentInterval, QoSReport, QoSSample
 
 __all__ = [
     "AudioSource",
     "CampusTraceConfig",
     "CongestionEvent",
     "EventScheduler",
+    "ImpairmentInterval",
+    "ImpairmentScenario",
     "MeetingConfig",
     "MeetingSimulator",
     "NetworkPath",
@@ -54,8 +66,14 @@ __all__ = [
     "SimulationResult",
     "VideoSource",
     "ZoomServer",
+    "bandwidth_cliff_scenario",
     "captured_packets",
+    "congestion_adaptation_scenario",
     "generate_campus_trace",
+    "impairment_suite",
+    "jitter_spike_scenario",
+    "loss_burst_scenario",
+    "loss_collapse_scenario",
     "parsed_packets",
     "quantize_timestamp",
 ]

@@ -29,6 +29,7 @@ from repro.simulation.meeting import (
     SimulationResult,
 )
 from repro.simulation.netpath import CongestionEvent
+from repro.simulation.qos import ImpairmentInterval
 from repro.zoom.constants import ZoomMediaType
 
 #: Relative meeting-arrival intensity for the 12 one-hour bins starting at
@@ -193,19 +194,22 @@ def _congestion_shifted(
     participant: ParticipantConfig, meeting_start: float
 ) -> ParticipantConfig:
     """Shift a participant's congestion windows to absolute trace time."""
-    if not participant.congestion:
+    if not participant.congestion and not participant.congestion_down:
         return participant
-    shifted = tuple(
-        CongestionEvent(
-            start=event.start + meeting_start,
-            end=event.end + meeting_start,
-            extra_delay=event.extra_delay,
-            extra_jitter=event.extra_jitter,
-            extra_loss=event.extra_loss,
+
+    def _shift(events: tuple[CongestionEvent, ...]) -> tuple[CongestionEvent, ...]:
+        return tuple(
+            dataclasses.replace(
+                event, start=event.start + meeting_start, end=event.end + meeting_start
+            )
+            for event in events
         )
-        for event in participant.congestion
+
+    return dataclasses.replace(
+        participant,
+        congestion=_shift(participant.congestion),
+        congestion_down=_shift(participant.congestion_down),
     )
-    return dataclasses.replace(participant, congestion=shifted)
 
 
 def _background_packets(
@@ -308,6 +312,261 @@ def generate_campus_trace(config: CampusTraceConfig | None = None) -> CampusTrac
         config=config,
         meeting_configs=meeting_configs,
         directory=directory,
+    )
+
+
+# --------------------------------------------------------------------------
+# Impairment scenarios: seeded meetings with ground-truth degradation windows
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ImpairmentScenario:
+    """One seeded meeting plus the truth about when its QoS was degraded.
+
+    The QoE ground-truth suite simulates ``meeting``, runs the analyzer with
+    QoE tracking over the captures, and asserts one enter/exit transition
+    pair per interval — no flaps, no misses.  Construction is fully
+    deterministic in the ``seed`` argument of the builder that produced it
+    (satellite: byte-reproducible scenarios), so the golden snapshot can pin
+    the exact transition sequence.
+    """
+
+    name: str
+    meeting: MeetingConfig
+    intervals: tuple[ImpairmentInterval, ...]
+    description: str = ""
+
+
+def _scenario_participants(
+    seed: int,
+    *,
+    receiver_congestion_down: tuple[CongestionEvent, ...] = (),
+    sender_congestion: tuple[CongestionEvent, ...] = (),
+) -> tuple[ParticipantConfig, ...]:
+    """Two on-campus participants on otherwise-quiet paths.
+
+    ``alice`` sends audio + video; ``bob`` receives her streams over his
+    external down leg, which is where ``receiver_congestion_down`` injects
+    monitor-visible damage (§5.5) without touching any sender's up leg —
+    so the sender's rate adaptation stays out of loss/jitter scenarios.
+    ``sender_congestion`` goes on alice's regular (both-leg) congestion,
+    which *does* trigger her adaptation: the rate-adaptation scenario.
+    """
+    rng = random.Random(seed)
+    common = dict(
+        on_campus=True,
+        media=(ZoomMediaType.AUDIO, ZoomMediaType.VIDEO),
+        join_time=0.0,
+        thumbnail=False,
+        external_delay=0.015,
+        jitter_std=0.0003,
+        loss_rate=0.0,
+    )
+    alice = ParticipantConfig(
+        name="alice",
+        motion=0.2 + 0.2 * rng.random(),
+        congestion=sender_congestion,
+        **common,
+    )
+    bob = ParticipantConfig(
+        name="bob",
+        motion=0.2 + 0.2 * rng.random(),
+        congestion_down=receiver_congestion_down,
+        **common,
+    )
+    return (alice, bob)
+
+
+def _scenario_meeting(
+    name: str,
+    seed: int,
+    participants: tuple[ParticipantConfig, ...],
+    *,
+    duration: float,
+    octet: int,
+) -> MeetingConfig:
+    rng = random.Random(seed ^ 0x5EED)
+    return MeetingConfig(
+        meeting_id=name,
+        participants=participants,
+        duration=duration,
+        start_time=0.0,
+        allow_p2p=False,
+        seed=rng.randrange(1 << 30),
+        address_octet=octet,
+    )
+
+
+def loss_burst_scenario(
+    seed: int = 20220815,
+    *,
+    extra_loss: float = 0.04,
+    expected_state: str = "DEGRADED",
+    start: float = 10.0,
+    end: float = 20.0,
+    duration: float = 30.0,
+) -> ImpairmentScenario:
+    """A flat loss burst on the receiver's external down leg.
+
+    With retransmit repair, a path loss probability ``p`` shows up at the
+    monitor as a gap-event fraction of roughly ``p / (1 + p)`` (the repair
+    arrivals count as received) — the default 4% sits centrally in the
+    DEGRADED band of :class:`~repro.core.config.QoeConfig`.
+    """
+    event = CongestionEvent(
+        start=start, end=end, extra_delay=0.0, extra_jitter=0.0,
+        extra_loss=extra_loss, profile="flat",
+    )
+    participants = _scenario_participants(seed, receiver_congestion_down=(event,))
+    return ImpairmentScenario(
+        name=f"loss-burst-{expected_state.lower()}",
+        meeting=_scenario_meeting(
+            f"loss-burst-{expected_state.lower()}", seed, participants,
+            duration=duration, octet=61,
+        ),
+        intervals=(
+            ImpairmentInterval(
+                start=start, end=end, kind="loss", expected_state=expected_state,
+            ),
+        ),
+        description=f"flat {extra_loss:.0%} loss on the SFU->border leg",
+    )
+
+
+def loss_collapse_scenario(seed: int = 20220816) -> ImpairmentScenario:
+    """A severe loss episode that must reach CRITICAL (gap share ~31%)."""
+    scenario = loss_burst_scenario(
+        seed, extra_loss=0.45, expected_state="CRITICAL"
+    )
+    return dataclasses.replace(scenario, name="loss-collapse",
+                               description="flat 45% loss on the SFU->border leg")
+
+
+def jitter_spike_scenario(
+    seed: int = 20220817,
+    *,
+    extra_jitter: float = 0.065,
+    expected_state: str = "DEGRADED",
+    start: float = 10.0,
+    end: float = 20.0,
+    duration: float = 30.0,
+) -> ImpairmentScenario:
+    """A flat delay-variance spike on the receiver's external down leg.
+
+    Folded-normal delay noise with standard deviation sigma converges the
+    RFC 3550 estimator near ``0.68 * sigma`` on an unqueued path, but the
+    FIFO path model queues heavily once sigma exceeds the packet spacing and
+    roughly halves that: the default 65 ms sigma lands a stable ~23-30 ms
+    window peak, squarely in the DEGRADED jitter band.
+    """
+    event = CongestionEvent(
+        start=start, end=end, extra_delay=0.0, extra_jitter=extra_jitter,
+        extra_loss=0.0, profile="flat",
+    )
+    participants = _scenario_participants(seed, receiver_congestion_down=(event,))
+    return ImpairmentScenario(
+        name="jitter-spike",
+        meeting=_scenario_meeting(
+            "jitter-spike", seed, participants, duration=duration, octet=62
+        ),
+        intervals=(
+            ImpairmentInterval(
+                start=start, end=end, kind="jitter", expected_state=expected_state,
+            ),
+        ),
+        description=f"flat {extra_jitter * 1000:.0f}ms delay-noise spike",
+    )
+
+
+def bandwidth_cliff_scenario(
+    seed: int = 20220818,
+    *,
+    start: float = 10.0,
+    end: float = 20.0,
+    duration: float = 30.0,
+) -> ImpairmentScenario:
+    """A bandwidth cliff: deep-queue delay variance plus moderate loss.
+
+    The IMPAIRED signal is carried by the queueing jitter (a 150 ms delay
+    sigma lands the RFC 3550 estimator stably in the 35-80 ms IMPAIRED
+    band after FIFO compression); the 4% loss rides along in the DEGRADED
+    band.  Loss is deliberately NOT the deciding metric here: per-window
+    gap fractions on ~50-packet audio streams have enough variance to
+    oscillate across any single loss threshold, while the 16-sample jitter
+    EWMA over hundreds of packets is steady.
+    """
+    event = CongestionEvent(
+        start=start, end=end, extra_delay=0.050, extra_jitter=0.150,
+        extra_loss=0.04, profile="flat",
+    )
+    participants = _scenario_participants(seed, receiver_congestion_down=(event,))
+    return ImpairmentScenario(
+        name="bandwidth-cliff",
+        meeting=_scenario_meeting(
+            "bandwidth-cliff", seed, participants, duration=duration, octet=63
+        ),
+        intervals=(
+            # clear_slack is wider than the other scenarios': the deep FIFO
+            # backlog built during the burst drains for a few seconds after
+            # the congestion event ends, and that drain is itself
+            # monitor-visible jitter.
+            ImpairmentInterval(
+                start=start, end=end, kind="bandwidth", expected_state="IMPAIRED",
+                clear_slack=8.0,
+            ),
+        ),
+        description="flat 4% loss + 150ms-sigma queueing on the SFU->border leg",
+    )
+
+
+def congestion_adaptation_scenario(
+    seed: int = 20220819,
+    *,
+    start: float = 10.0,
+    end: float = 22.0,
+    duration: float = 40.0,
+) -> ImpairmentScenario:
+    """Sender-side congestion driving Zoom's rate adaptation (§3).
+
+    Alice's external legs congest with pure queueing delay (no loss, near-no
+    jitter); after ~0.7 s her client halves the frame rate, so the
+    monitor-visible signal is the delivered-fps ratio collapsing to ~0.5 —
+    the DEGRADED fps band.  Recovery waits out the client's 2.5 s clear
+    hysteresis plus the machine's exit streak, hence the larger slacks.
+    """
+    event = CongestionEvent(
+        start=start, end=end, extra_delay=0.035, extra_jitter=0.002,
+        extra_loss=0.0, profile="flat",
+    )
+    participants = _scenario_participants(seed, sender_congestion=(event,))
+    return ImpairmentScenario(
+        name="congestion-adaptation",
+        meeting=_scenario_meeting(
+            "congestion-adaptation", seed, participants, duration=duration, octet=64
+        ),
+        intervals=(
+            ImpairmentInterval(
+                start=start, end=end, kind="adaptation", expected_state="DEGRADED",
+                detect_slack=6.0, clear_slack=9.0,
+            ),
+        ),
+        description="sender-leg queueing; fps halves via rate adaptation",
+    )
+
+
+def impairment_suite(seed: int = 20220814) -> tuple[ImpairmentScenario, ...]:
+    """The fast impairment scenarios (tier-1; adaptation runs under slow).
+
+    All per-scenario seeds derive from ``seed``, so one number reproduces
+    the whole suite byte-for-byte.
+    """
+    rng = random.Random(seed)
+    return (
+        loss_burst_scenario(rng.randrange(1 << 30)),
+        loss_collapse_scenario(rng.randrange(1 << 30)),
+        jitter_spike_scenario(rng.randrange(1 << 30)),
+        bandwidth_cliff_scenario(rng.randrange(1 << 30)),
     )
 
 

@@ -71,6 +71,11 @@ class ParticipantConfig:
         jitter_std: Per-packet delay noise on the external leg (s).
         loss_rate: Base random loss on the external leg.
         congestion: Congestion episodes applied to the external legs.
+        congestion_down: Additional episodes applied only to the *external
+            down* leg (SFU → border).  Impairment scenarios use this: the
+            damage happens before the monitor sees the packet (so gaps and
+            jitter are capture-visible, §5.5) without congesting the
+            sender's up leg and triggering its rate adaptation.
         media_schedule: Mid-meeting media toggles as (time offset from
             meeting start, media type, enabled) triples — muting the mic or
             stopping the camera makes the corresponding UDP flow disappear
@@ -92,6 +97,7 @@ class ParticipantConfig:
     jitter_std: float = 0.0006
     loss_rate: float = 0.0005
     congestion: tuple[CongestionEvent, ...] = ()
+    congestion_down: tuple[CongestionEvent, ...] = ()
     media_schedule: tuple[tuple[float, ZoomMediaType, bool], ...] = ()
 
 
@@ -210,19 +216,30 @@ class _Participant:
         )
         # Directional paths.  Campus legs are quiet; external legs carry the
         # configured jitter/loss/congestion.
-        def _path(base: float, jitter: float, loss: float, congested: bool) -> NetworkPath:
+        def _path(
+            base: float,
+            jitter: float,
+            loss: float,
+            congestion: tuple[CongestionEvent, ...] = (),
+        ) -> NetworkPath:
             return NetworkPath(
                 base_delay=base,
                 jitter_std=jitter,
                 loss_rate=loss,
-                congestion=list(config.congestion) if congested else [],
+                congestion=list(congestion),
                 rng=random.Random(rng.randrange(1 << 30)),
             )
 
-        self.campus_up = _path(config.campus_delay, 0.00008, 0.0, False)
-        self.campus_down = _path(config.campus_delay, 0.00008, 0.0001, False)
-        self.ext_up = _path(config.external_delay, config.jitter_std, config.loss_rate, True)
-        self.ext_down = _path(config.external_delay, config.jitter_std, config.loss_rate, True)
+        self.campus_up = _path(config.campus_delay, 0.00008, 0.0)
+        self.campus_down = _path(config.campus_delay, 0.00008, 0.0001)
+        self.ext_up = _path(
+            config.external_delay, config.jitter_std, config.loss_rate,
+            config.congestion,
+        )
+        self.ext_down = _path(
+            config.external_delay, config.jitter_std, config.loss_rate,
+            config.congestion + config.congestion_down,
+        )
         # Media sources.
         source_seed = rng.randrange(1 << 30)
         self.video = VideoSource(

@@ -22,6 +22,10 @@ class CongestionEvent:
         extra_delay: Added one-way queueing delay at the episode peak (s).
         extra_jitter: Added delay standard deviation at the peak (s).
         extra_loss: Added packet loss probability at the peak (0-1).
+        profile: ``"triangular"`` ramps intensity up and back down over the
+            window (the realistic cross-traffic shape); ``"flat"`` holds the
+            peak for the whole window — impairment scenarios use it so the
+            ground-truth degradation interval has crisp edges.
     """
 
     start: float
@@ -29,21 +33,27 @@ class CongestionEvent:
     extra_delay: float = 0.030
     extra_jitter: float = 0.010
     extra_loss: float = 0.02
+    profile: str = "triangular"
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
             raise ValueError("congestion event must have end > start")
         if not 0.0 <= self.extra_loss <= 1.0:
             raise ValueError("extra_loss must be a probability")
+        if self.profile not in ("triangular", "flat"):
+            raise ValueError("profile must be 'triangular' or 'flat'")
 
     def intensity(self, now: float) -> float:
         """Ramped intensity in [0, 1]: rises and falls over the window.
 
         A triangular ramp (up over the first half, down over the second)
-        avoids unrealistic step changes in delay.
+        avoids unrealistic step changes in delay; the ``"flat"`` profile
+        instead holds 1.0 across the whole window.
         """
         if not self.start <= now <= self.end:
             return 0.0
+        if self.profile == "flat":
+            return 1.0
         middle = (self.start + self.end) / 2
         half = (self.end - self.start) / 2
         return 1.0 - abs(now - middle) / half

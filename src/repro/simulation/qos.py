@@ -27,6 +27,41 @@ reported value stays below ~2 ms, as the paper observed (§5.4)."""
 
 
 @dataclass(frozen=True, slots=True)
+class ImpairmentInterval:
+    """Ground truth about one injected impairment episode.
+
+    The impairment scenarios (:mod:`repro.simulation.campus`) attach these
+    so the QoE ground-truth suite can assert the state machine transitions
+    exactly when — and only when — the injected QoS degrades.
+
+    Attributes:
+        start / end: Degradation window in absolute simulation seconds.
+        kind: Which knob was turned (``"loss"``, ``"jitter"``,
+            ``"bandwidth"``, ``"adaptation"``).
+        expected_state: Name of the :class:`~repro.qoe.machine.QoeState` the
+            machine must reach for this interval (``"DEGRADED"`` /
+            ``"IMPAIRED"`` / ``"CRITICAL"``).
+        detect_slack: Seconds after ``start`` by which the enter transition
+            must have fired (covers streak + dwell hysteresis delay).
+        clear_slack: Seconds after ``end`` by which the machine must be back
+            to GOOD (covers exit streaks and decaying estimators).
+    """
+
+    start: float
+    end: float
+    kind: str
+    expected_state: str
+    detect_slack: float = 4.0
+    clear_slack: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("impairment interval must have end > start")
+        if self.expected_state not in ("DEGRADED", "IMPAIRED", "CRITICAL"):
+            raise ValueError(f"unknown expected_state {self.expected_state!r}")
+
+
+@dataclass(frozen=True, slots=True)
 class QoSSample:
     """One per-second ground-truth statistics record for one stream.
 

@@ -15,6 +15,9 @@ handful of warnings an operator actually acts on:
   fast path is silently filtering nothing;
 * RTCP receiver reports — the paper observed Zoom never sends them (§4.2.1),
   so any appearing is a protocol-drift signal;
+* meetings whose QoE state machine entered IMPAIRED or CRITICAL — sustained
+  loss, jitter, or delivered-frame-rate collapse (§5) that a user would
+  notice, surfaced from the ``qoe.transitions_to.*`` counters;
 * live-monitor degradation — packets shed by the daemon's bounded queue
   (recoverable from the capture directory) or a crash-restarting ingest
   thread;
@@ -228,6 +231,24 @@ def detect_anomalies(
                 ),
                 counter="prefilter.passed",
                 value=passed,
+            )
+        )
+
+    impaired = snapshot.counter("qoe.transitions_to.impaired")
+    critical = snapshot.counter("qoe.transitions_to.critical")
+    if impaired or critical:
+        total_alerts = impaired + critical
+        anomalies.append(
+            Anomaly(
+                name="qoe-impairments",
+                message=(
+                    f"{total_alerts} meeting QoE alert(s) during the run "
+                    f"({impaired} IMPAIRED, {critical} CRITICAL entries) — "
+                    "sustained loss/jitter/frame-rate degradation; inspect "
+                    "the per-meeting transition log"
+                ),
+                counter="qoe.alerts",
+                value=total_alerts,
             )
         )
 

@@ -22,7 +22,7 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.config import AnalyzerConfig
+from repro.core.config import AnalyzerConfig, QoeConfig
 from repro.core.pipeline import AnalysisResult
 from repro.core.session import AnalysisSession
 from repro.net.pcap import write_pcap
@@ -32,11 +32,13 @@ from repro.simulation import (
     MeetingConfig,
     MeetingSimulator,
     ParticipantConfig,
+    impairment_suite,
 )
 from repro.telemetry import shard_invariant_counters
 from repro.zoom.constants import ZoomMediaType
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "meeting_small.json"
+IMPAIRED_GOLDEN_PATH = Path(__file__).parent / "golden" / "meeting_impaired.json"
 
 #: Float fields are rounded before comparison so the snapshot is robust to
 #: formatting, yet still catches any real drift in the estimators.
@@ -170,6 +172,70 @@ def summarize_result(result: AnalysisResult) -> dict[str, Any]:
     }
 
 
+def impaired_scenario():
+    """The fixed impairment scenario behind the QoE snapshot: the suite's
+    bandwidth cliff (seeded via the suite's master seed, so the snapshot and
+    the ground-truth tests exercise the identical capture)."""
+    for scenario in impairment_suite():
+        if scenario.name == "bandwidth-cliff":
+            return scenario
+    raise LookupError("bandwidth-cliff missing from impairment_suite()")
+
+
+def compute_impaired_summary(tmp_dir: Path) -> dict[str, Any]:
+    """Simulate the impaired meeting and pin its full QoE alert sequence.
+
+    Complements :func:`compute_golden_summary` (which pins the estimator
+    outputs on a healthy meeting): this snapshot freezes every state-machine
+    transition — times, states, reason strings — plus the ``qoe.*`` counters
+    the alerting layer keys on.
+    """
+    scenario = impaired_scenario()
+    sim = MeetingSimulator(scenario.meeting).run()
+    pcap_path = Path(tmp_dir) / "impaired_meeting.pcap"
+    write_pcap(pcap_path, sim.captures)
+
+    session = AnalysisSession(AnalyzerConfig(telemetry=True, qoe=QoeConfig()))
+    result = session.run(PcapFileSource(pcap_path))
+    assert session.qoe is not None
+
+    transitions = [
+        {
+            "meeting": meeting_id,
+            "window_index": t.window_index,
+            "time": _round(t.time),
+            "previous": t.previous.name,
+            "state": t.state.name,
+            "windows_in_previous": t.windows_in_previous,
+            "observation": t.observation,
+            "reason": t.reason,
+            "loss_fraction": _round(t.sample.loss_fraction),
+            "jitter_ms": _round(t.sample.jitter_ms),
+            "fps_ratio": _round(t.sample.fps_ratio),
+        }
+        for meeting_id, t in session.qoe.transitions
+    ]
+    snapshot = result.telemetry_snapshot()
+    return {
+        "scenario": f"{scenario.name} via impairment_suite() — {scenario.description}",
+        "intervals": [
+            {
+                "start": interval.start,
+                "end": interval.end,
+                "kind": interval.kind,
+                "expected_state": interval.expected_state,
+            }
+            for interval in scenario.intervals
+        ],
+        "packets": {
+            "total": result.packets_total,
+            "zoom": result.packets_zoom,
+        },
+        "transitions": transitions,
+        "qoe_counters": snapshot.counters_under("qoe."),
+    }
+
+
 def load_golden_snapshot() -> dict[str, Any]:
     return json.loads(GOLDEN_PATH.read_text())
 
@@ -177,3 +243,12 @@ def load_golden_snapshot() -> dict[str, Any]:
 def write_golden_snapshot(summary: dict[str, Any]) -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def load_impaired_snapshot() -> dict[str, Any]:
+    return json.loads(IMPAIRED_GOLDEN_PATH.read_text())
+
+
+def write_impaired_snapshot(summary: dict[str, Any]) -> None:
+    IMPAIRED_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    IMPAIRED_GOLDEN_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

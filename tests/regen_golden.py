@@ -1,12 +1,14 @@
 #!/usr/bin/env python
-"""Regenerate the golden end-to-end snapshot.
+"""Regenerate the golden end-to-end snapshots.
 
 Run from the repository root after an *intentional* behaviour change::
 
     PYTHONPATH=src python tests/regen_golden.py
 
-then review the diff of ``tests/golden/meeting_small.json`` and commit it
-alongside the change that caused it.
+then review the diffs of ``tests/golden/meeting_small.json`` (estimator
+outputs on a healthy meeting) and ``tests/golden/meeting_impaired.json``
+(the QoE transition/alert sequence on the bandwidth-cliff scenario) and
+commit them alongside the change that caused them.
 """
 
 from __future__ import annotations
@@ -22,8 +24,11 @@ for entry in (REPO_ROOT, REPO_ROOT / "src"):
 
 from tests.golden_utils import (  # noqa: E402  (path setup must come first)
     GOLDEN_PATH,
+    IMPAIRED_GOLDEN_PATH,
     compute_golden_summary,
+    compute_impaired_summary,
     write_golden_snapshot,
+    write_impaired_snapshot,
 )
 
 
@@ -38,6 +43,16 @@ def main() -> int:
             zoom=summary["packets"]["zoom"],
             streams=len(summary["streams"]),
             meetings=len(summary["meetings"]),
+        )
+    )
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        impaired = compute_impaired_summary(Path(tmp_dir))
+    write_impaired_snapshot(impaired)
+    print(f"wrote {IMPAIRED_GOLDEN_PATH.relative_to(REPO_ROOT)}")
+    print(
+        "  transitions={transitions} alerts={alerts}".format(
+            transitions=len(impaired["transitions"]),
+            alerts=impaired["qoe_counters"].get("alerts", 0),
         )
     )
     return 0

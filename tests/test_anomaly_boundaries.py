@@ -1,0 +1,136 @@
+"""Exact-boundary tests for the telemetry anomaly rules.
+
+Every rule here has a documented threshold; these tests pin which side of
+each boundary fires, so a refactor that flips a ``>`` to a ``>=`` (or the
+reverse) fails loudly instead of silently changing operator-facing alerts.
+"""
+
+from repro.telemetry.anomalies import (
+    PREFILTER_MIN_FRAMES,
+    PREFILTER_PASS_WARN_FRACTION,
+    SHARD_IMBALANCE_SHARE,
+    detect_anomalies,
+)
+from repro.telemetry.registry import Telemetry
+
+
+def _snapshot(counters: dict[str, int]):
+    telemetry = Telemetry()
+    for name, value in counters.items():
+        telemetry.count(name, value)
+    return telemetry.snapshot()
+
+
+def _names(counters: dict[str, int], **thresholds) -> set[str]:
+    return {a.name for a in detect_anomalies(_snapshot(counters), **thresholds)}
+
+
+class TestPrefilterBoundary:
+    def test_below_volume_floor_never_fires(self):
+        # One frame short of the floor with a 100% pass rate: volume too
+        # small to be meaningful, rule must stay silent.
+        counters = {"prefilter.passed": PREFILTER_MIN_FRAMES - 1}
+        assert "prefilter-pass-through" not in _names(counters)
+
+    def test_exactly_at_volume_floor_fires(self):
+        # The floor itself qualifies (>=), and a 100% pass rate exceeds the
+        # pass-rate bound.
+        counters = {"prefilter.passed": PREFILTER_MIN_FRAMES}
+        assert "prefilter-pass-through" in _names(counters)
+
+    def test_pass_rate_exactly_at_bound_does_not_fire(self):
+        # 999_000 / 1_000_000 == 0.999 exactly: the comparison is strict.
+        assert PREFILTER_PASS_WARN_FRACTION == 0.999
+        counters = {"prefilter.passed": 999_000, "prefilter.dropped": 1_000}
+        assert "prefilter-pass-through" not in _names(counters)
+
+    def test_pass_rate_just_above_bound_fires(self):
+        counters = {"prefilter.passed": 999_001, "prefilter.dropped": 999}
+        assert "prefilter-pass-through" in _names(counters)
+
+    def test_no_prefilter_counters_no_fire(self):
+        assert "prefilter-pass-through" not in _names({})
+
+
+class TestShardImbalanceBoundary:
+    def test_single_shard_never_fires(self):
+        # One shard trivially holds 100% of the packets; the rule needs at
+        # least two shards to be meaningful.
+        counters = {"sharded.shard_packets.0": 1_000}
+        assert "shard-imbalance" not in _names(counters)
+
+    def test_two_shards_exactly_at_share_does_not_fire(self):
+        # peak/total == 0.7 exactly: strict comparison.
+        assert SHARD_IMBALANCE_SHARE == 0.7
+        counters = {
+            "sharded.shard_packets.0": 7,
+            "sharded.shard_packets.1": 3,
+        }
+        assert "shard-imbalance" not in _names(counters)
+
+    def test_two_shards_just_above_share_fires(self):
+        counters = {
+            "sharded.shard_packets.0": 71,
+            "sharded.shard_packets.1": 29,
+        }
+        assert "shard-imbalance" in _names(counters)
+
+    def test_share_threshold_override(self):
+        counters = {
+            "sharded.shard_packets.0": 6,
+            "sharded.shard_packets.1": 4,
+        }
+        assert "shard-imbalance" in _names(counters, shard_imbalance_share=0.5)
+
+    def test_empty_shards_no_division_error(self):
+        counters = {
+            "sharded.shard_packets.0": 0,
+            "sharded.shard_packets.1": 0,
+        }
+        assert "shard-imbalance" not in _names(counters)
+
+
+class TestUndecodedBoundary:
+    def test_zero_media_snapshot_is_silent(self):
+        # A capture with no media-class packets at all (demux.undecoded may
+        # still be absent or zero) must neither fire nor divide by zero.
+        assert "undecoded-media" not in _names({})
+        assert "undecoded-media" not in _names({"demux.undecoded": 5})
+
+    def test_exactly_at_fraction_does_not_fire(self):
+        counters = {"demux.media_class_packets": 100, "demux.undecoded": 25}
+        assert "undecoded-media" not in _names(counters)
+
+    def test_just_above_fraction_fires(self):
+        counters = {"demux.media_class_packets": 100, "demux.undecoded": 26}
+        assert "undecoded-media" in _names(counters)
+
+
+class TestQoeImpairmentRule:
+    def test_degraded_only_does_not_alert(self):
+        # DEGRADED entries are informational; only IMPAIRED/CRITICAL page.
+        counters = {
+            "qoe.transitions": 4,
+            "qoe.transitions_to.degraded": 2,
+            "qoe.transitions_to.good": 2,
+        }
+        assert "qoe-impairments" not in _names(counters)
+
+    def test_impaired_entry_alerts(self):
+        names = _names({"qoe.transitions_to.impaired": 1})
+        assert "qoe-impairments" in names
+
+    def test_counts_impaired_and_critical(self):
+        snapshot = _snapshot(
+            {
+                "qoe.transitions_to.impaired": 2,
+                "qoe.transitions_to.critical": 1,
+            }
+        )
+        (finding,) = [
+            a for a in detect_anomalies(snapshot) if a.name == "qoe-impairments"
+        ]
+        assert finding.value == 3
+        assert finding.counter == "qoe.alerts"
+        assert "2 IMPAIRED" in finding.message
+        assert "1 CRITICAL" in finding.message

@@ -17,8 +17,11 @@ import pytest
 
 from tests.golden_utils import (
     GOLDEN_PATH,
+    IMPAIRED_GOLDEN_PATH,
     compute_golden_summary,
+    compute_impaired_summary,
     load_golden_snapshot,
+    load_impaired_snapshot,
 )
 
 REGEN_HINT = (
@@ -77,3 +80,46 @@ class TestGoldenEndToEnd:
         assert stops + tel.get("pipeline.completed", 0) == total
         assert tel.get("demux.undecoded", 0) == actual_summary["packets"]["undecoded"]
         assert tel.get("assemble.stream_opened", 0) == len(actual_summary["streams"])
+
+
+@pytest.fixture(scope="module")
+def impaired_summary(tmp_path_factory) -> dict:
+    return compute_impaired_summary(tmp_path_factory.mktemp("impaired"))
+
+
+class TestImpairedGolden:
+    """Pin the full QoE transition/alert sequence of the bandwidth-cliff
+    scenario — times, states, reason strings, and ``qoe.*`` counters."""
+
+    def test_snapshot_exists(self):
+        assert IMPAIRED_GOLDEN_PATH.is_file(), (
+            "missing snapshot; run `PYTHONPATH=src python tests/regen_golden.py`"
+        )
+
+    def test_matches_snapshot(self, impaired_summary):
+        expected = load_impaired_snapshot()
+        if impaired_summary == expected:
+            return
+        drifted = sorted(
+            key
+            for key in set(expected) | set(impaired_summary)
+            if expected.get(key) != impaired_summary.get(key)
+        )
+        assert impaired_summary == expected, f"{REGEN_HINT}; drifted keys: {drifted}"
+
+    def test_alert_sequence_sane(self, impaired_summary):
+        """Guard the snapshot itself: a regen where the machine misses the
+        impairment (or flaps) must not be committable silently."""
+        transitions = impaired_summary["transitions"]
+        (interval,) = impaired_summary["intervals"]
+        assert len(transitions) == 2, transitions
+        enter, leave = transitions
+        assert enter["previous"] == "GOOD"
+        assert enter["state"] == interval["expected_state"] == "IMPAIRED"
+        assert interval["start"] <= enter["time"] <= interval["end"]
+        assert leave["state"] == "GOOD"
+        assert leave["time"] >= interval["end"]
+        counters = impaired_summary["qoe_counters"]
+        assert counters["transitions"] == 2
+        assert counters["transitions_to.impaired"] == 1
+        assert counters["alerts"] == 1

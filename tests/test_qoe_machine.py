@@ -1,0 +1,312 @@
+"""Unit tests for the QoE state machine: thresholds, hysteresis, consensus.
+
+Everything here drives :class:`repro.qoe.QoeStateMachine` directly with
+hand-built samples — no simulator, no analyzer — so each hysteresis rule is
+pinned in isolation before the ground-truth suite exercises the whole
+pipeline.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import QoeConfig
+from repro.qoe import QoeSample, QoeState, QoeStateMachine
+
+
+def _sample(
+    index: int,
+    *,
+    loss: float = 0.0,
+    jitter: float = 3.0,
+    fps: float = 1.0,
+    packets: int = 500,
+) -> QoeSample:
+    return QoeSample(
+        window_index=index,
+        window_end=float(index + 1),
+        packets=packets,
+        loss_fraction=loss,
+        jitter_ms=jitter,
+        fps_ratio=fps,
+    )
+
+
+def _feed(machine: QoeStateMachine, specs) -> list:
+    """specs: iterable of kwargs dicts for _sample, auto-indexed."""
+    transitions = []
+    for index, spec in enumerate(specs):
+        t = machine.observe(_sample(index, **spec))
+        if t is not None:
+            transitions.append(t)
+    return transitions
+
+
+class TestSeverity:
+    def test_good_on_clean_sample(self):
+        machine = QoeStateMachine()
+        assert machine.enter_severity(_sample(0)) is QoeState.GOOD
+
+    def test_each_metric_alone_reaches_each_state(self):
+        cfg = QoeConfig()
+        machine = QoeStateMachine(cfg)
+        cases = [
+            ({"loss": cfg.loss_degraded + 0.001}, QoeState.DEGRADED),
+            ({"loss": cfg.loss_impaired + 0.001}, QoeState.IMPAIRED),
+            ({"loss": cfg.loss_critical + 0.001}, QoeState.CRITICAL),
+            ({"jitter": cfg.jitter_degraded_ms + 0.1}, QoeState.DEGRADED),
+            ({"jitter": cfg.jitter_impaired_ms + 0.1}, QoeState.IMPAIRED),
+            ({"jitter": cfg.jitter_critical_ms + 0.1}, QoeState.CRITICAL),
+            ({"fps": cfg.fps_degraded - 0.01}, QoeState.DEGRADED),
+            ({"fps": cfg.fps_impaired - 0.01}, QoeState.IMPAIRED),
+            ({"fps": cfg.fps_critical - 0.01}, QoeState.CRITICAL),
+        ]
+        for kwargs, expected in cases:
+            assert machine.enter_severity(_sample(0, **kwargs)) is expected, kwargs
+
+    def test_exactly_at_enter_threshold_is_not_entered(self):
+        cfg = QoeConfig()
+        machine = QoeStateMachine(cfg)
+        assert (
+            machine.enter_severity(_sample(0, loss=cfg.loss_degraded))
+            is QoeState.GOOD
+        )
+        assert (
+            machine.enter_severity(_sample(0, jitter=cfg.jitter_degraded_ms))
+            is QoeState.GOOD
+        )
+        assert (
+            machine.enter_severity(_sample(0, fps=cfg.fps_degraded)) is QoeState.GOOD
+        )
+
+    def test_nan_metrics_are_good(self):
+        machine = QoeStateMachine()
+        nan = float("nan")
+        sample = _sample(0, loss=nan, jitter=nan, fps=nan)
+        assert machine.enter_severity(sample) is QoeState.GOOD
+        assert machine.exit_severity(sample) is QoeState.GOOD
+
+    def test_worst_metric_wins(self):
+        cfg = QoeConfig()
+        machine = QoeStateMachine(cfg)
+        sample = _sample(
+            0, loss=cfg.loss_degraded + 0.001, jitter=cfg.jitter_critical_ms + 1
+        )
+        assert machine.enter_severity(sample) is QoeState.CRITICAL
+
+
+class TestEscalation:
+    def test_needs_enter_windows_consecutive(self):
+        cfg = QoeConfig(enter_windows=2)
+        machine = QoeStateMachine(cfg)
+        assert machine.observe(_sample(0, loss=0.05)) is None
+        t = machine.observe(_sample(1, loss=0.05))
+        assert t is not None
+        assert t.previous is QoeState.GOOD
+        assert t.state is QoeState.DEGRADED
+        assert machine.state is QoeState.DEGRADED
+
+    def test_interrupted_streak_does_not_escalate(self):
+        machine = QoeStateMachine(QoeConfig(enter_windows=2))
+        transitions = _feed(
+            machine, [{"loss": 0.05}, {}, {"loss": 0.05}, {}, {"loss": 0.05}]
+        )
+        assert transitions == []
+        assert machine.state is QoeState.GOOD
+
+    def test_onset_boundary_window_does_not_lower_target(self):
+        # The window straddling the impairment onset reads a milder
+        # severity; with consensus entry it restarts the count instead of
+        # dragging the target to DEGRADED and staircasing upward.
+        machine = QoeStateMachine(QoeConfig(enter_windows=2))
+        transitions = _feed(
+            machine, [{"loss": 0.05}, {"loss": 0.30}, {"loss": 0.30}]
+        )
+        assert [(t.previous, t.state) for t in transitions] == [
+            (QoeState.GOOD, QoeState.CRITICAL)
+        ]
+
+    def test_outlier_cannot_drag_state_to_its_peak(self):
+        # One CRITICAL outlier inside a DEGRADED streak: consensus forms on
+        # DEGRADED, never on CRITICAL.
+        machine = QoeStateMachine(QoeConfig(enter_windows=2))
+        transitions = _feed(
+            machine, [{"loss": 0.30}, {"loss": 0.05}, {"loss": 0.05}]
+        )
+        assert [t.state for t in transitions] == [QoeState.DEGRADED]
+
+    def test_fallback_escalation_on_oscillating_severity(self):
+        # Severities alternating IMPAIRED/CRITICAL never agree; after
+        # 2*enter_windows the machine escalates to the streak minimum
+        # rather than stalling in GOOD forever.
+        machine = QoeStateMachine(QoeConfig(enter_windows=2))
+        transitions = _feed(
+            machine,
+            [{"loss": 0.30}, {"loss": 0.12}, {"loss": 0.30}, {"loss": 0.12}],
+        )
+        assert [(t.previous, t.state) for t in transitions] == [
+            (QoeState.GOOD, QoeState.IMPAIRED)
+        ]
+
+    def test_escalation_from_degraded_to_critical(self):
+        machine = QoeStateMachine(
+            QoeConfig(enter_windows=2, min_dwell_windows=2, exit_windows=2)
+        )
+        transitions = _feed(
+            machine,
+            [{"loss": 0.05}, {"loss": 0.05}, {"loss": 0.30}, {"loss": 0.30}],
+        )
+        assert [(t.previous, t.state) for t in transitions] == [
+            (QoeState.GOOD, QoeState.DEGRADED),
+            (QoeState.DEGRADED, QoeState.CRITICAL),
+        ]
+
+    def test_reason_names_the_offending_metric(self):
+        machine = QoeStateMachine(QoeConfig(enter_windows=1, min_dwell_windows=1))
+        t = machine.observe(_sample(0, loss=0.05))
+        assert t is not None and "loss=0.050" in t.reason
+
+
+class TestDeescalation:
+    def test_consensus_exit_goes_straight_to_agreed_state(self):
+        cfg = QoeConfig(enter_windows=2, exit_windows=3, min_dwell_windows=3)
+        machine = QoeStateMachine(cfg)
+        _feed(machine, [{"loss": 0.30}] * 2)
+        assert machine.state is QoeState.CRITICAL
+        transitions = _feed(machine, [{}] * 3)
+        assert [(t.previous, t.state) for t in transitions] == [
+            (QoeState.CRITICAL, QoeState.GOOD)
+        ]
+        assert transitions[0].reason == "recovered"
+
+    def test_residual_window_breaks_consensus_not_target(self):
+        # The first post-impairment window still shows mild loss (as real
+        # recoveries do); the machine must wait for a fresh GOOD consensus
+        # rather than staircase through DEGRADED.
+        cfg = QoeConfig(enter_windows=2, exit_windows=3, min_dwell_windows=3)
+        machine = QoeStateMachine(cfg)
+        _feed(machine, [{"loss": 0.30}] * 2)
+        residual_then_clean = [{"loss": 0.018}] + [{}] * 3
+        transitions = _feed(machine, residual_then_clean)
+        assert [(t.previous, t.state) for t in transitions] == [
+            (QoeState.CRITICAL, QoeState.GOOD)
+        ]
+
+    def test_fallback_exit_when_no_consensus(self):
+        # Metrics bouncing between GOOD and DEGRADED (below CRITICAL) never
+        # agree; after 2*exit_windows the machine takes the streak maximum
+        # instead of staying stuck.
+        cfg = QoeConfig(enter_windows=2, exit_windows=3, min_dwell_windows=3)
+        machine = QoeStateMachine(cfg)
+        _feed(machine, [{"loss": 0.30}] * 2)
+        bouncing = [{"loss": 0.0}, {"loss": 0.018}] * 3
+        transitions = _feed(machine, bouncing)
+        assert [(t.previous, t.state) for t in transitions] == [
+            (QoeState.CRITICAL, QoeState.DEGRADED)
+        ]
+        assert transitions[0].reason == "partial recovery"
+
+    def test_exit_thresholds_are_stricter_than_enter(self):
+        # Loss below the enter threshold but above the exit threshold must
+        # hold the current state (the hysteresis band).
+        cfg = QoeConfig(enter_windows=2, exit_windows=3, min_dwell_windows=3)
+        machine = QoeStateMachine(cfg)
+        _feed(machine, [{"loss": 0.05}] * 2)
+        assert machine.state is QoeState.DEGRADED
+        inside_band = cfg.loss_degraded * (1 + cfg.exit_fraction) / 2
+        transitions = _feed(machine, [{"loss": inside_band}] * 8)
+        assert transitions == []
+        assert machine.state is QoeState.DEGRADED
+
+    def test_fps_exit_band_does_not_trap_healthy_ratio(self):
+        # A recovered stream's fps ratio hovers near 1.0 with a few percent
+        # of noise; the additive exit margin must read that as GOOD.
+        cfg = QoeConfig(enter_windows=2, exit_windows=3, min_dwell_windows=3)
+        machine = QoeStateMachine(cfg)
+        _feed(machine, [{"fps": 0.5}] * 2)
+        assert machine.state is QoeState.DEGRADED
+        transitions = _feed(machine, [{"fps": 0.96}, {"fps": 0.93}, {"fps": 0.97}])
+        assert [(t.previous, t.state) for t in transitions] == [
+            (QoeState.DEGRADED, QoeState.GOOD)
+        ]
+
+
+class TestDwell:
+    def test_dwell_blocks_early_exit(self):
+        cfg = QoeConfig(enter_windows=1, exit_windows=1, min_dwell_windows=4)
+        machine = QoeStateMachine(cfg)
+        t = machine.observe(_sample(0, loss=0.05))
+        assert t is not None
+        # Three clean windows arrive inside the dwell; exit only fires on
+        # the fourth post-transition window.
+        assert machine.observe(_sample(1)) is None
+        assert machine.observe(_sample(2)) is None
+        assert machine.observe(_sample(3)) is None
+        t = machine.observe(_sample(4))
+        assert t is not None and t.state is QoeState.GOOD
+
+    def test_transitions_never_closer_than_dwell(self):
+        cfg = QoeConfig(enter_windows=1, exit_windows=1, min_dwell_windows=3)
+        machine = QoeStateMachine(cfg)
+        specs = [{"loss": 0.30 if i % 2 == 0 else 0.0} for i in range(40)]
+        transitions = _feed(machine, specs)
+        observations = [t.observation for t in transitions]
+        gaps = [b - a for a, b in zip(observations, observations[1:])]
+        assert all(gap >= cfg.min_dwell_windows for gap in gaps)
+
+
+class TestBatchEquivalence:
+    def test_observe_batch_matches_scalar_loop(self):
+        specs = (
+            [{"loss": 0.05}] * 3
+            + [{}] * 5
+            + [{"jitter": 90.0}] * 4
+            + [{"loss": 0.018}]
+            + [{}] * 6
+            + [{"fps": 0.3}] * 3
+            + [{}] * 8
+        )
+        samples = [_sample(i, **spec) for i, spec in enumerate(specs)]
+        scalar_machine = QoeStateMachine()
+        scalar = [
+            t for s in samples if (t := scalar_machine.observe(s)) is not None
+        ]
+        batch = QoeStateMachine().observe_batch(samples)
+        assert batch == scalar
+
+
+class TestConfigValidation:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            QoeConfig(loss_degraded=0.5, loss_impaired=0.1)
+        with pytest.raises(ValueError):
+            QoeConfig(jitter_impaired_ms=100.0, jitter_critical_ms=50.0)
+        with pytest.raises(ValueError):
+            QoeConfig(fps_degraded=0.1, fps_impaired=0.4)
+
+    def test_streaks_and_dwell_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QoeConfig(enter_windows=0)
+        with pytest.raises(ValueError):
+            QoeConfig(exit_windows=0)
+        with pytest.raises(ValueError):
+            QoeConfig(min_dwell_windows=0)
+        with pytest.raises(ValueError):
+            QoeConfig(min_substream_packets=0)
+
+    def test_exit_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            QoeConfig(exit_fraction=0.0)
+        with pytest.raises(ValueError):
+            QoeConfig(exit_fraction=1.5)
+
+    def test_replace_revalidates(self):
+        cfg = QoeConfig()
+        with pytest.raises(ValueError):
+            cfg.replace(loss_degraded=0.9)
+        assert cfg.replace(loss_degraded=0.03).loss_degraded == 0.03
+
+    def test_default_config_is_sane(self):
+        cfg = QoeConfig()
+        assert cfg.enabled
+        assert not math.isnan(cfg.window_seconds)
