@@ -53,6 +53,21 @@ def _subnet_list(value: str) -> list[str]:
     return subnets
 
 
+def _protocol_list(value: str) -> tuple[str, ...]:
+    """argparse type for comma-separated protocol-plugin names."""
+    from repro.core.config import KNOWN_PROTOCOLS
+
+    names = tuple(token.strip() for token in value.split(",") if token.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(f"no protocol names in {value!r}")
+    for name in names:
+        if name not in KNOWN_PROTOCOLS:
+            raise argparse.ArgumentTypeError(
+                f"unknown protocol {name!r} (known: {', '.join(KNOWN_PROTOCOLS)})"
+            )
+    return names
+
+
 def _positive_int(value: str) -> int:
     count = int(value)
     if count < 1:
@@ -64,8 +79,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.net.pcap import write_pcap
     from repro.simulation import MeetingConfig, MeetingSimulator, ParticipantConfig
     from repro.simulation.campus import CampusTraceConfig, generate_campus_trace
+    from repro.simulation.webrtc import WebRTCCallConfig, simulate_webrtc_call
 
-    if args.kind == "campus":
+    if args.kind == "webrtc":
+        result = simulate_webrtc_call(
+            WebRTCCallConfig(duration=args.duration, seed=args.seed)
+        )
+        packets = result.captures
+        print(
+            f"webrtc call: {len(packets)} captured packets over "
+            f"{args.duration:.0f}s ({result.stun_sent} stun, "
+            f"{result.rtp_sent} rtp, {result.rtcp_sent} rtcp)"
+        )
+    elif args.kind == "campus":
         trace = generate_campus_trace(
             CampusTraceConfig(
                 hours=args.hours,
@@ -143,6 +169,7 @@ def _build_analyze_source(args: argparse.Namespace):
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core import AnalysisSession, AnalyzerConfig
+    from repro.core.config import ProtocolConfig
 
     want_stats = args.stats or args.stats_json is not None
     config = AnalyzerConfig(
@@ -150,13 +177,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         shards=args.shards,
         tolerant=args.tolerant,
         telemetry=want_stats,
+        protocols=ProtocolConfig(protocols=tuple(args.protocols)),
     )
     source = _build_analyze_source(args)
     if getattr(source, "files", None) is not None and len(source.files) > 1:
         print(f"inputs: {len(source.files)} capture files (timestamp order)")
     result = AnalysisSession(config).run(source)
 
-    print(f"packets: {result.packets_total} total, {result.packets_zoom} zoom")
+    claimed = "zoom" if config.protocols.protocols == ("zoom",) else "claimed"
+    print(f"packets: {result.packets_total} total, {result.packets_zoom} {claimed}")
     print(f"meetings: {len(result.meetings)}")
     for meeting in result.meetings:
         print(
@@ -187,28 +216,29 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"mean {1000 * mean_rtt:.1f} ms"
         )
     print("\nper-stream metrics:")
+    streams = sorted(result.media_streams(), key=lambda s: s.first_time)
+    # The protocol column only appears once a non-Zoom plugin claimed a
+    # stream, so single-protocol output is unchanged.
+    multi = any(stream.protocol != "zoom" for stream in streams)
     rows = []
-    for stream in sorted(result.media_streams(), key=lambda s: s.first_time):
+    for stream in streams:
         metrics = result.metrics_for(stream.key)
         fps = metrics.framerate_delivered.samples
-        rows.append(
-            (
-                f"{stream.ssrc:#x}",
-                stream.media_type_name,
-                "p2p" if stream.is_p2p else ("up" if stream.to_server else "down"),
-                stream.packets,
-                (sum(s.fps for s in fps) / len(fps)) if fps else float("nan"),
-                metrics.jitter.jitter * 1000,
-                metrics.loss.report().duplicates,
-                len(metrics.stall_events()),
-            )
+        row = (
+            f"{stream.ssrc:#x}",
+            stream.media_type_name,
+            "p2p" if stream.is_p2p else ("up" if stream.to_server else "down"),
+            stream.packets,
+            (sum(s.fps for s in fps) / len(fps)) if fps else float("nan"),
+            metrics.jitter.jitter * 1000,
+            metrics.loss.report().duplicates,
+            len(metrics.stall_events()),
         )
-    print(
-        format_table(
-            ["ssrc", "media", "dir", "pkts", "mean fps", "jitter ms", "dups", "stalls"],
-            rows,
-        )
-    )
+        rows.append((stream.protocol,) + row if multi else row)
+    headers = ["ssrc", "media", "dir", "pkts", "mean fps", "jitter ms", "dups", "stalls"]
+    if multi:
+        headers = ["proto"] + headers
+    print(format_table(headers, rows))
     if want_stats:
         snapshot = result.telemetry_snapshot()
         if args.stats:
@@ -243,43 +273,53 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_dissect(args: argparse.Namespace) -> int:
-    from repro.core.detector import ZoomClass, ZoomTrafficDetector
-    from repro.core.dissector import dissect_text
+    from repro.core.config import AnalyzerConfig, ProtocolConfig
     from repro.net.source import open_capture_source
+    from repro.protocols import build_registry
 
-    # Classify with the real detector rather than guessing "server" from a
-    # port number: a P2P flow carries no SFU encapsulation (its bytes start
-    # at the media layer), and an unrelated flow that happens to use port
-    # 8801 is not Zoom at all.  STUN exchanges seen along the way teach the
-    # detector the P2P endpoints, exactly as in the analyze path.
-    detector = ZoomTrafficDetector(
-        args.zoom_subnets,
-        campus_subnets=args.campus_subnets,
+    # Classify with the real plugin registry rather than guessing "server"
+    # from a port number: a P2P flow carries no SFU encapsulation (its bytes
+    # start at the media layer), and an unrelated flow that happens to use
+    # port 8801 is not Zoom at all.  STUN exchanges seen along the way teach
+    # each plugin its endpoints, exactly as in the analyze path.  Every
+    # media packet is printed under the plugin that claimed it, e.g.
+    # ``[zoom][server]`` or ``[rtp][p2p]``.
+    config = AnalyzerConfig(
+        zoom_subnets=tuple(args.zoom_subnets),
+        campus_subnets=(
+            tuple(args.campus_subnets) if args.campus_subnets else None
+        ),
+        protocols=ProtocolConfig(protocols=tuple(args.protocols)),
     )
+    plugins = build_registry(config)
+    show = set(args.protocol) if args.protocol else None
     printed = 0
     for packet in open_capture_source(args.input):
         if not packet.is_udp:
             continue
-        klass = detector.classify(packet)
-        if klass not in (ZoomClass.SERVER_MEDIA, ZoomClass.P2P_MEDIA):
+        claimant = klass = None
+        for plugin in plugins:
+            verdict = plugin.classify(packet)
+            if verdict is not None and verdict.claimed:
+                claimant, klass = plugin, verdict
+                break
+        if claimant is None or not klass.is_media:
             continue
-        direction = "p2p" if klass is ZoomClass.P2P_MEDIA else "server"
+        if show is not None and claimant.name not in show:
+            continue
         print(
             f"--- t={packet.timestamp:.4f}s "
             f"{packet.src_ip}:{packet.src_port} -> {packet.dst_ip}:{packet.dst_port} "
-            f"[{direction}] ---"
+            f"[{claimant.name}][{claimant.flow_tag(klass)}] ---"
         )
-        print(
-            dissect_text(
-                packet.payload, from_server=(klass is ZoomClass.SERVER_MEDIA)
-            )
-        )
+        print(claimant.dissect_text(packet, klass).rstrip("\n"))
         print()
         printed += 1
         if printed >= args.limit:
             break
     if printed == 0:
-        print("no dissectable Zoom UDP packets found", file=sys.stderr)
+        label = "Zoom" if any(p.name == "zoom" for p in plugins) else "media"
+        print(f"no dissectable {label} UDP packets found", file=sys.stderr)
         return 1
     return 0
 
@@ -288,6 +328,7 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from repro.core import AnalyzerConfig, ServiceConfig
+    from repro.core.config import ProtocolConfig
     from repro.service.runner import ZoomMonitorService
 
     config = ServiceConfig(
@@ -299,6 +340,7 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
             rolling=True,
             rolling_idle_timeout=args.idle_timeout,
             telemetry=True,
+            protocols=ProtocolConfig(protocols=tuple(args.protocols)),
         ),
         window_seconds=args.window,
         watermark_lateness=args.lateness,
@@ -500,7 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="generate an emulated capture")
     simulate.add_argument("output", type=Path)
-    simulate.add_argument("--kind", choices=("meeting", "campus"), default="meeting")
+    simulate.add_argument(
+        "--kind", choices=("meeting", "campus", "webrtc"), default="meeting"
+    )
     simulate.add_argument("--participants", type=int, default=3)
     simulate.add_argument("--duration", type=float, default=30.0)
     simulate.add_argument("--hours", type=int, default=4)
@@ -537,6 +581,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=_subnet_list,
         default="170.114.0.0/16,203.0.113.0/24",
     )
+    analyze.add_argument("--protocols", type=_protocol_list, default="zoom",
+                         metavar="NAME[,NAME...]",
+                         help="protocol plugins to enable, in registry "
+                              "priority order (default: zoom; e.g. "
+                              "'zoom,rtp' for mixed traces)")
     analyze.add_argument("--shards", type=_positive_int, default=1,
                          help="flow-shard the analysis across N parallel workers "
                               "(RTP-latency matching needs a single pass)")
@@ -586,6 +635,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="170.114.0.0/16,203.0.113.0/24",
     )
     live.add_argument("--campus-subnets", type=_subnet_list, default=None)
+    live.add_argument("--protocols", type=_protocol_list, default="zoom",
+                      metavar="NAME[,NAME...]",
+                      help="protocol plugins to enable (default: zoom)")
     live.add_argument("--max-polls", type=_positive_int, default=None,
                       help="exit after this many directory polls "
                            "(smoke tests; default: run until SIGTERM)")
@@ -685,6 +737,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="170.114.0.0/16,203.0.113.0/24",
     )
     dissect.add_argument("--campus-subnets", type=_subnet_list, default=None)
+    dissect.add_argument("--protocols", type=_protocol_list, default="zoom,rtp",
+                         metavar="NAME[,NAME...]",
+                         help="protocol plugins to classify with "
+                              "(default: zoom,rtp)")
+    dissect.add_argument("--protocol", action="append", default=None,
+                         metavar="NAME",
+                         help="only print packets claimed by this plugin; "
+                              "may be repeated")
     dissect.set_defaults(func=_cmd_dissect)
 
     entropy = sub.add_parser("entropy", help="reverse-engineering sweep over a pcap")

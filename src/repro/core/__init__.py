@@ -23,7 +23,7 @@ and :class:`~repro.core.session.AnalysisSession` is the one-call front door:
 :class:`~repro.net.source.PacketSource`.
 """
 
-from repro.core.config import AnalyzerConfig, ServiceConfig, StoreConfig
+from repro.core.config import AnalyzerConfig, ProtocolConfig, ServiceConfig, StoreConfig
 from repro.core.detector import StunTracker, ZoomClass, ZoomSubnetMatcher, ZoomTrafficDetector
 from repro.core.events import (
     AnalysisEvent,
@@ -53,6 +53,7 @@ __all__ = [
     "FlowBytesObserved",
     "MediaStream",
     "MeetingFormed",
+    "ProtocolConfig",
     "RTCPObserved",
     "RTPPacketRecord",
     "RollingZoomAnalyzer",

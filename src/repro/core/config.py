@@ -30,6 +30,46 @@ _UNSET = object()
 
 SHARD_BACKENDS = ("serial", "thread", "process")
 
+#: Names ``ProtocolConfig`` accepts.  Kept as a literal here (instead of
+#: importing :data:`repro.protocols.registry.PLUGIN_FACTORIES`) to avoid a
+#: config → protocols → core import cycle; the registry asserts the two
+#: stay in sync at plugin-construction time.
+KNOWN_PROTOCOLS = ("zoom", "rtp")
+
+#: RFC 3551 static audio payload types plus Opus as commonly negotiated.
+DEFAULT_RTP_AUDIO_PAYLOAD_TYPES = (0, 8, 9, 13, 111)
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolConfig:
+    """Which protocol plugins run, and their generic-RTP tunables.
+
+    Attributes:
+        protocols: Enabled plugin names (``--protocols zoom,rtp``), in any
+            order — the registry sorts by plugin priority.  Duplicates are
+            dropped (first occurrence wins), unknown names raise.
+        rtp_audio_payload_types: RTP payload types the generic plugin maps
+            to the audio media type; all other decodable RTP is video.
+    """
+
+    protocols: tuple[str, ...] = ("zoom",)
+    rtp_audio_payload_types: tuple[int, ...] = DEFAULT_RTP_AUDIO_PAYLOAD_TYPES
+
+    def __post_init__(self) -> None:
+        deduped: list[str] = []
+        for name in self.protocols:
+            if name not in KNOWN_PROTOCOLS:
+                known = ", ".join(KNOWN_PROTOCOLS)
+                raise ValueError(f"unknown protocol {name!r} (known: {known})")
+            if name not in deduped:
+                deduped.append(name)
+        if not deduped:
+            raise ValueError("at least one protocol must be enabled")
+        object.__setattr__(self, "protocols", tuple(deduped))
+        object.__setattr__(
+            self, "rtp_audio_payload_types", tuple(self.rtp_audio_payload_types)
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class AnalyzerConfig:
@@ -63,6 +103,9 @@ class AnalyzerConfig:
             a :class:`~repro.qoe.tracker.MeetingQoeTracker` to the run.
             Requires an unsharded run — the machine needs the whole-meeting
             event stream, which flow-affine shards split.
+        protocols: Which protocol plugins the registry enables (default:
+            Zoom only, the bit-identical legacy behaviour) plus their
+            generic-RTP tunables.
     """
 
     zoom_subnets: tuple[str, ...] = tuple(ZOOM_SERVER_SUBNETS)
@@ -77,6 +120,7 @@ class AnalyzerConfig:
     rolling_idle_timeout: float = 60.0
     rolling_sweep_interval: float = 10.0
     qoe: "QoeConfig | None" = None
+    protocols: "ProtocolConfig" = dataclasses.field(default_factory=ProtocolConfig)
 
     def __post_init__(self) -> None:
         # Normalize subnet iterables to tuples so the config hashes/pickles

@@ -38,6 +38,11 @@ class ZoomClass(enum.Enum):
         return self is not ZoomClass.NOT_ZOOM
 
     @property
+    def claimed(self) -> bool:
+        """The protocol-registry claim contract (alias of :attr:`is_zoom`)."""
+        return self is not ZoomClass.NOT_ZOOM
+
+    @property
     def is_media(self) -> bool:
         return self in (ZoomClass.SERVER_MEDIA, ZoomClass.P2P_MEDIA)
 
@@ -124,6 +129,16 @@ class StunTracker:
         if refresh and now > learned:
             self._bindings[(ip, port)] = now
         return True
+
+    def peek(self, ip: str, port: int, now: float) -> bool:
+        """:meth:`lookup` without side effects: no expiry delete, no refresh.
+
+        Used by the registry's conflict probe (``would_claim``), which must
+        not perturb tracker state when re-evaluating a packet another plugin
+        already claimed.
+        """
+        learned = self._bindings.get((ip, port))
+        return learned is not None and now - learned <= self.timeout
 
     def purge(self, now: float) -> int:
         """Drop every binding older than the timeout; returns the count.

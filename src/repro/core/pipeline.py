@@ -51,6 +51,7 @@ from repro.core.stages import (
 from repro.core.streams import MediaStream, RTPPacketRecord, StreamKey, StreamTable
 from repro.net.batch import FrameBatch
 from repro.net.packet import CapturedPacket, ParsedPacket
+from repro.protocols import ZoomPlugin, build_registry, protocol_counter_seeds
 from repro.telemetry.registry import Telemetry, TelemetrySnapshot
 from repro.zoom.constants import (
     AUDIO_SAMPLING_RATE,
@@ -327,19 +328,30 @@ class ZoomAnalyzer:
         self.result = AnalysisResult()
         self.result.telemetry = config.make_telemetry()
         self._telemetry = self.result.telemetry
-        self.result.detector = ZoomTrafficDetector(
-            config.zoom_subnets,
-            campus_subnets=config.campus_subnets,
-            stun_timeout=config.stun_timeout,
+        # The protocol registry (DESIGN §14).  The Zoom plugin's detector is
+        # also exposed as ``result.detector`` so shard merges and the report
+        # layers keep working unchanged; a registry without Zoom still gets
+        # a (detached, never-fed) detector there for those layers.
+        self.plugins = build_registry(config)
+        zoom_plugin = next(
+            (plugin for plugin in self.plugins if isinstance(plugin, ZoomPlugin)), None
         )
+        if zoom_plugin is not None:
+            self.result.detector = zoom_plugin.detector
+        else:
+            self.result.detector = ZoomTrafficDetector(
+                config.zoom_subnets,
+                campus_subnets=config.campus_subnets,
+                stun_timeout=config.stun_timeout,
+            )
         self.result.streams = StreamTable(keep_records=config.keep_records)
         self._assemble = AssembleStage(self.result, self.bus)
         self._decode_stage = DecodeStage(self.result, self.bus)
-        self._classify_stage = ClassifyStage(self.result, self.bus)
+        self._classify_stage = ClassifyStage(self.result, self.bus, self.plugins)
         self.stages: tuple[Stage, ...] = (
             self._decode_stage,
             self._classify_stage,
-            ZoomDemuxStage(self.result, self.bus),
+            ZoomDemuxStage(self.result, self.bus, self.plugins),
             self._assemble,
             MetricsStage(self.result, self.bus),
         )
@@ -358,6 +370,13 @@ class ZoomAnalyzer:
         # and dropped nothing" — see repro.telemetry.anomalies).
         if self._telemetry.enabled:
             for name in _BATCH_COUNTER_SEEDS:
+                self._telemetry.count(name, 0)
+            # Per-protocol claim/media counters appear as zeros before the
+            # first packet (same pattern as qoe.*) so fleet dashboards show
+            # idle protocols instead of gaps.
+            for name in protocol_counter_seeds(
+                [plugin.name for plugin in self.plugins]
+            ):
                 self._telemetry.count(name, 0)
 
     def analyze(self, packets: Iterable[CapturedPacket]) -> AnalysisResult:
@@ -483,13 +502,15 @@ class ZoomAnalyzer:
         return stream
 
     def hint_stun(self, parsed: ParsedPacket) -> bool:
-        """Teach the detector a STUN exchange without counting the packet.
+        """Teach every plugin a STUN exchange without counting the packet.
 
         Used by the sharded driver to replicate P2P-endpoint learning to
         shards that will see the P2P flow but not its STUN preamble.
         """
-        assert self.result.detector is not None
-        return self.result.detector.observe_stun(parsed)
+        learned = False
+        for plugin in self.plugins:
+            learned = plugin.observe_stun(parsed) or learned
+        return learned
 
     # ------------------------------------------------------------- internals
 

@@ -48,6 +48,7 @@ class FinalizedStream:
     duplicates: int
     lost: int
     stall_count: int
+    protocol: str = "zoom"
 
 
 class RollingZoomAnalyzer:
@@ -187,8 +188,10 @@ class RollingZoomAnalyzer:
         stale = [
             stream for stream in live if now - stream.last_time > self.idle_timeout
         ]
-        detector = self._analyzer.result.detector
-        purged = detector.stun.purge(now) if detector is not None else 0
+        # Every plugin's endpoint state ages out here (the Zoom plugin's
+        # purge is the detector's STUN tracker; the generic RTP plugin has
+        # its own tracker).
+        purged = sum(plugin.purge(now) for plugin in self._analyzer.plugins)
         tel = self._analyzer.result.telemetry
         if tel.enabled:
             tel.count("rolling.sweeps")
@@ -251,6 +254,7 @@ class RollingZoomAnalyzer:
             duplicates=loss.duplicates if loss else 0,
             lost=loss.lost if loss else 0,
             stall_count=len(metrics.stall_events()) if metrics else 0,
+            protocol=stream.protocol,
         )
 
     def _on_stream_evicted(self, event: StreamEvicted) -> None:

@@ -15,9 +15,9 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 from repro.net.packet import CapturedPacket, FiveTuple, ParsedPacket
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.detector import ZoomClass
     from repro.core.streams import MediaStream, RTPPacketRecord
     from repro.net.batch import FrameBatch, HeaderColumns
+    from repro.protocols.base import ProtocolClass, ProtocolPlugin
     from repro.zoom.packets import ZoomPacket
 
 
@@ -28,9 +28,12 @@ class PacketContext:
     Attributes (filled in as the packet advances):
         captured: The raw frame, when the packet entered via ``feed``.
         parsed: L2–L4 decode (decode stage).
-        klass: Detector classification (classify stage).
+        klass: Protocol classification — a member of the claiming plugin's
+            class enum, e.g. ``ZoomClass`` or ``RtpClass`` (classify stage).
+        plugin: The plugin that claimed the packet (classify stage).
+        protocol: The claimant's registry name (classify stage).
         five_tuple: Flow key of a media-class UDP packet (classify stage).
-        zoom: Decoded Zoom payload (demux stage).
+        zoom: Decoded Zoom payload (demux stage, Zoom plugin only).
         record: Normalized RTP packet record (demux stage).
         stream: The media stream the record belongs to (assembly stage).
         stream_is_new: Whether assembly created the stream for this packet.
@@ -38,7 +41,9 @@ class PacketContext:
 
     captured: CapturedPacket | None = None
     parsed: ParsedPacket | None = None
-    klass: "ZoomClass | None" = None
+    klass: "ProtocolClass | None" = None
+    plugin: "ProtocolPlugin | None" = None
+    protocol: str | None = None
     five_tuple: FiveTuple | None = None
     zoom: "ZoomPacket | None" = None
     record: "RTPPacketRecord | None" = None

@@ -1,112 +1,148 @@
-"""Classify stage: Zoom traffic detection and non-media side channels.
+"""Classify stage: protocol-registry claim dispatch and non-media exits.
 
-Runs the §4.1 detector over every parsed packet and terminates the pipeline
-for everything that is not a decodable media-class UDP packet: non-Zoom
-traffic, the TCP 443 control connection (folded into the Method-2 RTT
-estimators here), and STUN exchanges (which the detector itself uses to
-learn P2P endpoints).
+Asks each enabled :class:`~repro.protocols.base.ProtocolPlugin`, in
+deterministic ``(priority, name)`` order, to classify the parsed packet;
+the first *claiming* verdict wins, and the claimant's
+:meth:`~repro.protocols.base.ProtocolPlugin.on_claimed` runs the protocol's
+non-media side channels (TLS RTT folding, STUN endpoint accounting) and
+decides whether the packet continues into demux.  With the default
+Zoom-only registry this is bit-identical to the pre-registry Zoom decision
+tree (proven by the unregenerated golden snapshots).
+
+When several plugins are enabled, lower-priority plugins are additionally
+probed side-effect-free (:meth:`would_claim`) after a claim so overlapping
+detection rules surface as a ``protocols.conflicts`` counter instead of
+silently disappearing into precedence.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.detector import ZoomClass
-from repro.core.metrics.latency import TCPRTTEstimator
 from repro.core.stages.base import BatchContext, PacketContext
 from repro.net.batch import BatchPrefilter, PrefilterVerdict
-from repro.net.packet import ParsedPacket
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.events import EventBus
     from repro.core.pipeline import AnalysisResult
-
-
-# Per-class (packet counter, byte counter) names, resolved once — the
-# per-packet path must not build strings.
-_CLASS_COUNTERS = {
-    klass: (f"classify.class.{klass.value}", f"classify.bytes.{klass.value}")
-    for klass in ZoomClass
-}
+    from repro.protocols.base import ProtocolPlugin
 
 
 class ClassifyStage:
-    """Detector classification plus the TLS/STUN early exits."""
+    """Registry claim dispatch plus the per-protocol early exits."""
 
     name = "classify"
 
-    def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
+    def __init__(
+        self,
+        result: "AnalysisResult",
+        bus: "EventBus",
+        plugins: Sequence["ProtocolPlugin"] | None = None,
+    ) -> None:
         self._result = result
         self._telemetry = result.telemetry
         self._prefilter: BatchPrefilter | None = None
+        if plugins is None:
+            # Back-compat: a stage built without a registry wraps the
+            # result's detector in the Zoom plugin (original behaviour).
+            from repro.protocols.zoom import ZoomPlugin
+
+            assert result.detector is not None
+            plugins = (ZoomPlugin(result.detector),)
+        self._plugins: tuple["ProtocolPlugin", ...] = tuple(
+            sorted(plugins, key=lambda plugin: (plugin.priority, plugin.name))
+        )
+        # Per-class (packet counter, byte counter) names and per-plugin
+        # claim counters, resolved once — the per-packet path must not
+        # build strings.
+        self._class_counters = {
+            klass: (f"classify.class.{klass.value}", f"classify.bytes.{klass.value}")
+            for plugin in self._plugins
+            for klass in plugin.classes
+        }
+        self._class_counters.setdefault(
+            ZoomClass.NOT_ZOOM,
+            ("classify.class.not_zoom", "classify.bytes.not_zoom"),
+        )
+        self._claim_counters = {
+            plugin.name: f"protocols.claimed.{plugin.name}" for plugin in self._plugins
+        }
+        self._multi = len(self._plugins) > 1
+
+    @property
+    def plugins(self) -> tuple["ProtocolPlugin", ...]:
+        return self._plugins
 
     def process(self, ctx: PacketContext) -> bool:
         result = self._result
         parsed = ctx.parsed
-        assert parsed is not None and result.detector is not None
-        klass = result.detector.classify(parsed)
+        assert parsed is not None
+        claimant = None
+        claim_index = 0
+        klass = None
+        for index, plugin in enumerate(self._plugins):
+            verdict = plugin.classify(parsed)
+            if verdict is None:
+                continue
+            if verdict.claimed:
+                claimant, claim_index, klass = plugin, index, verdict
+                break
+            if klass is None:
+                # Remember the first explicit non-claiming verdict (Zoom's
+                # NOT_ZOOM) so its telemetry class counter keeps ticking.
+                klass = verdict
+        if klass is None:
+            klass = ZoomClass.NOT_ZOOM
         ctx.klass = klass
         tel = self._telemetry
         if tel.enabled:
-            packet_counter, byte_counter = _CLASS_COUNTERS[klass]
+            packet_counter, byte_counter = self._class_counters[klass]
             tel.count(packet_counter)
             tel.count(byte_counter, len(parsed.raw))
-        if not klass.is_zoom:
+        if claimant is None:
             return False
+        ctx.plugin = claimant
+        ctx.protocol = claimant.name
         result.packets_zoom += 1
-        if klass is ZoomClass.SERVER_TLS:
-            self._observe_tcp(parsed)
-            return False
-        if klass is ZoomClass.SERVER_STUN:
-            result.stun_packets += 1
-            return False
-        if not klass.is_media or not parsed.is_udp:
-            return False
-        ctx.five_tuple = parsed.five_tuple
-        return ctx.five_tuple is not None
+        if tel.enabled:
+            tel.count(self._claim_counters[claimant.name])
+            if self._multi:
+                for other in self._plugins[claim_index + 1 :]:
+                    if other.would_claim(parsed):
+                        tel.count("protocols.conflicts")
+        return claimant.on_claimed(ctx, result)
 
     # ------------------------------------------------------------ batch path
 
     def process_batch(self, bctx: BatchContext) -> PrefilterVerdict:
         """Run the compiled prefilter over one batch's header columns.
 
-        Dropped frames are provably NOT_ZOOM on the scalar decision tree
-        and provably touch no detector state (see ``repro.net.batch``), so
-        their detector/classify accounting is applied in bulk here with
-        exactly the values the scalar path would have produced; survivors
-        and hint frames come back as index lists for lazy materialization.
+        The prefilter compiles the **union** of the enabled plugins'
+        match-action rules, so dropped frames are provably unclaimed by
+        every plugin on the scalar decision tree and provably touch no
+        plugin state (see ``repro.net.batch``); their per-plugin and
+        classify accounting is applied in bulk here with exactly the
+        values the scalar path would have produced.  Survivors and hint
+        frames come back as index lists for lazy materialization.
         """
         result = self._result
-        detector = result.detector
-        assert detector is not None and bctx.columns is not None
+        assert bctx.columns is not None
         prefilter = self._prefilter
         if prefilter is None:
-            prefilter = self._prefilter = BatchPrefilter.from_matcher(detector.matcher)
+            prefilter = self._prefilter = BatchPrefilter.from_plugins(self._plugins)
         # Fold in endpoints learned outside the prefilter's own sniffing
         # (scalar-path feeds interleaved between batches, shard merges).
-        prefilter.sync_stun(detector.stun)
+        for plugin in self._plugins:
+            for tracker in plugin.stun_trackers:
+                prefilter.sync_stun(tracker)
         verdict = prefilter.apply(bctx.batch, bctx.columns)
         if verdict.dropped:
-            detector.counters.add(ZoomClass.NOT_ZOOM, verdict.dropped)
+            for plugin in self._plugins:
+                plugin.account_unclaimed_batch(verdict.dropped)
             tel = self._telemetry
             if tel.enabled:
-                packet_counter, byte_counter = _CLASS_COUNTERS[ZoomClass.NOT_ZOOM]
+                packet_counter, byte_counter = self._class_counters[ZoomClass.NOT_ZOOM]
                 tel.count(packet_counter, verdict.dropped)
                 tel.count(byte_counter, verdict.dropped_bytes)
         return verdict
-
-    def _observe_tcp(self, parsed: ParsedPacket) -> None:
-        result = self._result
-        assert result.detector is not None
-        src_is_zoom = result.detector.matcher.matches(parsed.src_ip)
-        if src_is_zoom:
-            client_ip, server_ip = parsed.dst_ip, parsed.src_ip
-        else:
-            client_ip, server_ip = parsed.src_ip, parsed.dst_ip
-        if client_ip is None or server_ip is None:
-            return
-        key = (client_ip, server_ip)
-        estimator = result.tcp_rtt.get(key)
-        if estimator is None:
-            estimator = result.tcp_rtt[key] = TCPRTTEstimator(client_ip, server_ip)
-        estimator.observe(parsed)

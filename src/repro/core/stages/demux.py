@@ -1,42 +1,54 @@
-"""Zoom demux stage: proprietary payload decode → normalized RTP records.
+"""Demux stage: claimed media payloads → normalized RTP records.
 
-Decodes the Zoom SFU/media encapsulations (§4.2), maintains the Table-2 and
-Table-3 counters, routes RTCP reports to the bus, resolves the packet's
-direction relative to the SFU, and emits the :class:`RTPPacketRecord` that
-the assembly and metrics stages consume.
+Dispatches each media-class packet to the plugin that claimed it in the
+classify stage; the plugin's :meth:`~repro.protocols.base.ProtocolPlugin.
+dissect` decodes the payload (Zoom's proprietary SFU/media encapsulations
+of §4.2, or plain RFC 3550 RTP/RTCP for the generic plugin), maintains the
+Table-2/Table-3 counters, routes RTCP reports to the bus, and emits the
+:class:`~repro.core.streams.RTPPacketRecord` the assembly and metrics
+stages consume.
+
+The class keeps its historical name and ``"zoom-demux"`` stage name: the
+``pipeline.stop.zoom-demux`` counter is pinned by the golden snapshots, and
+with the default registry the dispatch *is* the Zoom demux.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
-from repro.core.detector import ZoomClass
-from repro.core.events import FlowBytesObserved, RTCPObserved
+from repro.core.events import FlowBytesObserved
 from repro.core.stages.base import PacketContext
-from repro.core.streams import RTPPacketRecord
-from repro.zoom.constants import ENCAP_OTHER, SERVER_MEDIA_PORT
-from repro.zoom.packets import parse_zoom_payload
-from repro.zoom.sfu_encap import Direction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.events import EventBus
     from repro.core.pipeline import AnalysisResult
+    from repro.protocols.base import ProtocolPlugin
 
 
 class ZoomDemuxStage:
-    """From media-class UDP payloads to decoded RTP packet records."""
+    """From claimed media-class UDP payloads to decoded RTP packet records."""
 
     name = "zoom-demux"
 
-    def __init__(self, result: "AnalysisResult", bus: "EventBus") -> None:
+    def __init__(
+        self,
+        result: "AnalysisResult",
+        bus: "EventBus",
+        plugins: Sequence["ProtocolPlugin"] = (),
+    ) -> None:
         self._result = result
         self._bus = bus
         self._telemetry = result.telemetry
+        self._media_counters = {
+            plugin.name: f"protocols.media.{plugin.name}" for plugin in plugins
+        }
 
     def process(self, ctx: PacketContext) -> bool:
-        result = self._result
         parsed = ctx.parsed
+        plugin = ctx.plugin
         assert parsed is not None and ctx.five_tuple is not None
+        assert plugin is not None
         tel = self._telemetry
         if tel.enabled:
             tel.count("demux.media_class_packets")
@@ -47,65 +59,12 @@ class ZoomDemuxStage:
                 payload_len=len(parsed.payload),
             )
         )
-        from_server = ctx.klass is ZoomClass.SERVER_MEDIA
-        zoom = parse_zoom_payload(parsed.payload, from_server=from_server)
-        ctx.zoom = zoom
-        if zoom.media is None or not (zoom.is_media or zoom.is_rtcp):
-            result.undecoded_packets += 1
-            result.encap_packets[ENCAP_OTHER] += 1
-            result.encap_bytes[ENCAP_OTHER] += len(parsed.payload)
-            tel.count("demux.undecoded")
-            return False
-        media_type = zoom.media.media_type
-        result.encap_packets[media_type] += 1
-        result.encap_bytes[media_type] += len(parsed.payload)
-        if zoom.is_rtcp:
-            tel.count("demux.rtcp")
-            self._observe_rtcp(zoom, parsed.timestamp)
-            return False
-        assert zoom.rtp is not None
-        to_server: bool | None
-        if zoom.is_p2p:
-            to_server = None
-        elif zoom.sfu is not None and zoom.sfu.direction == Direction.FROM_SFU:
-            to_server = False
-        elif zoom.sfu is not None and zoom.sfu.direction == Direction.TO_SFU:
-            to_server = True
-        else:
-            # Fall back on the well-known server port.
-            to_server = parsed.dst_port == SERVER_MEDIA_PORT
-        record = RTPPacketRecord(
-            timestamp=parsed.timestamp,
-            five_tuple=ctx.five_tuple,
-            ssrc=zoom.rtp.ssrc,
-            payload_type=zoom.rtp.payload_type,
-            sequence=zoom.rtp.sequence,
-            rtp_timestamp=zoom.rtp.timestamp,
-            marker=zoom.rtp.marker,
-            media_type=media_type,
-            payload_len=len(zoom.rtp_payload),
-            udp_payload_len=len(parsed.payload),
-            frame_sequence=zoom.media.frame_sequence,
-            packets_in_frame=zoom.media.packets_in_frame,
-            is_p2p=zoom.is_p2p,
-            to_server=to_server,
-        )
-        result.payload_type_packets[(media_type, record.payload_type)] += 1
-        result.payload_type_bytes[(media_type, record.payload_type)] += record.payload_len
-        ctx.record = record
-        return True
-
-    def _observe_rtcp(self, zoom, timestamp: float) -> None:
-        from repro.rtp.rtcp import RTCPReceiverReport, RTCPSdes, RTCPSenderReport
-
-        result = self._result
-        for report in zoom.rtcp:
-            if isinstance(report, RTCPSenderReport):
-                result.rtcp_sender_reports += 1
-            elif isinstance(report, RTCPSdes):
-                if report.is_empty:
-                    result.rtcp_sdes_empty += 1
-            elif isinstance(report, RTCPReceiverReport):
-                result.rtcp_receiver_reports += 1
-                self._telemetry.count("demux.rtcp_receiver_reports")
-            self._bus.emit(RTCPObserved(timestamp=timestamp, report=report))
+        advanced = plugin.dissect(ctx, self._result, self._bus, tel)
+        if advanced and tel.enabled:
+            counter = self._media_counters.get(plugin.name)
+            if counter is None:
+                counter = self._media_counters[plugin.name] = (
+                    f"protocols.media.{plugin.name}"
+                )
+            tel.count(counter)
+        return advanced

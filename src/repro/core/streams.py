@@ -39,6 +39,7 @@ class RTPPacketRecord:
         is_p2p: Whether the packet carried no SFU encapsulation.
         to_server: True for client→SFU packets (direction byte 0x00), False
             for SFU→client (0x04), None for P2P.
+        protocol: Registry name of the plugin that decoded the packet.
     """
 
     timestamp: float
@@ -55,6 +56,7 @@ class RTPPacketRecord:
     packets_in_frame: int = 0
     is_p2p: bool = False
     to_server: bool | None = None
+    protocol: str = "zoom"
 
     @property
     def stream_key(self) -> StreamKey:
@@ -112,6 +114,7 @@ class MediaStream:
     substreams: dict[int, SubStreamState] = field(default_factory=dict)
     records: list[RTPPacketRecord] = field(default_factory=list)
     keep_records: bool = True
+    protocol: str = "zoom"
 
     @property
     def ssrc(self) -> int:
@@ -185,6 +188,7 @@ class StreamTable:
                 is_p2p=record.is_p2p,
                 to_server=record.to_server,
                 keep_records=self._keep_records,
+                protocol=record.protocol,
             )
             self._streams[record.stream_key] = stream
             self._by_ssrc[record.ssrc].append(stream)

@@ -374,11 +374,23 @@ class BatchPrefilter:
     (both endpoints, more liberal than the detector's campus-gated learn),
     and :meth:`sync_stun` folds in anything the detector learned through
     a scalar-path feed or a merged shard.
+
+    With the protocol registry (:meth:`from_plugins`) the compiled rules
+    are the **union** of every enabled plugin's match-action hints: all
+    plugins' subnets pass, all plugins' tracker endpoints pass, and a
+    plugin that learns from arbitrary-port STUN (``sniff_all_stun`` — the
+    generic RTP/WebRTC plugin) widens the cookie sniff to *every* IPv4/UDP
+    frame.  Because both endpoints of a cookie frame are noted *before*
+    the pass decision, cookie frames themselves always pass in that mode,
+    so the drop guarantee generalizes: every endpoint any plugin can learn
+    arrives on a cookie frame, hence the pass-set is a superset of every
+    tracker's keys, hence a dropped frame is unclaimed by every plugin and
+    its classification touches no plugin state (all lookups miss).
     """
 
-    __slots__ = ("_nets_v4", "_endpoints", "_synced_learns")
+    __slots__ = ("_nets_v4", "_endpoints", "_synced_learns", "_sniff_all")
 
-    def __init__(self, networks: Iterable) -> None:
+    def __init__(self, networks: Iterable, *, sniff_all_stun: bool = False) -> None:
         nets_v4 = []
         for net in networks:
             net = ip_network(net) if isinstance(net, str) else net
@@ -386,12 +398,23 @@ class BatchPrefilter:
                 nets_v4.append((int(net.network_address), int(net.netmask)))
         self._nets_v4: Sequence[tuple[int, int]] = tuple(nets_v4)
         self._endpoints: set[int] = set()
-        self._synced_learns = 0
+        self._synced_learns: dict[int, int] = {}
+        self._sniff_all = sniff_all_stun
 
     @classmethod
     def from_matcher(cls, matcher) -> "BatchPrefilter":
         """Compile from a :class:`~repro.core.detector.ZoomSubnetMatcher`."""
         return cls(matcher.networks)
+
+    @classmethod
+    def from_plugins(cls, plugins: Iterable) -> "BatchPrefilter":
+        """Compile the union of the enabled plugins' match-action rules."""
+        networks: list = []
+        sniff_all = False
+        for plugin in plugins:
+            networks.extend(plugin.prefilter_networks)
+            sniff_all = sniff_all or plugin.sniff_all_stun
+        return cls(networks, sniff_all_stun=sniff_all)
 
     # ----------------------------------------------------------- endpoints
 
@@ -399,16 +422,18 @@ class BatchPrefilter:
         self._endpoints.add((ip_u32 << 16) | port)
 
     def sync_stun(self, tracker) -> None:
-        """Fold detector-learned bindings into the pass-set.
+        """Fold one tracker's learned bindings into the pass-set.
 
         Cheap when nothing changed: :class:`~repro.core.detector.StunTracker`
         counts every ``learn()`` monotonically, and the pass-set never
-        forgets, so binding *expiry* needs no action here.
+        forgets, so binding *expiry* needs no action here.  Multiple
+        trackers (one per plugin) are synced independently.
         """
+        key = id(tracker)
         learned = tracker.bindings_learned
-        if learned == self._synced_learns:
+        if learned == self._synced_learns.get(key):
             return
-        self._synced_learns = learned
+        self._synced_learns[key] = learned
         for ip, port in tracker.endpoints():
             ip_u32 = _ipv4_str_to_u32(ip)
             if ip_u32 is not None:
@@ -439,6 +464,7 @@ class BatchPrefilter:
         dst_port = columns.dst_port
         l4_offset = columns.l4_offset
         stun_port = STUN_SERVER_PORT
+        sniff_all = self._sniff_all
 
         for i in range(len(caplens)):
             et = ethertype[i]
@@ -454,11 +480,14 @@ class BatchPrefilter:
                 if proto[i] == _PROTO_UDP and src_port[i] >= 0:
                     sp = src_port[i]
                     dp = dst_port[i]
-                    if zoom_hit and (sp == stun_port or dp == stun_port):
+                    if sniff_all or (zoom_hit and (sp == stun_port or dp == stun_port)):
                         # Liberal STUN sniff: learn both endpoints of any
                         # Zoom-range frame carrying the magic cookie, so the
                         # pass-set strictly contains whatever the detector's
-                        # campus-gated learn will accept downstream.
+                        # campus-gated learn will accept downstream.  In
+                        # sniff-all mode (arbitrary-port ICE) noting both
+                        # endpoints here also makes the cookie frame itself
+                        # pass the endpoint check below.
                         l4 = offsets[i] + l4_offset[i]
                         if (
                             caplens[i] >= l4_offset[i] + 16

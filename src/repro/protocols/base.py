@@ -1,0 +1,174 @@
+"""The protocol plugin contract: detector + dissector + prefilter hints.
+
+The staged pipeline (:mod:`repro.core.stages`) is protocol-agnostic: the
+classify stage asks each enabled plugin, in deterministic ``(priority,
+name)`` order, whether it *claims* a parsed packet, and the demux stage
+hands claimed media-class packets to the claimant's :meth:`dissect` to
+produce the normalized :class:`~repro.core.streams.RTPPacketRecord` every
+downstream layer (assembly, metrics, QoE, store, service windows) already
+consumes.  A plugin therefore bundles four concerns:
+
+1. **Detection** — :meth:`classify` returns a protocol-class enum member
+   (``claimed`` True/False) or ``None``; it may mutate plugin state (STUN
+   endpoint learning) exactly the way the scalar path would.
+2. **Dissection** — :meth:`dissect` decodes a claimed media packet into an
+   :class:`~repro.core.streams.RTPPacketRecord` (or stops the pipeline for
+   control/RTCP packets), tagging the record with :attr:`name`.
+3. **Prefilter hints** — :attr:`prefilter_networks`,
+   :attr:`sniff_all_stun`, and :attr:`stun_trackers` let
+   :meth:`repro.net.batch.BatchPrefilter.from_plugins` compile the union
+   of every enabled plugin's match-action rules, preserving the batch
+   path's guarantee: a dropped frame is provably unclaimed by *every*
+   plugin and touches no plugin state.
+4. **Conflict probing** — :meth:`would_claim` is a side-effect-free
+   re-evaluation used to count ``protocols.conflicts`` when a lower-
+   priority plugin would also have claimed a packet.
+
+Class enums are per-plugin (``ZoomClass``, ``RtpClass``) but share a tiny
+structural contract: a string ``value`` (telemetry counter suffix), a
+``claimed`` property, and an ``is_media`` property.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.detector import StunTracker
+    from repro.core.events import EventBus
+    from repro.core.pipeline import AnalysisResult
+    from repro.core.stages.base import PacketContext
+    from repro.net.packet import ParsedPacket
+    from repro.telemetry.registry import Telemetry
+
+
+@runtime_checkable
+class ProtocolClass(Protocol):
+    """Structural contract of a plugin's classification enum members."""
+
+    value: str
+
+    @property
+    def claimed(self) -> bool: ...
+
+    @property
+    def is_media(self) -> bool: ...
+
+
+class ProtocolPlugin:
+    """Base class / contract for one protocol's detector + dissector.
+
+    Subclasses set :attr:`name`, :attr:`priority`, and :attr:`classes`,
+    and implement the methods below.  The default attribute values make a
+    plugin with no prefilter footprint (nothing passes on its behalf
+    beyond what other plugins compile in).
+    """
+
+    #: Registry key, telemetry dimension, and record label.
+    name: str = "?"
+
+    #: Claim precedence — lower wins; ties break on :attr:`name`.
+    priority: int = 100
+
+    #: Every classification this plugin can return (for counter pre-resolution).
+    classes: Sequence[ProtocolClass] = ()
+
+    #: Prefilter rule: subnets whose traffic must always pass.
+    prefilter_networks: tuple = ()
+
+    #: Prefilter rule: sniff the STUN magic cookie on *every* IPv4/UDP
+    #: frame (not just well-known-port frames in plugin subnets) because
+    #: this plugin can learn endpoints from arbitrary-port STUN.
+    sniff_all_stun: bool = False
+
+    @property
+    def stun_trackers(self) -> tuple["StunTracker", ...]:
+        """Endpoint trackers whose learned (ip, port) keys must pass the
+        prefilter; synced into its never-expiring pass-set per batch."""
+        return ()
+
+    # ------------------------------------------------------------- detection
+
+    def classify(self, parsed: "ParsedPacket") -> ProtocolClass | None:
+        """Classify one packet, mutating plugin state as needed.
+
+        Returns a class with ``claimed=True`` to claim the packet, a
+        non-claiming class to veto it with an explicit verdict (Zoom's
+        ``NOT_ZOOM``), or ``None`` to abstain.
+        """
+        raise NotImplementedError
+
+    def would_claim(self, parsed: "ParsedPacket") -> bool:
+        """Whether :meth:`classify` would claim — **without side effects**."""
+        raise NotImplementedError
+
+    def account_unclaimed_batch(self, count: int) -> None:
+        """Bulk-account ``count`` prefilter-dropped frames.
+
+        Dropped frames are provably unclaimed by every plugin; a plugin
+        with its own per-verdict counters (Zoom's detector) applies here
+        exactly what ``count`` scalar ``classify`` calls would have.
+        """
+
+    def on_claimed(self, ctx: "PacketContext", result: "AnalysisResult") -> bool:
+        """Post-claim handling in the classify stage.
+
+        Runs the protocol's non-media side channels (TLS RTT folding, STUN
+        accounting) and returns ``True`` only for media-class packets that
+        should continue into the demux stage, with ``ctx.five_tuple`` set.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ dissection
+
+    def dissect(
+        self,
+        ctx: "PacketContext",
+        result: "AnalysisResult",
+        bus: "EventBus",
+        telemetry: "Telemetry",
+    ) -> bool:
+        """Decode one claimed media-class packet.
+
+        Sets ``ctx.record`` and returns ``True`` to advance to assembly;
+        returns ``False`` for RTCP/control/undecodable payloads after
+        doing their accounting (Table 2/3 counters, RTCP events).
+        """
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- sharing
+
+    def observe_stun(self, parsed: "ParsedPacket") -> bool:
+        """Learn endpoint state from a replicated STUN frame without
+        counting it (sharded hint replication); returns whether anything
+        was learned."""
+        return False
+
+    def purge(self, now: float) -> int:
+        """Drop expired endpoint state (rolling sweep); returns the count."""
+        return 0
+
+    # ------------------------------------------------------------------- CLI
+
+    def flow_tag(self, klass: ProtocolClass) -> str:
+        """Short direction/kind tag for the ``dissect`` CLI header."""
+        return klass.value
+
+    def dissect_text(self, parsed: "ParsedPacket", klass: ProtocolClass) -> str:
+        """Human-readable payload rendering for the ``dissect`` CLI."""
+        raise NotImplementedError
+
+
+def protocol_counter_seeds(names: Sequence[str]) -> tuple[str, ...]:
+    """The per-protocol telemetry counters to pre-seed for ``names``.
+
+    Seeded at analyzer construction (and therefore visible as zeros on the
+    service's ``/metrics`` page before the first packet, the same pattern
+    as ``qoe.*``): one claim counter and one decoded-media counter per
+    enabled plugin, plus the cross-plugin conflict counter.
+    """
+    seeds = ["protocols.conflicts"]
+    for name in names:
+        seeds.append(f"protocols.claimed.{name}")
+        seeds.append(f"protocols.media.{name}")
+    return tuple(seeds)

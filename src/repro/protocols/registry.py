@@ -1,0 +1,39 @@
+"""Plugin registry: name → factory, config → deterministic plugin tuple."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.protocols.rtp import RtpPlugin
+from repro.protocols.zoom import ZoomPlugin
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import AnalyzerConfig
+    from repro.protocols.base import ProtocolPlugin
+
+#: Known plugin factories keyed by registry name.  ``ProtocolConfig``
+#: validates requested names against :data:`KNOWN_PROTOCOLS` (kept as a
+#: plain literal there to avoid a config→protocols import cycle); this
+#: mapping is the single authoritative construction point.
+PLUGIN_FACTORIES: dict[str, Callable[["AnalyzerConfig"], "ProtocolPlugin"]] = {
+    "zoom": ZoomPlugin.from_config,
+    "rtp": RtpPlugin.from_config,
+}
+
+
+def build_registry(config: "AnalyzerConfig") -> tuple["ProtocolPlugin", ...]:
+    """Instantiate the plugins enabled by ``config.protocols``.
+
+    Returns them sorted by ``(priority, name)`` — the classify stage's
+    claim order — so registry behaviour is deterministic regardless of
+    how the ``--protocols`` list was spelled.
+    """
+    plugins = []
+    for name in config.protocols.protocols:
+        factory = PLUGIN_FACTORIES.get(name)
+        if factory is None:
+            known = ", ".join(sorted(PLUGIN_FACTORIES))
+            raise ValueError(f"unknown protocol {name!r} (known: {known})")
+        plugins.append(factory(config))
+    plugins.sort(key=lambda plugin: (plugin.priority, plugin.name))
+    return tuple(plugins)

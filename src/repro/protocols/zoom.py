@@ -1,0 +1,233 @@
+"""Zoom as a protocol plugin: the §4.1 detector + §4.2 dissector.
+
+This is the original pipeline behaviour, refactored behind the
+:class:`~repro.protocols.base.ProtocolPlugin` contract with **bit-identical
+output** (proven by the unregenerated golden snapshots): the classify-stage
+decision tree, the telemetry counter names, the detector's own counters, and
+the demux accounting all match the pre-registry code path exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.detector import ZoomClass, ZoomTrafficDetector
+from repro.core.events import RTCPObserved
+from repro.core.metrics.latency import TCPRTTEstimator
+from repro.core.streams import RTPPacketRecord
+from repro.protocols.base import ProtocolPlugin
+from repro.zoom.constants import ENCAP_OTHER, SERVER_MEDIA_PORT
+from repro.zoom.packets import parse_zoom_payload
+from repro.zoom.sfu_encap import Direction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import AnalyzerConfig
+    from repro.core.detector import StunTracker
+    from repro.core.events import EventBus
+    from repro.core.pipeline import AnalysisResult
+    from repro.core.stages.base import PacketContext
+    from repro.net.packet import ParsedPacket
+    from repro.telemetry.registry import Telemetry
+
+
+class ZoomPlugin(ProtocolPlugin):
+    """The Zoom detector/dissector pair behind the plugin contract.
+
+    Owns the stateful :class:`~repro.core.detector.ZoomTrafficDetector`
+    (the analyzer exposes the same object as ``result.detector`` so shard
+    merges and the report layers keep working unchanged).
+    """
+
+    name = "zoom"
+    priority = 0
+    classes = tuple(ZoomClass)
+
+    def __init__(self, detector: ZoomTrafficDetector) -> None:
+        self.detector = detector
+
+    @classmethod
+    def from_config(cls, config: "AnalyzerConfig") -> "ZoomPlugin":
+        return cls(
+            ZoomTrafficDetector(
+                config.zoom_subnets,
+                campus_subnets=config.campus_subnets,
+                stun_timeout=config.stun_timeout,
+            )
+        )
+
+    # ------------------------------------------------------------- prefilter
+
+    @property
+    def prefilter_networks(self) -> tuple:
+        return tuple(self.detector.matcher.networks)
+
+    @property
+    def stun_trackers(self) -> tuple["StunTracker", ...]:
+        return (self.detector.stun,)
+
+    # ------------------------------------------------------------- detection
+
+    def classify(self, parsed: "ParsedPacket") -> ZoomClass:
+        """Delegates to the detector — returns ``NOT_ZOOM`` rather than
+        ``None`` for unclaimed packets so the detector's per-class counters
+        keep their original semantics (every packet is counted)."""
+        return self.detector.classify(parsed)
+
+    def would_claim(self, parsed: "ParsedPacket") -> bool:
+        """The detector's decision tree, re-evaluated without mutation.
+
+        Mirrors :meth:`ZoomTrafficDetector._classify` with
+        :meth:`~repro.core.detector.StunTracker.peek` in place of the
+        refreshing ``lookup`` and no STUN learning.
+        """
+        detector = self.detector
+        src_ip, dst_ip = parsed.src_ip, parsed.dst_ip
+        if src_ip is None:
+            return False
+        if detector.matcher.matches(src_ip) or detector.matcher.matches(dst_ip):
+            # Every server-side branch of the tree yields a Zoom class.
+            return True
+        if parsed.is_udp:
+            now = parsed.timestamp
+            stun = detector.stun
+            if detector._endpoint_is_campus(src_ip) is not False and stun.peek(
+                src_ip, parsed.src_port or 0, now
+            ):
+                return True
+            if detector._endpoint_is_campus(dst_ip) is not False and stun.peek(
+                dst_ip, parsed.dst_port or 0, now
+            ):
+                return True
+        return False
+
+    def account_unclaimed_batch(self, count: int) -> None:
+        self.detector.counters.add(ZoomClass.NOT_ZOOM, count)
+
+    def on_claimed(self, ctx: "PacketContext", result: "AnalysisResult") -> bool:
+        parsed = ctx.parsed
+        klass = ctx.klass
+        assert parsed is not None and klass is not None
+        if klass is ZoomClass.SERVER_TLS:
+            self._observe_tcp(parsed, result)
+            return False
+        if klass is ZoomClass.SERVER_STUN:
+            result.stun_packets += 1
+            return False
+        if not klass.is_media or not parsed.is_udp:
+            return False
+        ctx.five_tuple = parsed.five_tuple
+        return ctx.five_tuple is not None
+
+    # ------------------------------------------------------------ dissection
+
+    def dissect(
+        self,
+        ctx: "PacketContext",
+        result: "AnalysisResult",
+        bus: "EventBus",
+        telemetry: "Telemetry",
+    ) -> bool:
+        parsed = ctx.parsed
+        assert parsed is not None and ctx.five_tuple is not None
+        from_server = ctx.klass is ZoomClass.SERVER_MEDIA
+        zoom = parse_zoom_payload(parsed.payload, from_server=from_server)
+        ctx.zoom = zoom
+        if zoom.media is None or not (zoom.is_media or zoom.is_rtcp):
+            result.undecoded_packets += 1
+            result.encap_packets[ENCAP_OTHER] += 1
+            result.encap_bytes[ENCAP_OTHER] += len(parsed.payload)
+            telemetry.count("demux.undecoded")
+            return False
+        media_type = zoom.media.media_type
+        result.encap_packets[media_type] += 1
+        result.encap_bytes[media_type] += len(parsed.payload)
+        if zoom.is_rtcp:
+            telemetry.count("demux.rtcp")
+            self._observe_rtcp(zoom, parsed.timestamp, result, bus, telemetry)
+            return False
+        assert zoom.rtp is not None
+        to_server: bool | None
+        if zoom.is_p2p:
+            to_server = None
+        elif zoom.sfu is not None and zoom.sfu.direction == Direction.FROM_SFU:
+            to_server = False
+        elif zoom.sfu is not None and zoom.sfu.direction == Direction.TO_SFU:
+            to_server = True
+        else:
+            # Fall back on the well-known server port.
+            to_server = parsed.dst_port == SERVER_MEDIA_PORT
+        record = RTPPacketRecord(
+            timestamp=parsed.timestamp,
+            five_tuple=ctx.five_tuple,
+            ssrc=zoom.rtp.ssrc,
+            payload_type=zoom.rtp.payload_type,
+            sequence=zoom.rtp.sequence,
+            rtp_timestamp=zoom.rtp.timestamp,
+            marker=zoom.rtp.marker,
+            media_type=media_type,
+            payload_len=len(zoom.rtp_payload),
+            udp_payload_len=len(parsed.payload),
+            frame_sequence=zoom.media.frame_sequence,
+            packets_in_frame=zoom.media.packets_in_frame,
+            is_p2p=zoom.is_p2p,
+            to_server=to_server,
+        )
+        result.payload_type_packets[(media_type, record.payload_type)] += 1
+        result.payload_type_bytes[(media_type, record.payload_type)] += record.payload_len
+        ctx.record = record
+        return True
+
+    def _observe_rtcp(
+        self,
+        zoom,
+        timestamp: float,
+        result: "AnalysisResult",
+        bus: "EventBus",
+        telemetry: "Telemetry",
+    ) -> None:
+        from repro.rtp.rtcp import RTCPReceiverReport, RTCPSdes, RTCPSenderReport
+
+        for report in zoom.rtcp:
+            if isinstance(report, RTCPSenderReport):
+                result.rtcp_sender_reports += 1
+            elif isinstance(report, RTCPSdes):
+                if report.is_empty:
+                    result.rtcp_sdes_empty += 1
+            elif isinstance(report, RTCPReceiverReport):
+                result.rtcp_receiver_reports += 1
+                telemetry.count("demux.rtcp_receiver_reports")
+            bus.emit(RTCPObserved(timestamp=timestamp, report=report))
+
+    def _observe_tcp(self, parsed: "ParsedPacket", result: "AnalysisResult") -> None:
+        src_is_zoom = self.detector.matcher.matches(parsed.src_ip)
+        if src_is_zoom:
+            client_ip, server_ip = parsed.dst_ip, parsed.src_ip
+        else:
+            client_ip, server_ip = parsed.src_ip, parsed.dst_ip
+        if client_ip is None or server_ip is None:
+            return
+        key = (client_ip, server_ip)
+        estimator = result.tcp_rtt.get(key)
+        if estimator is None:
+            estimator = result.tcp_rtt[key] = TCPRTTEstimator(client_ip, server_ip)
+        estimator.observe(parsed)
+
+    # --------------------------------------------------------------- sharing
+
+    def observe_stun(self, parsed: "ParsedPacket") -> bool:
+        return self.detector.observe_stun(parsed)
+
+    def purge(self, now: float) -> int:
+        return self.detector.stun.purge(now)
+
+    # ------------------------------------------------------------------- CLI
+
+    def flow_tag(self, klass) -> str:
+        return "p2p" if klass is ZoomClass.P2P_MEDIA else "server"
+
+    def dissect_text(self, parsed: "ParsedPacket", klass) -> str:
+        from repro.core.dissector import dissect_text
+
+        return dissect_text(
+            parsed.payload, from_server=(klass is ZoomClass.SERVER_MEDIA)
+        )

@@ -52,6 +52,7 @@ from pathlib import Path
 from repro.core.config import ServiceConfig
 from repro.core.rolling import RollingZoomAnalyzer
 from repro.net.batch import FrameBatch
+from repro.protocols import protocol_counter_seeds
 from repro.qoe import QOE_COUNTER_SEEDS, MeetingQoeTracker, QoeState
 from repro.service.exporters import JsonlWindowLog, MetricsHTTPServer
 from repro.service.prometheus import render_metrics
@@ -141,12 +142,20 @@ class ZoomMonitorService:
             )
         # Degradation counters are pre-seeded so the Prometheus endpoint
         # always exposes them — a dashboard alerting on increase() needs
-        # the zero sample, not an absent series until the first drop.
+        # the zero sample, not an absent series until the first drop.  The
+        # per-protocol claim/media/conflict counters ride the same pattern,
+        # one dimension per enabled registry plugin.
         seeds = (
-            "service.dropped",
-            "service.dropped_batches",
-            "service.ingest_restarts",
-        ) + (QOE_COUNTER_SEEDS if self.qoe is not None else ())
+            (
+                "service.dropped",
+                "service.dropped_batches",
+                "service.ingest_restarts",
+            )
+            + protocol_counter_seeds(
+                plugin.name for plugin in self.rolling.analyzer.plugins
+            )
+            + (QOE_COUNTER_SEEDS if self.qoe is not None else ())
+        )
         for name in seeds:
             self.telemetry.count(name, 0)
         self._queue: queue.Queue[list] = queue.Queue(maxsize=config.queue_max_batches)
@@ -345,6 +354,16 @@ class ZoomMonitorService:
             "service.queue_depth": float(self._queue.qsize()),
             "service.streams_finalized": float(self.rolling.streams_evicted),
         }
+        # Per-protocol live-stream dimensions: every enabled plugin exports
+        # a zero gauge from startup, not an absent series until its first
+        # claimed stream.
+        per_protocol = {
+            plugin.name: 0 for plugin in self.rolling.analyzer.plugins
+        }
+        for stream in self.rolling.result.streams.streams():
+            per_protocol[stream.protocol] = per_protocol.get(stream.protocol, 0) + 1
+        for name, count in per_protocol.items():
+            gauges[f"service.live_streams.{name}"] = float(count)
         if self.qoe is not None:
             summary = self.qoe.fleet_summary()
             for state in QoeState:

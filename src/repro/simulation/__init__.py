@@ -47,6 +47,12 @@ from repro.simulation.campus import (
 )
 from repro.simulation.infrastructure import ServerDirectory, ZoomServer
 from repro.simulation.qos import ImpairmentInterval, QoSReport, QoSSample
+from repro.simulation.webrtc import (
+    WebRTCCallConfig,
+    WebRTCCallSimulator,
+    WebRTCSimulationResult,
+    simulate_webrtc_call,
+)
 
 __all__ = [
     "AudioSource",
@@ -65,7 +71,11 @@ __all__ = [
     "ServerDirectory",
     "SimulationResult",
     "VideoSource",
+    "WebRTCCallConfig",
+    "WebRTCCallSimulator",
+    "WebRTCSimulationResult",
     "ZoomServer",
+    "simulate_webrtc_call",
     "bandwidth_cliff_scenario",
     "captured_packets",
     "congestion_adaptation_scenario",

@@ -1,0 +1,259 @@
+"""A generic WebRTC-style 1:1 call emitter (no Zoom encapsulation).
+
+The counterpart of :mod:`repro.simulation.meeting` for the protocol
+registry's generic RTP plugin: a direct call between one on-campus and one
+off-campus endpoint, speaking *plain* RFC 3550 RTP/RTCP with ICE/STUN
+connectivity checks — the on-the-wire shape of browser calls, Meet, and
+Webex P2P mode.  Differences from the Zoom emitter, all deliberate:
+
+* No proprietary media/SFU headers: payloads start directly at the RTP
+  header (or a compound RTCP, RFC 5761 muxed on the same port).
+* ICE rides the media 5-tuple: the STUN binding request/response (and
+  periodic consent checks) use the exact endpoints the media then uses,
+  on ephemeral ports — nothing touches port 3478 or any known subnet, so
+  only the registry's generic plugin can find these flows.
+* Audio is Opus-style payload type 111 at 48 kHz / 20 ms; video is payload
+  type 96 at 90 kHz with multi-packet frames, marker bit on the last
+  packet of each frame (what the plugin's frame synthesis keys on).
+
+The capture point is the campus border.  Caller→callee packets are
+captured just after leaving the caller (before external-path loss —
+upstream impairments are invisible to the monitor, as in the paper's
+vantage discussion); callee→caller packets are captured after crossing the
+external path, so downstream loss and jitter are monitor-visible.
+
+Determinism: one master seed drives every RNG, so a config reproduces its
+capture byte-for-byte (the webrtc golden pins this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.packet import CapturedPacket, build_udp_frame
+from repro.rtp.rtcp import RTCPSenderReport, ntp_from_unix
+from repro.rtp.rtp import RTPHeader
+from repro.rtp.stun import StunMessage
+from repro.simulation.clock import EventScheduler
+from repro.simulation.netpath import NetworkPath
+
+#: Payload types the call uses (both in the generic plugin's defaults).
+AUDIO_PAYLOAD_TYPE = 111
+VIDEO_PAYLOAD_TYPE = 96
+AUDIO_CLOCK = 48000
+VIDEO_CLOCK = 90000
+AUDIO_INTERVAL = 0.020
+VIDEO_MTU_PAYLOAD = 1200
+
+
+@dataclass(frozen=True)
+class WebRTCCallConfig:
+    """One simulated 1:1 WebRTC call crossing the campus border."""
+
+    duration: float = 15.0
+    start_time: float = 0.0
+    seed: int = 20260808
+    caller_ip: str = "10.8.20.10"  # on campus (the monitored side)
+    caller_port: int = 51732
+    callee_ip: str = "198.18.7.7"  # off campus
+    callee_port: int = 62144
+    video_fps: float = 24.0
+    video_frame_size: int = 3600
+    audio_payload_len: int = 90
+    #: External-path impairments (callee→caller is the monitor-visible one).
+    down_loss: float = 0.0
+    down_jitter: float = 0.0008
+    base_delay: float = 0.030
+    #: Seconds between ICE consent checks after the initial handshake.
+    consent_interval: float = 2.0
+
+
+@dataclass
+class WebRTCSimulationResult:
+    """Captured border traffic plus sender-side ground truth."""
+
+    config: WebRTCCallConfig
+    captures: list[CapturedPacket] = field(default_factory=list)
+    stun_sent: int = 0
+    rtp_sent: int = 0
+    rtcp_sent: int = 0
+    video_frames_sent: int = 0
+
+
+class _RtpSender:
+    """One directional RTP stream: sequence/timestamp state + senders."""
+
+    def __init__(self, ssrc: int, clock: int, rng: random.Random) -> None:
+        self.ssrc = ssrc
+        self.clock = clock
+        self.sequence = rng.randrange(1 << 15)
+        self.timestamp = rng.randrange(1 << 31)
+        self.packets = 0
+        self.octets = 0
+
+    def packet(self, payload_type: int, payload: bytes, *, marker: bool) -> bytes:
+        header = RTPHeader(
+            payload_type=payload_type,
+            sequence=self.sequence & 0xFFFF,
+            timestamp=self.timestamp & 0xFFFFFFFF,
+            ssrc=self.ssrc,
+            marker=marker,
+        )
+        self.sequence += 1
+        self.packets += 1
+        self.octets += len(payload)
+        return header.serialize() + payload
+
+
+class WebRTCCallSimulator:
+    """Drives one :class:`WebRTCCallConfig` to a border capture."""
+
+    def __init__(self, config: WebRTCCallConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.scheduler = EventScheduler(config.start_time)
+        self.result = WebRTCSimulationResult(config)
+        # Campus segment: caller→border, effectively clean.
+        self._campus = NetworkPath(
+            base_delay=0.0015,
+            jitter_std=0.0001,
+            loss_rate=0.0,
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+        # External segment, callee→border: monitor-visible impairments.
+        self._down = NetworkPath(
+            base_delay=config.base_delay,
+            jitter_std=config.down_jitter,
+            loss_rate=config.down_loss,
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+        srng = random.Random(self.rng.randrange(1 << 30))
+        self._senders = {
+            ("up", "audio"): _RtpSender(srng.randrange(1 << 32), AUDIO_CLOCK, srng),
+            ("up", "video"): _RtpSender(srng.randrange(1 << 32), VIDEO_CLOCK, srng),
+            ("down", "audio"): _RtpSender(srng.randrange(1 << 32), AUDIO_CLOCK, srng),
+            ("down", "video"): _RtpSender(srng.randrange(1 << 32), VIDEO_CLOCK, srng),
+        }
+
+    # ------------------------------------------------------------------ wire
+
+    def _frame(self, direction: str, payload: bytes) -> bytes:
+        cfg = self.config
+        if direction == "up":
+            return build_udp_frame(
+                cfg.caller_ip, cfg.caller_port, cfg.callee_ip, cfg.callee_port, payload
+            )
+        return build_udp_frame(
+            cfg.callee_ip, cfg.callee_port, cfg.caller_ip, cfg.caller_port, payload
+        )
+
+    def _send(self, direction: str, payload: bytes) -> None:
+        """Transit one payload toward the border capture point."""
+        now = self.scheduler.now
+        path = self._campus if direction == "up" else self._down
+        delay = path.transit(now)
+        if delay is None:
+            return  # lost before the monitor
+        self.result.captures.append(
+            CapturedPacket(now + delay, self._frame(direction, payload))
+        )
+
+    # ------------------------------------------------------------------- ICE
+
+    def _ice_exchange(self) -> None:
+        request = StunMessage.binding_request(self.rng.randbytes(12))
+        self._send("up", request.serialize())
+        self.result.stun_sent += 1
+        response = StunMessage.binding_response(
+            self.rng.randbytes(12), self.config.caller_ip, self.config.caller_port
+        )
+        self._send("down", response.serialize())
+        self.result.stun_sent += 1
+        next_check = self.config.consent_interval * self.rng.uniform(0.9, 1.1)
+        self.scheduler.schedule_in(next_check, self._ice_exchange)
+
+    # ----------------------------------------------------------------- media
+
+    def _audio_tick(self, direction: str) -> None:
+        sender = self._senders[(direction, "audio")]
+        payload_len = max(
+            40, int(self.rng.gauss(self.config.audio_payload_len, 12))
+        )
+        payload = bytes(payload_len)
+        self._send(
+            direction, sender.packet(AUDIO_PAYLOAD_TYPE, payload, marker=False)
+        )
+        sender.timestamp += int(AUDIO_INTERVAL * AUDIO_CLOCK)
+        self.result.rtp_sent += 1
+        self.scheduler.schedule_in(AUDIO_INTERVAL, self._audio_tick, direction)
+
+    def _video_tick(self, direction: str) -> None:
+        sender = self._senders[(direction, "video")]
+        size = max(
+            400,
+            int(
+                self.rng.gauss(
+                    self.config.video_frame_size, self.config.video_frame_size * 0.3
+                )
+            ),
+        )
+        chunks = [
+            min(VIDEO_MTU_PAYLOAD, size - offset)
+            for offset in range(0, size, VIDEO_MTU_PAYLOAD)
+        ]
+        for index, chunk in enumerate(chunks):
+            marker = index == len(chunks) - 1
+            self._send(
+                direction,
+                sender.packet(VIDEO_PAYLOAD_TYPE, bytes(chunk), marker=marker),
+            )
+            self.result.rtp_sent += 1
+        self.result.video_frames_sent += 1
+        interval = (1.0 / self.config.video_fps) * self.rng.uniform(0.97, 1.03)
+        sender.timestamp += int(round(interval * VIDEO_CLOCK))
+        self.scheduler.schedule_in(interval, self._video_tick, direction)
+
+    def _rtcp_tick(self, direction: str) -> None:
+        now = self.scheduler.now
+        sender = self._senders[(direction, "video")]
+        ntp_seconds, ntp_fraction = ntp_from_unix(now)
+        report = RTCPSenderReport(
+            ssrc=sender.ssrc,
+            ntp_seconds=ntp_seconds,
+            ntp_fraction=ntp_fraction,
+            rtp_timestamp=sender.timestamp & 0xFFFFFFFF,
+            packet_count=sender.packets,
+            octet_count=sender.octets,
+        )
+        self._send(direction, report.serialize())
+        self.result.rtcp_sent += 1
+        self.scheduler.schedule_in(
+            1.0 * self.rng.uniform(0.95, 1.05), self._rtcp_tick, direction
+        )
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> WebRTCSimulationResult:
+        start = self.config.start_time
+        end = start + self.config.duration
+        # ICE first — media only decodes once the tracker knows the flow.
+        self.scheduler.schedule(start, self._ice_exchange)
+        for direction in ("up", "down"):
+            self.scheduler.schedule(
+                start + 0.3 + self.rng.uniform(0.0, 0.05), self._audio_tick, direction
+            )
+            self.scheduler.schedule(
+                start + 0.4 + self.rng.uniform(0.0, 0.05), self._video_tick, direction
+            )
+            self.scheduler.schedule(start + 1.0, self._rtcp_tick, direction)
+        self.scheduler.run_until(end)
+        self.result.captures.sort(key=lambda packet: packet.timestamp)
+        return self.result
+
+
+def simulate_webrtc_call(
+    config: WebRTCCallConfig | None = None,
+) -> WebRTCSimulationResult:
+    """Run one call; convenience wrapper for tests and goldens."""
+    return WebRTCCallSimulator(config or WebRTCCallConfig()).run()

@@ -62,6 +62,7 @@ def stream_record(summary: "FinalizedStream") -> dict:
         "kind": "stream",
         "start": summary.first_time,
         "end": summary.last_time,
+        "protocol": summary.protocol,
         "ssrc": summary.ssrc,
         "media": media_name(summary.media_type),
         "media_type": summary.media_type,
@@ -131,6 +132,7 @@ def records_from_result(result: "AnalysisResult") -> Iterable[dict]:
                 duplicates=loss.duplicates if loss else 0,
                 lost=loss.lost if loss else 0,
                 stall_count=len(metrics.stall_events()) if metrics else 0,
+                protocol=stream.protocol,
             )
         )
     for meeting in result.meetings:

@@ -45,6 +45,11 @@ SHARD_VARIANT_PREFIXES: tuple[str, ...] = (
     # invariant and stay compared.
     "pipeline.batch.",
     "prefilter.",
+    # Registry claim/conflict accounting: a shard that sees only a flow's
+    # media (its STUN preamble replicated as a hint, not counted) resolves
+    # claims against different tracker state than a single pass, and
+    # conflict probing is skipped entirely for hint frames.
+    "protocols.",
 )
 
 

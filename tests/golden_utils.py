@@ -22,9 +22,10 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.config import AnalyzerConfig, QoeConfig
+from repro.core.config import AnalyzerConfig, ProtocolConfig, QoeConfig
 from repro.core.pipeline import AnalysisResult
 from repro.core.session import AnalysisSession
+from repro.net.packet import CapturedPacket
 from repro.net.pcap import write_pcap
 from repro.net.source import PcapFileSource
 from repro.simulation import (
@@ -32,13 +33,16 @@ from repro.simulation import (
     MeetingConfig,
     MeetingSimulator,
     ParticipantConfig,
+    WebRTCCallConfig,
     impairment_suite,
+    simulate_webrtc_call,
 )
 from repro.telemetry import shard_invariant_counters
 from repro.zoom.constants import ZoomMediaType
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "meeting_small.json"
 IMPAIRED_GOLDEN_PATH = Path(__file__).parent / "golden" / "meeting_impaired.json"
+WEBRTC_GOLDEN_PATH = Path(__file__).parent / "golden" / "webrtc_small.json"
 
 #: Float fields are rounded before comparison so the snapshot is robust to
 #: formatting, yet still catches any real drift in the estimators.
@@ -113,6 +117,10 @@ def summarize_result(result: AnalysisResult) -> dict[str, Any]:
             "duration": _round(stream.duration),
             "substreams": sorted(stream.substreams),
         }
+        # Only non-Zoom plugins label their streams, so the pre-registry
+        # snapshots (all-Zoom traces) stay byte-identical.
+        if stream.protocol != "zoom":
+            row["protocol"] = stream.protocol
         if metrics is not None:
             loss = metrics.loss.report(finalize=True)
             fps_samples = metrics.framerate_delivered.samples
@@ -236,6 +244,53 @@ def compute_impaired_summary(tmp_dir: Path) -> dict[str, Any]:
     }
 
 
+def webrtc_call_config() -> WebRTCCallConfig:
+    """The fixed 1:1 WebRTC call behind the mixed-protocol snapshot."""
+    return WebRTCCallConfig()  # every default is pinned by the golden
+
+
+def mixed_protocol_config(**overrides: Any) -> AnalyzerConfig:
+    """Analyzer configuration for the mixed zoom+rtp trace."""
+    return AnalyzerConfig(
+        campus_subnets=("10.8.0.0/16",),
+        protocols=ProtocolConfig(protocols=("zoom", "rtp")),
+        telemetry=True,
+        **overrides,
+    )
+
+
+def mixed_trace_captures() -> list[CapturedPacket]:
+    """The golden Zoom meeting plus one concurrent WebRTC call, merged in
+    timestamp order — the trace every mixed-protocol equivalence test and
+    the webrtc snapshot run over."""
+    zoom = MeetingSimulator(golden_config()).run().captures
+    webrtc = simulate_webrtc_call(webrtc_call_config()).captures
+    return sorted([*zoom, *webrtc], key=lambda packet: packet.timestamp)
+
+
+def compute_webrtc_summary(tmp_dir: Path) -> dict[str, Any]:
+    """Analyze the mixed trace with both plugins enabled; summarize.
+
+    The same end-to-end path as :func:`compute_golden_summary`, plus the
+    ``protocols.*`` claim/media/conflict counters (shard-variant, so not
+    part of the invariant telemetry block).
+    """
+    pcap_path = Path(tmp_dir) / "mixed_webrtc.pcap"
+    write_pcap(pcap_path, mixed_trace_captures())
+
+    session = AnalysisSession(mixed_protocol_config())
+    result = session.run(PcapFileSource(pcap_path))
+    summary = summarize_result(result)
+    summary["scenario"] = (
+        "mixed zoom+webrtc: golden-e2e meeting + 1:1 WebRTC call "
+        "seed=20260808, protocols=zoom,rtp"
+    )
+    summary["protocol_counters"] = result.telemetry_snapshot().counters_under(
+        "protocols."
+    )
+    return summary
+
+
 def load_golden_snapshot() -> dict[str, Any]:
     return json.loads(GOLDEN_PATH.read_text())
 
@@ -252,3 +307,12 @@ def load_impaired_snapshot() -> dict[str, Any]:
 def write_impaired_snapshot(summary: dict[str, Any]) -> None:
     IMPAIRED_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     IMPAIRED_GOLDEN_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def load_webrtc_snapshot() -> dict[str, Any]:
+    return json.loads(WEBRTC_GOLDEN_PATH.read_text())
+
+
+def write_webrtc_snapshot(summary: dict[str, Any]) -> None:
+    WEBRTC_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    WEBRTC_GOLDEN_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

@@ -6,9 +6,11 @@ Run from the repository root after an *intentional* behaviour change::
     PYTHONPATH=src python tests/regen_golden.py
 
 then review the diffs of ``tests/golden/meeting_small.json`` (estimator
-outputs on a healthy meeting) and ``tests/golden/meeting_impaired.json``
-(the QoE transition/alert sequence on the bandwidth-cliff scenario) and
-commit them alongside the change that caused them.
+outputs on a healthy meeting), ``tests/golden/meeting_impaired.json``
+(the QoE transition/alert sequence on the bandwidth-cliff scenario), and
+``tests/golden/webrtc_small.json`` (the mixed zoom+rtp protocol-registry
+trace) and commit them alongside the change that caused them.  All three
+snapshots regenerate in one pass.
 """
 
 from __future__ import annotations
@@ -25,10 +27,13 @@ for entry in (REPO_ROOT, REPO_ROOT / "src"):
 from tests.golden_utils import (  # noqa: E402  (path setup must come first)
     GOLDEN_PATH,
     IMPAIRED_GOLDEN_PATH,
+    WEBRTC_GOLDEN_PATH,
     compute_golden_summary,
     compute_impaired_summary,
+    compute_webrtc_summary,
     write_golden_snapshot,
     write_impaired_snapshot,
+    write_webrtc_snapshot,
 )
 
 
@@ -53,6 +58,20 @@ def main() -> int:
         "  transitions={transitions} alerts={alerts}".format(
             transitions=len(impaired["transitions"]),
             alerts=impaired["qoe_counters"].get("alerts", 0),
+        )
+    )
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        webrtc = compute_webrtc_summary(Path(tmp_dir))
+    write_webrtc_snapshot(webrtc)
+    print(f"wrote {WEBRTC_GOLDEN_PATH.relative_to(REPO_ROOT)}")
+    print(
+        "  packets={total} claimed={zoom} streams={streams} "
+        "rtp_claimed={claimed} conflicts={conflicts}".format(
+            total=webrtc["packets"]["total"],
+            zoom=webrtc["packets"]["zoom"],
+            streams=len(webrtc["streams"]),
+            claimed=webrtc["protocol_counters"].get("claimed.rtp", 0),
+            conflicts=webrtc["protocol_counters"].get("conflicts", 0),
         )
     )
     return 0

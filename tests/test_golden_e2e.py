@@ -18,10 +18,13 @@ import pytest
 from tests.golden_utils import (
     GOLDEN_PATH,
     IMPAIRED_GOLDEN_PATH,
+    WEBRTC_GOLDEN_PATH,
     compute_golden_summary,
     compute_impaired_summary,
+    compute_webrtc_summary,
     load_golden_snapshot,
     load_impaired_snapshot,
+    load_webrtc_snapshot,
 )
 
 REGEN_HINT = (
@@ -123,3 +126,61 @@ class TestImpairedGolden:
         assert counters["transitions"] == 2
         assert counters["transitions_to.impaired"] == 1
         assert counters["alerts"] == 1
+
+
+@pytest.fixture(scope="module")
+def webrtc_summary(tmp_path_factory) -> dict:
+    return compute_webrtc_summary(tmp_path_factory.mktemp("webrtc"))
+
+
+class TestWebRTCGolden:
+    """Pin the mixed-protocol (zoom+rtp) trace: the golden Zoom meeting
+    plus one concurrent generic WebRTC call, analyzed with both registry
+    plugins enabled."""
+
+    def test_snapshot_exists(self):
+        assert WEBRTC_GOLDEN_PATH.is_file(), (
+            "missing snapshot; run `PYTHONPATH=src python tests/regen_golden.py`"
+        )
+
+    def test_matches_snapshot(self, webrtc_summary):
+        expected = load_webrtc_snapshot()
+        if webrtc_summary == expected:
+            return
+        drifted = sorted(
+            key
+            for key in set(expected) | set(webrtc_summary)
+            if expected.get(key) != webrtc_summary.get(key)
+        )
+        assert webrtc_summary == expected, f"{REGEN_HINT}; drifted keys: {drifted}"
+
+    def test_both_protocols_claimed(self, webrtc_summary):
+        """Guard the snapshot itself: both plugins must contribute streams
+        and every packet of either protocol must be claimed."""
+        counters = webrtc_summary["protocol_counters"]
+        assert counters["claimed.zoom"] > 0
+        assert counters["claimed.rtp"] > 0
+        protocols = {s.get("protocol", "zoom") for s in webrtc_summary["streams"]}
+        assert protocols == {"zoom", "rtp"}
+        rtp_rows = [
+            s for s in webrtc_summary["streams"] if s.get("protocol") == "rtp"
+        ]
+        # The 1:1 call contributes exactly four streams: audio+video both ways.
+        assert len(rtp_rows) == 4
+        assert all(row["is_p2p"] for row in rtp_rows)
+        assert any(row.get("frames_completed", 0) > 0 for row in rtp_rows)
+        # SFU-only Zoom meeting has no STUN flows, so nothing is claimable
+        # by both plugins on this trace.
+        assert counters.get("conflicts", 0) == 0
+
+    def test_zoom_half_matches_single_protocol_golden(self, webrtc_summary):
+        """The Zoom meeting's streams come out identical whether or not
+        the generic RTP plugin rides along — claim precedence isolates
+        the plugins on disjoint flows."""
+        zoom_rows = [
+            {k: v for k, v in s.items()}
+            for s in webrtc_summary["streams"]
+            if s.get("protocol", "zoom") == "zoom"
+        ]
+        expected = load_golden_snapshot()["streams"]
+        assert zoom_rows == expected
