@@ -1,0 +1,129 @@
+"""What federating a query across a fleet costs over querying one store.
+
+The fleet plane fans one :class:`StoreQuery` out to N node stores on a
+thread pool and merges raw results through the same shaping path a single
+store uses.  Two numbers size a deployment:
+
+* **Fan-out latency vs node count** — the same day-scale record set
+  partitioned over 1/2/4/8 node stores, federated each way.  Threads
+  overlap the per-node scan, so the federated query should track the
+  slowest node (≈ the single-store time divided by the fan-out), not the
+  sum of nodes.
+* **Federation overhead** — the federated answer over the partitioned
+  fleet against a plain single-store query over the union of the same
+  records.  Bit-identity is asserted while timing, so the overhead number
+  is for the *same* answer.
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.core import FleetConfig, FleetNodeConfig, StoreConfig
+from repro.fleet import federated_query
+from repro.store import MetricsStore, StoreQuery
+
+#: Day-scale campaign at 10 s windows, as in test_store_query.py.
+WINDOWS = 7200
+PARTITION_SECONDS = 1000.0
+WINDOW_SECONDS = 10.0
+NODE_COUNTS = (1, 2, 4, 8)
+REPEATS = 3
+
+QUERY = StoreQuery(kinds=("window",), reaggregate_seconds=60.0)
+
+
+def _window(index: int) -> dict:
+    return {
+        "kind": "window",
+        "window": index,
+        "start": index * WINDOW_SECONDS,
+        "end": (index + 1) * WINDOW_SECONDS,
+        "packets_total": 1000 + index % 97,
+        "bytes_total": 900_000 + index % 1013,
+        "zoom_packets": 950,
+        "meetings_formed": index % 7 == 0,
+        "meetings_active": 1 + index % 3,
+        "streams_evicted": 0,
+        "forced": False,
+        "media": [
+            {
+                "media": name,
+                "packets": 450,
+                "bytes": 450_000,
+                "bitrate_bps": 360_000.0,
+                "streams": 2,
+                "streams_opened": 0,
+                "p2p_packets": 0,
+                "mean_fps": 24.0 + (index % 11),
+                "mean_jitter_ms": 2.0,
+                "lost": index % 5,
+                "duplicates": 0,
+            }
+            for name in ("audio", "video")
+        ],
+    }
+
+
+def _build_store(path) -> MetricsStore:
+    config = StoreConfig(
+        partition_seconds=PARTITION_SECONDS, seal_records=128, gzip_level=1
+    )
+    store = MetricsStore(path, config)
+    return store
+
+
+def _build_fleet(root, node_count: int) -> tuple[FleetConfig, dict]:
+    """Partition the window set round-robin over ``node_count`` stores."""
+    stores = {}
+    nodes = []
+    writers = []
+    for i in range(node_count):
+        path = root / f"n{i}"
+        writers.append(_build_store(path))
+        nodes.append(FleetNodeConfig(name=f"n{i}", store_dir=str(path)))
+    for index in range(WINDOWS):
+        writers[index % node_count].append(_window(index))
+    for i, writer in enumerate(writers):
+        writer.close()
+        stores[f"n{i}"] = MetricsStore(root / f"n{i}")
+    return FleetConfig(nodes=tuple(nodes)), stores
+
+
+def test_fleet_query_fanout(tmp_path, report):
+    # The union baseline: every record in one store.
+    union = _build_store(tmp_path / "union")
+    for index in range(WINDOWS):
+        union.append(_window(index))
+    union.close()
+    reader = MetricsStore(tmp_path / "union")
+
+    union_best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        expected = reader.query(QUERY)
+        union_best = min(union_best, time.perf_counter() - t0)
+
+    rows = [
+        ("windows", WINDOWS),
+        ("query", "windows reaggregated to 60 s"),
+        ("single-store time (ms)", f"{1000 * union_best:.2f}"),
+    ]
+    for node_count in NODE_COUNTS:
+        config, stores = _build_fleet(tmp_path / f"fleet-{node_count}", node_count)
+        best = float("inf")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            result = federated_query(config, QUERY, local_stores=stores)
+            best = min(best, time.perf_counter() - t0)
+        # Same answer, bit for bit, regardless of the partitioning.
+        assert result.records == expected.records
+        assert result.nodes_missing == []
+        overhead = best / union_best
+        rows.append(
+            (
+                f"federated over {node_count} node(s) (ms)",
+                f"{1000 * best:.2f} ({overhead:.2f}x single store)",
+            )
+        )
+
+    report("fleet_query", format_table(["metric", "value"], rows))

@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""CI smoke test for fleet federation.
+
+Exercises the fleet the way a multi-campus deployment actually degrades:
+
+1. ``fleet simulate`` builds a three-node fleet of store directories plus
+   a ``fleet.json`` manifest; ``fleet status`` must see 3/3 nodes and
+   ``fleet query`` must return every node's windows (window counts are
+   additive across vantage points),
+2. three live ``analyze-live --store --listen`` daemons serve their
+   stores over HTTP; a manifest of endpoint nodes federates them, then
+   one daemon is **SIGKILL**ed mid-run — ``fleet query`` must return
+   *partial results with the dead node flagged* (not an error), and
+   ``fleet status`` must fire the node-unreachable anomaly.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/fleet_smoke.py
+
+Exits non-zero on the first failed check; CI wraps it in a job timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import FleetConfig, FleetNodeConfig  # noqa: E402
+from repro.fleet import save_fleet_manifest  # noqa: E402
+from repro.net.pcap import write_pcap  # noqa: E402
+from repro.simulation import (  # noqa: E402
+    MeetingConfig,
+    MeetingSimulator,
+    ParticipantConfig,
+)
+
+WINDOW = 5.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def store_query(endpoint: str, payload: dict, timeout: float = 5.0) -> dict:
+    request = urllib.request.Request(
+        endpoint + "/store/query",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def simulated_fleet_phase(tmp: Path) -> None:
+    root = tmp / "fleet"
+    simulated = cli(
+        "fleet", "simulate", str(root), "--nodes", "3", "--peak", "4",
+        "--seed", "7",
+    )
+    check(simulated.returncode == 0, "fleet simulate built 3 node stores")
+    manifest = root / "fleet.json"
+    check(manifest.is_file(), "fleet manifest written")
+
+    status = cli("fleet", "status", str(root))
+    check(
+        status.returncode == 0 and "3/3 reachable" in status.stdout,
+        "fleet status sees 3/3 simulated nodes",
+    )
+
+    federated = cli(
+        "fleet", "query", str(root), "--kind", "window", "--format", "json"
+    )
+    fleet_windows = [
+        json.loads(line) for line in federated.stdout.splitlines()
+    ]
+    per_node = 0
+    for node_dir in sorted(root.glob("node-*")):
+        single = cli("query", str(node_dir), "--format", "json")
+        per_node += len(single.stdout.splitlines())
+    check(
+        federated.returncode == 0
+        and per_node > 0
+        and len(fleet_windows) == per_node,
+        f"fleet query returns every node's windows ({per_node} total)",
+    )
+    starts = [w["start"] for w in fleet_windows]
+    check(starts == sorted(starts), "federated windows arrive time-ordered")
+
+
+def node_trace(tmp: Path, index: int) -> Path:
+    directory = tmp / f"caps-{index}"
+    directory.mkdir()
+    config = MeetingConfig(
+        meeting_id=f"fleet-smoke-{index}",
+        participants=(
+            ParticipantConfig(name=f"alice{index}", on_campus=True),
+            ParticipantConfig(
+                name=f"bob{index}", on_campus=True, join_time=1.0
+            ),
+        ),
+        duration=20.0,
+        allow_p2p=False,
+        seed=100 + index,
+    )
+    captures = list(MeetingSimulator(config).run().captures)
+    write_pcap(directory / "zoom.pcap", captures)
+    return directory
+
+
+def live_fleet_phase(tmp: Path) -> None:
+    daemons: list[subprocess.Popen] = []
+    try:
+        nodes = []
+        for index in range(3):
+            directory = node_trace(tmp, index)
+            port = free_port()
+            store_dir = tmp / f"live-store-{index}"
+            daemons.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.cli", "analyze-live",
+                        str(directory),
+                        "--window", str(WINDOW), "--lateness", "1",
+                        "--poll-interval", "0.2",
+                        "--store", str(store_dir),
+                        "--listen", f"127.0.0.1:{port}",
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+            )
+            nodes.append(
+                FleetNodeConfig(
+                    name=f"live-{index}",
+                    endpoint=f"http://127.0.0.1:{port}",
+                )
+            )
+        manifest = tmp / "live-fleet.json"
+        save_fleet_manifest(
+            FleetConfig(nodes=tuple(nodes), query_timeout=5.0), manifest
+        )
+
+        # Wait for every daemon's store endpoint to serve its windows.
+        deadline = time.monotonic() + 60.0
+        per_node: dict[str, int] = {}
+        while time.monotonic() < deadline and len(per_node) < 3:
+            for node, daemon in zip(nodes, daemons):
+                if node.name in per_node:
+                    continue
+                if daemon.poll() is not None:
+                    _, err = daemon.communicate()
+                    fail(f"daemon {node.name} exited early: {err[-400:]}")
+                try:
+                    answer = store_query(node.endpoint, {"kinds": ["window"]})
+                except OSError:
+                    continue
+                if answer["records"]:
+                    per_node[node.name] = len(answer["records"])
+            time.sleep(0.2)
+        check(
+            len(per_node) == 3,
+            "all 3 live daemons answer /store/query with windows",
+        )
+
+        status = cli("fleet", "status", str(manifest))
+        check(
+            status.returncode == 0 and "3/3 reachable" in status.stdout,
+            "fleet status scrapes all 3 live endpoints",
+        )
+
+        # Kill one node mid-run: the fleet must keep answering.
+        daemons[2].send_signal(signal.SIGKILL)
+        daemons[2].communicate(timeout=30)
+        check(
+            daemons[2].returncode == -signal.SIGKILL,
+            "node live-2 killed mid-run",
+        )
+
+        partial = cli(
+            "fleet", "query", str(manifest), "--kind", "window",
+            "--format", "json",
+        )
+        records = [json.loads(line) for line in partial.stdout.splitlines()]
+        check(
+            partial.returncode == 0,
+            "fleet query with a dead node still exits 0 (partial results)",
+        )
+        check(
+            len(records) >= per_node["live-0"] + per_node["live-1"],
+            f"partial results carry the surviving nodes' windows "
+            f"({len(records)} records)",
+        )
+        check(
+            "2/3 nodes" in partial.stderr,
+            "summary reports 2/3 nodes answered",
+        )
+        check(
+            "warning: node live-2 missing" in partial.stderr,
+            "dead node flagged by name in the partial-result warning",
+        )
+
+        status = cli("fleet", "status", str(manifest))
+        check(
+            status.returncode == 1
+            and "node-unreachable" in status.stdout
+            and "live-2" in status.stdout,
+            "fleet status exits 1 and fires node-unreachable for live-2",
+        )
+    finally:
+        for daemon in daemons:
+            if daemon.poll() is None:
+                daemon.send_signal(signal.SIGTERM)
+        for daemon in daemons:
+            if daemon.poll() is None:
+                try:
+                    daemon.communicate(timeout=30)
+                except subprocess.TimeoutExpired:
+                    daemon.kill()
+                    daemon.communicate()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        simulated_fleet_phase(Path(tmp))
+        live_fleet_phase(Path(tmp))
+    print("fleet smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -533,6 +533,95 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_simulate(args: argparse.Namespace) -> int:
+    from repro.fleet.simulate import FleetSimConfig, simulate_fleet
+
+    _, nodes = simulate_fleet(
+        args.root,
+        FleetSimConfig(
+            nodes=args.nodes,
+            hours=args.hours,
+            meetings_per_hour_peak=args.peak,
+            window_seconds=args.window,
+            seed=args.seed,
+            overlap=args.overlap,
+        ),
+    )
+    for node in nodes:
+        print(
+            f"{node.name}: {node.packets} packets -> "
+            f"{node.windows_stored} windows, {node.streams_stored} streams, "
+            f"{node.meetings_stored} meetings ({node.store_dir})"
+        )
+    print(f"fleet manifest written to {Path(args.root) / 'fleet.json'}")
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.fleet import fleet_status, load_fleet_manifest, render_fleet_status
+
+    config = load_fleet_manifest(args.fleet)
+    status = fleet_status(config)
+    print(render_fleet_status(status), end="")
+    # Unreachable nodes make status non-zero (scripts can alert on it);
+    # softer anomalies (stale, drop outliers) are printed but exit 0.
+    return 0 if status.reachable == len(status.nodes) else 1
+
+
+def _cmd_fleet_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import FederatedQuery, load_fleet_manifest
+    from repro.store import StoreQuery, flatten_records
+
+    config = load_fleet_manifest(args.fleet)
+    query = StoreQuery(
+        start=args.start,
+        end=args.end,
+        kinds=tuple(args.kind) if args.kind else ("window",),
+        meeting_id=args.meeting,
+        media=args.media,
+        metrics=args.metrics,
+        reaggregate_seconds=args.reaggregate,
+        use_index=not args.no_index,
+    )
+    with FederatedQuery(config) as plane:
+        result = plane.run(query)
+    if args.format == "json":
+        for record in result.records:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        columns, rows = flatten_records(result.records)
+        cells = [
+            tuple("" if row.get(c) is None else row.get(c) for c in columns)
+            for row in rows
+        ]
+        if args.format == "csv":
+            import csv
+
+            writer = csv.writer(sys.stdout)
+            writer.writerow(columns)
+            writer.writerows(cells)
+        else:
+            print(format_table(columns, cells))
+    print(
+        f"{result.count} records from {len(result.nodes_queried)}/"
+        f"{len(config.nodes)} nodes ({result.segments_scanned} segments "
+        f"scanned, {result.segments_skipped} skipped, "
+        f"{result.meetings_deduped} cross-tap meetings deduplicated)",
+        file=sys.stderr,
+    )
+    for name in result.nodes_missing:
+        print(
+            f"warning: node {name} missing from results: "
+            f"{result.node_errors.get(name, 'unreachable')}",
+            file=sys.stderr,
+        )
+    # Partial results are the degraded-but-working case; only a fleet
+    # with zero reachable nodes is an error.
+    return 0 if result.nodes_queried else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="zoom-analysis",
@@ -727,6 +816,73 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drop oldest sealed segments until under this "
                               "total size")
     compact.set_defaults(func=_cmd_compact)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="operate a multi-vantage-point monitor fleet",
+        description="Federate several monitor nodes (local store "
+                    "directories and/or live daemon endpoints) behind one "
+                    "query plane: 'simulate' builds an N-node fleet "
+                    "in-process, 'status' scrapes every node's health "
+                    "surface, 'query' fans a store query out over the "
+                    "fleet and merges the results.",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_sim = fleet_sub.add_parser(
+        "simulate", help="build an N-node simulated fleet under a directory"
+    )
+    fleet_sim.add_argument("root", type=Path, help="fleet root directory")
+    fleet_sim.add_argument("--nodes", type=_positive_int, default=3,
+                           help="vantage points to simulate (default 3)")
+    fleet_sim.add_argument("--hours", type=_positive_int, default=1,
+                           help="campus-trace hours per node (default 1)")
+    fleet_sim.add_argument("--peak", type=float, default=3.0,
+                           help="meetings/hour per node at peak (default 3)")
+    fleet_sim.add_argument("--window", type=float, default=10.0,
+                           help="aggregation window seconds (default 10)")
+    fleet_sim.add_argument("--seed", type=int, default=7)
+    fleet_sim.add_argument("--overlap", action="store_true",
+                           help="feed a shared trace to the first two nodes "
+                                "(exercises cross-tap meeting dedup)")
+    fleet_sim.set_defaults(func=_cmd_fleet_simulate)
+
+    fleet_status_cmd = fleet_sub.add_parser(
+        "status", help="scrape and summarize every node's health"
+    )
+    fleet_status_cmd.add_argument(
+        "fleet", type=Path,
+        help="fleet.json manifest (or a directory containing one)")
+    fleet_status_cmd.set_defaults(func=_cmd_fleet_status)
+
+    fleet_query = fleet_sub.add_parser(
+        "query", help="run one store query across the whole fleet"
+    )
+    fleet_query.add_argument(
+        "fleet", type=Path,
+        help="fleet.json manifest (or a directory containing one)")
+    fleet_query.add_argument("--start", type=float, default=None,
+                             metavar="SECONDS")
+    fleet_query.add_argument("--end", type=float, default=None,
+                             metavar="SECONDS")
+    fleet_query.add_argument("--kind", action="append",
+                             choices=("window", "stream", "meeting"),
+                             default=None,
+                             help="record kind(s); may be repeated "
+                                  "(default: window)")
+    fleet_query.add_argument("--meeting", type=int, default=None, metavar="ID",
+                             help="restrict to one meeting id (spans are "
+                                  "resolved fleet-wide first)")
+    fleet_query.add_argument("--media", choices=("audio", "video", "screen"),
+                             default=None)
+    fleet_query.add_argument("--metrics", type=_metric_list, default=None,
+                             metavar="NAME[,NAME...]")
+    fleet_query.add_argument("--reaggregate", type=float, default=None,
+                             metavar="SECONDS")
+    fleet_query.add_argument("--format", choices=("table", "json", "csv"),
+                             default="table")
+    fleet_query.add_argument("--no-index", action="store_true")
+    fleet_query.set_defaults(func=_cmd_fleet_query)
 
     dissect = sub.add_parser("dissect", help="Wireshark-style packet dissection")
     dissect.add_argument("input", type=Path)

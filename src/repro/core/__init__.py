@@ -23,7 +23,14 @@ and :class:`~repro.core.session.AnalysisSession` is the one-call front door:
 :class:`~repro.net.source.PacketSource`.
 """
 
-from repro.core.config import AnalyzerConfig, ProtocolConfig, ServiceConfig, StoreConfig
+from repro.core.config import (
+    AnalyzerConfig,
+    FleetConfig,
+    FleetNodeConfig,
+    ProtocolConfig,
+    ServiceConfig,
+    StoreConfig,
+)
 from repro.core.detector import StunTracker, ZoomClass, ZoomSubnetMatcher, ZoomTrafficDetector
 from repro.core.events import (
     AnalysisEvent,
@@ -48,6 +55,8 @@ __all__ = [
     "AnalysisSession",
     "AnalysisSink",
     "AnalyzerConfig",
+    "FleetConfig",
+    "FleetNodeConfig",
     "EventBus",
     "FinalizedStream",
     "FlowBytesObserved",

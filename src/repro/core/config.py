@@ -415,6 +415,120 @@ class ServiceConfig:
         return dataclasses.replace(self, **changes)
 
 
+@dataclass(frozen=True, slots=True)
+class FleetNodeConfig:
+    """One vantage point in a monitor fleet (see :mod:`repro.fleet`).
+
+    A node is an ``analyze-live`` daemon (or a finished campaign) at one
+    tap — a campus building, a PoP — reachable for queries through its
+    on-disk metrics store, its HTTP store endpoint, or both.
+
+    Attributes:
+        name: Site identifier, unique within the fleet (``bldg-a``,
+            ``pop-lhr``); used in dedup annotations, health tables, and
+            ``nodes_missing`` lists.
+        store_dir: Path of the node's :class:`~repro.store.MetricsStore`.
+            Querying a local path opens the store directly — the right
+            mode for finished campaigns and simulated fleets.  Never point
+            this at a store a *live* daemon is writing from another
+            process; use ``endpoint`` for live nodes.
+        endpoint: Base URL of the node's metrics HTTP server (e.g.
+            ``http://10.8.0.5:9469``).  The federated plane POSTs
+            ``/store/query`` here and the health layer scrapes
+            ``/metrics``.
+        campus_subnets: The campus prefixes this tap covers — operator
+            documentation of the fleet's coverage map, and the basis for
+            "two taps should not overlap" sanity checks.
+    """
+
+    name: str
+    store_dir: str | None = None
+    endpoint: str | None = None
+    campus_subnets: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError(f"node name must be a non-empty label, got {self.name!r}")
+        if self.store_dir is None and self.endpoint is None:
+            raise ValueError(f"node {self.name!r} needs a store_dir or an endpoint")
+        if self.endpoint is not None and not self.endpoint.startswith(("http://", "https://")):
+            raise ValueError(
+                f"node {self.name!r}: endpoint must be an http(s) URL, "
+                f"got {self.endpoint!r}"
+            )
+        if self.campus_subnets is not None:
+            object.__setattr__(self, "campus_subnets", tuple(self.campus_subnets))
+
+    @property
+    def query_source(self) -> str:
+        """Where queries go: the local store when present, else the endpoint."""
+        return "store" if self.store_dir is not None else "endpoint"
+
+
+@dataclass(frozen=True, slots=True)
+class FleetConfig:
+    """A named set of vantage points behind one query plane.
+
+    Consumed by :class:`repro.fleet.federation.FederatedQuery` and the
+    ``fleet`` CLI subcommands; usually loaded from a JSON manifest
+    (:mod:`repro.fleet.manifest`).
+
+    Attributes:
+        nodes: The fleet's vantage points; names must be unique.
+        query_timeout: Per-node time budget (seconds) for one federated
+            fan-out attempt; a node that exceeds it joins
+            ``nodes_missing`` instead of stalling the plane.
+        query_retries: Extra attempts per node before it is declared
+            missing (transient endpoint hiccups survive a retry; a dead
+            node just costs ``retries × timeout`` once).
+        max_workers: Fan-out thread-pool width (bounded so a 100-node
+            fleet does not open 100 sockets at once).
+        stale_after: Fleet-health rule: a node whose newest data trails
+            the fleet's newest by more than this many seconds of capture
+            time is flagged stale.
+        drop_outlier_ratio: Fleet-health rule: a node whose drop fraction
+            exceeds the fleet median by this factor (and a 1% floor) is
+            flagged as a drop-rate outlier.
+    """
+
+    nodes: tuple[FleetNodeConfig, ...]
+    query_timeout: float = 5.0
+    query_retries: int = 1
+    max_workers: int = 8
+    stale_after: float = 120.0
+    drop_outlier_ratio: float = 3.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.nodes:
+            raise ValueError("a fleet needs at least one node")
+        names = [node.name for node in self.nodes]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate node names: {', '.join(duplicates)}")
+        if self.query_timeout <= 0:
+            raise ValueError("query_timeout must be > 0")
+        if self.query_retries < 0:
+            raise ValueError("query_retries must be >= 0")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.stale_after <= 0:
+            raise ValueError("stale_after must be > 0")
+        if self.drop_outlier_ratio <= 1:
+            raise ValueError("drop_outlier_ratio must be > 1")
+
+    def node(self, name: str) -> FleetNodeConfig:
+        """The node called ``name`` (raises ``KeyError`` if absent)."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def replace(self, **changes: object) -> "FleetConfig":
+        """A copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
 #: Legacy per-driver kwarg name → config field name.
 _LEGACY_FIELDS = {
     "zoom_subnets": "zoom_subnets",

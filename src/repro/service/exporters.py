@@ -110,6 +110,11 @@ class MetricsHTTPServer:
         render_metrics: Zero-argument callable returning the current
             Prometheus page body.
         healthy / ready: Zero-argument probes; ``False`` answers 503.
+        store_query: Optional callable taking a decoded
+            :class:`~repro.store.query.StoreQuery` payload dict and
+            returning a JSON-serializable result dict; when given, the
+            server also answers ``POST /store/query`` — the thin store
+            endpoint the fleet's federated query plane fans out to.
     """
 
     def __init__(
@@ -119,11 +124,12 @@ class MetricsHTTPServer:
         render_metrics: Callable[[], str],
         healthy: Callable[[], bool] = lambda: True,
         ready: Callable[[], bool] = lambda: True,
+        store_query: Callable[[dict], dict] | None = None,
     ) -> None:
         host, _, port_text = listen.rpartition(":")
         if not host or not port_text:
             raise ValueError(f"listen address must be host:port, got {listen!r}")
-        handler = _build_handler(render_metrics, healthy, ready)
+        handler = _build_handler(render_metrics, healthy, ready, store_query)
         self._server = ThreadingHTTPServer((host, int(port_text)), handler)
         self._server.daemon_threads = True
         self._thread = threading.Thread(
@@ -150,6 +156,7 @@ def _build_handler(
     render_metrics: Callable[[], str],
     healthy: Callable[[], bool],
     ready: Callable[[], bool],
+    store_query: Callable[[dict], dict] | None = None,
 ) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
@@ -162,6 +169,28 @@ def _build_handler(
                 self._probe(ready, "ready\n", "no poll completed yet\n")
             else:
                 self._respond(404, "not found\n", "text/plain")
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+            path = self.path.split("?", 1)[0]
+            if path != "/store/query" or store_query is None:
+                self._respond(404, "not found\n", "text/plain")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(payload, dict):
+                    raise ValueError("query body must be a JSON object")
+                result = store_query(payload)
+            except (ValueError, TypeError, KeyError) as exc:
+                # A malformed or version-skewed query is the caller's
+                # problem; anything else propagates as a 500.
+                self._respond(400, f"bad query: {exc}\n", "text/plain")
+                return
+            self._respond(
+                200,
+                json.dumps(result, separators=(",", ":")),
+                "application/json",
+            )
 
         def _probe(self, check: Callable[[], bool], yes: str, no: str) -> None:
             if check():

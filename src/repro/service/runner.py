@@ -53,6 +53,7 @@ from repro.core.config import ServiceConfig
 from repro.core.rolling import RollingZoomAnalyzer
 from repro.net.batch import FrameBatch
 from repro.protocols import protocol_counter_seeds
+from repro.fleet.health import FLEET_COUNTER_SEEDS
 from repro.qoe import QOE_COUNTER_SEEDS, MeetingQoeTracker, QoeState
 from repro.service.exporters import JsonlWindowLog, MetricsHTTPServer
 from repro.service.prometheus import render_metrics
@@ -113,14 +114,6 @@ class ZoomMonitorService:
                 telemetry=self.telemetry,
             )
             self.aggregator.add_callback(self.jsonl.write)
-        self.http: MetricsHTTPServer | None = None
-        if config.listen is not None:
-            self.http = MetricsHTTPServer(
-                config.listen,
-                render_metrics=self.render_metrics,
-                healthy=self._healthy,
-                ready=self._ready_probe,
-            )
         self.store_sink = None
         if config.store_dir is not None:
             # Imported lazily: repro.store sits above repro.service in the
@@ -135,6 +128,19 @@ class ZoomMonitorService:
             self.store_sink = StoreSink(store)
             self.aggregator.add_callback(self.store_sink.write_window)
             self.rolling.on_stream_finalized = self.store_sink.write_stream
+        self.http: MetricsHTTPServer | None = None
+        if config.listen is not None:
+            self.http = MetricsHTTPServer(
+                config.listen,
+                render_metrics=self.render_metrics,
+                healthy=self._healthy,
+                ready=self._ready_probe,
+                # A store-backed daemon doubles as a fleet query node: the
+                # federated plane POSTs StoreQuery payloads here.
+                store_query=(
+                    self._store_query if self.store_sink is not None else None
+                ),
+            )
         self.qoe: MeetingQoeTracker | None = None
         if config.qoe is not None and config.qoe.enabled:
             self.qoe = MeetingQoeTracker(
@@ -155,6 +161,7 @@ class ZoomMonitorService:
                 plugin.name for plugin in self.rolling.analyzer.plugins
             )
             + (QOE_COUNTER_SEEDS if self.qoe is not None else ())
+            + (FLEET_COUNTER_SEEDS if self.store_sink is not None else ())
         )
         for name in seeds:
             self.telemetry.count(name, 0)
@@ -375,6 +382,29 @@ class ZoomMonitorService:
             last_window=self._last_window,
             gauges=gauges,
         )
+
+    def _store_query(self, payload: dict) -> dict:
+        """``POST /store/query`` body: run a StoreQuery over the live store.
+
+        Runs on an HTTP handler thread; the store's internal lock makes
+        the scan safe against the analysis thread's concurrent appends.
+        """
+        from repro.store.query import StoreQuery
+
+        self.telemetry.count("fleet.store_queries")
+        try:
+            query = StoreQuery.from_dict(payload)
+            result = self.store_sink.store.query(query)
+        except Exception:
+            self.telemetry.count("fleet.store_query_errors")
+            raise
+        self.telemetry.count("fleet.store_query_records", len(result.records))
+        return {
+            "records": result.records,
+            "segments_scanned": result.segments_scanned,
+            "segments_skipped": result.segments_skipped,
+            "records_examined": result.records_examined,
+        }
 
     def _remember_window(self, window: WindowRecord) -> None:
         self._last_window = window

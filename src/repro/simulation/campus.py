@@ -63,6 +63,12 @@ class CampusTraceConfig:
         background_pps: Non-Zoom campus packets per second to synthesize
             (input for the capture-filter experiments, Figures 13/17).
         seed: Master seed; the whole trace is reproducible.
+        address_octet_base: Offset added to each meeting's address octet.
+            Participant IPs embed the meeting index, so two traces built
+            from different seeds still collide on addresses unless their
+            octet ranges are kept disjoint — which matters when traces
+            are combined (the fleet simulator feeds several traces to one
+            analyzer, whose meeting grouper merges by client IP).
     """
 
     hours: int = 12
@@ -77,6 +83,7 @@ class CampusTraceConfig:
     congestion_fraction: float = 0.25
     background_pps: float = 0.0
     seed: int = 42
+    address_octet_base: int = 0
 
 
 @dataclass
@@ -300,7 +307,7 @@ def generate_campus_trace(config: CampusTraceConfig | None = None) -> CampusTrac
                 allow_p2p=allow_p2p,
                 p2p_switch_delay=rng.uniform(4.0, 9.0),
                 seed=rng.randrange(1 << 30),
-                address_octet=meeting_index,
+                address_octet=config.address_octet_base + meeting_index,
             )
             meeting_configs.append(meeting_config)
             merged.merge(MeetingSimulator(meeting_config).run())

@@ -22,7 +22,13 @@ CLI faces: ``repro query``, ``repro compact``, ``repro backfill``.
 """
 
 from repro.store.backfill import BackfillReport, backfill_jsonl, backfill_result
-from repro.store.query import QueryResult, StoreQuery, flatten_records, reaggregate_windows
+from repro.store.merge import (
+    canonical_key,
+    merge_media_entries,
+    reaggregate_windows,
+    shape_records,
+)
+from repro.store.query import QueryResult, StoreQuery, flatten_records, run_query
 from repro.store.records import meeting_record, stream_record, window_record
 from repro.store.sink import StoreSink
 from repro.store.store import MaintenanceReport, MetricsStore, SegmentInfo
@@ -37,9 +43,13 @@ __all__ = [
     "StoreSink",
     "backfill_jsonl",
     "backfill_result",
+    "canonical_key",
     "flatten_records",
     "meeting_record",
+    "merge_media_entries",
     "reaggregate_windows",
+    "run_query",
+    "shape_records",
     "stream_record",
     "window_record",
 ]

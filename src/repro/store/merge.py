@@ -1,0 +1,189 @@
+"""Packet-weighted record merging — the one code path every query shape uses.
+
+The store's window re-aggregation (``repro query --reaggregate``) and the
+fleet's federated merge (:mod:`repro.fleet.federation`) answer the same
+question — "combine these fine-grained window records into one coherent
+timeline" — and they must answer it with *identical arithmetic*: a fleet
+query over N single-node stores has to be bit-identical to the same query
+over one store holding the union of their records.  That is only provable
+if both run through one implementation, so the math lives here and both
+callers import it:
+
+* :func:`reaggregate_windows` — merge window records into tumbling buckets.
+  Counting fields sum exactly; ``meetings_active`` takes the bucket maximum
+  (a point-in-time census, not an event count); per-media quality values
+  (fps, jitter) combine as packet-weighted means via
+  :func:`merge_media_entries`.
+* :func:`shape_records` — the full post-scan shaping stage: optional
+  re-aggregation, deterministic ordering, optional metric projection.
+  :func:`repro.store.query.run_query` applies it to one store's scan;
+  the federated plane applies it to the concatenation of N scans.
+
+Determinism note: records that tie on ``(start, kind)`` are ordered by
+their canonical JSON encoding (:func:`canonical_key`), so the merged output
+is a pure function of the record *set* — independent of which node
+contributed which record and of the order nodes answered.  Float summation
+order inside a bucket is fixed the same way, which is what makes the
+packet-weighted means reproducible across node partitions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.query import StoreQuery
+
+#: Window-record keys that survive any metric projection — without them a
+#: projected record loses its identity on the timeline.
+IDENTITY_KEYS = ("kind", "window", "start", "end")
+
+#: Window counting fields that sum exactly across a merge (the service's
+#: window invariant: summed over all windows they reproduce batch totals).
+SUMMED_WINDOW_KEYS = (
+    "packets_total",
+    "bytes_total",
+    "zoom_packets",
+    "meetings_formed",
+    "streams_evicted",
+)
+
+
+def canonical_key(record: dict) -> tuple[float, str, str]:
+    """Total order over records: ``(start, kind, canonical JSON)``.
+
+    The JSON tiebreak makes ordering independent of insertion order, so a
+    federated merge sorts to the same byte sequence no matter how records
+    were partitioned across nodes or in which order the nodes answered.
+    """
+    return (
+        float(record.get("start", 0.0)),
+        str(record.get("kind", "")),
+        json.dumps(record, sort_keys=True, separators=(",", ":")),
+    )
+
+
+def reaggregate_windows(windows: list[dict], coarse_seconds: float) -> list[dict]:
+    """Merge fine window records into tumbling ``coarse_seconds`` buckets.
+
+    Counting fields sum exactly (that is the window invariant the service
+    tests pin down); ``meetings_active`` takes the bucket maximum (it is a
+    point-in-time census, not a count of events); per-media quality values
+    (fps, jitter) combine as packet-weighted means over the windows that
+    reported them, matching how a coarser aggregator would have sampled
+    more streams per close.
+
+    Windows from *different vantage points* merge through the same rules:
+    per-bucket traffic totals add, and the packet weighting makes a node
+    that carried most of a media type's packets dominate the bucket's
+    quality estimate — exactly what one aggregator over the union of taps
+    would have computed.
+    """
+    buckets: dict[int, list[dict]] = {}
+    for window in windows:
+        index = int(math.floor(float(window["start"]) / coarse_seconds))
+        buckets.setdefault(index, []).append(window)
+    merged: list[dict] = []
+    for index in sorted(buckets):
+        group = sorted(buckets[index], key=canonical_key)
+        record: dict = {
+            "kind": "window",
+            "window": index,
+            "start": index * coarse_seconds,
+            "end": (index + 1) * coarse_seconds,
+            "windows_merged": len(group),
+            "forced": any(w.get("forced") for w in group),
+        }
+        for key in SUMMED_WINDOW_KEYS:
+            record[key] = sum(int(w.get(key, 0)) for w in group)
+        record["meetings_active"] = max(
+            (int(w.get("meetings_active", 0)) for w in group), default=0
+        )
+        record["media"] = merge_media_entries(group, coarse_seconds)
+        merged.append(record)
+    return merged
+
+
+def merge_media_entries(group: list[dict], coarse_seconds: float) -> list[dict]:
+    """Combine the per-media entries of several window records into one set.
+
+    Counting fields sum; ``streams`` takes the maximum (a census);
+    ``mean_fps``/``mean_jitter_ms`` become packet-weighted means over the
+    entries that reported them (weight floor 1, so a quality sample from a
+    packetless entry still counts once rather than vanishing).
+    """
+    by_name: dict[str, list[dict]] = {}
+    for window in group:
+        for entry in window.get("media", ()):
+            by_name.setdefault(str(entry.get("media")), []).append(entry)
+    out: list[dict] = []
+    for name in sorted(by_name):
+        entries = by_name[name]
+        packets = sum(int(e.get("packets", 0)) for e in entries)
+        total_bytes = sum(int(e.get("bytes", 0)) for e in entries)
+        merged: dict = {
+            "media": name,
+            "packets": packets,
+            "bytes": total_bytes,
+            "bitrate_bps": round(total_bytes * 8.0 / coarse_seconds, 3),
+            "streams": max((int(e.get("streams", 0)) for e in entries), default=0),
+            "streams_opened": sum(int(e.get("streams_opened", 0)) for e in entries),
+            "p2p_packets": sum(int(e.get("p2p_packets", 0)) for e in entries),
+            "lost": sum(int(e.get("lost", 0)) for e in entries),
+            "duplicates": sum(int(e.get("duplicates", 0)) for e in entries),
+        }
+        for key in ("mean_fps", "mean_jitter_ms"):
+            weighted = [
+                (float(e[key]), max(int(e.get("packets", 0)), 1))
+                for e in entries
+                if e.get(key) is not None
+            ]
+            if weighted:
+                weight = sum(w for _, w in weighted)
+                merged[key] = round(
+                    sum(v * w for v, w in weighted) / weight, 3
+                )
+            else:
+                merged[key] = None
+        out.append(merged)
+    return out
+
+
+def shape_records(records: list[dict], query: "StoreQuery") -> list[dict]:
+    """The post-scan shaping stage shared by every query plane.
+
+    Applies, in order: window re-aggregation (when the query asks for it),
+    deterministic ``(start, kind, canonical)`` ordering, and metric
+    projection.  ``records`` is not mutated.
+    """
+    shaped = records
+    if query.reaggregate_seconds is not None:
+        windows = [r for r in shaped if r.get("kind") == "window"]
+        others = [r for r in shaped if r.get("kind") != "window"]
+        shaped = reaggregate_windows(windows, query.reaggregate_seconds) + others
+    shaped = sorted(shaped, key=canonical_key)
+    if query.metrics is not None:
+        shaped = [project_record(record, query.metrics) for record in shaped]
+    return shaped
+
+
+def project_record(record: dict, metrics: tuple[str, ...]) -> dict:
+    """Thin ``record`` down to ``metrics`` (identity keys always survive)."""
+    keep = set(metrics) | set(IDENTITY_KEYS)
+    projected = {key: value for key, value in record.items() if key in keep}
+    media = record.get("media")
+    if isinstance(media, list) and "media" not in keep:
+        thinned = [
+            {
+                key: value
+                for key, value in entry.items()
+                if key == "media" or key in keep
+            }
+            for entry in media
+        ]
+        # Media entries stay only if a per-media metric was requested.
+        if any(len(entry) > 1 for entry in thinned):
+            projected["media"] = thinned
+    return projected

@@ -24,16 +24,21 @@ meeting, and media type" workflow of the paper's §6.2 campus study.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.store.merge import reaggregate_windows, shape_records
+
+__all__ = [
+    "QueryResult",
+    "StoreQuery",
+    "flatten_records",
+    "reaggregate_windows",  # re-exported: the math now lives in store.merge
+    "run_query",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.store import MetricsStore, SegmentInfo
-
-#: Window-record keys that survive any metric projection — without them a
-#: projected record loses its identity on the timeline.
-_IDENTITY_KEYS = ("kind", "window", "start", "end")
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,6 +63,14 @@ class StoreQuery:
             be lossless; checked by the caller's eyes, not enforced).
         use_index: ``False`` disables manifest-based segment skipping (the
             full-scan baseline the benchmark compares against).
+        meeting_spans: Pre-resolved activity span(s) for ``meeting_id``.
+            When set, :func:`run_query` skips its own span-resolution pass
+            and filters non-meeting kinds against these spans directly.
+            This is how the fleet's federated plane keeps meeting queries
+            correct when the meeting record lives in one node's store but
+            the meeting's windows were captured by another tap: the plane
+            resolves spans fleet-wide first, then fans the scan out with
+            the spans attached.
     """
 
     start: float | None = None
@@ -68,6 +81,7 @@ class StoreQuery:
     metrics: tuple[str, ...] | None = None
     reaggregate_seconds: float | None = None
     use_index: bool = True
+    meeting_spans: tuple[tuple[float, float], ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kinds", tuple(self.kinds))
@@ -75,6 +89,58 @@ class StoreQuery:
             object.__setattr__(self, "metrics", tuple(self.metrics))
         if self.reaggregate_seconds is not None and self.reaggregate_seconds <= 0:
             raise ValueError("reaggregate_seconds must be > 0")
+        if self.meeting_spans is not None:
+            object.__setattr__(
+                self,
+                "meeting_spans",
+                tuple((float(lo), float(hi)) for lo, hi in self.meeting_spans),
+            )
+
+    # ------------------------------------------------------------ transport
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the fleet HTTP store endpoint's wire
+        format); only non-default fields are emitted."""
+        payload: dict = {"kinds": list(self.kinds)}
+        if self.start is not None:
+            payload["start"] = self.start
+        if self.end is not None:
+            payload["end"] = self.end
+        if self.meeting_id is not None:
+            payload["meeting_id"] = self.meeting_id
+        if self.media is not None:
+            payload["media"] = self.media
+        if self.metrics is not None:
+            payload["metrics"] = list(self.metrics)
+        if self.reaggregate_seconds is not None:
+            payload["reaggregate_seconds"] = self.reaggregate_seconds
+        if not self.use_index:
+            payload["use_index"] = False
+        if self.meeting_spans is not None:
+            payload["meeting_spans"] = [list(span) for span in self.meeting_spans]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StoreQuery":
+        """Inverse of :meth:`to_dict`; unknown keys raise (a version-skewed
+        fleet peer should fail loudly, not silently mis-filter)."""
+        known = {
+            "start", "end", "kinds", "meeting_id", "media", "metrics",
+            "reaggregate_seconds", "use_index", "meeting_spans",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown StoreQuery fields: {sorted(unknown)}")
+        fields = dict(payload)
+        if "kinds" in fields:
+            fields["kinds"] = tuple(str(kind) for kind in fields["kinds"])
+        if "metrics" in fields and fields["metrics"] is not None:
+            fields["metrics"] = tuple(str(m) for m in fields["metrics"])
+        if "meeting_spans" in fields and fields["meeting_spans"] is not None:
+            fields["meeting_spans"] = tuple(
+                (float(lo), float(hi)) for lo, hi in fields["meeting_spans"]
+            )
+        return cls(**fields)
 
 
 @dataclass
@@ -94,7 +160,12 @@ class QueryResult:
 def run_query(store: "MetricsStore", query: StoreQuery) -> QueryResult:
     """Execute ``query`` against ``store`` (see module docstring)."""
     spans: list[tuple[float, float]] | None = None
-    if query.meeting_id is not None and query.kinds != ("meeting",):
+    span_result: QueryResult | None = None
+    if query.meeting_spans is not None:
+        spans = list(query.meeting_spans)
+        if not spans:
+            return QueryResult()
+    elif query.meeting_id is not None and query.kinds != ("meeting",):
         # Resolve the meeting's activity span(s) first; the span query is
         # itself index-pruned by the footers' meeting-id sets.
         span_result = _scan(
@@ -118,21 +189,13 @@ def run_query(store: "MetricsStore", query: StoreQuery) -> QueryResult:
                 records_examined=span_result.records_examined,
             )
     result = _scan(store, query, spans=spans)
-    if query.meeting_id is not None and query.kinds != ("meeting",) and spans:
+    if span_result is not None:
         result.segments_scanned += span_result.segments_scanned
         result.segments_skipped += span_result.segments_skipped
         result.records_examined += span_result.records_examined
-    if query.reaggregate_seconds is not None:
-        windows = [r for r in result.records if r.get("kind") == "window"]
-        others = [r for r in result.records if r.get("kind") != "window"]
-        merged = reaggregate_windows(windows, query.reaggregate_seconds)
-        result.records = sorted(
-            merged + others, key=lambda r: (float(r["start"]), str(r["kind"]))
-        )
-    if query.metrics is not None:
-        result.records = [
-            _project(record, query.metrics) for record in result.records
-        ]
+    # Shaping (re-aggregation, canonical ordering, projection) goes through
+    # the same helper the federated plane uses — the bit-identity contract.
+    result.records = shape_records(result.records, query)
     return result
 
 
@@ -209,14 +272,16 @@ def _match(
     end = float(record.get("end", start))
     if not _overlaps(start, end, query.start, query.end):
         return None
-    if query.meeting_id is not None:
-        if kind == "meeting":
-            if int(record.get("meeting_id", -1)) != query.meeting_id:
-                return None
-        elif spans is not None and not any(
-            _overlaps(start, end, lo, hi) for lo, hi in spans
+    if kind == "meeting":
+        if (
+            query.meeting_id is not None
+            and int(record.get("meeting_id", -1)) != query.meeting_id
         ):
             return None
+    elif spans is not None and not any(
+        _overlaps(start, end, lo, hi) for lo, hi in spans
+    ):
+        return None
     if query.media is not None:
         if kind == "stream":
             if record.get("media") != query.media:
@@ -232,110 +297,6 @@ def _match(
             record = dict(record)
             record["media"] = entries
     return record
-
-
-# ------------------------------------------------------------- projection
-
-
-def _project(record: dict, metrics: tuple[str, ...]) -> dict:
-    keep = set(metrics) | set(_IDENTITY_KEYS)
-    projected = {key: value for key, value in record.items() if key in keep}
-    media = record.get("media")
-    if isinstance(media, list) and "media" not in keep:
-        thinned = [
-            {
-                key: value
-                for key, value in entry.items()
-                if key == "media" or key in keep
-            }
-            for entry in media
-        ]
-        # Media entries stay only if a per-media metric was requested.
-        if any(len(entry) > 1 for entry in thinned):
-            projected["media"] = thinned
-    return projected
-
-
-# ---------------------------------------------------------- re-aggregation
-
-
-def reaggregate_windows(windows: list[dict], coarse_seconds: float) -> list[dict]:
-    """Merge fine window records into tumbling ``coarse_seconds`` buckets.
-
-    Counting fields sum exactly (that is the window invariant the service
-    tests pin down); ``meetings_active`` takes the bucket maximum (it is a
-    point-in-time census, not a count of events); per-media quality values
-    (fps, jitter) combine as packet-weighted means over the windows that
-    reported them, matching how a coarser aggregator would have sampled
-    more streams per close.
-    """
-    buckets: dict[int, list[dict]] = {}
-    for window in windows:
-        index = int(math.floor(float(window["start"]) / coarse_seconds))
-        buckets.setdefault(index, []).append(window)
-    merged: list[dict] = []
-    for index in sorted(buckets):
-        group = sorted(buckets[index], key=lambda w: float(w["start"]))
-        record: dict = {
-            "kind": "window",
-            "window": index,
-            "start": index * coarse_seconds,
-            "end": (index + 1) * coarse_seconds,
-            "windows_merged": len(group),
-            "forced": any(w.get("forced") for w in group),
-        }
-        for key in (
-            "packets_total",
-            "bytes_total",
-            "zoom_packets",
-            "meetings_formed",
-            "streams_evicted",
-        ):
-            record[key] = sum(int(w.get(key, 0)) for w in group)
-        record["meetings_active"] = max(
-            (int(w.get("meetings_active", 0)) for w in group), default=0
-        )
-        record["media"] = _merge_media(group, coarse_seconds)
-        merged.append(record)
-    return merged
-
-
-def _merge_media(group: list[dict], coarse_seconds: float) -> list[dict]:
-    by_name: dict[str, list[dict]] = {}
-    for window in group:
-        for entry in window.get("media", ()):
-            by_name.setdefault(str(entry.get("media")), []).append(entry)
-    out: list[dict] = []
-    for name in sorted(by_name):
-        entries = by_name[name]
-        packets = sum(int(e.get("packets", 0)) for e in entries)
-        total_bytes = sum(int(e.get("bytes", 0)) for e in entries)
-        merged: dict = {
-            "media": name,
-            "packets": packets,
-            "bytes": total_bytes,
-            "bitrate_bps": round(total_bytes * 8.0 / coarse_seconds, 3),
-            "streams": max((int(e.get("streams", 0)) for e in entries), default=0),
-            "streams_opened": sum(int(e.get("streams_opened", 0)) for e in entries),
-            "p2p_packets": sum(int(e.get("p2p_packets", 0)) for e in entries),
-            "lost": sum(int(e.get("lost", 0)) for e in entries),
-            "duplicates": sum(int(e.get("duplicates", 0)) for e in entries),
-        }
-        for key in ("mean_fps", "mean_jitter_ms"):
-            weighted = [
-                (float(e[key]), max(int(e.get("packets", 0)), 1))
-                for e in entries
-                if e.get(key) is not None
-            ]
-            if weighted:
-                weight = sum(w for _, w in weighted)
-                merged[key] = round(
-                    sum(v * w for v, w in weighted) / weight, 3
-                )
-            else:
-                merged[key] = None
-        out.append(merged)
-    return out
 
 
 # ------------------------------------------------------------ flat output

@@ -35,10 +35,12 @@ configured age/byte budget — both through the same atomic-publish path.
 
 from __future__ import annotations
 
+import functools
 import json
 import math
 import os
 import re
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -61,6 +63,23 @@ MANIFEST_VERSION = 1
 
 _SEALED_RE = re.compile(r"^seg-p(-?\d+)-(\d+)\.segz$")
 _ACTIVE_RE = re.compile(r"^active-p(-?\d+)\.seg$")
+
+
+def _locked(method):
+    """Serialize a :class:`MetricsStore` method on the store's RLock.
+
+    The live daemon appends from its analysis thread while the metrics
+    HTTP server answers ``POST /store/query`` from handler threads; the
+    reentrant lock lets a query see a consistent segment set (and lets
+    ``append`` seal through ``seal_partition`` without deadlocking).
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,6 +176,7 @@ class MetricsStore:
         self._next_seq: dict[int, int] = {}
         self._seals_since_maintenance = 0
         self._closed = False
+        self._lock = threading.RLock()
         self._open_directory()
 
     # ------------------------------------------------------------------ open
@@ -230,6 +250,7 @@ class MetricsStore:
     def partition_for(self, start: float) -> int:
         return int(math.floor(start / self.config.partition_seconds))
 
+    @_locked
     def append(self, record: dict) -> None:
         """Durably append one store record (see :mod:`repro.store.records`).
 
@@ -263,6 +284,7 @@ class MetricsStore:
 
     # ----------------------------------------------------------------- seal
 
+    @_locked
     def seal_partition(self, partition: int) -> str | None:
         """Seal ``partition``'s active segment; returns the sealed name."""
         active = self._active.pop(partition, None)
@@ -286,6 +308,7 @@ class MetricsStore:
         self._seals_since_maintenance += 1
         return name
 
+    @_locked
     def seal_all(self) -> list[str]:
         return [
             name
@@ -293,6 +316,7 @@ class MetricsStore:
             if (name := self.seal_partition(partition)) is not None
         ]
 
+    @_locked
     def close(self) -> None:
         """Seal every active segment and persist the manifest."""
         if self._closed:
@@ -309,30 +333,43 @@ class MetricsStore:
 
     # ------------------------------------------------------------ inspection
 
+    @_locked
     def segments(self) -> list[SegmentInfo]:
         """Sealed segments, ordered by (start time, name)."""
         return sorted(self._segments.values(), key=lambda s: (s.start, s.name))
 
+    @_locked
     def active_partitions(self) -> list[int]:
         return sorted(self._active)
 
+    @_locked
     def record_count(self) -> int:
         sealed = sum(info.records for info in self._segments.values())
         return sealed + sum(a.meta.records for a in self._active.values())
 
+    @_locked
     def total_bytes(self) -> int:
         return sum(info.bytes for info in self._segments.values()) + sum(
             a.bytes for a in self._active.values()
         )
 
+    @_locked
     def iter_segment_records(self, info: SegmentInfo) -> list[dict]:
         records, _ = read_sealed_segment(self.directory / info.name)
         return records
 
     def iter_active_records(self) -> Iterator[tuple[int, list[dict]]]:
-        """(partition, records) for every still-active segment."""
-        for partition in sorted(self._active):
-            yield partition, self._active[partition].records_on_disk()
+        """(partition, records) for every still-active segment.
+
+        The snapshot is taken under the store lock (a generator body would
+        run outside it, racing concurrent appends and seals).
+        """
+        with self._lock:
+            snapshot = [
+                (partition, self._active[partition].records_on_disk())
+                for partition in sorted(self._active)
+            ]
+        yield from snapshot
 
     # --------------------------------------------------------------- queries
 
@@ -344,6 +381,7 @@ class MetricsStore:
 
     # ----------------------------------------------------------- maintenance
 
+    @_locked
     def compact(self) -> tuple[int, int]:
         """Merge small sealed segments partition by partition.
 
@@ -384,6 +422,7 @@ class MetricsStore:
             self._telemetry.count("store.segments_compacted", len(infos))
         return compactions, merged
 
+    @_locked
     def enforce_retention(self) -> tuple[int, int]:
         """Delete the oldest sealed segments beyond the retention budget.
 

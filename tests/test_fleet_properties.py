@@ -1,0 +1,175 @@
+"""Property tests: the federated merge is a pure function of the record set.
+
+Two invariants make the fleet trustworthy, and Hypothesis hunts for
+counterexamples to both:
+
+* **Partition invariance** — however the records are split across N node
+  stores, the federated answer equals a single-store query over the union.
+* **Order independence** — permuting the records (and therefore the order
+  in which nodes/segments contribute them) changes nothing.
+
+Meetings get unique spans by construction: records for the *same* meeting
+observed from two taps legitimately collapse (that is the dedup feature),
+so the invariance property is stated over fleets whose meetings are
+distinct — exactly the partitioned-store deployment the acceptance
+criterion describes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FleetConfig, FleetNodeConfig
+from repro.fleet import federated_query
+from repro.store import StoreQuery
+from repro.store.query import run_query
+
+
+class FakeStore:
+    """The minimal store surface :func:`run_query` scans: no sealed
+    segments, all records in one active tail."""
+
+    def __init__(self, records):
+        self._records = list(records)
+
+    def segments(self):
+        return []
+
+    def iter_segment_records(self, info):  # pragma: no cover - no segments
+        return []
+
+    def iter_active_records(self):
+        yield 0, list(self._records)
+
+
+def _fleet_over(parts):
+    nodes = tuple(
+        FleetNodeConfig(name=f"n{i}", store_dir=f"/unused/n{i}")
+        for i in range(len(parts))
+    )
+    stores = {f"n{i}": FakeStore(part) for i, part in enumerate(parts)}
+    return FleetConfig(nodes=nodes), stores
+
+
+def _single_store_answer(records, query):
+    return run_query(FakeStore(records), query).records
+
+
+windows = st.builds(
+    lambda index, packets, fps, jitter, active: {
+        "kind": "window",
+        "window": index,
+        "start": index * 10.0,
+        "end": (index + 1) * 10.0,
+        "packets_total": packets,
+        "bytes_total": packets * 73,
+        "zoom_packets": packets // 2,
+        "meetings_formed": packets % 3,
+        "meetings_active": active,
+        "streams_evicted": 0,
+        "forced": False,
+        "media": [
+            {
+                "media": "video",
+                "packets": packets // 2,
+                "bytes": packets * 31,
+                "bitrate_bps": packets * 24.8,
+                "streams": 1 + packets % 4,
+                "streams_opened": packets % 2,
+                "p2p_packets": 0,
+                "mean_fps": fps,
+                "mean_jitter_ms": jitter,
+                "lost": packets % 5,
+                "duplicates": 0,
+            }
+        ],
+    },
+    index=st.integers(min_value=0, max_value=23),
+    packets=st.integers(min_value=0, max_value=10_000),
+    fps=st.one_of(
+        st.none(),
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    ),
+    jitter=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    active=st.integers(min_value=0, max_value=9),
+)
+
+#: Meetings with spans unique per generated id — no cross-node duplicates,
+#: so dedup stays out of the invariance property's way (it has its own
+#: tests in test_fleet_federation.py).
+meetings = st.builds(
+    lambda uid, streams: {
+        "kind": "meeting",
+        "start": 1000.0 + uid * 17.0,
+        "end": 1000.0 + uid * 17.0 + 11.0 + uid,
+        "meeting_id": uid,
+        "streams": streams,
+        "participants": 2 + streams % 4,
+    },
+    uid=st.integers(min_value=0, max_value=50),
+    streams=st.integers(min_value=1, max_value=12),
+)
+
+record_sets = st.lists(st.one_of(windows, meetings), max_size=30)
+
+queries = st.sampled_from(
+    [
+        StoreQuery(kinds=("window", "meeting")),
+        StoreQuery(kinds=("window", "meeting"), reaggregate_seconds=30.0),
+        StoreQuery(kinds=("window",), reaggregate_seconds=60.0),
+        StoreQuery(start=40.0, end=1100.0, kinds=("window", "meeting")),
+        StoreQuery(media="video", metrics=("packets_total", "mean_fps")),
+    ]
+)
+
+
+def _dedupe_meeting_uids(records):
+    seen = set()
+    out = []
+    for record in records:
+        if record["kind"] == "meeting":
+            if record["meeting_id"] in seen:
+                continue
+            seen.add(record["meeting_id"])
+        out.append(record)
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    records=record_sets,
+    query=queries,
+    partition=st.lists(st.integers(min_value=0, max_value=3), max_size=40),
+    data=st.data(),
+)
+def test_partition_and_order_invariance(records, query, partition, data):
+    records = _dedupe_meeting_uids(records)
+    expected = _single_store_answer(records, query)
+
+    # Partition the records over up to 4 nodes (empty nodes included).
+    parts = [[], [], [], []]
+    for i, record in enumerate(records):
+        parts[partition[i] if i < len(partition) else 0].append(record)
+    config, stores = _fleet_over(parts)
+    federated = federated_query(config, query, local_stores=stores)
+    assert federated.records == expected
+    assert federated.nodes_missing == []
+
+    # Permute both the records and the node assignment: same answer.
+    shuffled = data.draw(st.permutations(records))
+    parts2 = [[], [], [], []]
+    for i, record in enumerate(shuffled):
+        parts2[(i * 2654435761) % 4].append(record)
+    config2, stores2 = _fleet_over(parts2)
+    assert federated_query(config2, query, local_stores=stores2).records == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=record_sets)
+def test_single_node_fleet_equals_plain_query(records):
+    records = _dedupe_meeting_uids(records)
+    query = StoreQuery(kinds=("window", "meeting"), reaggregate_seconds=30.0)
+    config, stores = _fleet_over([records])
+    assert (
+        federated_query(config, query, local_stores=stores).records
+        == _single_store_answer(records, query)
+    )
