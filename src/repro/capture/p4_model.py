@@ -81,6 +81,12 @@ class P4CaptureModel:
         self.counters = PipelineCounters()
         self.all_rate = TimeBinner(rate_bin_width)
         self.zoom_rate = TimeBinner(rate_bin_width)
+        # Exact mirror of what was ever learned, keyed (ip, port) -> last
+        # learn time.  The register arrays are lossy (hash-slot eviction,
+        # timeout) so they cannot enumerate live endpoints; the dataplane
+        # compiler reads this mirror and re-checks liveness against the
+        # registers when snapshotting rules.
+        self.learned_endpoints: dict[tuple[str, int], float] = {}
 
     def process_one(self, packet: CapturedPacket) -> CapturedPacket | None:
         """Run one packet through the pipeline; returns it if it passes."""
@@ -152,6 +158,7 @@ class P4CaptureModel:
         key = endpoint_key(ip, port)
         self.p2p_sources.insert(key, parsed.timestamp)
         self.p2p_destinations.insert(key, parsed.timestamp)
+        self.learned_endpoints[(ip, port)] = parsed.timestamp
         self.counters.stun_learned += 1
 
     def rate_series(self) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:

@@ -163,8 +163,12 @@ def _build_analyze_source(args: argparse.Namespace):
         and not any(char in inputs[0] for char in "*?[")
         and not Path(inputs[0]).is_dir()
     ):
-        return open_capture_source(inputs[0], tolerant=args.tolerant)
-    return CaptureDirectorySource(inputs, tolerant=args.tolerant)
+        return open_capture_source(
+            inputs[0], tolerant=args.tolerant, batch_size=args.batch_size
+        )
+    return CaptureDirectorySource(
+        inputs, tolerant=args.tolerant, batch_size=args.batch_size
+    )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -178,6 +182,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         tolerant=args.tolerant,
         telemetry=want_stats,
         protocols=ProtocolConfig(protocols=tuple(args.protocols)),
+        batch_size=args.batch_size,
     )
     source = _build_analyze_source(args)
     if getattr(source, "files", None) is not None and len(source.files) > 1:
@@ -331,6 +336,14 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
     from repro.core.config import ProtocolConfig
     from repro.service.runner import ZoomMonitorService
 
+    if args.interface is None and args.directory is None:
+        print("analyze-live: a capture directory or --interface is required",
+              file=sys.stderr)
+        return 2
+    if args.interface is not None and args.directory is not None:
+        print("analyze-live: --interface and a capture directory are "
+              "mutually exclusive", file=sys.stderr)
+        return 2
     config = ServiceConfig(
         analyzer=AnalyzerConfig(
             zoom_subnets=tuple(args.zoom_subnets),
@@ -341,11 +354,13 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
             rolling_idle_timeout=args.idle_timeout,
             telemetry=True,
             protocols=ProtocolConfig(protocols=tuple(args.protocols)),
+            batch_size=args.batch_size,
         ),
         window_seconds=args.window,
         watermark_lateness=args.lateness,
         poll_interval=args.poll_interval,
         tail_pattern=args.pattern,
+        interface=args.interface,
         listen=args.listen,
         jsonl_path=str(args.jsonl_out) if args.jsonl_out else None,
         store_dir=str(args.store) if args.store else None,
@@ -353,8 +368,12 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
     if args.no_qoe:
         config = replace(config, qoe=replace(config.qoe, enabled=False))
     service = ZoomMonitorService(args.directory, config)
-    print(f"tailing {args.directory} (pattern {args.pattern!r}, "
-          f"{args.window:.0f}s windows)")
+    if args.interface is not None:
+        print(f"capturing from {args.interface} "
+              f"(cBPF capture filter, {args.window:.0f}s windows)")
+    else:
+        print(f"tailing {args.directory} (pattern {args.pattern!r}, "
+              f"{args.window:.0f}s windows)")
     if service.http is not None:
         host, port = service.http.address
         print(f"metrics: http://{host}:{port}/metrics", flush=True)
@@ -376,10 +395,11 @@ def _cmd_analyze_live(args: argparse.Namespace) -> int:
             f"qoe: worst={report.qoe_worst_state} [{breakdown}] "
             f"{report.qoe_transitions} transitions, {report.qoe_alerts} alerts"
         )
-    if report.packets_dropped or report.ingest_restarts:
+    if report.packets_dropped or report.ingest_restarts or report.kernel_drops:
         print(
             f"degraded: dropped {report.packets_dropped} packets "
             f"({report.batches_dropped} batches), "
+            f"{report.kernel_drops} kernel ring drops, "
             f"{report.ingest_restarts} ingest restarts",
             file=sys.stderr,
         )
@@ -692,17 +712,34 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--tolerant", action="store_true",
                          help="treat a truncated capture tail as end-of-file "
                               "instead of an error (counted in --stats)")
+    analyze.add_argument("--batch-size", type=_positive_int, default=256,
+                         metavar="FRAMES",
+                         help="capture read-chunk size in frames "
+                              "(default 256; the batch pipeline upgrades an "
+                              "untouched default to its preferred chunk)")
     analyze.set_defaults(func=_cmd_analyze)
 
     live = sub.add_parser(
         "analyze-live",
-        help="monitor a growing capture directory (daemon mode)",
+        help="monitor a capture directory or a live interface (daemon mode)",
         description="Follow a rotating capture directory as a capture daemon "
-                    "writes it, analyze continuously with bounded memory, and "
-                    "export tumbling-window metrics (Prometheus /metrics + "
-                    "JSONL). SIGTERM flushes all open windows and exits 0.",
+                    "writes it — or capture straight off a NIC with "
+                    "--interface — analyze continuously with bounded memory, "
+                    "and export tumbling-window metrics (Prometheus /metrics "
+                    "+ JSONL). SIGTERM flushes all open windows and exits 0.",
     )
-    live.add_argument("directory", type=Path, help="capture directory to tail")
+    live.add_argument("directory", type=Path, nargs="?", default=None,
+                      help="capture directory to tail (omit with --interface)")
+    live.add_argument("--interface", default=None, metavar="IFACE",
+                      help="capture from this network interface instead of "
+                           "tailing a directory: attaches the compiled cBPF "
+                           "capture filter to an AF_PACKET socket (needs "
+                           "CAP_NET_RAW); 'sim:<capture-path>' replays a "
+                           "capture through the simulated socket, no "
+                           "privileges needed")
+    live.add_argument("--batch-size", type=_positive_int, default=256,
+                      metavar="FRAMES",
+                      help="ingest read-chunk size in frames (default 256)")
     live.add_argument("--window", type=float, default=10.0, metavar="SECONDS",
                       help="tumbling aggregation window width (default 10)")
     live.add_argument("--lateness", type=float, default=5.0, metavar="SECONDS",

@@ -106,6 +106,11 @@ class AnalyzerConfig:
         protocols: Which protocol plugins the registry enables (default:
             Zoom only, the bit-identical legacy behaviour) plus their
             generic-RTP tunables.
+        batch_size: Read-chunk size (in frames) handed to capture sources
+            and the live interface source (``--batch-size``).  The default
+            mirrors :data:`repro.net.source.DEFAULT_BATCH_SIZE`; sources
+            upgrade an untouched default to their preferred batch-pipeline
+            chunk, while an explicit value is honoured as-is.
     """
 
     zoom_subnets: tuple[str, ...] = tuple(ZOOM_SERVER_SUBNETS)
@@ -121,6 +126,7 @@ class AnalyzerConfig:
     rolling_sweep_interval: float = 10.0
     qoe: "QoeConfig | None" = None
     protocols: "ProtocolConfig" = dataclasses.field(default_factory=ProtocolConfig)
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         # Normalize subnet iterables to tuples so the config hashes/pickles
@@ -132,6 +138,8 @@ class AnalyzerConfig:
             raise ValueError("shards must be >= 1")
         if self.shard_backend not in SHARD_BACKENDS:
             raise ValueError(f"unknown backend {self.shard_backend!r}")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
     def replace(self, **changes: object) -> "AnalyzerConfig":
         """A copy of this config with ``changes`` applied."""
@@ -363,8 +371,15 @@ class ServiceConfig:
         max_open_windows: Hard cap on simultaneously open windows; beyond
             it the oldest is force-closed (counted as
             ``service.windows_forced``).
-        poll_interval: Seconds between capture-directory scans.
+        poll_interval: Seconds between capture-directory scans (or between
+            live-interface receive passes in interface mode).
         tail_pattern: Glob for capture files inside the tailed directory.
+        interface: Capture from this network interface instead of tailing
+            a directory (``analyze-live --interface``).  A plain name
+            (``eth0``) opens an ``AF_PACKET`` socket with the compiled
+            cBPF capture filter attached (needs ``CAP_NET_RAW``); the
+            ``sim:<capture-path>`` form replays a capture file through the
+            simulated socket — same code path, no privileges.
         listen: ``host:port`` for the metrics/health HTTP endpoint, or
             ``None`` to run without one.  Port 0 binds an ephemeral port
             (the server reports the bound address).
@@ -389,6 +404,7 @@ class ServiceConfig:
     max_open_windows: int = 64
     poll_interval: float = 1.0
     tail_pattern: str = "*.pcap*"
+    interface: str | None = None
     listen: str | None = None
     jsonl_path: str | None = None
     jsonl_max_bytes: int = 64 * 1024 * 1024

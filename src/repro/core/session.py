@@ -77,7 +77,10 @@ class AnalysisSession:
         config = self.config
         registry = config.make_telemetry()
         source = coerce_source(
-            source, telemetry=registry, tolerant=config.tolerant
+            source,
+            telemetry=registry,
+            tolerant=config.tolerant,
+            batch_size=config.batch_size,
         )
         if config.shards > 1:
             result = ShardedAnalyzer(config).run(source)

@@ -1,0 +1,374 @@
+"""Classic BPF (cBPF): instruction set, assembler, packer, reference VM.
+
+The paper pushes its match-action prefilter into a Tofino switch; the
+software analogue on a plain Linux NIC is a classic-BPF socket filter
+attached with ``SO_ATTACH_FILTER`` — the kernel then drops non-matching
+frames before they ever cross into userspace, exactly where the Tofino
+drops them before the tap.  This module is the dataplane's ISA layer:
+
+* :class:`BPFInstruction` / :class:`CBPFProgram` — one ``sock_filter``
+  quadruple ``(code, jt, jf, k)`` and an ordered program of them, with
+  :meth:`CBPFProgram.pack` producing the exact bytes ``setsockopt`` wants.
+* :class:`Assembler` — label-based forward-jump assembly.  cBPF conditional
+  jumps carry 8-bit offsets, so the compiler emits every far transfer as a
+  short conditional skip over an unconditional ``ja`` (32-bit offset); the
+  assembler resolves labels and *rejects* any conditional jump that does
+  not fit, rather than silently truncating.
+* :func:`run_cbpf` — a pure-Python interpreter with kernel semantics: all
+  arithmetic is unsigned 32-bit, an out-of-bounds packet load terminates
+  the program with verdict 0 (drop), division by zero drops, and jumps are
+  forward-only.  It is the *reference executor*: the Hypothesis equivalence
+  suite runs generated programs through it against the Python prefilters,
+  and the simulated packet socket uses it as its in-ring filter.
+
+The instruction constants mirror ``<linux/filter.h>`` so a dumped program
+diffs cleanly against ``tcpdump -dd`` output.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "BPF_MAXINSNS",
+    "BPFInstruction",
+    "CBPFProgram",
+    "Assembler",
+    "run_cbpf",
+]
+
+#: Kernel ceiling on one socket filter's instruction count.
+BPF_MAXINSNS = 4096
+
+# --- instruction classes (code & 0x07) ---------------------------------
+BPF_LD = 0x00
+BPF_LDX = 0x01
+BPF_ST = 0x02
+BPF_STX = 0x03
+BPF_ALU = 0x04
+BPF_JMP = 0x05
+BPF_RET = 0x06
+BPF_MISC = 0x07
+
+# --- ld/ldx size (code & 0x18) -----------------------------------------
+BPF_W = 0x00
+BPF_H = 0x08
+BPF_B = 0x10
+
+# --- ld/ldx mode (code & 0xE0) -----------------------------------------
+BPF_IMM = 0x00
+BPF_ABS = 0x20
+BPF_IND = 0x40
+BPF_MEM = 0x60
+BPF_LEN = 0x80
+BPF_MSH = 0xA0
+
+# --- alu/jmp op (code & 0xF0) ------------------------------------------
+BPF_ADD = 0x00
+BPF_SUB = 0x10
+BPF_MUL = 0x20
+BPF_DIV = 0x30
+BPF_OR = 0x40
+BPF_AND = 0x50
+BPF_LSH = 0x60
+BPF_RSH = 0x70
+BPF_NEG = 0x80
+
+BPF_JA = 0x00
+BPF_JEQ = 0x10
+BPF_JGT = 0x20
+BPF_JGE = 0x30
+BPF_JSET = 0x40
+
+# --- operand source (code & 0x08) --------------------------------------
+BPF_K = 0x00
+BPF_X = 0x08
+
+# --- misc op -----------------------------------------------------------
+BPF_TAX = 0x00
+BPF_TXA = 0x80
+
+#: Scratch memory slots (``M[0..15]``).
+BPF_MEMWORDS = 16
+
+_U32 = 0xFFFFFFFF
+
+_SOCK_FILTER = struct.Struct("HBBI")  # native order: what setsockopt expects
+
+
+@dataclass(frozen=True, slots=True)
+class BPFInstruction:
+    """One ``sock_filter``: ``(code, jt, jf, k)``."""
+
+    code: int
+    jt: int = 0
+    jf: int = 0
+    k: int = 0
+
+    def pack(self) -> bytes:
+        return _SOCK_FILTER.pack(self.code, self.jt, self.jf, self.k & _U32)
+
+
+@dataclass(slots=True)
+class CBPFProgram:
+    """An ordered cBPF program plus compile metadata.
+
+    ``meta`` carries compiler annotations (rule counts, saturation flags)
+    that the live source surfaces through telemetry; it never affects
+    execution or packing.
+    """
+
+    insns: list[BPFInstruction] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def __iter__(self) -> Iterator[BPFInstruction]:
+        return iter(self.insns)
+
+    def pack(self) -> bytes:
+        """The concatenated ``sock_filter`` array for ``SO_ATTACH_FILTER``."""
+        return b"".join(insn.pack() for insn in self.insns)
+
+    def validate(self) -> None:
+        """Structural checks the kernel verifier would also apply.
+
+        Raises ``ValueError`` on: empty/oversized programs, jump targets
+        outside the program (jumps are forward-only by construction —
+        relative offsets are unsigned), scratch-slot indexes out of range,
+        a constant division by zero, or a program whose final instruction
+        can fall off the end.
+        """
+        n = len(self.insns)
+        if n == 0:
+            raise ValueError("empty cBPF program")
+        if n > BPF_MAXINSNS:
+            raise ValueError(f"program too long: {n} > {BPF_MAXINSNS}")
+        for pc, insn in enumerate(self.insns):
+            cls = insn.code & 0x07
+            if cls == BPF_JMP:
+                if insn.code == BPF_JMP | BPF_JA:
+                    if pc + 1 + insn.k >= n:
+                        raise ValueError(f"insn {pc}: ja target out of range")
+                else:
+                    if pc + 1 + insn.jt >= n or pc + 1 + insn.jf >= n:
+                        raise ValueError(f"insn {pc}: jump target out of range")
+            elif cls in (BPF_ST, BPF_STX) or (
+                cls in (BPF_LD, BPF_LDX) and insn.code & 0xE0 == BPF_MEM
+            ):
+                if not 0 <= insn.k < BPF_MEMWORDS:
+                    raise ValueError(f"insn {pc}: scratch slot {insn.k} out of range")
+            elif insn.code == BPF_ALU | BPF_DIV | BPF_K and insn.k == 0:
+                raise ValueError(f"insn {pc}: constant division by zero")
+        last = self.insns[-1]
+        if last.code & 0x07 not in (BPF_RET, BPF_JMP):
+            raise ValueError("program can fall off the end (last insn not ret/jmp)")
+
+    def dump(self) -> str:
+        """``tcpdump -d`` style disassembly (debugging and DESIGN.md)."""
+        lines = []
+        for pc, insn in enumerate(self.insns):
+            lines.append(
+                f"({pc:03d}) code=0x{insn.code:04x} jt={insn.jt} "
+                f"jf={insn.jf} k=0x{insn.k & _U32:08x}"
+            )
+        return "\n".join(lines)
+
+
+class Assembler:
+    """Forward-jump label assembly for :class:`CBPFProgram`.
+
+    Conditional jumps (``jt``/``jf``) and ``ja`` targets may be given as
+    label strings; :meth:`assemble` resolves them to relative offsets.  A
+    conditional offset that does not fit in 8 bits raises — the compiler
+    is expected to route far transfers through a ``ja`` trampoline.
+    """
+
+    def __init__(self) -> None:
+        self._insns: list[list] = []  # [code, jt, jf, k] — str entries = labels
+        self._labels: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._insns)
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insns)
+
+    def emit(self, code: int, k: "int | str" = 0, jt: "int | str" = 0,
+             jf: "int | str" = 0) -> None:
+        self._insns.append([code, jt, jf, k])
+
+    def ja(self, target: str) -> None:
+        """Unconditional far jump (32-bit offset)."""
+        self.emit(BPF_JMP | BPF_JA, k=target)
+
+    def ret_k(self, k: int) -> None:
+        self.emit(BPF_RET | BPF_K, k=k)
+
+    def assemble(self, meta: dict | None = None) -> CBPFProgram:
+        def resolve(pc: int, target: "int | str", *, wide: bool) -> int:
+            if isinstance(target, str):
+                where = self._labels.get(target)
+                if where is None:
+                    raise ValueError(f"undefined label {target!r}")
+                offset = where - pc - 1
+            else:
+                offset = target
+            if offset < 0:
+                raise ValueError(f"insn {pc}: backward jump to {target!r}")
+            if not wide and offset > 255:
+                raise ValueError(
+                    f"insn {pc}: conditional jump offset {offset} > 255 "
+                    f"(route through a ja trampoline)"
+                )
+            return offset
+
+        insns = []
+        for pc, (code, jt, jf, k) in enumerate(self._insns):
+            if code & 0x07 == BPF_JMP:
+                if code == BPF_JMP | BPF_JA:
+                    k = resolve(pc, k, wide=True)
+                else:
+                    jt = resolve(pc, jt, wide=False)
+                    jf = resolve(pc, jf, wide=False)
+            insns.append(BPFInstruction(code, jt, jf, k if isinstance(k, int) else 0))
+        program = CBPFProgram(insns, dict(meta or {}))
+        program.validate()
+        return program
+
+
+def run_cbpf(
+    program: "CBPFProgram | Iterable[BPFInstruction]",
+    data: "bytes | bytearray | memoryview",
+    *,
+    wirelen: int | None = None,
+) -> int:
+    """Execute ``program`` over one frame; returns the accept length.
+
+    Kernel semantics, faithfully: a return value of 0 means *drop*; any
+    positive value is the byte count the kernel would deliver (the
+    compiler uses ``0xFFFFFFFF`` — deliver everything).  An out-of-bounds
+    absolute or indirect load, a division by zero, or an unknown opcode
+    terminates with 0, exactly as ``sk_run_filter`` does.
+
+    ``wirelen`` is what ``BPF_LD|BPF_LEN`` observes (the kernel gives the
+    filter the *wire* length even when the capture is snapped); it
+    defaults to ``len(data)``.
+    """
+    insns = program.insns if isinstance(program, CBPFProgram) else list(program)
+    buf = memoryview(data)
+    dlen = len(buf)
+    plen = wirelen if wirelen is not None else dlen
+    acc = 0  # A
+    idx = 0  # X
+    mem = [0] * BPF_MEMWORDS
+    pc = 0
+    n = len(insns)
+    # Jumps are forward-only, so n steps is a hard bound on any valid run.
+    for _ in range(n + 1):
+        if pc >= n:
+            return 0  # fell off the end — the verifier rejects this shape
+        insn = insns[pc]
+        code = insn.code
+        k = insn.k & _U32
+        pc += 1
+        cls = code & 0x07
+        if cls == BPF_LD:
+            mode = code & 0xE0
+            size = code & 0x18
+            width = 4 if size == BPF_W else (2 if size == BPF_H else 1)
+            if mode == BPF_ABS or mode == BPF_IND:
+                off = k if mode == BPF_ABS else (idx + k) & _U32
+                if off + width > dlen:
+                    return 0
+                if width == 4:
+                    acc = (buf[off] << 24) | (buf[off + 1] << 16) | (buf[off + 2] << 8) | buf[off + 3]
+                elif width == 2:
+                    acc = (buf[off] << 8) | buf[off + 1]
+                else:
+                    acc = buf[off]
+            elif mode == BPF_IMM:
+                acc = k
+            elif mode == BPF_LEN:
+                acc = plen & _U32
+            elif mode == BPF_MEM:
+                acc = mem[k]
+            else:
+                return 0
+        elif cls == BPF_LDX:
+            mode = code & 0xE0
+            if mode == BPF_IMM:
+                idx = k
+            elif mode == BPF_LEN:
+                idx = plen & _U32
+            elif mode == BPF_MEM:
+                idx = mem[k]
+            elif mode == BPF_MSH:
+                if k >= dlen:
+                    return 0
+                idx = (buf[k] & 0x0F) << 2
+            else:
+                return 0
+        elif cls == BPF_ST:
+            mem[k] = acc
+        elif cls == BPF_STX:
+            mem[k] = idx
+        elif cls == BPF_ALU:
+            op = code & 0xF0
+            operand = idx if code & 0x08 else k
+            if op == BPF_ADD:
+                acc = (acc + operand) & _U32
+            elif op == BPF_SUB:
+                acc = (acc - operand) & _U32
+            elif op == BPF_MUL:
+                acc = (acc * operand) & _U32
+            elif op == BPF_DIV:
+                if operand == 0:
+                    return 0
+                acc = (acc // operand) & _U32
+            elif op == BPF_OR:
+                acc = acc | operand
+            elif op == BPF_AND:
+                acc = acc & operand
+            elif op == BPF_LSH:
+                acc = (acc << (operand & 31)) & _U32
+            elif op == BPF_RSH:
+                acc = acc >> (operand & 31)
+            elif op == BPF_NEG:
+                acc = (-acc) & _U32
+            else:
+                return 0
+        elif cls == BPF_JMP:
+            op = code & 0xF0
+            if op == BPF_JA:
+                pc += k
+                continue
+            operand = idx if code & 0x08 else k
+            if op == BPF_JEQ:
+                taken = acc == operand
+            elif op == BPF_JGT:
+                taken = acc > operand
+            elif op == BPF_JGE:
+                taken = acc >= operand
+            elif op == BPF_JSET:
+                taken = bool(acc & operand)
+            else:
+                return 0
+            pc += insn.jt if taken else insn.jf
+        elif cls == BPF_RET:
+            return acc if code & 0x18 == 0x10 else k  # BPF_RVAL: BPF_A = 0x10
+        elif cls == BPF_MISC:
+            if code & 0xF8 == BPF_TAX:
+                idx = acc
+            elif code & 0xF8 == BPF_TXA:
+                acc = idx
+            else:
+                return 0
+        else:
+            return 0
+    return 0

@@ -416,6 +416,38 @@ class BatchPrefilter:
             sniff_all = sniff_all or plugin.sniff_all_stun
         return cls(networks, sniff_all_stun=sniff_all)
 
+    # ------------------------------------------------------ compiled state
+    #
+    # The software dataplane (repro.dataplane) derives its other executors
+    # — the raw-bytes pre-decode filter and the cBPF kernel program — from
+    # this object's rule state, so the state is public read-only API, not
+    # an implementation detail.
+
+    @property
+    def networks_v4(self) -> Sequence[tuple[int, int]]:
+        """Compiled IPv4 rules as ``(network_u32, netmask_u32)`` pairs."""
+        return self._nets_v4
+
+    @property
+    def endpoint_keys(self) -> frozenset[int]:
+        """Snapshot of the endpoint pass-set (``(ip_u32 << 16) | port``)."""
+        return frozenset(self._endpoints)
+
+    @property
+    def endpoint_keys_view(self) -> "set[int]":
+        """The *live* endpoint pass-set (read-only by convention; cheap)."""
+        return self._endpoints
+
+    @property
+    def endpoint_count(self) -> int:
+        """Size of the pass-set — it never shrinks, so growth ⇔ change."""
+        return len(self._endpoints)
+
+    @property
+    def sniff_all_stun(self) -> bool:
+        """Whether the STUN cookie sniff applies beyond Zoom-range frames."""
+        return self._sniff_all
+
     # ----------------------------------------------------------- endpoints
 
     def note_endpoint(self, ip_u32: int, port: int) -> None:

@@ -61,6 +61,12 @@ from repro.service.tail import CaptureDirectoryTailer
 from repro.service.windows import WindowAggregator, WindowRecord
 
 
+def _dataplane_counter_seeds() -> tuple:
+    from repro.dataplane import DATAPLANE_COUNTER_SEEDS
+
+    return DATAPLANE_COUNTER_SEEDS
+
+
 @dataclass(frozen=True, slots=True)
 class ServiceReport:
     """What one service run did, returned by :meth:`ZoomMonitorService.run`."""
@@ -76,28 +82,78 @@ class ServiceReport:
     qoe_transitions: int = 0
     qoe_alerts: int = 0
     qoe_worst_state: str = "GOOD"
+    #: Frames the kernel (or simulated) packet ring dropped before the
+    #: analyzer could see them — live-interface mode only, always 0 when
+    #: tailing a directory.  Nonzero means the window totals undercount.
+    kernel_drops: int = 0
 
 
 class ZoomMonitorService:
     """Wire tailer → rolling analyzer → aggregator → exporters and run.
 
     Args:
-        directory: The capture directory to follow.
+        directory: The capture directory to follow; may be ``None`` when
+            ``config.interface`` selects live-interface mode instead.
         config: A :class:`~repro.core.config.ServiceConfig`; its nested
             analyzer config drives the rolling analyzer unchanged.
+        packet_socket: Test hook for interface mode — a pre-built packet
+            socket (usually a
+            :class:`~repro.dataplane.SimulatedPacketSocket`) used instead
+            of opening ``config.interface``.
+
+    In interface mode the ingest side is a
+    :class:`~repro.dataplane.LiveInterfaceSource` instead of a directory
+    tailer: frames arrive through an ``AF_PACKET`` socket (or its
+    simulated stand-in) with the compiled cBPF capture filter attached,
+    and everything downstream — queue, backpressure, drain — is shared
+    with the directory path.  The source honours the same ``poll()`` /
+    ``polls`` contract, so the loop below cannot tell the difference; the
+    one addition is that a finite replay socket reports ``exhausted`` and
+    stops the service like a drained ``stop_after_polls`` run.
 
     The constructor builds everything but starts nothing; :meth:`run`
     blocks until :meth:`stop` (or a signal, when requested) and returns a
     :class:`ServiceReport`.  Tests drive it with ``stop_after_polls=``.
     """
 
-    def __init__(self, directory: str | Path, config: ServiceConfig) -> None:
+    def __init__(
+        self,
+        directory: "str | Path | None",
+        config: ServiceConfig,
+        *,
+        packet_socket=None,
+    ) -> None:
         self.config = config
         self.rolling = RollingZoomAnalyzer(config.analyzer)
         self.telemetry = self.rolling.result.telemetry
-        self.tailer = CaptureDirectoryTailer(
-            directory, pattern=config.tail_pattern, telemetry=self.telemetry
-        )
+        self.interface_mode = config.interface is not None or packet_socket is not None
+        if self.interface_mode:
+            # Imported lazily: repro.dataplane builds on repro.net and is
+            # only needed when capturing live.
+            from repro.dataplane import (
+                DataplaneFilter,
+                LiveInterfaceSource,
+                open_packet_socket,
+            )
+
+            if packet_socket is None:
+                packet_socket = open_packet_socket(config.interface)
+            dataplane = DataplaneFilter.from_plugins(self.rolling.analyzer.plugins)
+            self.tailer = LiveInterfaceSource(
+                packet_socket,
+                dataplane=dataplane,
+                telemetry=self.telemetry,
+                batch_size=config.analyzer.batch_size,
+            )
+        else:
+            if directory is None:
+                raise ValueError("directory is required unless an interface is set")
+            self.tailer = CaptureDirectoryTailer(
+                directory,
+                pattern=config.tail_pattern,
+                telemetry=self.telemetry,
+                batch_size=config.analyzer.batch_size,
+            )
         self.aggregator = WindowAggregator(
             self.rolling,
             window_seconds=config.window_seconds,
@@ -162,6 +218,7 @@ class ZoomMonitorService:
             )
             + (QOE_COUNTER_SEEDS if self.qoe is not None else ())
             + (FLEET_COUNTER_SEEDS if self.store_sink is not None else ())
+            + (_dataplane_counter_seeds() if self.interface_mode else ())
         )
         for name in seeds:
             self.telemetry.count(name, 0)
@@ -236,6 +293,7 @@ class ZoomMonitorService:
                 else 0
             ),
             qoe_worst_state=qoe.worst_state().name if qoe is not None else "GOOD",
+            kernel_drops=getattr(self.tailer, "kernel_drops", 0),
         )
 
     # -------------------------------------------------------------- ingest
@@ -250,6 +308,11 @@ class ZoomMonitorService:
                         return
                 self._ready = True
                 backoff = self.config.restart_backoff_base
+                if getattr(self.tailer, "exhausted", False):
+                    # A finite replay socket ran dry: drain and exit like a
+                    # completed stop_after_polls run (the `sim:` CLI path).
+                    self._stop.set()
+                    return
             except Exception:
                 # Crash-restart: a corrupt file or transient I/O error must
                 # not take the daemon down.  Counted, backed off, retried.
@@ -337,6 +400,8 @@ class ZoomMonitorService:
             if self.store_sink is not None:
                 self.store_sink.write_meetings(self.rolling.result.meetings)
                 self.store_sink.store.close()
+        if self.interface_mode:
+            self.tailer.close()  # release the packet socket
         if self.jsonl is not None:
             self.jsonl.close()
         if self.http is not None:

@@ -21,6 +21,8 @@ handful of warnings an operator actually acts on:
 * live-monitor degradation — packets shed by the daemon's bounded queue
   (recoverable from the capture directory) or a crash-restarting ingest
   thread;
+* kernel packet-ring drops in live-interface mode — frames lost before
+  userspace ever saw them, which no batch re-run can recover;
 * metrics-store recoveries — a torn frame truncated from an active segment
   (the writer was killed mid-append) or sealed segments adopted outside the
   manifest (a crash between seal and manifest write); both are handled
@@ -164,6 +166,23 @@ def detect_anomalies(
                 ),
                 counter="service.dropped",
                 value=dropped,
+            )
+        )
+
+    kernel_drops = snapshot.counter("dataplane.kernel_drops")
+    if kernel_drops:
+        anomalies.append(
+            Anomaly(
+                name="dataplane-kernel-drops",
+                message=(
+                    f"{kernel_drops} frame(s) dropped in the kernel packet "
+                    "ring before the analyzer could read them — the live "
+                    "interface is overrunning userspace; unlike queue drops "
+                    "these are NOT on disk and cannot be recovered by a "
+                    "batch re-run"
+                ),
+                counter="dataplane.kernel_drops",
+                value=kernel_drops,
             )
         )
 

@@ -134,3 +134,25 @@ class TestQoeImpairmentRule:
         assert finding.counter == "qoe.alerts"
         assert "2 IMPAIRED" in finding.message
         assert "1 CRITICAL" in finding.message
+
+
+class TestDataplaneKernelDropsBoundary:
+    def test_zero_drops_silent(self):
+        # A pre-seeded zero counter (interface mode seeds it at startup)
+        # must not fire.
+        assert "dataplane-kernel-drops" not in _names({"dataplane.kernel_drops": 0})
+
+    def test_single_drop_fires(self):
+        # Kernel ring drops are unrecoverable (never hit disk), so the
+        # threshold is exactly one frame.
+        names = _names({"dataplane.kernel_drops": 1})
+        assert "dataplane-kernel-drops" in names
+
+    def test_message_carries_count(self):
+        snapshot = _snapshot({"dataplane.kernel_drops": 42})
+        (finding,) = [
+            a for a in detect_anomalies(snapshot) if a.name == "dataplane-kernel-drops"
+        ]
+        assert finding.value == 42
+        assert finding.counter == "dataplane.kernel_drops"
+        assert "cannot be recovered" in finding.message

@@ -1,0 +1,287 @@
+"""Unit tests for the cBPF ISA layer: assembler, packer, reference VM."""
+
+import struct
+
+import pytest
+
+from repro.dataplane.cbpf import (
+    BPF_ABS,
+    BPF_ADD,
+    BPF_ALU,
+    BPF_AND,
+    BPF_B,
+    BPF_DIV,
+    BPF_H,
+    BPF_IMM,
+    BPF_IND,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JMP,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_LEN,
+    BPF_MAXINSNS,
+    BPF_MEM,
+    BPF_MISC,
+    BPF_MSH,
+    BPF_RET,
+    BPF_ST,
+    BPF_SUB,
+    BPF_TAX,
+    BPF_TXA,
+    BPF_W,
+    BPF_X,
+    Assembler,
+    BPFInstruction,
+    CBPFProgram,
+    run_cbpf,
+)
+
+
+def prog(*insns):
+    return CBPFProgram(list(insns))
+
+
+def ret_k(k):
+    return BPFInstruction(BPF_RET | BPF_K, k=k)
+
+
+class TestInstructionPacking:
+    def test_sock_filter_layout(self):
+        insn = BPFInstruction(BPF_LD | BPF_H | BPF_ABS, jt=1, jf=2, k=12)
+        assert insn.pack() == struct.pack("HBBI", 0x28, 1, 2, 12)
+
+    def test_program_pack_concatenates(self):
+        p = prog(BPFInstruction(BPF_LD | BPF_W | BPF_LEN), ret_k(0xFFFFFFFF))
+        packed = p.pack()
+        assert len(packed) == 2 * struct.calcsize("HBBI")
+        assert packed[: struct.calcsize("HBBI")] == p.insns[0].pack()
+
+    def test_negative_k_packs_as_u32(self):
+        insn = BPFInstruction(BPF_LD | BPF_IMM, k=-1 & 0xFFFFFFFF)
+        (_, _, _, k) = struct.unpack("HBBI", insn.pack())
+        assert k == 0xFFFFFFFF
+
+
+class TestValidator:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            prog().validate()
+
+    def test_oversized_program_rejected(self):
+        p = CBPFProgram([ret_k(0)] * (BPF_MAXINSNS + 1))
+        with pytest.raises(ValueError, match="too long"):
+            p.validate()
+
+    def test_jump_out_of_range_rejected(self):
+        p = prog(BPFInstruction(BPF_JMP | BPF_JEQ | BPF_K, jt=5, jf=0, k=1), ret_k(0))
+        with pytest.raises(ValueError, match="target out of range"):
+            p.validate()
+
+    def test_ja_out_of_range_rejected(self):
+        p = prog(BPFInstruction(BPF_JMP | BPF_JA, k=9), ret_k(0))
+        with pytest.raises(ValueError, match="ja target"):
+            p.validate()
+
+    def test_scratch_slot_out_of_range_rejected(self):
+        p = prog(BPFInstruction(BPF_ST, k=16), ret_k(0))
+        with pytest.raises(ValueError, match="scratch slot"):
+            p.validate()
+
+    def test_constant_div_by_zero_rejected(self):
+        p = prog(BPFInstruction(BPF_ALU | BPF_DIV | BPF_K, k=0), ret_k(0))
+        with pytest.raises(ValueError, match="division by zero"):
+            p.validate()
+
+    def test_fallthrough_rejected(self):
+        p = prog(BPFInstruction(BPF_LD | BPF_IMM, k=1))
+        with pytest.raises(ValueError, match="fall off"):
+            p.validate()
+
+    def test_minimal_accept_program_valid(self):
+        prog(ret_k(0xFFFFFFFF)).validate()
+
+
+class TestAssembler:
+    def test_label_resolution(self):
+        asm = Assembler()
+        asm.emit(BPF_LD | BPF_B | BPF_ABS, k=0)
+        asm.emit(BPF_JMP | BPF_JEQ | BPF_K, k=7, jt="yes", jf="no")
+        asm.label("no")
+        asm.ret_k(0)
+        asm.label("yes")
+        asm.ret_k(1)
+        p = asm.assemble()
+        assert p.insns[1].jt == 1  # skip over the drop
+        assert p.insns[1].jf == 0  # fall through
+        assert run_cbpf(p, bytes([7])) == 1
+        assert run_cbpf(p, bytes([8])) == 0
+
+    def test_ja_trampoline(self):
+        asm = Assembler()
+        asm.ja("end")
+        for _ in range(300):  # farther than a conditional's 8-bit reach
+            asm.emit(BPF_LD | BPF_IMM, k=0)
+        asm.label("end")
+        asm.ret_k(5)
+        p = asm.assemble()
+        assert p.insns[0].k == 300
+        assert run_cbpf(p, b"") == 5
+
+    def test_conditional_offset_overflow_rejected(self):
+        asm = Assembler()
+        asm.emit(BPF_JMP | BPF_JEQ | BPF_K, k=0, jt="far", jf="far")
+        for _ in range(300):
+            asm.emit(BPF_LD | BPF_IMM, k=0)
+        asm.label("far")
+        asm.ret_k(0)
+        with pytest.raises(ValueError, match="> 255"):
+            asm.assemble()
+
+    def test_backward_jump_rejected(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.emit(BPF_LD | BPF_IMM, k=0)
+        asm.ja("top")
+        with pytest.raises(ValueError, match="backward"):
+            asm.assemble()
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.ja("nowhere")
+        with pytest.raises(ValueError, match="undefined label"):
+            asm.assemble()
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            asm.label("x")
+
+
+class TestInterpreter:
+    def test_abs_loads_are_big_endian(self):
+        data = bytes([0xDE, 0xAD, 0xBE, 0xEF])
+        p = prog(BPFInstruction(BPF_LD | BPF_W | BPF_ABS, k=0), ret_k(0))
+        # ret_k ignores A; use a jeq to observe it instead.
+        asm = Assembler()
+        asm.emit(BPF_LD | BPF_W | BPF_ABS, k=0)
+        asm.emit(BPF_JMP | BPF_JEQ | BPF_K, k=0xDEADBEEF, jt="yes", jf="no")
+        asm.label("no")
+        asm.ret_k(0)
+        asm.label("yes")
+        asm.ret_k(1)
+        assert run_cbpf(asm.assemble(), data) == 1
+        assert run_cbpf(p, data) == 0
+
+    def test_out_of_bounds_abs_load_drops(self):
+        p = prog(BPFInstruction(BPF_LD | BPF_W | BPF_ABS, k=2), ret_k(99))
+        assert run_cbpf(p, bytes(5)) == 0  # needs bytes 2..5
+        assert run_cbpf(p, bytes(6)) == 99
+
+    def test_out_of_bounds_ind_load_drops(self):
+        p = prog(
+            BPFInstruction(BPF_LDX | BPF_IMM, k=4),
+            BPFInstruction(BPF_LD | BPF_B | BPF_IND, k=2),
+            ret_k(7),
+        )
+        assert run_cbpf(p, bytes(6)) == 0
+        assert run_cbpf(p, bytes(7)) == 7
+
+    def test_msh_decodes_ip_header_length(self):
+        # pkt[0] = 0x45 → X = 4 * 5 = 20
+        p = prog(
+            BPFInstruction(BPF_LDX | BPF_B | BPF_MSH, k=0),
+            BPFInstruction(BPF_MISC | BPF_TXA),
+            BPFInstruction(BPF_JMP | BPF_JEQ | BPF_K, jt=0, jf=1, k=20),
+            ret_k(1),
+            ret_k(0),
+        )
+        assert run_cbpf(p, bytes([0x45])) == 1
+        assert run_cbpf(p, bytes([0x4F])) == 0  # ihl 15 → 60
+
+    def test_len_uses_wirelen_not_caplen(self):
+        p = prog(
+            BPFInstruction(BPF_LD | BPF_W | BPF_LEN),
+            BPFInstruction(BPF_JMP | BPF_JGE | BPF_K, jt=0, jf=1, k=100),
+            ret_k(1),
+            ret_k(0),
+        )
+        assert run_cbpf(p, bytes(10), wirelen=150) == 1
+        assert run_cbpf(p, bytes(10)) == 0
+
+    def test_alu_wraps_u32(self):
+        p = prog(
+            BPFInstruction(BPF_LD | BPF_IMM, k=0xFFFFFFFF),
+            BPFInstruction(BPF_ALU | BPF_ADD | BPF_K, k=2),
+            BPFInstruction(BPF_JMP | BPF_JEQ | BPF_K, jt=0, jf=1, k=1),
+            ret_k(1),
+            ret_k(0),
+        )
+        assert run_cbpf(p, b"") == 1
+
+    def test_sub_and_jge_x(self):
+        # len - 4 >= X(=ihl-style register) gate
+        p = prog(
+            BPFInstruction(BPF_LDX | BPF_IMM, k=20),
+            BPFInstruction(BPF_LD | BPF_W | BPF_LEN),
+            BPFInstruction(BPF_ALU | BPF_SUB | BPF_K, k=4),
+            BPFInstruction(BPF_JMP | BPF_JGE | BPF_X, jt=0, jf=1),
+            ret_k(1),
+            ret_k(0),
+        )
+        assert run_cbpf(p, bytes(24)) == 1
+        assert run_cbpf(p, bytes(23)) == 0
+
+    def test_scratch_memory_roundtrip(self):
+        p = prog(
+            BPFInstruction(BPF_LD | BPF_IMM, k=42),
+            BPFInstruction(BPF_ST, k=3),
+            BPFInstruction(BPF_LD | BPF_IMM, k=0),
+            BPFInstruction(BPF_LD | BPF_MEM, k=3),
+            BPFInstruction(BPF_JMP | BPF_JEQ | BPF_K, jt=0, jf=1, k=42),
+            ret_k(1),
+            ret_k(0),
+        )
+        assert run_cbpf(p, b"") == 1
+
+    def test_tax_txa(self):
+        p = prog(
+            BPFInstruction(BPF_LD | BPF_IMM, k=9),
+            BPFInstruction(BPF_MISC | BPF_TAX),
+            BPFInstruction(BPF_LD | BPF_IMM, k=0),
+            BPFInstruction(BPF_MISC | BPF_TXA),
+            BPFInstruction(BPF_JMP | BPF_JEQ | BPF_K, jt=0, jf=1, k=9),
+            ret_k(1),
+            ret_k(0),
+        )
+        assert run_cbpf(p, b"") == 1
+
+    def test_and_mask(self):
+        p = prog(
+            BPFInstruction(BPF_LD | BPF_W | BPF_ABS, k=0),
+            BPFInstruction(BPF_ALU | BPF_AND | BPF_K, k=0xFFFF0000),
+            BPFInstruction(BPF_JMP | BPF_JEQ | BPF_K, jt=0, jf=1, k=0x0A080000),
+            ret_k(1),
+            ret_k(0),
+        )
+        assert run_cbpf(p, bytes([0x0A, 0x08, 0x01, 0x02])) == 1
+        assert run_cbpf(p, bytes([0x0A, 0x09, 0x01, 0x02])) == 0
+
+    def test_ret_a_returns_accumulator(self):
+        # BPF_RET with BPF_A (0x10) returns A, not k.
+        p = prog(
+            BPFInstruction(BPF_LD | BPF_IMM, k=77),
+            BPFInstruction(BPF_RET | 0x10),
+        )
+        assert run_cbpf(p, b"") == 77
+
+    def test_unknown_opcode_drops(self):
+        p = prog(BPFInstruction(0xFFFF), ret_k(1))
+        assert run_cbpf(p, b"") == 0
+
+    def test_dump_is_printable(self):
+        p = prog(ret_k(0))
+        assert "code=0x0006" in p.dump()
